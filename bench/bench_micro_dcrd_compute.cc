@@ -1,0 +1,67 @@
+// Microbenchmark: the DCRD <d,r> fixed point and sending-list build.
+//
+// This is the per-epoch cost that dominates large-N DCRD runs (Fig. 5):
+// one ComputeDestinationTables call per (topic, subscriber) pair.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "dcrd/dr_computation.h"
+#include "graph/topology.h"
+#include "net/failure_schedule.h"
+#include "net/link_monitor.h"
+
+namespace {
+
+using namespace dcrd;
+
+struct Fixture {
+  Graph graph;
+  FailureSchedule failures{123, 0.06};
+  LinkMonitor monitor;
+  std::vector<double> publisher_dist;
+
+  explicit Fixture(std::size_t nodes)
+      : graph([&] {
+          Rng rng(5);
+          return RandomConnected(nodes, 8, rng);
+        }()),
+        monitor(graph, failures, LinkMonitorConfig{}, Rng(17)) {
+    monitor.MeasureAt(SimTime::Zero());
+    publisher_dist = MonitoredDistancesFrom(graph, monitor.view(), NodeId(0));
+  }
+};
+
+void BM_ComputeDestinationTables(benchmark::State& state) {
+  Fixture fixture(static_cast<std::size_t>(state.range(0)));
+  const NodeId subscriber(
+      static_cast<NodeId::underlying_type>(state.range(0) - 1));
+  const double deadline_us =
+      3.0 * fixture.publisher_dist[subscriber.underlying()];
+  DrComputationConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeDestinationTables(
+        fixture.graph, fixture.monitor.view(), subscriber, deadline_us,
+        fixture.publisher_dist, config));
+  }
+}
+BENCHMARK(BM_ComputeDestinationTables)->Arg(20)->Arg(80)->Arg(160);
+
+void BM_Theorem1SortAndCombine(benchmark::State& state) {
+  // The inner loop of every sweep: sort candidates, fold Eq. 3.
+  Rng rng(9);
+  std::vector<ViaEntry> entries;
+  for (int i = 0; i < 10; ++i) {
+    entries.push_back(ViaEntry{NodeId(static_cast<NodeId::underlying_type>(i)),
+                               LinkId(static_cast<LinkId::underlying_type>(i)),
+                               rng.NextDoubleInRange(10'000, 90'000),
+                               rng.NextDoubleInRange(0.5, 1.0)});
+  }
+  for (auto _ : state) {
+    std::vector<ViaEntry> copy = entries;
+    SortByTheorem1(copy);
+    benchmark::DoNotOptimize(CombineOrdered(copy));
+  }
+}
+BENCHMARK(BM_Theorem1SortAndCombine);
+
+}  // namespace

@@ -1,0 +1,72 @@
+// Microbenchmark: discrete-event scheduler throughput.
+//
+// The figure harnesses push millions of events per simulated hour; these
+// benches track the cost of schedule/run cycles, cancellation, and the
+// timer-heavy pattern HopTransport produces (schedule + cancel ~every ACK).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "event/scheduler.h"
+
+namespace {
+
+using dcrd::Rng;
+using dcrd::Scheduler;
+using dcrd::SimDuration;
+using dcrd::SimTime;
+
+void BM_ScheduleAndRun(benchmark::State& state) {
+  const std::int64_t count = state.range(0);
+  Rng rng(42);
+  for (auto _ : state) {
+    Scheduler scheduler;
+    std::uint64_t sink = 0;
+    for (std::int64_t i = 0; i < count; ++i) {
+      scheduler.ScheduleAfter(
+          SimDuration::Micros(static_cast<std::int64_t>(rng.NextBounded(1'000'000))),
+          [&sink] { ++sink; });
+    }
+    scheduler.Run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_ScheduleAndRun)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_ScheduleCancel(benchmark::State& state) {
+  // The ACK-timer pattern: almost every timer is cancelled before it fires.
+  const std::int64_t count = state.range(0);
+  for (auto _ : state) {
+    Scheduler scheduler;
+    std::vector<dcrd::EventHandle> handles;
+    handles.reserve(count);
+    for (std::int64_t i = 0; i < count; ++i) {
+      handles.push_back(scheduler.ScheduleAfter(SimDuration::Millis(60),
+                                                [] {}));
+    }
+    for (auto& handle : handles) scheduler.Cancel(handle);
+    scheduler.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_ScheduleCancel)->Arg(1'000)->Arg(100'000);
+
+void BM_InterleavedTimerChurn(benchmark::State& state) {
+  // Schedule-fire-reschedule chains like periodic publishers.
+  for (auto _ : state) {
+    Scheduler scheduler;
+    std::uint64_t fired = 0;
+    std::function<void()> tick = [&] {
+      if (++fired < 10'000) {
+        scheduler.ScheduleAfter(SimDuration::Millis(1), tick);
+      }
+    };
+    scheduler.ScheduleAfter(SimDuration::Millis(1), tick);
+    scheduler.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_InterleavedTimerChurn);
+
+}  // namespace

@@ -1,0 +1,40 @@
+// Microbenchmark: end-to-end simulated seconds per wall-clock second for
+// each router — the figure harnesses' cost model.
+#include <benchmark/benchmark.h>
+
+#include "sim/engine.h"
+
+namespace {
+
+using namespace dcrd;
+
+void RunRouter(benchmark::State& state, RouterKind router) {
+  for (auto _ : state) {
+    ScenarioConfig config;
+    config.router = router;
+    config.node_count = 20;
+    config.topology = TopologyKind::kRandomDegree;
+    config.degree = 8;
+    config.failure_probability = 0.06;
+    config.sim_time = SimDuration::Seconds(60);
+    config.seed = 3;
+    benchmark::DoNotOptimize(RunScenario(config));
+  }
+  state.SetItemsProcessed(state.iterations() * 60);  // simulated seconds
+}
+
+void BM_Run_DCRD(benchmark::State& state) { RunRouter(state, RouterKind::kDcrd); }
+void BM_Run_RTree(benchmark::State& state) { RunRouter(state, RouterKind::kRTree); }
+void BM_Run_DTree(benchmark::State& state) { RunRouter(state, RouterKind::kDTree); }
+void BM_Run_Oracle(benchmark::State& state) { RunRouter(state, RouterKind::kOracle); }
+void BM_Run_Multipath(benchmark::State& state) {
+  RunRouter(state, RouterKind::kMultipath);
+}
+
+BENCHMARK(BM_Run_DCRD)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Run_RTree)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Run_DTree)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Run_Oracle)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Run_Multipath)->Unit(benchmark::kMillisecond);
+
+}  // namespace

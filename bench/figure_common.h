@@ -1,0 +1,90 @@
+// Shared plumbing for the figure-reproduction binaries.
+//
+// Every figN binary accepts:
+//   --paper          full paper scale (10 repetitions, 2 h simulated time)
+//   --reps N         override repetition count
+//   --seconds S      override simulated seconds
+//   --seed S         base seed (rep r runs with seed S+r)
+//   --routers a,b    subset of DCRD,R-Tree,D-Tree,ORACLE,Multipath
+//
+// Default scale is reduced (2 repetitions x 600 simulated seconds) so the
+// whole bench suite finishes in minutes; the series' *shape* is already
+// stable at that scale, and --paper reproduces the paper's configuration.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "sim/experiment.h"
+#include "sim/report.h"
+
+namespace dcrd::figures {
+
+struct FigureScale {
+  int repetitions = 2;
+  SimDuration sim_time = SimDuration::Seconds(600);
+  std::uint64_t seed = 1;
+  std::vector<RouterKind> routers = {RouterKind::kDcrd, RouterKind::kRTree,
+                                     RouterKind::kDTree, RouterKind::kOracle,
+                                     RouterKind::kMultipath};
+  std::string csv_dir;  // when set (--csv DIR), sweeps also land as CSV
+};
+
+inline std::vector<RouterKind> ParseRouters(const std::string& csv) {
+  std::vector<RouterKind> routers;
+  std::stringstream stream(csv);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (token == "DCRD") routers.push_back(RouterKind::kDcrd);
+    else if (token == "R-Tree") routers.push_back(RouterKind::kRTree);
+    else if (token == "D-Tree") routers.push_back(RouterKind::kDTree);
+    else if (token == "ORACLE") routers.push_back(RouterKind::kOracle);
+    else if (token == "Multipath") routers.push_back(RouterKind::kMultipath);
+    else std::cerr << "unknown router '" << token << "' ignored\n";
+  }
+  return routers;
+}
+
+inline FigureScale ParseScale(const Flags& flags) {
+  FigureScale scale;
+  if (flags.GetBool("paper", false)) {
+    scale.repetitions = 10;                           // 10 topologies
+    scale.sim_time = SimDuration::Seconds(7200);      // two hours
+  }
+  scale.repetitions =
+      static_cast<int>(flags.GetInt("reps", scale.repetitions));
+  if (flags.Has("seconds")) {
+    scale.sim_time = SimDuration::Seconds(flags.GetInt("seconds", 600));
+  }
+  scale.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  if (flags.Has("routers")) {
+    scale.routers = ParseRouters(flags.GetString("routers", ""));
+  }
+  scale.csv_dir = flags.GetString("csv", "");
+  return scale;
+}
+
+inline void MaybeSaveCsv(const FigureScale& scale, const std::string& stem,
+                         const SweepResult& sweep) {
+  if (scale.csv_dir.empty()) return;
+  const std::string path = SaveSweepCsv(scale.csv_dir, stem, sweep);
+  if (!path.empty()) std::cout << "wrote " << path << "\n";
+}
+
+inline void ApplyScale(const FigureScale& scale, ScenarioConfig& config) {
+  config.sim_time = scale.sim_time;
+  config.seed = scale.seed;
+}
+
+inline void PrintHeader(const std::string& figure,
+                        const FigureScale& scale) {
+  std::cout << "=== " << figure << " ===\n"
+            << "repetitions=" << scale.repetitions
+            << " simulated=" << scale.sim_time.seconds() << "s"
+            << " (use --paper for the 10x7200s paper scale)\n";
+}
+
+}  // namespace dcrd::figures

@@ -1,0 +1,67 @@
+// Air-surveillance scenario (the paper's motivating workload).
+//
+// In ADS-B, every aircraft broadcasts its position about once per second
+// and air-traffic-control consumers need those updates within a hard
+// latency budget. This example models a 20-broker WAN overlay carrying ten
+// aircraft topics to ATC subscribers with a tight 2x-shortest-path
+// deadline, and compares DCRD against every baseline under a 6% per-second
+// link-failure rate — printing a side-by-side table like the paper's
+// evaluation, plus the lateness distribution of the packets that missed.
+//
+//   ./air_surveillance [--pf 0.06] [--seconds 600] [--qos 2.0]
+#include <iomanip>
+#include <iostream>
+
+#include "common/flags.h"
+#include "sim/engine.h"
+#include "sim/experiment.h"
+
+int main(int argc, char** argv) {
+  const dcrd::Flags flags = dcrd::Flags::Parse(argc, argv);
+
+  dcrd::ScenarioConfig config;
+  config.node_count = 20;
+  config.topology = dcrd::TopologyKind::kRandomDegree;
+  config.degree = 8;
+  config.failure_probability = flags.GetDouble("pf", 0.06);
+  config.qos_factor = flags.GetDouble("qos", 2.0);
+  config.sim_time = dcrd::SimDuration::Seconds(flags.GetInt("seconds", 600));
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+
+  const std::vector<dcrd::RouterKind> routers = {
+      dcrd::RouterKind::kDcrd, dcrd::RouterKind::kRTree,
+      dcrd::RouterKind::kDTree, dcrd::RouterKind::kOracle,
+      dcrd::RouterKind::kMultipath};
+
+  std::cout << "ADS-B style workload: 10 aircraft topics, 1 position/s, "
+               "deadline "
+            << config.qos_factor << "x shortest path, Pf="
+            << config.failure_probability << "\n\n";
+  std::cout << std::left << std::setw(12) << "router" << std::right
+            << std::setw(12) << "delivery" << std::setw(12) << "QoS"
+            << std::setw(14) << "pkts/sub" << std::setw(14) << "late p50"
+            << "\n";
+
+  for (dcrd::RouterKind router : routers) {
+    dcrd::ScenarioConfig run = config;
+    run.router = router;
+    const dcrd::RunSummary summary = dcrd::RunScenario(run);
+
+    double late_p50 = 0.0;
+    if (!summary.lateness_ratios.empty()) {
+      std::vector<double> sorted = summary.lateness_ratios;
+      std::sort(sorted.begin(), sorted.end());
+      late_p50 = sorted[sorted.size() / 2];
+    }
+    std::cout << std::left << std::setw(12) << dcrd::RouterName(router)
+              << std::right << std::fixed << std::setprecision(4)
+              << std::setw(12) << summary.delivery_ratio() << std::setw(12)
+              << summary.qos_ratio() << std::setw(14)
+              << summary.packets_per_subscriber() << std::setw(14)
+              << late_p50 << "\n";
+    std::cout.unsetf(std::ios::fixed);
+  }
+  std::cout << "\n(late p50: median actual-delay/deadline ratio among "
+               "deadline-missing deliveries; 0 = nothing missed)\n";
+  return 0;
+}

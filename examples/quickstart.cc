@@ -1,0 +1,41 @@
+// Quickstart: the smallest end-to-end use of the DCRD library.
+//
+// Builds a 12-broker random overlay, registers one topic with a handful of
+// subscribers, injects per-second link failures, and runs DCRD for five
+// simulated minutes — printing the three headline metrics at the end.
+//
+//   ./quickstart [--pf 0.06] [--nodes 12] [--degree 4] [--seconds 300]
+#include <iostream>
+
+#include "common/flags.h"
+#include "sim/engine.h"
+
+int main(int argc, char** argv) {
+  const dcrd::Flags flags = dcrd::Flags::Parse(argc, argv);
+
+  dcrd::ScenarioConfig config;
+  config.node_count = static_cast<std::size_t>(flags.GetInt("nodes", 12));
+  config.topology = dcrd::TopologyKind::kRandomDegree;
+  config.degree = static_cast<std::size_t>(flags.GetInt("degree", 4));
+  config.failure_probability = flags.GetDouble("pf", 0.06);
+  config.loss_rate = flags.GetDouble("pl", 1e-4);
+  config.topic_count = 3;
+  config.sim_time =
+      dcrd::SimDuration::Seconds(flags.GetInt("seconds", 300));
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 7));
+  config.router = dcrd::RouterKind::kDcrd;
+
+  std::cout << "Running: " << config.Describe() << "\n";
+  const dcrd::RunSummary summary = dcrd::RunScenario(config);
+
+  std::cout << "messages published     : " << summary.messages_published
+            << "\n"
+            << "(message, subscriber)  : " << summary.expected_pairs << "\n"
+            << "delivery ratio         : " << summary.delivery_ratio() << "\n"
+            << "QoS delivery ratio     : " << summary.qos_ratio() << "\n"
+            << "packets / subscriber   : " << summary.packets_per_subscriber()
+            << "\n"
+            << "ACK transmissions      : " << summary.ack_transmissions
+            << "\n";
+  return 0;
+}

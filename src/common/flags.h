@@ -1,0 +1,43 @@
+// Tiny command-line flag parser for the experiment binaries and examples.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`. Unknown
+// flags are collected so a binary can reject typos; google-benchmark flags
+// (--benchmark_*) are passed through untouched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dcrd {
+
+class Flags {
+ public:
+  // Parses argv; consumes recognised-looking `--x[=v]` tokens and leaves the
+  // rest (including --benchmark_* flags) in `passthrough()`.
+  static Flags Parse(int argc, char** argv);
+
+  [[nodiscard]] bool Has(const std::string& name) const;
+  [[nodiscard]] std::string GetString(const std::string& name,
+                                      const std::string& fallback) const;
+  [[nodiscard]] std::int64_t GetInt(const std::string& name,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] double GetDouble(const std::string& name,
+                                 double fallback) const;
+  [[nodiscard]] bool GetBool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& passthrough() const {
+    return passthrough_;
+  }
+  // Flags that were parsed but never queried via a Get*/Has call would be
+  // typos; binaries may call this after reading their config.
+  [[nodiscard]] std::vector<std::string> UnknownFlags(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> passthrough_;
+};
+
+}  // namespace dcrd

@@ -1,0 +1,94 @@
+// Strongly-typed identifiers used across the DCRD codebase.
+//
+// Every entity in the simulator (broker node, overlay link, topic, message)
+// is referred to by a small dense integer id. Using distinct wrapper types
+// instead of bare ints prevents the classic bug of passing a LinkId where a
+// NodeId is expected; the wrappers compile down to plain integers.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace dcrd {
+
+// CRTP base for a dense integer id. `Tag` makes each instantiation a
+// distinct type; `underlying()` exposes the raw value for indexing vectors.
+template <typename Tag>
+class DenseId {
+ public:
+  using underlying_type = std::uint32_t;
+
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+
+  constexpr DenseId() = default;
+  constexpr explicit DenseId(underlying_type value) : value_(value) {}
+
+  [[nodiscard]] constexpr underlying_type underlying() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(DenseId, DenseId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, DenseId id) {
+    if (!id.valid()) return os << Tag::prefix() << "<invalid>";
+    return os << Tag::prefix() << id.value_;
+  }
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+struct NodeTag {
+  static constexpr const char* prefix() { return "n"; }
+};
+struct LinkTag {
+  static constexpr const char* prefix() { return "l"; }
+};
+struct TopicTag {
+  static constexpr const char* prefix() { return "t"; }
+};
+
+// Overlay broker node.
+using NodeId = DenseId<NodeTag>;
+// Directed overlay link (each undirected adjacency yields two LinkIds).
+using LinkId = DenseId<LinkTag>;
+// Pub/sub topic.
+using TopicId = DenseId<TopicTag>;
+
+// Messages are numbered globally in publish order; 64 bits so a multi-hour
+// simulation with thousands of publishers cannot wrap.
+struct MessageId {
+  std::uint64_t value = std::numeric_limits<std::uint64_t>::max();
+
+  constexpr MessageId() = default;
+  constexpr explicit MessageId(std::uint64_t v) : value(v) {}
+  [[nodiscard]] constexpr bool valid() const {
+    return value != std::numeric_limits<std::uint64_t>::max();
+  }
+  friend constexpr auto operator<=>(MessageId, MessageId) = default;
+  friend std::ostream& operator<<(std::ostream& os, MessageId id) {
+    return os << "m" << id.value;
+  }
+};
+
+}  // namespace dcrd
+
+namespace std {
+template <typename Tag>
+struct hash<dcrd::DenseId<Tag>> {
+  size_t operator()(dcrd::DenseId<Tag> id) const noexcept {
+    return std::hash<typename dcrd::DenseId<Tag>::underlying_type>{}(
+        id.underlying());
+  }
+};
+template <>
+struct hash<dcrd::MessageId> {
+  size_t operator()(dcrd::MessageId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,23 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+
+namespace dcrd {
+
+LogLevel& GlobalLogLevel() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+namespace internal {
+
+void CheckFailed(const char* expr, const char* file, int line,
+                 const std::string& extra) {
+  std::cerr << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!extra.empty()) std::cerr << " — " << extra;
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dcrd

@@ -1,0 +1,82 @@
+// Minimal leveled logging and check macros.
+//
+// The simulator is a library, so logging is off by default and controlled by
+// a process-wide level; benches/examples flip it on with --verbose. CHECK is
+// used for programmer-error invariants (never for expected runtime
+// conditions) and aborts with a message — per the Core Guidelines' advice to
+// make broken preconditions loud.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace dcrd {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+LogLevel& GlobalLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << Name(level) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+  ~LogMessage() {
+    if (static_cast<int>(level_) <= static_cast<int>(GlobalLogLevel())) {
+      stream_ << "\n";
+      std::clog << stream_.str();
+    }
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static constexpr const char* Name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kError: return "E";
+      case LogLevel::kWarn: return "W";
+      case LogLevel::kInfo: return "I";
+      case LogLevel::kDebug: return "D";
+    }
+    return "?";
+  }
+  static constexpr std::string_view Basename(std::string_view path) {
+    const auto pos = path.find_last_of('/');
+    return pos == std::string_view::npos ? path : path.substr(pos + 1);
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const std::string& extra);
+
+class CheckMessage {
+ public:
+  CheckMessage(const char* expr, const char* file, int line)
+      : expr_(expr), file_(file), line_(line) {}
+  [[noreturn]] ~CheckMessage() { CheckFailed(expr_, file_, line_, stream_.str()); }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define DCRD_LOG(level)                                                     \
+  ::dcrd::internal::LogMessage(::dcrd::LogLevel::level, __FILE__, __LINE__) \
+      .stream()
+
+#define DCRD_CHECK(cond)                                                  \
+  while (!(cond))                                                         \
+  ::dcrd::internal::CheckMessage(#cond, __FILE__, __LINE__).stream()
+
+}  // namespace dcrd

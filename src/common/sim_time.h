@@ -1,0 +1,116 @@
+// Fixed-point simulated time.
+//
+// The simulator keeps time as a 64-bit count of microseconds. Integer time
+// makes event ordering exact and runs bit-reproducible across platforms,
+// which the determinism tests rely on. Link delays in the paper are
+// 10-50 ms, failure epochs are 1 s and monitoring epochs 300 s, so
+// microsecond resolution leaves ample headroom (2^63 us ~= 292k years).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace dcrd {
+
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+
+  static constexpr SimDuration Micros(std::int64_t us) {
+    return SimDuration(us);
+  }
+  static constexpr SimDuration Millis(std::int64_t ms) {
+    return SimDuration(ms * 1000);
+  }
+  static constexpr SimDuration Seconds(std::int64_t s) {
+    return SimDuration(s * 1'000'000);
+  }
+  // Converts a floating-point quantity (e.g. a scaled deadline) with
+  // round-to-nearest; used only at configuration time, never on hot paths.
+  static constexpr SimDuration FromSecondsF(double s) {
+    return SimDuration(static_cast<std::int64_t>(s * 1e6 + (s >= 0 ? .5 : -.5)));
+  }
+  static constexpr SimDuration FromMillisF(double ms) {
+    return SimDuration(
+        static_cast<std::int64_t>(ms * 1e3 + (ms >= 0 ? .5 : -.5)));
+  }
+  static constexpr SimDuration Zero() { return SimDuration(0); }
+  static constexpr SimDuration Max() {
+    return SimDuration(INT64_MAX);
+  }
+
+  [[nodiscard]] constexpr std::int64_t micros() const { return us_; }
+  [[nodiscard]] constexpr double millis() const { return us_ / 1e3; }
+  [[nodiscard]] constexpr double seconds() const { return us_ / 1e6; }
+
+  friend constexpr auto operator<=>(SimDuration, SimDuration) = default;
+  friend constexpr SimDuration operator+(SimDuration a, SimDuration b) {
+    return SimDuration(a.us_ + b.us_);
+  }
+  friend constexpr SimDuration operator-(SimDuration a, SimDuration b) {
+    return SimDuration(a.us_ - b.us_);
+  }
+  friend constexpr SimDuration operator*(SimDuration a, std::int64_t k) {
+    return SimDuration(a.us_ * k);
+  }
+  friend constexpr SimDuration operator*(std::int64_t k, SimDuration a) {
+    return a * k;
+  }
+  constexpr SimDuration& operator+=(SimDuration b) {
+    us_ += b.us_;
+    return *this;
+  }
+  constexpr SimDuration& operator-=(SimDuration b) {
+    us_ -= b.us_;
+    return *this;
+  }
+  // Ratio of two durations, e.g. lateness / deadline for the Fig.7 CDF.
+  [[nodiscard]] constexpr double RatioTo(SimDuration denom) const {
+    return static_cast<double>(us_) / static_cast<double>(denom.us_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, SimDuration d) {
+    return os << d.us_ << "us";
+  }
+
+ private:
+  constexpr explicit SimDuration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+// A point on the simulated timeline (microseconds since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime FromMicros(std::int64_t us) { return SimTime(us); }
+  static constexpr SimTime Zero() { return SimTime(0); }
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+
+  [[nodiscard]] constexpr std::int64_t micros() const { return us_; }
+  [[nodiscard]] constexpr double seconds() const { return us_ / 1e6; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+  friend constexpr SimTime operator+(SimTime t, SimDuration d) {
+    return SimTime(t.us_ + d.micros());
+  }
+  friend constexpr SimTime operator+(SimDuration d, SimTime t) { return t + d; }
+  friend constexpr SimDuration operator-(SimTime a, SimTime b) {
+    return SimDuration::Micros(a.us_ - b.us_);
+  }
+  constexpr SimTime& operator+=(SimDuration d) {
+    us_ += d.micros();
+    return *this;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << "@" << t.us_ << "us";
+  }
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace dcrd

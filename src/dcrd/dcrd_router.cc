@@ -1,0 +1,353 @@
+#include "dcrd/dcrd_router.h"
+
+#include <algorithm>
+
+namespace dcrd {
+
+DcrdRouter::DcrdRouter(RouterContext context, DcrdConfig config)
+    : context_(context),
+      config_(config),
+      transport_(*context_.network,
+                 [this](NodeId at, const Packet& packet, NodeId from) {
+                   OnArrival(at, packet, from);
+                 }) {
+  DCRD_CHECK(context_.network != nullptr);
+  DCRD_CHECK(context_.subscriptions != nullptr);
+  DCRD_CHECK(context_.sink != nullptr);
+  config_.computation.max_transmissions = context_.max_transmissions;
+  config_.distributed.max_transmissions = context_.max_transmissions;
+  config_.distributed.ordering = config_.computation.ordering;
+  processed_.resize(context_.network->graph().node_count());
+}
+
+void DcrdRouter::Rebuild(const MonitoredView& view) {
+  view_ = &view;
+  transport_.ClearDedupState();
+  for (auto& processed : processed_) processed.clear();
+  // Retry budgets reset with the epoch; anything still parked gets a fresh
+  // chance against the newly measured topology.
+  persisted_.clear();
+
+  const Graph& graph = context_.network->graph();
+  const SubscriptionTable& subs = *context_.subscriptions;
+  // Retire last epoch's gossip; stragglers on the wire are ignored.
+  for (auto& topic_gossip : gossip_) {
+    for (GossipTables& gossip : topic_gossip) {
+      if (gossip.constrained) gossip.constrained->Stop();
+      if (gossip.unconstrained) gossip.unconstrained->Stop();
+    }
+  }
+  tables_.assign(subs.topic_count(), {});
+  gossip_.assign(subs.topic_count(), {});
+  subscriber_index_.assign(subs.topic_count(), {});
+  for (std::size_t t = 0; t < subs.topic_count(); ++t) {
+    const TopicId topic(static_cast<TopicId::underlying_type>(t));
+    const NodeId publisher = subs.publisher(topic);
+    const std::vector<double> publisher_dist =
+        MonitoredDistancesFrom(graph, view, publisher);
+    for (const Subscription& sub : subs.subscriptions(topic)) {
+      if (config_.use_distributed_computation) {
+        subscriber_index_[t].emplace(sub.subscriber, gossip_[t].size());
+        std::vector<double> budgets(graph.node_count());
+        for (std::size_t i = 0; i < graph.node_count(); ++i) {
+          budgets[i] =
+              static_cast<double>(sub.deadline.micros()) - publisher_dist[i];
+        }
+        budgets[sub.subscriber.underlying()] =
+            std::max(budgets[sub.subscriber.underlying()], 1.0);
+        GossipTables gossip;
+        gossip.constrained = std::make_shared<DistributedDrComputation>(
+            *context_.network, sub.subscriber, view, budgets,
+            config_.distributed);
+        gossip.constrained->Start();
+        if (config_.best_effort_fallback) {
+          gossip.unconstrained = std::make_shared<DistributedDrComputation>(
+              *context_.network, sub.subscriber, view,
+              std::vector<double>(graph.node_count(), kInfiniteDelay),
+              config_.distributed);
+          gossip.unconstrained->Start();
+        }
+        gossip_[t].push_back(std::move(gossip));
+      } else {
+        subscriber_index_[t].emplace(sub.subscriber, tables_[t].size());
+        tables_[t].push_back(ComputeDestinationTables(
+            graph, view, sub.subscriber,
+            static_cast<double>(sub.deadline.micros()), publisher_dist,
+            config_.computation));
+      }
+    }
+  }
+}
+
+const std::vector<NodeTables>& DcrdRouter::GossipSnapshot(
+    const GossipTables& gossip) const {
+  const std::uint64_t version =
+      gossip.constrained->version() +
+      (gossip.unconstrained ? gossip.unconstrained->version() : 0);
+  if (version == gossip.snapshot_version) return gossip.snapshot;
+  gossip.snapshot = gossip.constrained->Snapshot();
+  if (gossip.unconstrained) {
+    const std::vector<NodeTables> free_tables =
+        gossip.unconstrained->Snapshot();
+    for (std::size_t v = 0; v < gossip.snapshot.size(); ++v) {
+      std::vector<ViaEntry> fallback = free_tables[v].primary;
+      const auto& primary = gossip.snapshot[v].primary;
+      std::erase_if(fallback, [&](const ViaEntry& entry) {
+        return std::any_of(primary.begin(), primary.end(),
+                           [&](const ViaEntry& p) {
+                             return p.neighbor == entry.neighbor;
+                           });
+      });
+      gossip.snapshot[v].fallback = std::move(fallback);
+    }
+  }
+  gossip.snapshot_version = version;
+  return gossip.snapshot;
+}
+
+const NodeTables* DcrdRouter::GetNodeTables(TopicId topic, NodeId subscriber,
+                                            NodeId node) const {
+  const auto& index = subscriber_index_[topic.underlying()];
+  const auto it = index.find(subscriber);
+  if (it == index.end()) return nullptr;
+  if (config_.use_distributed_computation) {
+    const std::vector<NodeTables>& snapshot =
+        GossipSnapshot(gossip_[topic.underlying()][it->second]);
+    return &snapshot[node.underlying()];
+  }
+  return &tables_[topic.underlying()][it->second]
+              .per_node[node.underlying()];
+}
+
+const DestinationTables* DcrdRouter::FindTables(TopicId topic,
+                                                NodeId subscriber) const {
+  DCRD_CHECK(!config_.use_distributed_computation)
+      << "solver tables are not materialised in distributed mode";
+  const auto& index = subscriber_index_[topic.underlying()];
+  const auto it = index.find(subscriber);
+  if (it == index.end()) return nullptr;
+  return &tables_[topic.underlying()][it->second];
+}
+
+const DestinationTables& DcrdRouter::TablesFor(TopicId topic,
+                                               NodeId subscriber) const {
+  const DestinationTables* tables = FindTables(topic, subscriber);
+  DCRD_CHECK(tables != nullptr)
+      << subscriber << " not subscribed to " << topic;
+  return *tables;
+}
+
+void DcrdRouter::Publish(const Message& message) {
+  const SubscriptionTable& subs = *context_.subscriptions;
+  std::vector<NodeId> destinations;
+  for (const Subscription& sub : subs.subscriptions(message.topic)) {
+    if (sub.subscriber == message.publisher) {
+      context_.sink->OnDelivered(message, sub.subscriber,
+                                 context_.network->scheduler().now());
+    } else {
+      destinations.push_back(sub.subscriber);
+    }
+  }
+  if (destinations.empty()) return;
+  Packet packet(message, std::move(destinations));
+  auto& processed =
+      processed_[message.publisher.underlying()][ProcessedKey(packet)];
+  processed.insert(packet.destinations().begin(),
+                   packet.destinations().end());
+  StartEpisode(message.publisher, std::move(packet));
+}
+
+void DcrdRouter::OnArrival(NodeId at, const Packet& packet, NodeId /*from*/) {
+  const bool rerouted_back = packet.OnRoutingPath(at);
+  auto& processed = processed_[at.underlying()][ProcessedKey(packet)];
+
+  std::vector<NodeId> remaining;
+  for (NodeId subscriber : packet.destinations()) {
+    // A fresh visit handles each (message, subscriber) responsibility only
+    // once; a rerouted-back packet re-opens responsibilities this broker
+    // already forwarded into the now-failed subtree.
+    if (!rerouted_back && processed.contains(subscriber)) continue;
+    processed.insert(subscriber);
+    if (subscriber == at) {
+      context_.sink->OnDelivered(packet.message(), subscriber,
+                                 context_.network->scheduler().now());
+    } else {
+      remaining.push_back(subscriber);
+    }
+  }
+  if (remaining.empty()) return;
+  StartEpisode(at, packet.WithDestinations(std::move(remaining)));
+}
+
+void DcrdRouter::StartEpisode(NodeId node, Packet packet) {
+  const std::uint64_t id = next_episode_id_++;
+  Episode episode;
+  episode.id = id;
+  episode.node = node;
+  episode.pending = packet.destinations();
+  episode.base = std::move(packet);
+  episodes_.emplace(id, std::move(episode));
+  ProcessEpisode(id);
+}
+
+NodeId DcrdRouter::UpstreamOf(const Episode& episode) const {
+  const auto& path = episode.base.routing_path();
+  if (episode.base.OnRoutingPath(episode.node)) {
+    return episode.base.UpstreamOf(episode.node);
+  }
+  return path.empty() ? NodeId() : path.back();
+}
+
+NodeId DcrdRouter::SelectNextHop(const Episode& episode,
+                                 NodeId subscriber) const {
+  const NodeTables* tables_ptr = GetNodeTables(
+      episode.base.message().topic, subscriber, episode.node);
+  // The subscriber left (churn) while this packet was in flight: nowhere
+  // to send — the caller drops the responsibility.
+  if (tables_ptr == nullptr) return NodeId();
+  const NodeTables& node_tables = *tables_ptr;
+  const auto tried_it = episode.tried.find(subscriber);
+  const auto is_tried = [&](NodeId candidate) {
+    return tried_it != episode.tried.end() && tried_it->second.contains(candidate);
+  };
+
+  const auto scan = [&](const std::vector<ViaEntry>& list) {
+    for (const ViaEntry& entry : list) {
+      if (episode.base.OnRoutingPath(entry.neighbor)) continue;
+      if (is_tried(entry.neighbor)) continue;
+      return entry.neighbor;
+    }
+    return NodeId();
+  };
+
+  NodeId choice = scan(node_tables.primary);
+  if (!choice.valid() && config_.best_effort_fallback) {
+    choice = scan(node_tables.fallback);
+  }
+  if (choice.valid()) return choice;
+
+  // Sending list exhausted: reroute to the upstream node (Algorithm 2,
+  // lines 10-12), bounded by the retry cap.
+  const NodeId upstream = UpstreamOf(episode);
+  if (!upstream.valid()) return NodeId();  // publisher: drop
+  const auto attempts_it = episode.reroute_attempts.find(subscriber);
+  if (attempts_it != episode.reroute_attempts.end() &&
+      attempts_it->second >= config_.reroute_retry_cap) {
+    return NodeId();
+  }
+  return upstream;
+}
+
+void DcrdRouter::ProcessEpisode(std::uint64_t episode_id) {
+  auto it = episodes_.find(episode_id);
+  if (it == episodes_.end()) return;
+  Episode& episode = it->second;
+
+  while (!episode.pending.empty()) {
+    // Decide the next hop for the first pending subscriber, then pull in
+    // every other pending subscriber that picks the same hop (Algorithm 2,
+    // lines 13-19).
+    const NodeId leader = episode.pending.front();
+    const NodeId next = SelectNextHop(episode, leader);
+    if (!next.valid()) {
+      HandleUndeliverable(episode.node, episode.base, leader);
+      episode.pending.erase(episode.pending.begin());
+      continue;
+    }
+    std::vector<NodeId> group;
+    std::vector<NodeId> still_pending;
+    for (NodeId subscriber : episode.pending) {
+      if (subscriber == leader || SelectNextHop(episode, subscriber) == next) {
+        group.push_back(subscriber);
+      } else {
+        still_pending.push_back(subscriber);
+      }
+    }
+    episode.pending = std::move(still_pending);
+
+    const bool is_reroute = next == UpstreamOf(episode);
+    if (is_reroute) {
+      for (NodeId subscriber : group) ++episode.reroute_attempts[subscriber];
+    }
+
+    Packet copy = episode.base.WithDestinations(group);
+    copy.RecordOnPath(episode.node);
+    const auto link = context_.network->graph().FindEdge(episode.node, next);
+    DCRD_CHECK(link.has_value())
+        << "sending list refers to missing edge " << episode.node << "-"
+        << next;
+    const SimDuration timeout = context_.AckTimeout(view_->alpha(*link));
+    ++episode.in_flight;
+    transport_.SendReliable(
+        episode.node, *link, std::move(copy), context_.max_transmissions,
+        timeout,
+        [this, episode_id, next, group](bool acked) mutable {
+          OnCopyResolved(episode_id, next, std::move(group), acked);
+        });
+  }
+  FinishEpisodeIfIdle(episode_id);
+}
+
+void DcrdRouter::OnCopyResolved(std::uint64_t episode_id, NodeId next_hop,
+                                std::vector<NodeId> subscribers, bool acked) {
+  auto it = episodes_.find(episode_id);
+  DCRD_CHECK(it != episodes_.end());
+  Episode& episode = it->second;
+  --episode.in_flight;
+
+  if (!acked) {
+    // Hop failed after m transmissions: mark tried (unless it was the
+    // upstream reroute, which stays eligible under the retry cap) and put
+    // the subscribers back on the pending list.
+    const bool was_reroute = next_hop == UpstreamOf(episode);
+    for (NodeId subscriber : subscribers) {
+      if (!was_reroute) episode.tried[subscriber].insert(next_hop);
+      episode.pending.push_back(subscriber);
+    }
+    ProcessEpisode(episode_id);
+    return;
+  }
+  FinishEpisodeIfIdle(episode_id);
+}
+
+void DcrdRouter::HandleUndeliverable(NodeId node, const Packet& base,
+                                     NodeId subscriber) {
+  if (!config_.enable_persistence) {
+    ++dropped_undeliverable_;
+    return;
+  }
+  const auto key = std::make_tuple(node, base.message().id.value, subscriber);
+  int& attempts = persisted_[key];
+  if (attempts >= config_.persistence_max_retries) {
+    persisted_.erase(key);
+    ++dropped_undeliverable_;
+    return;
+  }
+  ++attempts;
+  ++persisted_packets_;
+  const Message message = base.message();
+  const int generation = attempts;
+  context_.network->scheduler().ScheduleAfter(
+      config_.persistence_retry_interval,
+      [this, node, message, subscriber, generation] {
+        ++persistence_retries_;
+        // Fresh attempt: empty routing path so the whole overlay is
+        // explorable again, and a new persistence generation so the
+        // processed-set dedup downstream does not mistake the retry for a
+        // duplicate of the failed attempt.
+        Packet retry(message, {subscriber});
+        retry.set_flow_label(static_cast<std::uint8_t>(generation));
+        processed_[node.underlying()][ProcessedKey(retry)].insert(subscriber);
+        StartEpisode(node, std::move(retry));
+      });
+}
+
+void DcrdRouter::FinishEpisodeIfIdle(std::uint64_t episode_id) {
+  const auto it = episodes_.find(episode_id);
+  if (it == episodes_.end()) return;
+  if (it->second.pending.empty() && it->second.in_flight == 0) {
+    episodes_.erase(it);
+  }
+}
+
+}  // namespace dcrd

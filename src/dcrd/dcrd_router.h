@@ -1,0 +1,187 @@
+// The DCRD router — Algorithms 1 and 2 of the paper.
+//
+// Per monitoring epoch (Algorithm 1): for every (topic, subscriber) pair the
+// router recomputes the distributed <d,r> tables and Theorem-1 sending lists
+// from the freshly monitored link estimates.
+//
+// Per packet (Algorithm 2): the holding broker walks the subscriber's
+// sending list — first entry not yet on the packet's routing path and not
+// already tried in this processing episode — sends one copy per distinct
+// next hop (subscribers sharing a next hop share the copy), and arms an ACK
+// timer of 2*alpha_hat + slack. A hop that stays silent for m transmissions
+// is marked tried and the walk continues; when the list is exhausted the
+// packet is rerouted to the broker's *upstream* node (read from the routing
+// path), which resumes from its own sending list. Only the publisher with
+// an exhausted list drops a packet.
+//
+// Two deliberate refinements over the paper's pseudocode, both documented in
+// DESIGN.md:
+//  * a transient per-episode tried-set so one episode walks the list
+//    strictly left-to-right (the printed Algorithm 2 would re-pick a
+//    neighbour that just timed out);
+//  * an optional best-effort fallback list used after the deadline-eligible
+//    list is exhausted, so packets that can no longer meet the deadline are
+//    still delivered (the paper's delivery-ratio metric counts them).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dcrd/distributed_dr.h"
+#include "dcrd/dr_computation.h"
+#include "routing/hop_transport.h"
+#include "routing/router.h"
+
+namespace dcrd {
+
+struct DcrdConfig {
+  DrComputationConfig computation;
+  // Walk the fallback list after the primary list is exhausted.
+  bool best_effort_fallback = true;
+  // A reroute hop to the upstream node is retried at most this many times
+  // per subscriber per episode before the packet is declared undeliverable
+  // (the upstream link itself may be failed; failures last ~1 s, so the cap
+  // only fires on pathological outages).
+  int reroute_retry_cap = 20;
+  // The paper's persistency mode (Section III): instead of dropping a
+  // packet whose every option is exhausted, the broker stores it and
+  // re-attempts delivery after `persistence_retry_interval`, up to
+  // `persistence_max_retries` times — "persist all packets, and then send
+  // them when the failures are recovered". Off by default, as in the
+  // paper's evaluation; the ext2_persistence bench measures its cost and
+  // benefit under long outages.
+  bool enable_persistence = false;
+  SimDuration persistence_retry_interval = SimDuration::Seconds(1);
+  int persistence_max_retries = 60;
+  // Run the Section III-B recursion as the real gossip protocol instead of
+  // the centralized solver: <d,r> updates travel as control messages after
+  // every epoch (counted in the kControl counters) and routing uses the
+  // current — possibly still converging — state. With
+  // best_effort_fallback a second, budget-free gossip per destination
+  // feeds the fallback lists (doubling control traffic), mirroring the
+  // solver's unconstrained fixed point.
+  bool use_distributed_computation = false;
+  // Router defaults damp gossip chatter (50 us threshold ~= sub-tenth-of-a-
+  // percent d error) and repair one lost update per change burst.
+  DistributedDrConfig distributed{
+      /*max_transmissions=*/1, /*update_threshold_us=*/50.0,
+      /*ordering=*/OrderingPolicy::kTheorem1, /*rebroadcasts=*/1,
+      /*rebroadcast_gap=*/SimDuration::Millis(100)};
+};
+
+class DcrdRouter final : public Router {
+ public:
+  DcrdRouter(RouterContext context, DcrdConfig config = {});
+
+  void Rebuild(const MonitoredView& view) override;
+  void Publish(const Message& message) override;
+  [[nodiscard]] std::string_view name() const override { return "DCRD"; }
+
+  // Tables for a (topic, subscriber); CHECK-fails when absent. Tests use
+  // this to assert sending-list structure.
+  [[nodiscard]] const DestinationTables& TablesFor(TopicId topic,
+                                                   NodeId subscriber) const;
+  [[nodiscard]] std::uint64_t dropped_undeliverable() const {
+    return dropped_undeliverable_;
+  }
+  [[nodiscard]] std::uint64_t persisted_packets() const {
+    return persisted_packets_;
+  }
+  [[nodiscard]] std::uint64_t persistence_retries() const {
+    return persistence_retries_;
+  }
+
+ private:
+  struct Episode {
+    std::uint64_t id = 0;
+    NodeId node;
+    Packet base;  // as received; the routing path does not yet include node
+    std::vector<NodeId> pending;  // subscribers awaiting a next-hop decision
+    int in_flight = 0;            // copies awaiting ACK or timeout
+    std::map<NodeId, std::set<NodeId>> tried;  // per-subscriber tried hops
+    std::map<NodeId, int> reroute_attempts;    // per-subscriber upstream retries
+  };
+
+  void OnArrival(NodeId at, const Packet& packet, NodeId from);
+  void StartEpisode(NodeId node, Packet packet);
+  // Persistency mode: parks the (message, subscriber) at `node` and arms a
+  // retry timer; gives up into dropped_undeliverable_ past the retry cap.
+  void HandleUndeliverable(NodeId node, const Packet& base, NodeId subscriber);
+  // Dedup key for the per-node processed map: message id tagged with the
+  // persistence generation, so a stored-and-retried packet is not mistaken
+  // for a duplicate of its own failed first attempt.
+  [[nodiscard]] static std::uint64_t ProcessedKey(const Packet& packet) {
+    return (packet.message().id.value << 8) | packet.flow_label();
+  }
+  // Drives Algorithm 2's while-loop for one episode: groups pending
+  // subscribers by chosen next hop and launches the copies.
+  void ProcessEpisode(std::uint64_t episode_id);
+  void OnCopyResolved(std::uint64_t episode_id, NodeId next_hop,
+                      std::vector<NodeId> subscribers, bool acked);
+  // The first sending-list entry for `subscriber` that is neither on the
+  // routing path nor tried; falls back to the upstream node; invalid NodeId
+  // when the packet must be dropped.
+  [[nodiscard]] NodeId SelectNextHop(const Episode& episode,
+                                     NodeId subscriber) const;
+  // Like TablesFor but returns nullptr when the subscriber is unknown —
+  // e.g. it unsubscribed (churn) while this packet was in flight.
+  [[nodiscard]] const DestinationTables* FindTables(TopicId topic,
+                                                    NodeId subscriber) const;
+  // Per-node routing state for (topic, subscriber, node) from whichever
+  // source is active (solver tables or gossip snapshot); nullptr when the
+  // subscriber is unknown.
+  [[nodiscard]] const NodeTables* GetNodeTables(TopicId topic,
+                                                NodeId subscriber,
+                                                NodeId node) const;
+  [[nodiscard]] NodeId UpstreamOf(const Episode& episode) const;
+  void FinishEpisodeIfIdle(std::uint64_t episode_id);
+
+  RouterContext context_;
+  DcrdConfig config_;
+  HopTransport transport_;
+  const MonitoredView* view_ = nullptr;
+
+  // tables_[topic][subscriber index within the topic's subscription list]
+  std::vector<std::vector<DestinationTables>> tables_;
+  // (topic, subscriber node) -> index into tables_[topic] / gossip_[topic]
+  std::vector<std::unordered_map<NodeId, std::size_t>> subscriber_index_;
+
+  // Distributed mode: one gossip pair per destination plus a lazily
+  // refreshed snapshot cache (rebuilt only when the protocol's version
+  // moved).
+  struct GossipTables {
+    std::shared_ptr<DistributedDrComputation> constrained;
+    std::shared_ptr<DistributedDrComputation> unconstrained;  // fallback
+    mutable std::vector<NodeTables> snapshot;
+    mutable std::uint64_t snapshot_version = ~0ULL;
+  };
+  [[nodiscard]] const std::vector<NodeTables>& GossipSnapshot(
+      const GossipTables& gossip) const;
+  std::vector<std::vector<GossipTables>> gossip_;
+
+  std::unordered_map<std::uint64_t, Episode> episodes_;
+  std::uint64_t next_episode_id_ = 1;
+  // Per-node duplicate suppression, keyed by (message, destination): a
+  // broker processes each (message, subscriber) responsibility at most once
+  // per epoch on a *fresh* visit. Keying by message alone would be wrong —
+  // two copies of one message covering disjoint subscriber groups can
+  // legitimately reconverge at a broker after failure-driven divergence,
+  // and the second group must still be forwarded. Rerouted-back packets
+  // bypass the check via routing-path membership (the broker must re-handle
+  // responsibilities its failed subtree returned). Cleared at monitoring
+  // epochs to bound memory.
+  std::vector<std::unordered_map<std::uint64_t, std::set<NodeId>>>
+      processed_;
+  // Persistency-mode state: retry attempts per (node, message, subscriber).
+  std::map<std::tuple<NodeId, std::uint64_t, NodeId>, int> persisted_;
+  std::uint64_t dropped_undeliverable_ = 0;
+  std::uint64_t persisted_packets_ = 0;
+  std::uint64_t persistence_retries_ = 0;
+};
+
+}  // namespace dcrd

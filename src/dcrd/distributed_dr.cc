@@ -1,0 +1,150 @@
+#include "dcrd/distributed_dr.h"
+
+#include <cmath>
+
+namespace dcrd {
+
+DistributedDrComputation::DistributedDrComputation(
+    OverlayNetwork& network, NodeId subscriber, const MonitoredView& view,
+    std::vector<double> budget_us, DistributedDrConfig config)
+    : network_(network),
+      subscriber_(subscriber),
+      view_(view),
+      budget_us_(std::move(budget_us)),
+      config_(config) {
+  const Graph& graph = network_.graph();
+  DCRD_CHECK(budget_us_.size() == graph.node_count());
+  states_.resize(graph.node_count());
+  for (std::size_t v = 0; v < graph.node_count(); ++v) {
+    states_[v].heard.assign(
+        graph.neighbors(NodeId(static_cast<NodeId::underlying_type>(v)))
+            .size(),
+        DR{});
+  }
+}
+
+void DistributedDrComputation::Start() {
+  states_[subscriber_.underlying()].self = DR{0.0, 1.0};
+  ++version_;
+  last_change_ = network_.scheduler().now();
+  Broadcast(subscriber_);
+  ScheduleRebroadcasts(subscriber_);
+}
+
+std::vector<ViaEntry> DistributedDrComputation::EligibleEntries(
+    NodeId node) const {
+  const Graph& graph = network_.graph();
+  const NodeState& state = states_[node.underlying()];
+  std::vector<ViaEntry> eligible;
+  const auto& neighbors = graph.neighbors(node);
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    const DR& heard = state.heard[i];
+    if (!heard.reachable() || !(heard.d_us < budget_us_[node.underlying()])) {
+      continue;
+    }
+    const LinkModel single{
+        static_cast<double>(view_.alpha(neighbors[i].link).micros()),
+        view_.gamma(neighbors[i].link)};
+    const LinkModel lifted =
+        MTransmissionModel(single, config_.max_transmissions);
+    if (lifted.gamma <= 0.0) continue;
+    eligible.push_back(LiftAcrossLink(neighbors[i].peer, neighbors[i].link,
+                                      lifted, heard));
+  }
+  SortByPolicy(eligible, config_.ordering);
+  return eligible;
+}
+
+void DistributedDrComputation::Recompute(NodeId node) {
+  if (node == subscriber_) return;  // <0,1> is axiomatic
+  NodeState& state = states_[node.underlying()];
+  const DR updated = CombineOrdered(EligibleEntries(node));
+  const DR previous = state.self;
+  const bool changed =
+      updated.reachable() != previous.reachable() ||
+      (updated.reachable() &&
+       (std::abs(updated.d_us - previous.d_us) > config_.update_threshold_us ||
+        std::abs(updated.r - previous.r) * 1e6 >
+            config_.update_threshold_us));
+  if (!changed) return;
+  state.self = updated;
+  ++version_;
+  last_change_ = network_.scheduler().now();
+  Broadcast(node);
+  ScheduleRebroadcasts(node);
+}
+
+void DistributedDrComputation::Broadcast(NodeId node) {
+  if (stopped_) return;
+  const Graph& graph = network_.graph();
+  const DR value = states_[node.underlying()].self;
+  // The callback holds shared ownership: a protocol retired mid-flight
+  // stays alive until its last update lands (and is then ignored).
+  auto self = shared_from_this();
+  for (const Neighbor& nb : graph.neighbors(node)) {
+    ++updates_sent_;
+    const NodeId peer = nb.peer;
+    network_.Transmit(node, nb.link, TrafficClass::kControl,
+                      [self, peer, node, value] {
+                        if (self->stopped_) return;
+                        self->HandleUpdate(peer, node, value);
+                      });
+  }
+}
+
+void DistributedDrComputation::ScheduleRebroadcasts(NodeId node) {
+  NodeState& state = states_[node.underlying()];
+  if (config_.rebroadcasts <= 0) return;
+  // Top up the per-node counter; a single timer chain drains it.
+  state.pending_rebroadcasts = config_.rebroadcasts;
+  if (state.rebroadcast_timer_armed) return;
+  state.rebroadcast_timer_armed = true;
+  auto self = shared_from_this();
+  network_.scheduler().ScheduleAfter(
+      config_.rebroadcast_gap, [self, node] { self->RebroadcastTick(node); });
+}
+
+void DistributedDrComputation::RebroadcastTick(NodeId node) {
+  if (stopped_) return;
+  NodeState& state = states_[node.underlying()];
+  state.rebroadcast_timer_armed = false;
+  if (state.pending_rebroadcasts <= 0) return;
+  --state.pending_rebroadcasts;
+  Broadcast(node);
+  if (state.pending_rebroadcasts > 0) {
+    state.rebroadcast_timer_armed = true;
+    auto self = shared_from_this();
+    network_.scheduler().ScheduleAfter(
+        config_.rebroadcast_gap,
+        [self, node] { self->RebroadcastTick(node); });
+  }
+}
+
+void DistributedDrComputation::HandleUpdate(NodeId at, NodeId from,
+                                            const DR& value) {
+  ++updates_received_;
+  const Graph& graph = network_.graph();
+  const auto& neighbors = graph.neighbors(at);
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    if (neighbors[i].peer == from) {
+      states_[at.underlying()].heard[i] = value;
+      ++version_;  // heard-values feed the sending lists directly
+      Recompute(at);
+      return;
+    }
+  }
+  DCRD_CHECK(false) << "update from non-neighbour " << from << " at " << at;
+}
+
+std::vector<NodeTables> DistributedDrComputation::Snapshot() const {
+  const Graph& graph = network_.graph();
+  std::vector<NodeTables> tables(graph.node_count());
+  for (std::size_t v = 0; v < graph.node_count(); ++v) {
+    const NodeId node(static_cast<NodeId::underlying_type>(v));
+    tables[v].dr = node == subscriber_ ? DR{0.0, 1.0} : states_[v].self;
+    if (node != subscriber_) tables[v].primary = EligibleEntries(node);
+  }
+  return tables;
+}
+
+}  // namespace dcrd

@@ -1,0 +1,173 @@
+#include "dcrd/dr_computation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/shortest_path.h"
+
+namespace dcrd {
+
+std::vector<double> MonitoredDistancesFrom(const Graph& graph,
+                                           const MonitoredView& view,
+                                           NodeId source) {
+  const PathTree tree = ShortestDelayTree(
+      graph, source, [&view](LinkId link) { return view.alpha(link); });
+  std::vector<double> distances(graph.node_count(), kInfiniteDelay);
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    const NodeId node(static_cast<NodeId::underlying_type>(i));
+    if (tree.Reachable(node)) {
+      distances[i] = static_cast<double>(tree.distance[i].micros());
+    }
+  }
+  return distances;
+}
+
+namespace {
+
+// Builds X's eligible entries toward the subscriber from the current dr
+// estimates — neighbours with d_i < budget — lifted across the link with
+// the m-transmission model (Eq. 1 + Eq. 2) and sorted under the configured
+// ordering policy (Theorem 1 for DCRD proper).
+std::vector<ViaEntry> CollectEligible(const Graph& graph,
+                                      const MonitoredView& view,
+                                      const std::vector<DR>& dr, NodeId x,
+                                      double budget_us, int m,
+                                      OrderingPolicy ordering) {
+  std::vector<ViaEntry> eligible;
+  for (const Neighbor& nb : graph.neighbors(x)) {
+    const DR& dr_i = dr[nb.peer.underlying()];
+    if (!dr_i.reachable() || !(dr_i.d_us < budget_us)) continue;
+    const LinkModel single{static_cast<double>(view.alpha(nb.link).micros()),
+                           view.gamma(nb.link)};
+    const LinkModel lifted = MTransmissionModel(single, m);
+    if (lifted.gamma <= 0.0) continue;
+    eligible.push_back(LiftAcrossLink(nb.peer, nb.link, lifted, dr_i));
+  }
+  SortByPolicy(eligible, ordering);
+  return eligible;
+}
+
+// Runs the synchronous Gauss–Seidel sweeps to the <d,r> fixed point under
+// per-node delay budgets (pass +infinity budgets for the unconstrained
+// fixed point). Returns the dr vector plus convergence bookkeeping.
+struct FixedPoint {
+  std::vector<DR> dr;
+  int sweeps_used = 0;
+  bool converged = false;
+};
+
+FixedPoint SolveFixedPoint(const Graph& graph, const MonitoredView& view,
+                           NodeId subscriber,
+                           const std::vector<double>& budget_us,
+                           const std::vector<std::uint32_t>& order,
+                           const DrComputationConfig& config) {
+  FixedPoint result;
+  result.dr.assign(graph.node_count(), DR{});
+  result.dr[subscriber.underlying()] = DR{0.0, 1.0};
+
+  for (; result.sweeps_used < config.max_sweeps && !result.converged;
+       ++result.sweeps_used) {
+    double max_delta = 0.0;
+    for (std::uint32_t idx : order) {
+      const NodeId x(idx);
+      if (x == subscriber) continue;
+      const std::vector<ViaEntry> eligible =
+          CollectEligible(graph, view, result.dr, x, budget_us[idx],
+                          config.max_transmissions, config.ordering);
+      const DR updated = CombineOrdered(eligible);
+      const DR previous = result.dr[idx];
+      if (updated.reachable() != previous.reachable()) {
+        max_delta = kInfiniteDelay;
+      } else if (updated.reachable()) {
+        max_delta = std::max(max_delta, std::abs(updated.d_us - previous.d_us));
+        max_delta =
+            std::max(max_delta, std::abs(updated.r - previous.r) * 1e6);
+      }
+      result.dr[idx] = updated;
+    }
+    result.converged = max_delta <= config.tolerance_us;
+  }
+  return result;
+}
+
+}  // namespace
+
+DestinationTables ComputeDestinationTables(
+    const Graph& graph, const MonitoredView& view, NodeId subscriber,
+    double deadline_us, const std::vector<double>& publisher_dist_us,
+    const DrComputationConfig& config) {
+  const std::size_t n = graph.node_count();
+  DCRD_CHECK(subscriber.underlying() < n);
+  DCRD_CHECK(publisher_dist_us.size() == n);
+
+  DestinationTables tables;
+  tables.subscriber = subscriber;
+  tables.deadline_us = deadline_us;
+  tables.budget_us.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tables.budget_us[i] = deadline_us - publisher_dist_us[i];
+  }
+  // The subscriber delivers to itself within any budget.
+  tables.budget_us[subscriber.underlying()] =
+      std::max(tables.budget_us[subscriber.underlying()], 1.0);
+
+  // Sweep order: nodes by monitored distance to the subscriber, closest
+  // first, so each sweep propagates information one "ring" further out.
+  const std::vector<double> to_subscriber =
+      MonitoredDistancesFrom(graph, view, subscriber);
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0U);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return to_subscriber[a] < to_subscriber[b];
+                   });
+
+  // Budget-constrained fixed point: the paper's <d,r> and sending lists.
+  const FixedPoint constrained =
+      SolveFixedPoint(graph, view, subscriber, tables.budget_us, order, config);
+  tables.sweeps_used = constrained.sweeps_used;
+  tables.converged = constrained.converged;
+
+  // Unconstrained fixed point for the best-effort fallback lists. Budget
+  // starvation makes a node advertise r = 0, which would otherwise make it
+  // invisible to its neighbours' fallback lists too — the unconstrained
+  // values restore "can this neighbour deliver at all, however late".
+  FixedPoint unconstrained;
+  if (config.build_fallback) {
+    const std::vector<double> no_budget(n, kInfiniteDelay);
+    unconstrained =
+        SolveFixedPoint(graph, view, subscriber, no_budget, order, config);
+  }
+
+  // Final materialisation pass: sending lists from the converged values.
+  tables.per_node.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId x(static_cast<NodeId::underlying_type>(i));
+    NodeTables& node = tables.per_node[i];
+    if (x == subscriber) {
+      node.dr = DR{0.0, 1.0};
+      continue;
+    }
+    node.dr = constrained.dr[i];
+    node.primary =
+        CollectEligible(graph, view, constrained.dr, x, tables.budget_us[i],
+                        config.max_transmissions, config.ordering);
+    if (config.build_fallback) {
+      std::vector<ViaEntry> fallback = CollectEligible(
+          graph, view, unconstrained.dr, x, kInfiniteDelay,
+          config.max_transmissions, config.ordering);
+      // Drop neighbours the primary list already covers.
+      std::erase_if(fallback, [&](const ViaEntry& entry) {
+        return std::any_of(node.primary.begin(), node.primary.end(),
+                           [&](const ViaEntry& p) {
+                             return p.neighbor == entry.neighbor;
+                           });
+      });
+      node.fallback = std::move(fallback);
+    }
+  }
+  return tables;
+}
+
+}  // namespace dcrd

@@ -1,0 +1,73 @@
+// Distributed <d,r> computation and sending-list construction
+// (paper Sections III-B and III-C, Algorithm 1).
+//
+// The paper's nodes run an asynchronous recursion seeded at the subscriber
+// (<0,1>), each node recomputing its <d,r> from its neighbours' values and
+// re-sharing. We emulate that with synchronous Gauss–Seidel sweeps over the
+// nodes, ordered by monitored distance to the subscriber (information flows
+// outward from S, so this ordering converges in about
+// diameter-many sweeps); iteration stops when no node's d moved by more
+// than `tolerance_us`, or at `max_sweeps` — the cap mirrors the fact that a
+// real deployment stops gossiping when updates stop changing anything.
+//
+// Eligibility (Sec. III-C): neighbour i enters X's sending list toward S
+// only if d_i < D_XS, with D_XS = D_PS - (monitored shortest delay P->X).
+// The optional *fallback list* holds the remaining finite-<d,r> neighbours,
+// Theorem-1 sorted; the router walks it only after the primary list is
+// exhausted so that packets which can no longer meet the deadline are still
+// delivered (the paper's "delivery ratio" counts late packets, so DCRD must
+// keep forwarding past deadline-infeasible states). Fallback entries never
+// contribute to the advertised <d_X, r_X>.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "dcrd/dr.h"
+#include "graph/graph.h"
+#include "net/link_monitor.h"
+
+namespace dcrd {
+
+struct DrComputationConfig {
+  int max_transmissions = 1;  // paper parameter m
+  int max_sweeps = 64;
+  double tolerance_us = 0.5;
+  bool build_fallback = true;
+  // Sending-list order; kTheorem1 is DCRD, the others are ablations.
+  OrderingPolicy ordering = OrderingPolicy::kTheorem1;
+};
+
+// Per-node routing state toward one subscriber.
+struct NodeTables {
+  DR dr;                           // <d_X, r_X>
+  std::vector<ViaEntry> primary;   // the sending list (Theorem-1 order)
+  std::vector<ViaEntry> fallback;  // best-effort extension (Theorem-1 order)
+};
+
+// All per-node state for one (publisher, subscriber, deadline) destination.
+struct DestinationTables {
+  NodeId subscriber;
+  double deadline_us = 0.0;             // D_PS
+  std::vector<double> budget_us;        // D_XS per node (-inf if P can't reach X)
+  std::vector<NodeTables> per_node;
+  int sweeps_used = 0;
+  bool converged = false;
+};
+
+// `publisher_dist_us[x]` is the monitored shortest delay from the publisher
+// to node x (infinity when unreachable); the caller computes it once per
+// topic and shares it across that topic's subscribers.
+DestinationTables ComputeDestinationTables(
+    const Graph& graph, const MonitoredView& view, NodeId subscriber,
+    double deadline_us, const std::vector<double>& publisher_dist_us,
+    const DrComputationConfig& config);
+
+// Monitored shortest delay from `source` to every node, in microseconds
+// (infinity when unreachable) — the helper for both D_XS budgets and sweep
+// ordering.
+std::vector<double> MonitoredDistancesFrom(const Graph& graph,
+                                           const MonitoredView& view,
+                                           NodeId source);
+
+}  // namespace dcrd

@@ -1,0 +1,44 @@
+// Per-link m-transmission model — Eq. 1 of the paper.
+//
+// Given the single-transmission expected delay alpha and delivery ratio
+// gamma of an overlay link, a node that is willing to transmit up to m
+// times before declaring the hop failed sees:
+//
+//   gamma^(m) = 1 - (1 - gamma)^m
+//   alpha^(m) = sum_{k=1..m} k*alpha * gamma*(1-gamma)^(k-1) / gamma^(m)
+//
+// alpha^(m) is conditional on success within m transmissions (otherwise the
+// delay is infinite and the expectation is undefined) — the same convention
+// every <d,r> quantity in DCRD follows.
+#pragma once
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace dcrd {
+
+struct LinkModel {
+  double alpha_us = std::numeric_limits<double>::infinity();
+  double gamma = 0.0;
+};
+
+// Eq. 1. Precondition: m >= 1, 0 <= gamma <= 1, alpha finite.
+inline LinkModel MTransmissionModel(LinkModel single, int m) {
+  DCRD_CHECK(m >= 1);
+  DCRD_CHECK(single.gamma >= 0.0 && single.gamma <= 1.0);
+  if (single.gamma == 0.0) return LinkModel{};  // never delivers
+  const double q = 1.0 - single.gamma;
+
+  double gamma_m = 1.0;  // 1 - q^m, accumulated below
+  double qk = 1.0;       // q^k
+  double numerator = 0.0;
+  for (int k = 1; k <= m; ++k) {
+    numerator += k * single.alpha_us * single.gamma * qk;
+    qk *= q;
+  }
+  gamma_m = 1.0 - qk;
+  return LinkModel{numerator / gamma_m, gamma_m};
+}
+
+}  // namespace dcrd

@@ -1,0 +1,61 @@
+#include "event/scheduler.h"
+
+namespace dcrd {
+
+EventHandle Scheduler::ScheduleAt(SimTime at, Action action) {
+  DCRD_CHECK(at >= now_) << "scheduling into the past: " << at << " < " << now_;
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{at, seq});
+  actions_.emplace(seq, std::move(action));
+  return EventHandle(seq);
+}
+
+bool Scheduler::Cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  const auto erased = actions_.erase(handle.seq_);
+  if (erased != 0) ++tombstones_;
+  return erased != 0;
+}
+
+void Scheduler::SkipCancelled() {
+  while (!heap_.empty() && !actions_.contains(heap_.top().seq)) {
+    heap_.pop();
+    DCRD_CHECK(tombstones_ > 0);
+    --tombstones_;
+  }
+}
+
+bool Scheduler::Step() {
+  SkipCancelled();
+  if (heap_.empty()) return false;
+  const Entry entry = heap_.top();
+  heap_.pop();
+  auto it = actions_.find(entry.seq);
+  DCRD_CHECK(it != actions_.end());
+  Action action = std::move(it->second);
+  actions_.erase(it);
+  now_ = entry.at;
+  ++events_executed_;
+  action();
+  return true;
+}
+
+std::uint64_t Scheduler::Run() {
+  std::uint64_t count = 0;
+  while (Step()) ++count;
+  return count;
+}
+
+std::uint64_t Scheduler::RunUntil(SimTime deadline) {
+  std::uint64_t count = 0;
+  while (true) {
+    SkipCancelled();
+    if (heap_.empty() || heap_.top().at > deadline) break;
+    Step();
+    ++count;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+}  // namespace dcrd

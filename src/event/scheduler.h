@@ -1,0 +1,103 @@
+// Deterministic discrete-event scheduler.
+//
+// The scheduler owns the simulated clock and a priority queue of pending
+// events. Events firing at the same instant are delivered in scheduling
+// order (a monotonically increasing sequence number breaks ties), which is
+// what makes whole-simulation runs bit-reproducible.
+//
+// Timers (ACK timeouts, monitoring epochs, failure-schedule ticks) are
+// scheduled events that can be cancelled; cancellation is O(1) — the heap
+// entry is tombstoned and skipped on pop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/sim_time.h"
+
+namespace dcrd {
+
+// Handle for a scheduled event; used to cancel pending timers. Default
+// constructed handles refer to nothing and are safe to cancel.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  [[nodiscard]] bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class Scheduler;
+  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::size_t pending_count() const {
+    return heap_.size() - tombstones_;
+  }
+  [[nodiscard]] bool empty() const { return pending_count() == 0; }
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return events_executed_;
+  }
+
+  // Schedules `action` to run at absolute time `at` (must not be in the
+  // past). Returns a handle usable with Cancel().
+  EventHandle ScheduleAt(SimTime at, Action action);
+
+  // Schedules `action` to run `delay` after the current time.
+  EventHandle ScheduleAfter(SimDuration delay, Action action) {
+    return ScheduleAt(now_ + delay, std::move(action));
+  }
+
+  // Cancels a pending event. Returns true if the event was still pending;
+  // false if it already ran, was already cancelled, or the handle is empty.
+  bool Cancel(EventHandle handle);
+
+  // Runs events until the queue drains. Returns the number executed.
+  std::uint64_t Run();
+
+  // Runs events with timestamp <= deadline; the clock ends at `deadline`
+  // even if the queue drained earlier (so periodic processes observe a
+  // consistent end-of-simulation time). Returns the number executed.
+  std::uint64_t RunUntil(SimTime deadline);
+
+  // Executes at most one event. Returns false if the queue is empty.
+  bool Step();
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;  // tie-breaker and cancellation key
+    // Ordered as a min-heap on (at, seq) via operator> in the comparator.
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops tombstoned entries off the heap top.
+  void SkipCancelled();
+
+  SimTime now_ = SimTime::Zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t events_executed_ = 0;
+  std::size_t tombstones_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // seq -> action; absence means cancelled/executed. A flat map would also
+  // work, but the action lifetime bookkeeping is clearest with a hash map.
+  std::unordered_map<std::uint64_t, Action> actions_;
+};
+
+}  // namespace dcrd

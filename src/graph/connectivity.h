@@ -1,0 +1,22 @@
+// Reachability helpers: connectivity checks for topology generation and the
+// delivery-guarantee property tests ("delivered iff a non-failed path
+// exists").
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "graph/graph.h"
+#include "graph/shortest_path.h"
+
+namespace dcrd {
+
+// BFS reachability from `source` over links admitted by `admit` (all links
+// when `admit` is null). Result is indexed by node id.
+std::vector<bool> ReachableFrom(const Graph& graph, NodeId source,
+                                const LinkFilterFn& admit = nullptr);
+
+// True when every node is reachable from node 0 over admitted links.
+bool IsConnected(const Graph& graph, const LinkFilterFn& admit = nullptr);
+
+}  // namespace dcrd

@@ -1,0 +1,35 @@
+#include "graph/graph.h"
+
+namespace dcrd {
+
+LinkId Graph::AddEdge(NodeId a, NodeId b, SimDuration delay) {
+  DCRD_CHECK(a.underlying() < adjacency_.size());
+  DCRD_CHECK(b.underlying() < adjacency_.size());
+  DCRD_CHECK(a != b) << "self-loop on " << a;
+  DCRD_CHECK(!HasEdge(a, b)) << "parallel edge " << a << "-" << b;
+  DCRD_CHECK(delay > SimDuration::Zero());
+  const LinkId id(static_cast<LinkId::underlying_type>(edges_.size()));
+  edges_.push_back(EdgeSpec{a, b, delay});
+  adjacency_[a.underlying()].push_back(Neighbor{b, id});
+  adjacency_[b.underlying()].push_back(Neighbor{a, id});
+  return id;
+}
+
+std::optional<LinkId> Graph::FindEdge(NodeId a, NodeId b) const {
+  if (a.underlying() >= adjacency_.size()) return std::nullopt;
+  for (const Neighbor& n : adjacency_[a.underlying()]) {
+    if (n.peer == b) return n.link;
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeId> Graph::AllNodes() const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(node_count());
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    nodes.emplace_back(static_cast<NodeId::underlying_type>(i));
+  }
+  return nodes;
+}
+
+}  // namespace dcrd

@@ -1,0 +1,72 @@
+// Overlay graph model.
+//
+// Broker nodes are dense ids 0..N-1. Overlay links are undirected (the
+// paper's links carry traffic and ACKs both ways) with a symmetric
+// propagation delay; each undirected edge has one LinkId. Adjacency lists
+// are kept in insertion order, which the deterministic topology generators
+// rely on.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/logging.h"
+#include "common/sim_time.h"
+
+namespace dcrd {
+
+struct Neighbor {
+  NodeId peer;
+  LinkId link;
+};
+
+struct EdgeSpec {
+  NodeId a;
+  NodeId b;
+  SimDuration delay;
+
+  // The endpoint opposite to `from`; precondition: `from` is an endpoint.
+  [[nodiscard]] NodeId OtherEnd(NodeId from) const {
+    DCRD_CHECK(from == a || from == b);
+    return from == a ? b : a;
+  }
+};
+
+class Graph {
+ public:
+  explicit Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  // Adds an undirected edge; parallel edges and self-loops are programmer
+  // errors (the overlay model never needs them).
+  LinkId AddEdge(NodeId a, NodeId b, SimDuration delay);
+
+  [[nodiscard]] const EdgeSpec& edge(LinkId id) const {
+    DCRD_CHECK(id.underlying() < edges_.size());
+    return edges_[id.underlying()];
+  }
+  [[nodiscard]] const std::vector<EdgeSpec>& edges() const { return edges_; }
+  [[nodiscard]] const std::vector<Neighbor>& neighbors(NodeId node) const {
+    DCRD_CHECK(node.underlying() < adjacency_.size());
+    return adjacency_[node.underlying()];
+  }
+  [[nodiscard]] std::size_t degree(NodeId node) const {
+    return neighbors(node).size();
+  }
+  [[nodiscard]] std::optional<LinkId> FindEdge(NodeId a, NodeId b) const;
+  [[nodiscard]] bool HasEdge(NodeId a, NodeId b) const {
+    return FindEdge(a, b).has_value();
+  }
+
+  // Convenience for iterating all node ids.
+  [[nodiscard]] std::vector<NodeId> AllNodes() const;
+
+ private:
+  std::vector<EdgeSpec> edges_;
+  std::vector<std::vector<Neighbor>> adjacency_;
+};
+
+}  // namespace dcrd

@@ -1,0 +1,100 @@
+#include "graph/io.h"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace dcrd {
+
+std::string ToDot(const Graph& graph) {
+  std::ostringstream os;
+  os << "graph overlay {\n";
+  os << "  node [shape=circle];\n";
+  for (std::size_t v = 0; v < graph.node_count(); ++v) {
+    os << "  n" << v << ";\n";
+  }
+  for (const EdgeSpec& edge : graph.edges()) {
+    os << "  n" << edge.a.underlying() << " -- n" << edge.b.underlying()
+       << " [label=\"" << std::setprecision(3) << edge.delay.millis()
+       << "ms\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void WriteEdgeList(std::ostream& os, const Graph& graph) {
+  os << "# dcrd overlay edge list: node_count, then `a b delay_us` lines\n";
+  os << graph.node_count() << "\n";
+  for (const EdgeSpec& edge : graph.edges()) {
+    os << edge.a.underlying() << " " << edge.b.underlying() << " "
+       << edge.delay.micros() << "\n";
+  }
+}
+
+namespace {
+
+bool IsCommentOrBlank(const std::string& line) {
+  for (const char c : line) {
+    if (c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::optional<Graph> Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Graph> ReadEdgeList(std::istream& is, std::string* error) {
+  std::string line;
+  std::optional<Graph> graph;
+  int line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream fields(line);
+    if (!graph.has_value()) {
+      std::int64_t node_count = 0;
+      if (!(fields >> node_count) || node_count <= 0) {
+        return Fail(error, "line " + std::to_string(line_number) +
+                               ": expected positive node count");
+      }
+      graph.emplace(static_cast<std::size_t>(node_count));
+      continue;
+    }
+    std::int64_t a = 0, b = 0, delay_us = 0;
+    if (!(fields >> a >> b >> delay_us)) {
+      return Fail(error, "line " + std::to_string(line_number) +
+                             ": expected `a b delay_us`");
+    }
+    const auto n = static_cast<std::int64_t>(graph->node_count());
+    if (a < 0 || a >= n || b < 0 || b >= n) {
+      return Fail(error, "line " + std::to_string(line_number) +
+                             ": endpoint out of range");
+    }
+    if (a == b) {
+      return Fail(error,
+                  "line " + std::to_string(line_number) + ": self-loop");
+    }
+    if (delay_us <= 0) {
+      return Fail(error, "line " + std::to_string(line_number) +
+                             ": non-positive delay");
+    }
+    if (graph->HasEdge(NodeId(static_cast<NodeId::underlying_type>(a)),
+                       NodeId(static_cast<NodeId::underlying_type>(b)))) {
+      return Fail(error, "line " + std::to_string(line_number) +
+                             ": duplicate edge");
+    }
+    graph->AddEdge(NodeId(static_cast<NodeId::underlying_type>(a)),
+                   NodeId(static_cast<NodeId::underlying_type>(b)),
+                   SimDuration::Micros(delay_us));
+  }
+  if (!graph.has_value()) return Fail(error, "empty input");
+  return graph;
+}
+
+}  // namespace dcrd

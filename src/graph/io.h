@@ -1,0 +1,29 @@
+// Topology import/export.
+//
+// Two formats:
+//  * Edge list — the interchange format the tools read back:
+//      line 1:  <node_count>
+//      then:    <a> <b> <delay_us>        (one undirected edge per line)
+//    '#'-prefixed lines and blank lines are comments.
+//  * Graphviz DOT — export-only, for visualising overlays in docs.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace dcrd {
+
+// Renders the overlay as an undirected DOT graph; edge labels carry the
+// delay in milliseconds.
+std::string ToDot(const Graph& graph);
+
+void WriteEdgeList(std::ostream& os, const Graph& graph);
+
+// Parses the edge-list format. On malformed input returns nullopt and, when
+// `error` is non-null, a one-line description of the first problem.
+std::optional<Graph> ReadEdgeList(std::istream& is, std::string* error = nullptr);
+
+}  // namespace dcrd

@@ -1,0 +1,181 @@
+#include "graph/shortest_path.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace dcrd {
+
+std::vector<NodeId> PathTree::PathTo(NodeId v) const {
+  if (!Reachable(v)) return {};
+  std::vector<NodeId> path;
+  for (NodeId cur = v; cur.valid(); cur = parent[cur.underlying()]) {
+    path.push_back(cur);
+    if (cur == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<LinkId> PathTree::LinksTo(NodeId v) const {
+  if (!Reachable(v)) return {};
+  std::vector<LinkId> links;
+  for (NodeId cur = v; cur != source; cur = parent[cur.underlying()]) {
+    links.push_back(parent_link[cur.underlying()]);
+  }
+  std::reverse(links.begin(), links.end());
+  return links;
+}
+
+namespace {
+
+// Shared Dijkstra skeleton; Cost must be totally ordered and support the
+// relaxation `Extend(cost, edge_delay)`.
+template <typename Cost, typename ExtendFn, typename InitFn>
+PathTree RunDijkstra(const Graph& graph, NodeId source,
+                     const LinkDelayFn& delay, const LinkFilterFn& admit,
+                     Cost zero, Cost infinity, ExtendFn extend,
+                     InitFn cost_to_duration) {
+  const std::size_t n = graph.node_count();
+  DCRD_CHECK(source.underlying() < n);
+
+  std::vector<Cost> best(n, infinity);
+  PathTree tree;
+  tree.source = source;
+  tree.distance.assign(n, SimDuration::Max());
+  tree.parent.assign(n, NodeId());
+  tree.parent_link.assign(n, LinkId());
+  tree.hops.assign(n, 0);
+
+  struct QueueEntry {
+    Cost cost;
+    NodeId node;
+    bool operator>(const QueueEntry& other) const {
+      if (cost != other.cost) return cost > other.cost;
+      return node > other.node;  // deterministic tie-break
+    }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue;
+
+  best[source.underlying()] = zero;
+  queue.push({zero, source});
+  std::vector<bool> done(n, false);
+
+  while (!queue.empty()) {
+    const auto [cost, node] = queue.top();
+    queue.pop();
+    if (done[node.underlying()]) continue;
+    done[node.underlying()] = true;
+
+    for (const Neighbor& nb : graph.neighbors(node)) {
+      if (admit && !admit(nb.link)) continue;
+      if (done[nb.peer.underlying()]) continue;
+      const SimDuration w =
+          delay ? delay(nb.link) : graph.edge(nb.link).delay;
+      const Cost candidate = extend(cost, w);
+      if (candidate < best[nb.peer.underlying()]) {
+        best[nb.peer.underlying()] = candidate;
+        tree.parent[nb.peer.underlying()] = node;
+        tree.parent_link[nb.peer.underlying()] = nb.link;
+        tree.hops[nb.peer.underlying()] = tree.hops[node.underlying()] + 1;
+        queue.push({candidate, nb.peer});
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (best[i] != infinity) tree.distance[i] = cost_to_duration(best[i]);
+  }
+  tree.distance[source.underlying()] = SimDuration::Zero();
+  return tree;
+}
+
+}  // namespace
+
+PathTree ShortestDelayTree(const Graph& graph, NodeId source,
+                           const LinkDelayFn& delay,
+                           const LinkFilterFn& admit) {
+  return RunDijkstra<SimDuration>(
+      graph, source, delay, admit, SimDuration::Zero(), SimDuration::Max(),
+      [](SimDuration cost, SimDuration w) { return cost + w; },
+      [](SimDuration cost) { return cost; });
+}
+
+PathTree ShortestHopTree(const Graph& graph, NodeId source,
+                         const LinkDelayFn& delay, const LinkFilterFn& admit) {
+  using Cost = std::pair<std::uint32_t, SimDuration>;  // (hops, delay)
+  const Cost zero{0, SimDuration::Zero()};
+  const Cost infinity{UINT32_MAX, SimDuration::Max()};
+  return RunDijkstra<Cost>(
+      graph, source, delay, admit, zero, infinity,
+      [](Cost cost, SimDuration w) {
+        return Cost{cost.first + 1, cost.second + w};
+      },
+      [](Cost cost) { return cost.second; });
+}
+
+std::optional<TimedPath> TimeAwareShortestPath(const Graph& graph,
+                                               NodeId source, NodeId dest,
+                                               SimTime depart,
+                                               const LinkUpAtFn& up_at,
+                                               const LinkDelayFn& delay) {
+  const std::size_t n = graph.node_count();
+  DCRD_CHECK(source.underlying() < n && dest.underlying() < n);
+
+  std::vector<SimTime> arrival(n, SimTime::Max());
+  std::vector<NodeId> parent(n, NodeId());
+  std::vector<LinkId> parent_link(n, LinkId());
+
+  struct QueueEntry {
+    SimTime at;
+    NodeId node;
+    bool operator>(const QueueEntry& other) const {
+      if (at != other.at) return at > other.at;
+      return node > other.node;
+    }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue;
+  arrival[source.underlying()] = depart;
+  queue.push({depart, source});
+  std::vector<bool> done(n, false);
+
+  while (!queue.empty()) {
+    const auto [at, node] = queue.top();
+    queue.pop();
+    if (done[node.underlying()]) continue;
+    done[node.underlying()] = true;
+    if (node == dest) break;
+
+    for (const Neighbor& nb : graph.neighbors(node)) {
+      if (done[nb.peer.underlying()]) continue;
+      // The link must be up at the instant the packet enters it. We do not
+      // model waiting at a node for a link to recover: the ORACLE, like the
+      // paper's, picks a path that works "as is" at traversal times.
+      if (!up_at(nb.link, at)) continue;
+      const SimDuration w = delay ? delay(nb.link) : graph.edge(nb.link).delay;
+      const SimTime t = at + w;
+      if (t < arrival[nb.peer.underlying()]) {
+        arrival[nb.peer.underlying()] = t;
+        parent[nb.peer.underlying()] = node;
+        parent_link[nb.peer.underlying()] = nb.link;
+        queue.push({t, nb.peer});
+      }
+    }
+  }
+
+  if (arrival[dest.underlying()] == SimTime::Max()) return std::nullopt;
+
+  TimedPath path;
+  path.arrival = arrival[dest.underlying()];
+  for (NodeId cur = dest; cur != source; cur = parent[cur.underlying()]) {
+    path.nodes.push_back(cur);
+    path.links.push_back(parent_link[cur.underlying()]);
+  }
+  path.nodes.push_back(source);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.links.begin(), path.links.end());
+  return path;
+}
+
+}  // namespace dcrd

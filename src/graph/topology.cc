@@ -1,0 +1,108 @@
+#include "graph/topology.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "graph/connectivity.h"
+
+namespace dcrd {
+
+SimDuration DrawLinkDelay(Rng& rng, const DelayRange& range) {
+  return SimDuration::Micros(
+      rng.NextInRange(range.min.micros(), range.max.micros()));
+}
+
+Graph FullMesh(std::size_t node_count, Rng& rng, const DelayRange& range) {
+  Graph graph(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    for (std::size_t j = i + 1; j < node_count; ++j) {
+      graph.AddEdge(NodeId(static_cast<NodeId::underlying_type>(i)),
+                    NodeId(static_cast<NodeId::underlying_type>(j)),
+                    DrawLinkDelay(rng, range));
+    }
+  }
+  return graph;
+}
+
+Graph RandomConnected(std::size_t node_count, std::size_t target_degree,
+                      Rng& rng, const DelayRange& range) {
+  DCRD_CHECK(node_count >= 3);
+  DCRD_CHECK(target_degree >= 2);
+  DCRD_CHECK(target_degree < node_count);
+  Graph graph(node_count);
+
+  // Random Hamiltonian ring: connectivity plus degree 2 for everyone.
+  std::vector<std::uint32_t> order(node_count);
+  std::iota(order.begin(), order.end(), 0U);
+  rng.Shuffle(order);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    graph.AddEdge(NodeId(order[i]), NodeId(order[(i + 1) % node_count]),
+                  DrawLinkDelay(rng, range));
+  }
+
+  // Greedy random augmentation: repeatedly pick a random pair of distinct
+  // below-target nodes without an existing edge. The candidate pool shrinks
+  // monotonically, so this terminates; a small residue of nodes may end one
+  // below target when the last below-target nodes are already adjacent.
+  std::vector<std::uint32_t> open;  // nodes with degree < target
+  for (std::uint32_t v = 0; v < node_count; ++v) {
+    if (graph.degree(NodeId(v)) < target_degree) open.push_back(v);
+  }
+  while (open.size() >= 2) {
+    // Collect eligible pairs among open nodes; choose uniformly.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> eligible;
+    for (std::size_t i = 0; i < open.size(); ++i) {
+      for (std::size_t j = i + 1; j < open.size(); ++j) {
+        if (!graph.HasEdge(NodeId(open[i]), NodeId(open[j]))) {
+          eligible.emplace_back(open[i], open[j]);
+        }
+      }
+    }
+    if (eligible.empty()) break;
+    const auto [a, b] =
+        eligible[rng.NextBounded(eligible.size())];
+    graph.AddEdge(NodeId(a), NodeId(b), DrawLinkDelay(rng, range));
+    open.clear();
+    for (std::uint32_t v = 0; v < node_count; ++v) {
+      if (graph.degree(NodeId(v)) < target_degree) open.push_back(v);
+    }
+  }
+
+  DCRD_CHECK(IsConnected(graph));
+  return graph;
+}
+
+Graph Ring(std::size_t node_count, SimDuration delay) {
+  DCRD_CHECK(node_count >= 3);
+  Graph graph(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    graph.AddEdge(NodeId(static_cast<NodeId::underlying_type>(i)),
+                  NodeId(static_cast<NodeId::underlying_type>(
+                      (i + 1) % node_count)),
+                  delay);
+  }
+  return graph;
+}
+
+Graph Line(std::size_t node_count, SimDuration delay) {
+  DCRD_CHECK(node_count >= 2);
+  Graph graph(node_count);
+  for (std::size_t i = 0; i + 1 < node_count; ++i) {
+    graph.AddEdge(NodeId(static_cast<NodeId::underlying_type>(i)),
+                  NodeId(static_cast<NodeId::underlying_type>(i + 1)), delay);
+  }
+  return graph;
+}
+
+Graph Star(std::size_t leaf_count, SimDuration delay) {
+  DCRD_CHECK(leaf_count >= 1);
+  Graph graph(leaf_count + 1);
+  for (std::size_t i = 1; i <= leaf_count; ++i) {
+    graph.AddEdge(NodeId(0),
+                  NodeId(static_cast<NodeId::underlying_type>(i)), delay);
+  }
+  return graph;
+}
+
+}  // namespace dcrd

@@ -1,0 +1,43 @@
+// Overlay topology generators.
+//
+// The paper's simulation setup (Section IV-A): N broker nodes; "for a given
+// link degree, we randomly choose the neighboring nodes"; per-link delays
+// drawn uniformly from [10 ms, 50 ms] (range taken from AT&T backbone
+// measurements). Two generator families reproduce this: FullMesh (Fig. 2)
+// and RandomConnected with a target degree (Figs. 3-8). Ring/Line/Star exist
+// for unit tests with hand-checkable answers.
+#pragma once
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "graph/graph.h"
+
+namespace dcrd {
+
+struct DelayRange {
+  SimDuration min = SimDuration::Millis(10);
+  SimDuration max = SimDuration::Millis(50);
+};
+
+// Draws a uniform link delay in [range.min, range.max] at 1 us granularity.
+SimDuration DrawLinkDelay(Rng& rng, const DelayRange& range);
+
+// Every pair of nodes directly connected (paper Sec. IV-D1).
+Graph FullMesh(std::size_t node_count, Rng& rng,
+               const DelayRange& range = {});
+
+// Random connected overlay where every node has degree as close to
+// `target_degree` as the random process allows (and at least 2). The
+// construction starts from a random Hamiltonian ring — guaranteeing
+// connectivity and degree 2 — and then adds random non-parallel edges
+// between nodes still below the target until no eligible pair remains.
+// Postcondition: connected; max degree == target_degree.
+Graph RandomConnected(std::size_t node_count, std::size_t target_degree,
+                      Rng& rng, const DelayRange& range = {});
+
+// Deterministic shapes for tests. Delays: fixed `delay` per link.
+Graph Ring(std::size_t node_count, SimDuration delay);
+Graph Line(std::size_t node_count, SimDuration delay);
+Graph Star(std::size_t leaf_count, SimDuration delay);  // node 0 is the hub
+
+}  // namespace dcrd

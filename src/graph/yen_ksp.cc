@@ -1,0 +1,122 @@
+#include "graph/yen_ksp.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace dcrd {
+
+namespace {
+
+WeightedPath MakePath(const Graph& graph, const PathTree& tree, NodeId dest,
+                      const LinkDelayFn& delay) {
+  WeightedPath path;
+  path.nodes = tree.PathTo(dest);
+  path.links = tree.LinksTo(dest);
+  path.total_delay = SimDuration::Zero();
+  for (LinkId link : path.links) {
+    path.total_delay += delay ? delay(link) : graph.edge(link).delay;
+  }
+  return path;
+}
+
+// Ordering for the candidate set: by delay, then lexicographic node ids so
+// the algorithm is deterministic.
+struct CandidateLess {
+  bool operator()(const WeightedPath& a, const WeightedPath& b) const {
+    if (a.total_delay != b.total_delay) return a.total_delay < b.total_delay;
+    return a.nodes < b.nodes;
+  }
+};
+
+}  // namespace
+
+std::vector<WeightedPath> YenKShortestPaths(const Graph& graph, NodeId source,
+                                            NodeId dest, std::size_t k,
+                                            const LinkDelayFn& delay) {
+  std::vector<WeightedPath> result;
+  if (k == 0) return result;
+
+  const PathTree first_tree = ShortestDelayTree(graph, source, delay);
+  if (!first_tree.Reachable(dest)) return result;
+  result.push_back(MakePath(graph, first_tree, dest, delay));
+
+  std::set<WeightedPath, CandidateLess> candidates;
+
+  while (result.size() < k) {
+    const WeightedPath& previous = result.back();
+    // Each prefix of the previous path becomes a spur root.
+    for (std::size_t spur_index = 0; spur_index + 1 < previous.nodes.size();
+         ++spur_index) {
+      const NodeId spur_node = previous.nodes[spur_index];
+
+      // Links to ban: the edge each already-found path with the same prefix
+      // takes out of the spur node.
+      std::unordered_set<LinkId::underlying_type> banned_links;
+      for (const WeightedPath& found : result) {
+        if (found.nodes.size() > spur_index &&
+            std::equal(previous.nodes.begin(),
+                       previous.nodes.begin() +
+                           static_cast<std::ptrdiff_t>(spur_index + 1),
+                       found.nodes.begin())) {
+          banned_links.insert(found.links[spur_index].underlying());
+        }
+      }
+      // Nodes on the root path (except the spur node) must not reappear —
+      // this is what keeps paths loopless.
+      std::unordered_set<NodeId::underlying_type> banned_nodes;
+      for (std::size_t i = 0; i < spur_index; ++i) {
+        banned_nodes.insert(previous.nodes[i].underlying());
+      }
+
+      const auto admit = [&](LinkId link) {
+        if (banned_links.contains(link.underlying())) return false;
+        const EdgeSpec& edge = graph.edge(link);
+        return !banned_nodes.contains(edge.a.underlying()) &&
+               !banned_nodes.contains(edge.b.underlying());
+      };
+
+      const PathTree spur_tree =
+          ShortestDelayTree(graph, spur_node, delay, admit);
+      if (!spur_tree.Reachable(dest)) continue;
+
+      WeightedPath total;
+      total.nodes.assign(previous.nodes.begin(),
+                         previous.nodes.begin() +
+                             static_cast<std::ptrdiff_t>(spur_index));
+      total.links.assign(previous.links.begin(),
+                         previous.links.begin() +
+                             static_cast<std::ptrdiff_t>(spur_index));
+      const std::vector<NodeId> spur_nodes = spur_tree.PathTo(dest);
+      const std::vector<LinkId> spur_links = spur_tree.LinksTo(dest);
+      total.nodes.insert(total.nodes.end(), spur_nodes.begin(),
+                         spur_nodes.end());
+      total.links.insert(total.links.end(), spur_links.begin(),
+                         spur_links.end());
+      total.total_delay = SimDuration::Zero();
+      for (LinkId link : total.links) {
+        total.total_delay += delay ? delay(link) : graph.edge(link).delay;
+      }
+      if (std::find(result.begin(), result.end(), total) == result.end()) {
+        candidates.insert(std::move(total));
+      }
+    }
+
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+std::size_t SharedLinkCount(const WeightedPath& a, const WeightedPath& b) {
+  std::unordered_set<LinkId::underlying_type> links_a;
+  for (LinkId link : a.links) links_a.insert(link.underlying());
+  std::size_t shared = 0;
+  for (LinkId link : b.links) {
+    if (links_a.contains(link.underlying())) ++shared;
+  }
+  return shared;
+}
+
+}  // namespace dcrd

@@ -1,0 +1,34 @@
+#include "net/failure_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcrd {
+
+namespace internal {
+
+double OutageProcess::StartProbabilityFor(double down_fraction) const {
+  if (down_fraction <= 0.0) return 0.0;
+  if (down_fraction >= 1.0) return 1.0;
+  if (outage_epochs_ == 1) return down_fraction;
+  return 1.0 - std::pow(1.0 - down_fraction, 1.0 / outage_epochs_);
+}
+
+}  // namespace internal
+
+std::vector<double> DrawHeterogeneousFractions(std::size_t link_count,
+                                               double mean_fraction,
+                                               double heterogeneity,
+                                               Rng& rng) {
+  DCRD_CHECK(heterogeneity >= 0.0);
+  std::vector<double> fractions(link_count, mean_fraction);
+  if (heterogeneity <= 0.0 || mean_fraction <= 0.0) return fractions;
+  for (double& fraction : fractions) {
+    const double factor =
+        std::exp(rng.NextDoubleInRange(-heterogeneity, heterogeneity));
+    fraction = std::clamp(mean_fraction * factor, 0.0, 0.9);
+  }
+  return fractions;
+}
+
+}  // namespace dcrd

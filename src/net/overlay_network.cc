@@ -1,0 +1,54 @@
+#include "net/overlay_network.h"
+
+#include <algorithm>
+
+namespace dcrd {
+
+void OverlayNetwork::Transmit(NodeId from, LinkId link, TrafficClass cls,
+                              std::function<void()> on_delivered) {
+  const EdgeSpec& edge = graph_.edge(link);
+  DCRD_CHECK(from == edge.a || from == edge.b)
+      << from << " is not an endpoint of " << link;
+  TrafficCounters& counter = counters_[static_cast<std::size_t>(cls)];
+  ++counter.attempted;
+
+  const SimTime now = scheduler_.now();
+  if (!node_failures_.IsUp(from, now) ||
+      !node_failures_.IsUp(edge.OtherEnd(from), now)) {
+    ++counter.dropped_node_failure;
+    return;
+  }
+  if (!failures_.IsUp(link, now)) {
+    ++counter.dropped_failure;
+    return;
+  }
+  if (config_.loss_rate > 0.0 && loss_rng_.NextBernoulli(config_.loss_rate)) {
+    ++counter.dropped_loss;
+    return;
+  }
+  ++counter.delivered;
+
+  SimTime departure = now;
+  if (config_.serialization > SimDuration::Zero() &&
+      cls != TrafficClass::kAck) {
+    // FIFO per directed link: wait out the packets ahead of us.
+    const std::size_t slot =
+        link.underlying() * 2 + (from == edge.a ? 0 : 1);
+    departure = std::max(now, link_free_[slot]);
+    link_free_[slot] = departure + config_.serialization;
+  }
+  SimDuration propagation = edge.delay;
+  if (config_.delay_jitter > 0.0 && cls != TrafficClass::kAck) {
+    propagation = SimDuration::FromMillisF(
+        edge.delay.millis() *
+        (1.0 + loss_rng_.NextDoubleInRange(-config_.delay_jitter,
+                                           config_.delay_jitter)));
+  }
+  if (cls == TrafficClass::kAck) {
+    propagation = SimDuration::FromMillisF(edge.delay.millis() *
+                                           config_.ack_delay_factor);
+  }
+  scheduler_.ScheduleAt(departure + propagation, std::move(on_delivered));
+}
+
+}  // namespace dcrd

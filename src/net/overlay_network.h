@@ -1,0 +1,123 @@
+// Overlay transmission service.
+//
+// A transmission over link L entered at time t succeeds iff L is up at t,
+// both endpoint brokers are up at t, and an independent Bernoulli(Pl) loss
+// draw passes; on success the payload callback fires at the receiving
+// endpoint after (queuing +) propagation delay. Senders are never told the
+// outcome directly — reliable delivery is built *above* this service from
+// hop-by-hop ACKs, exactly as in the paper.
+//
+// Optional per-link queuing: when `serialization` is non-zero every data
+// packet occupies its directed link for that long, so bursts build a FIFO
+// queue and the queuing delay counts against the deadline — the
+// "congestion" the paper's introduction worries about. ACKs ride the
+// out-of-band control channel (see ack_delay_factor) and never queue.
+//
+// The network also keeps the traffic counters behind the paper's
+// "packets sent / subscriber" metric: data packets (including
+// retransmissions and reroutes) are what Fig. 2(c)-5(c) count; ACKs and
+// control traffic are tallied separately.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "event/scheduler.h"
+#include "graph/graph.h"
+#include "net/failure_schedule.h"
+
+namespace dcrd {
+
+enum class TrafficClass : std::size_t { kData = 0, kAck = 1, kControl = 2 };
+
+struct TrafficCounters {
+  std::uint64_t attempted = 0;  // transmissions started
+  std::uint64_t delivered = 0;  // payload callbacks fired
+  std::uint64_t dropped_failure = 0;       // link down at entry
+  std::uint64_t dropped_node_failure = 0;  // an endpoint broker down
+  std::uint64_t dropped_loss = 0;
+};
+
+struct OverlayNetworkConfig {
+  double loss_rate = 0.0;
+  // ACK propagation as a fraction of the link delay; 0 = the paper's
+  // "senders immediately know the reception status" out-of-band model,
+  // 1 = physical in-band round trip.
+  double ack_delay_factor = 0.0;
+  // Per-packet link occupancy (0 = infinite bandwidth, the paper's model).
+  SimDuration serialization = SimDuration::Zero();
+  // Per-transmission propagation jitter: actual = delay * (1 + U(-j, +j)).
+  // 0 = the paper's fixed delays. Jitter makes the monitored alpha an
+  // *estimate* rather than the truth and can trip ACK timers spuriously.
+  double delay_jitter = 0.0;
+};
+
+class OverlayNetwork {
+ public:
+  OverlayNetwork(const Graph& graph, Scheduler& scheduler,
+                 FailureSchedule failures, OverlayNetworkConfig config,
+                 Rng loss_rng,
+                 NodeFailureSchedule node_failures = NodeFailureSchedule())
+      : graph_(graph),
+        scheduler_(scheduler),
+        failures_(failures),
+        node_failures_(node_failures),
+        config_(config),
+        loss_rng_(loss_rng),
+        // One busy-until slot per directed link: index 2*link + direction.
+        link_free_(graph.edge_count() * 2, SimTime::Zero()) {}
+
+  // Legacy convenience constructor used widely in tests.
+  OverlayNetwork(const Graph& graph, Scheduler& scheduler,
+                 FailureSchedule failures, double loss_rate, Rng loss_rng,
+                 double ack_delay_factor = 0.0)
+      : OverlayNetwork(graph, scheduler, failures,
+                       OverlayNetworkConfig{loss_rate, ack_delay_factor,
+                                            SimDuration::Zero()},
+                       loss_rng) {}
+
+  OverlayNetwork(const OverlayNetwork&) = delete;
+  OverlayNetwork& operator=(const OverlayNetwork&) = delete;
+
+  // Attempts one transmission from `from` over `link`. Precondition: `from`
+  // is an endpoint of `link`. On success `on_delivered` runs at the
+  // opposite endpoint after queuing + propagation; on failure nothing
+  // happens (the sender's own timeout machinery reacts).
+  void Transmit(NodeId from, LinkId link, TrafficClass cls,
+                std::function<void()> on_delivered);
+
+  // True when `node` can currently send and receive.
+  [[nodiscard]] bool NodeUp(NodeId node) const {
+    return node_failures_.IsUp(node, scheduler_.now());
+  }
+
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+  [[nodiscard]] const FailureSchedule& failures() const { return failures_; }
+  [[nodiscard]] const NodeFailureSchedule& node_failures() const {
+    return node_failures_;
+  }
+  [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] const TrafficCounters& counters(TrafficClass cls) const {
+    return counters_[static_cast<std::size_t>(cls)];
+  }
+  [[nodiscard]] double ack_delay_factor() const {
+    return config_.ack_delay_factor;
+  }
+  [[nodiscard]] const OverlayNetworkConfig& config() const { return config_; }
+
+ private:
+  const Graph& graph_;
+  Scheduler& scheduler_;
+  FailureSchedule failures_;
+  NodeFailureSchedule node_failures_;
+  OverlayNetworkConfig config_;
+  Rng loss_rng_;
+  std::vector<SimTime> link_free_;
+  std::array<TrafficCounters, 3> counters_{};
+};
+
+}  // namespace dcrd

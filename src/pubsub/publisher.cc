@@ -1,0 +1,26 @@
+#include "pubsub/publisher.h"
+
+namespace dcrd {
+
+void Publisher::Start(SimDuration phase, SimTime end, std::uint64_t& next_id) {
+  scheduler_.ScheduleAt(SimTime::Zero() + phase,
+                        [this, end, &next_id] { PublishOnce(end, next_id); });
+}
+
+void Publisher::PublishOnce(SimTime end, std::uint64_t& next_id) {
+  Message message;
+  message.id = MessageId(next_id++);
+  message.topic = topic_;
+  message.publisher = node_;
+  message.publish_time = scheduler_.now();
+  ++published_;
+  publish_(message);
+
+  const SimTime next = scheduler_.now() + interval_;
+  if (next <= end) {
+    scheduler_.ScheduleAt(next,
+                          [this, end, &next_id] { PublishOnce(end, next_id); });
+  }
+}
+
+}  // namespace dcrd

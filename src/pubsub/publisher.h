@@ -1,0 +1,60 @@
+// Publishers and the delivery sink.
+//
+// Each publisher emits one message per second (the paper's air-surveillance
+// rate: ADS-B aircraft broadcast position once per second) with a random
+// start phase, handing every message to the router under test. Deliveries
+// flow back through the DeliverySink interface, implemented by the metrics
+// collector.
+#pragma once
+
+#include <functional>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "event/scheduler.h"
+#include "pubsub/packet.h"
+
+namespace dcrd {
+
+// Receives the first arrival of each message at each subscriber broker.
+class DeliverySink {
+ public:
+  virtual ~DeliverySink() = default;
+  virtual void OnDelivered(const Message& message, NodeId subscriber,
+                           SimTime arrival) = 0;
+};
+
+class Publisher {
+ public:
+  using PublishFn = std::function<void(const Message&)>;
+
+  Publisher(TopicId topic, NodeId node, SimDuration interval,
+            Scheduler& scheduler, PublishFn publish)
+      : topic_(topic),
+        node_(node),
+        interval_(interval),
+        scheduler_(scheduler),
+        publish_(std::move(publish)) {}
+
+  // Starts the periodic publication process: first message at `phase`,
+  // subsequent messages every `interval` until `end`. Message ids are drawn
+  // from the shared `next_id` counter so ids are globally unique.
+  void Start(SimDuration phase, SimTime end, std::uint64_t& next_id);
+
+  [[nodiscard]] TopicId topic() const { return topic_; }
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] std::uint64_t published_count() const { return published_; }
+
+ private:
+  void PublishOnce(SimTime end, std::uint64_t& next_id);
+
+  TopicId topic_;
+  NodeId node_;
+  SimDuration interval_;
+  Scheduler& scheduler_;
+  PublishFn publish_;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace dcrd

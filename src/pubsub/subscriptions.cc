@@ -1,0 +1,59 @@
+#include "pubsub/subscriptions.h"
+
+#include <algorithm>
+
+namespace dcrd {
+
+TopicId SubscriptionTable::AddTopic(NodeId publisher) {
+  DCRD_CHECK(publisher.valid());
+  topics_.push_back(TopicEntry{publisher, {}});
+  return TopicId(static_cast<TopicId::underlying_type>(topics_.size() - 1));
+}
+
+void SubscriptionTable::AddSubscription(TopicId topic, NodeId subscriber,
+                                        SimDuration deadline) {
+  DCRD_CHECK(topic.underlying() < topics_.size());
+  DCRD_CHECK(!IsSubscribed(topic, subscriber))
+      << subscriber << " already subscribed to " << topic;
+  DCRD_CHECK(deadline > SimDuration::Zero());
+  topics_[topic.underlying()].subscriptions.push_back(
+      Subscription{subscriber, deadline});
+}
+
+bool SubscriptionTable::RemoveSubscription(TopicId topic, NodeId subscriber) {
+  DCRD_CHECK(topic.underlying() < topics_.size());
+  auto& subs = topics_[topic.underlying()].subscriptions;
+  const auto it =
+      std::find_if(subs.begin(), subs.end(), [&](const Subscription& s) {
+        return s.subscriber == subscriber;
+      });
+  if (it == subs.end()) return false;
+  subs.erase(it);
+  return true;
+}
+
+std::vector<NodeId> SubscriptionTable::SubscriberNodes(TopicId topic) const {
+  std::vector<NodeId> nodes;
+  for (const Subscription& sub : subscriptions(topic)) {
+    nodes.push_back(sub.subscriber);
+  }
+  return nodes;
+}
+
+SimDuration SubscriptionTable::Deadline(TopicId topic,
+                                        NodeId subscriber) const {
+  for (const Subscription& sub : subscriptions(topic)) {
+    if (sub.subscriber == subscriber) return sub.deadline;
+  }
+  DCRD_CHECK(false) << subscriber << " not subscribed to " << topic;
+  return SimDuration::Zero();
+}
+
+bool SubscriptionTable::IsSubscribed(TopicId topic, NodeId subscriber) const {
+  const auto& subs = topics_[topic.underlying()].subscriptions;
+  return std::any_of(subs.begin(), subs.end(), [&](const Subscription& s) {
+    return s.subscriber == subscriber;
+  });
+}
+
+}  // namespace dcrd

@@ -1,0 +1,56 @@
+// Topic and subscription registry.
+//
+// One publisher broker per topic (as in the paper's workload) and a set of
+// subscriber brokers per topic, each with a QoS delay requirement D_PS. The
+// engine fills this table from the workload generator; routers treat it as
+// read-only configuration.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/logging.h"
+#include "common/sim_time.h"
+
+namespace dcrd {
+
+struct Subscription {
+  NodeId subscriber;
+  SimDuration deadline;  // D_PS: end-to-end delay requirement
+};
+
+class SubscriptionTable {
+ public:
+  // Registers a topic with its publisher broker; topics must be added in
+  // TopicId order starting from 0.
+  TopicId AddTopic(NodeId publisher);
+
+  void AddSubscription(TopicId topic, NodeId subscriber, SimDuration deadline);
+  // Removes a subscription (churn support); returns false when the
+  // subscriber was not subscribed. In-flight packets toward a departed
+  // subscriber are the routers' problem: they drop them gracefully.
+  bool RemoveSubscription(TopicId topic, NodeId subscriber);
+
+  [[nodiscard]] std::size_t topic_count() const { return topics_.size(); }
+  [[nodiscard]] NodeId publisher(TopicId topic) const {
+    return topics_[topic.underlying()].publisher;
+  }
+  [[nodiscard]] const std::vector<Subscription>& subscriptions(
+      TopicId topic) const {
+    return topics_[topic.underlying()].subscriptions;
+  }
+  // Subscriber broker ids for a topic, in registration order.
+  [[nodiscard]] std::vector<NodeId> SubscriberNodes(TopicId topic) const;
+  // Deadline for a (topic, subscriber); CHECK-fails if not subscribed.
+  [[nodiscard]] SimDuration Deadline(TopicId topic, NodeId subscriber) const;
+  [[nodiscard]] bool IsSubscribed(TopicId topic, NodeId subscriber) const;
+
+ private:
+  struct TopicEntry {
+    NodeId publisher;
+    std::vector<Subscription> subscriptions;
+  };
+  std::vector<TopicEntry> topics_;
+};
+
+}  // namespace dcrd

@@ -1,0 +1,72 @@
+#include "routing/hop_transport.h"
+
+#include <utility>
+
+namespace dcrd {
+
+void HopTransport::SendReliable(NodeId from, LinkId link, Packet packet,
+                                int max_tx, SimDuration ack_timeout,
+                                std::function<void(bool)> done) {
+  DCRD_CHECK(max_tx >= 1);
+  const std::uint64_t copy_id = next_copy_id_++;
+  pending_.emplace(copy_id, Pending{from, link, std::move(packet), max_tx,
+                                    ack_timeout, std::move(done),
+                                    EventHandle{}});
+  TransmitOnce(copy_id);
+}
+
+void HopTransport::TransmitOnce(std::uint64_t copy_id) {
+  auto it = pending_.find(copy_id);
+  DCRD_CHECK(it != pending_.end());
+  Pending& pending = it->second;
+  DCRD_CHECK(pending.transmissions_left > 0);
+  --pending.transmissions_left;
+
+  const NodeId from = pending.from;
+  const LinkId link = pending.link;
+  const NodeId to = network_.graph().edge(link).OtherEnd(from);
+  // The copy sent on the wire is snapshotted here; the lambda owns it so a
+  // later SendReliable cannot mutate a packet already in flight.
+  const Packet on_wire = pending.packet;
+  network_.Transmit(from, link, TrafficClass::kData,
+                    [this, copy_id, to, from, link, on_wire] {
+                      HandleDataArrival(copy_id, to, from, link, on_wire);
+                    });
+  pending.timer = network_.scheduler().ScheduleAfter(
+      pending.ack_timeout, [this, copy_id] { HandleTimeout(copy_id); });
+}
+
+void HopTransport::HandleTimeout(std::uint64_t copy_id) {
+  auto it = pending_.find(copy_id);
+  if (it == pending_.end()) return;  // ACK won the race
+  Pending& pending = it->second;
+  if (pending.transmissions_left > 0) {
+    TransmitOnce(copy_id);
+    return;
+  }
+  auto done = std::move(pending.done);
+  pending_.erase(it);
+  if (done) done(false);
+}
+
+void HopTransport::HandleDataArrival(std::uint64_t copy_id, NodeId at,
+                                     NodeId from, LinkId link,
+                                     const Packet& packet) {
+  // Always ACK — the sender may have missed an earlier ACK.
+  network_.Transmit(at, link, TrafficClass::kAck,
+                    [this, copy_id] { HandleAckArrival(copy_id); });
+  // Hand to the protocol only on first sight of this copy.
+  if (!seen_copies_.insert(copy_id).second) return;
+  on_arrival_(at, packet, from);
+}
+
+void HopTransport::HandleAckArrival(std::uint64_t copy_id) {
+  auto it = pending_.find(copy_id);
+  if (it == pending_.end()) return;  // duplicate ACK or already timed out
+  network_.scheduler().Cancel(it->second.timer);
+  auto done = std::move(it->second.done);
+  pending_.erase(it);
+  if (done) done(true);
+}
+
+}  // namespace dcrd

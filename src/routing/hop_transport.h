@@ -1,0 +1,83 @@
+// Reliable hop-by-hop packet transport (data + ACK machinery).
+//
+// Every protocol in the paper moves packets the same way at the link level:
+// send a copy to a chosen neighbour, wait for a hop ACK, retransmit up to m
+// times, then report success or give-up to the protocol above. This class
+// owns that machinery — copy ids, ACK emission, duplicate suppression,
+// timeout timers — so DCRD, the trees, Multipath and ORACLE all share one
+// audited implementation and differ only in *where* they send next.
+//
+// Semantics:
+//  * Each SendReliable call allocates a copy id carried by every
+//    retransmission of that copy.
+//  * The receiving side ACKs every arrival (including duplicates) but hands
+//    the packet to the protocol's arrival handler only once per copy id.
+//  * `done(acked)` fires exactly once: true as soon as the ACK returns,
+//    false after the m-th transmission's timeout expires. A data copy can
+//    have been delivered even when done(false) fires (ACK lost) — protocols
+//    must tolerate duplicates, exactly as over a real network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/ids.h"
+#include "event/scheduler.h"
+#include "net/overlay_network.h"
+#include "pubsub/packet.h"
+
+namespace dcrd {
+
+class HopTransport {
+ public:
+  // Invoked (once per copy) when a data packet reaches `at`; `from` is the
+  // transmitting neighbour.
+  using ArrivalHandler =
+      std::function<void(NodeId at, const Packet& packet, NodeId from)>;
+
+  HopTransport(OverlayNetwork& network, ArrivalHandler on_arrival)
+      : network_(network), on_arrival_(std::move(on_arrival)) {}
+
+  HopTransport(const HopTransport&) = delete;
+  HopTransport& operator=(const HopTransport&) = delete;
+
+  // Sends `packet` from `from` over `link`, retrying until `max_tx` total
+  // transmissions, each armed with `ack_timeout`. `done` may start further
+  // sends; it is always invoked from a scheduler event (never re-entrantly).
+  void SendReliable(NodeId from, LinkId link, Packet packet, int max_tx,
+                    SimDuration ack_timeout, std::function<void(bool)> done);
+
+  // Drops receiver-side duplicate-suppression state. Copy ids are globally
+  // unique so clearing can never resurrect a copy; the engine calls this at
+  // monitoring epochs purely to bound memory over multi-hour runs.
+  void ClearDedupState() { seen_copies_.clear(); }
+
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    NodeId from;
+    LinkId link;
+    Packet packet;
+    int transmissions_left;
+    SimDuration ack_timeout;
+    std::function<void(bool)> done;
+    EventHandle timer;
+  };
+
+  void TransmitOnce(std::uint64_t copy_id);
+  void HandleTimeout(std::uint64_t copy_id);
+  void HandleDataArrival(std::uint64_t copy_id, NodeId at, NodeId from,
+                         LinkId link, const Packet& packet);
+  void HandleAckArrival(std::uint64_t copy_id);
+
+  OverlayNetwork& network_;
+  ArrivalHandler on_arrival_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::unordered_set<std::uint64_t> seen_copies_;
+  std::uint64_t next_copy_id_ = 1;
+};
+
+}  // namespace dcrd

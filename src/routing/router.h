@@ -1,0 +1,60 @@
+// Router interface and shared construction context.
+//
+// A Router implements one delivery protocol for the whole overlay (the
+// simulator drives all brokers through one object, but per-broker state is
+// kept strictly per-node so every forwarding decision uses only information
+// that broker would locally have — the paper's "next-hop decision is based
+// on local information only" property is preserved by construction, and the
+// ORACLE router is the one deliberate exception).
+#pragma once
+
+#include <string_view>
+
+#include "common/sim_time.h"
+#include "net/link_monitor.h"
+#include "net/overlay_network.h"
+#include "pubsub/packet.h"
+#include "pubsub/publisher.h"
+#include "pubsub/subscriptions.h"
+
+namespace dcrd {
+
+struct RouterContext {
+  OverlayNetwork* network = nullptr;
+  const SubscriptionTable* subscriptions = nullptr;
+  DeliverySink* sink = nullptr;
+  // Paper parameter m: transmissions attempted on a link before the node
+  // declares the hop failed.
+  int max_transmissions = 1;
+  // Added on top of the expected ACK return time when arming timeout
+  // timers.
+  SimDuration ack_slack = SimDuration::Millis(1);
+
+  // Timeout to arm after transmitting over a link with (estimated) one-way
+  // delay `alpha`: data takes alpha, the ACK takes alpha times the
+  // network's ack-delay factor (0 in the paper's "senders immediately know"
+  // model), plus slack.
+  [[nodiscard]] SimDuration AckTimeout(SimDuration alpha) const {
+    return SimDuration::FromMillisF(
+               alpha.millis() * (1.0 + network->ack_delay_factor())) +
+           ack_slack;
+  }
+};
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  // Installs fresh monitoring estimates; called once before the simulation
+  // starts and at every monitoring epoch. Routing structures (trees,
+  // multipath route pairs, DCRD sending lists) are rebuilt here and nowhere
+  // else — between epochs routers run on stale state, as in the paper.
+  virtual void Rebuild(const MonitoredView& view) = 0;
+
+  // Injects a freshly published message at its publisher broker.
+  virtual void Publish(const Message& message) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+}  // namespace dcrd

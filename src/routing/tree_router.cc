@@ -1,0 +1,33 @@
+#include "routing/tree_router.h"
+
+namespace dcrd {
+
+void TreeRouter::RebuildRoutes() {
+  const SubscriptionTable& subs = *context().subscriptions;
+  trees_.clear();
+  trees_.reserve(subs.topic_count());
+  const LinkDelayFn monitored = [this](LinkId link) {
+    return view().alpha(link);
+  };
+  for (std::size_t t = 0; t < subs.topic_count(); ++t) {
+    const NodeId publisher =
+        subs.publisher(TopicId(static_cast<TopicId::underlying_type>(t)));
+    trees_.push_back(kind_ == TreeKind::kShortestHop
+                         ? ShortestHopTree(graph(), publisher, monitored)
+                         : ShortestDelayTree(graph(), publisher, monitored));
+  }
+}
+
+std::vector<SourceRoutedRouter::Route> TreeRouter::RoutesFor(
+    const Message& message) {
+  const SubscriptionTable& subs = *context().subscriptions;
+  const PathTree& tree = trees_[message.topic.underlying()];
+  std::vector<Route> routes;
+  for (const Subscription& sub : subs.subscriptions(message.topic)) {
+    if (!tree.Reachable(sub.subscriber)) continue;
+    routes.push_back(Route{sub.subscriber, tree.PathTo(sub.subscriber), 0});
+  }
+  return routes;
+}
+
+}  // namespace dcrd

@@ -1,0 +1,162 @@
+#include "sim/engine.h"
+
+#include <fstream>
+#include <vector>
+
+#include "dcrd/dcrd_router.h"
+#include "event/scheduler.h"
+#include "graph/io.h"
+#include "graph/topology.h"
+#include "net/link_monitor.h"
+#include "net/overlay_network.h"
+#include "pubsub/publisher.h"
+#include "routing/multipath_router.h"
+#include "routing/oracle_router.h"
+#include "routing/tree_router.h"
+#include "sim/workload.h"
+
+namespace dcrd {
+
+std::unique_ptr<Router> MakeRouter(const ScenarioConfig& config,
+                                   RouterContext context) {
+  switch (config.router) {
+    case RouterKind::kDcrd: {
+      DcrdConfig dcrd_config;
+      dcrd_config.best_effort_fallback = config.dcrd_best_effort_fallback;
+      dcrd_config.reroute_retry_cap = config.dcrd_reroute_retry_cap;
+      dcrd_config.enable_persistence = config.dcrd_persistence;
+      dcrd_config.persistence_retry_interval = config.dcrd_persistence_retry;
+      dcrd_config.persistence_max_retries =
+          config.dcrd_persistence_max_retries;
+      dcrd_config.computation.ordering = config.dcrd_ordering;
+      dcrd_config.use_distributed_computation = config.dcrd_distributed;
+      return std::make_unique<DcrdRouter>(context, dcrd_config);
+    }
+    case RouterKind::kRTree:
+      return std::make_unique<TreeRouter>(context, TreeKind::kShortestHop);
+    case RouterKind::kDTree:
+      return std::make_unique<TreeRouter>(context, TreeKind::kShortestDelay);
+    case RouterKind::kOracle:
+      return std::make_unique<OracleRouter>(context);
+    case RouterKind::kMultipath:
+      return std::make_unique<MultipathRouter>(context,
+                                               config.multipath_path_count);
+  }
+  DCRD_CHECK(false) << "unknown router kind";
+  return nullptr;
+}
+
+RunSummary RunScenario(const ScenarioConfig& config) {
+  const Rng root(config.seed);
+
+  // Topology and workload draw from substreams independent of the failure
+  // and loss processes, so changing Pf/Pl/router never reshapes the overlay.
+  Rng topology_rng = root.Fork("topology");
+  const DelayRange delays{config.link_delay_min, config.link_delay_max};
+  const Graph graph = [&] {
+    if (!config.topology_file.empty()) {
+      std::ifstream file(config.topology_file);
+      DCRD_CHECK(file.good())
+          << "cannot open topology file " << config.topology_file;
+      std::string error;
+      auto loaded = ReadEdgeList(file, &error);
+      DCRD_CHECK(loaded.has_value())
+          << config.topology_file << ": " << error;
+      return *std::move(loaded);
+    }
+    return config.topology == TopologyKind::kFullMesh
+               ? FullMesh(config.node_count, topology_rng, delays)
+               : RandomConnected(config.node_count, config.degree,
+                                 topology_rng, delays);
+  }();
+
+  Rng workload_rng = root.Fork("workload");
+  SubscriptionTable subscriptions =
+      GenerateWorkload(graph, config, workload_rng);
+
+  Scheduler scheduler;
+  Rng link_pf_rng = root.Fork("link-pf");
+  const FailureSchedule failures(
+      root.Fork("failures")(),
+      DrawHeterogeneousFractions(graph.edge_count(),
+                                 config.failure_probability,
+                                 config.failure_heterogeneity, link_pf_rng),
+      config.failure_epoch, config.link_outage_epochs);
+  const NodeFailureSchedule node_failures(root.Fork("node-failures")(),
+                                          config.node_failure_probability,
+                                          config.failure_epoch,
+                                          config.node_outage_epochs);
+  OverlayNetworkConfig network_config;
+  network_config.loss_rate = config.loss_rate;
+  network_config.ack_delay_factor = config.ack_delay_factor;
+  network_config.serialization = config.link_serialization;
+  network_config.delay_jitter = config.delay_jitter;
+  OverlayNetwork network(graph, scheduler, failures, network_config,
+                         root.Fork("loss"), node_failures);
+
+  LinkMonitorConfig monitor_config;
+  monitor_config.interval = config.monitor_interval;
+  monitor_config.probe_count = config.monitor_probes;
+  monitor_config.ewma_weight = config.monitor_ewma_weight;
+  monitor_config.loss_rate = config.loss_rate;
+  LinkMonitor monitor(graph, failures, monitor_config, root.Fork("probes"));
+
+  MetricsCollector metrics(subscriptions);
+
+  RouterContext context;
+  context.network = &network;
+  context.subscriptions = &subscriptions;
+  context.sink = &metrics;
+  context.max_transmissions = config.max_transmissions;
+  context.ack_slack = config.ack_slack;
+  const std::unique_ptr<Router> router = MakeRouter(config, context);
+
+  // Bootstrap measurement + epoch rebuilds for the whole run. Churn, when
+  // enabled, mutates the subscription table immediately before the rebuild
+  // so routers always see a consistent epoch snapshot.
+  monitor.MeasureAt(SimTime::Zero());
+  router->Rebuild(monitor.view());
+  Rng churn_rng = root.Fork("churn");
+  const auto apply_churn = [&] {
+    if (config.subscription_churn <= 0.0) return;
+    ApplySubscriptionChurn(graph, config, churn_rng, subscriptions);
+  };
+  const SimTime end = SimTime::Zero() + config.sim_time;
+  for (SimTime epoch = SimTime::Zero() + config.monitor_interval;
+       epoch <= end; epoch += config.monitor_interval) {
+    scheduler.ScheduleAt(epoch, [&monitor, &router, &scheduler, &apply_churn] {
+      apply_churn();
+      monitor.MeasureAt(scheduler.now());
+      router->Rebuild(monitor.view());
+    });
+  }
+
+  // Publishers: one per topic, phase-jittered within the first interval.
+  Rng phase_rng = root.Fork("phases");
+  std::uint64_t next_message_id = 0;
+  std::vector<std::unique_ptr<Publisher>> publishers;
+  for (std::size_t t = 0; t < subscriptions.topic_count(); ++t) {
+    const TopicId topic(static_cast<TopicId::underlying_type>(t));
+    publishers.push_back(std::make_unique<Publisher>(
+        topic, subscriptions.publisher(topic), config.publish_interval,
+        scheduler, [&metrics, &router](const Message& message) {
+          metrics.OnPublished(message);
+          router->Publish(message);
+        }));
+    publishers.back()->Start(
+        SimDuration::Micros(phase_rng.NextInRange(
+            0, config.publish_interval.micros() - 1)),
+        end, next_message_id);
+  }
+
+  scheduler.RunUntil(end);
+  // Drain in-flight deliveries, timers and reroutes published before `end`.
+  scheduler.Run();
+
+  return metrics.Summarize(
+      network.counters(TrafficClass::kData).attempted,
+      network.counters(TrafficClass::kAck).attempted,
+      network.counters(TrafficClass::kControl).attempted);
+}
+
+}  // namespace dcrd

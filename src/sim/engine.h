@@ -1,0 +1,26 @@
+// Simulation engine: wires topology, network, monitoring, workload and the
+// router under test together, runs the clock, and returns a RunSummary.
+//
+// The same seed produces the same topology, workload, failure schedule and
+// probe noise for every RouterKind, so per-figure comparisons are paired.
+#pragma once
+
+#include <memory>
+
+#include "routing/router.h"
+#include "sim/metrics.h"
+#include "sim/scenario.h"
+
+namespace dcrd {
+
+// Runs one complete scenario. Publishers stop at config.sim_time; the
+// scheduler then drains remaining in-flight events (every episode/timer
+// terminates by construction) so late deliveries are still observed.
+RunSummary RunScenario(const ScenarioConfig& config);
+
+// Factory used by RunScenario and the examples: builds the router named by
+// `config.router` over an existing context.
+std::unique_ptr<Router> MakeRouter(const ScenarioConfig& config,
+                                   RouterContext context);
+
+}  // namespace dcrd

@@ -1,0 +1,91 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace dcrd {
+
+SweepResult RunSweep(
+    const std::string& title, const std::string& x_label,
+    const ScenarioConfig& base, const std::vector<RouterKind>& routers,
+    const std::vector<double>& x_values,
+    const std::function<void(double, ScenarioConfig&)>& configure,
+    int repetitions,
+    const std::function<double(const RunSummary&)>& /*metric*/) {
+  DCRD_CHECK(repetitions >= 1);
+  SweepResult result;
+  result.title = title;
+  result.x_label = x_label;
+  result.routers = routers;
+
+  for (double x : x_values) {
+    SweepPoint point;
+    point.x = x;
+    for (RouterKind router : routers) {
+      RunSummary pooled;
+      for (int rep = 0; rep < repetitions; ++rep) {
+        ScenarioConfig config = base;
+        config.router = router;
+        // Same seed across routers for a given rep: identical topology,
+        // workload and failure sample path (paired comparison).
+        config.seed = base.seed + static_cast<std::uint64_t>(rep);
+        configure(x, config);
+        pooled.Absorb(RunScenario(config));
+      }
+      point.per_router.push_back(std::move(pooled));
+    }
+    result.points.push_back(std::move(point));
+  }
+  return result;
+}
+
+void PrintTable(std::ostream& os, const SweepResult& sweep,
+                const std::string& metric_name,
+                const std::function<double(const RunSummary&)>& metric) {
+  os << "\n" << sweep.title << " — " << metric_name << "\n";
+  os << std::left << std::setw(14) << sweep.x_label;
+  for (RouterKind router : sweep.routers) {
+    os << std::right << std::setw(12) << RouterName(router);
+  }
+  os << "\n";
+  for (const SweepPoint& point : sweep.points) {
+    os << std::left << std::setw(14) << point.x;
+    for (const RunSummary& summary : point.per_router) {
+      os << std::right << std::setw(12) << std::fixed << std::setprecision(4)
+         << metric(summary);
+    }
+    os << "\n";
+    os.unsetf(std::ios::fixed);
+  }
+}
+
+void PrintStandardPanels(std::ostream& os, const SweepResult& sweep) {
+  PrintTable(os, sweep, "Delivery Ratio",
+             [](const RunSummary& s) { return s.delivery_ratio(); });
+  PrintTable(os, sweep, "QoS Delivery Ratio",
+             [](const RunSummary& s) { return s.qos_ratio(); });
+  PrintTable(os, sweep, "Packets Sent / Subscriber",
+             [](const RunSummary& s) { return s.packets_per_subscriber(); });
+}
+
+std::vector<double> LatenessCdf(const RunSummary& summary,
+                                const std::vector<double>& grid) {
+  std::vector<double> sorted = summary.lateness_ratios;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> cdf;
+  cdf.reserve(grid.size());
+  for (double x : grid) {
+    const auto upper =
+        std::upper_bound(sorted.begin(), sorted.end(), x);
+    cdf.push_back(sorted.empty()
+                      ? 1.0
+                      : static_cast<double>(upper - sorted.begin()) /
+                            static_cast<double>(sorted.size()));
+  }
+  return cdf;
+}
+
+}  // namespace dcrd

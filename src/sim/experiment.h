@@ -1,0 +1,60 @@
+// Experiment harness: repeated paired runs and the series tables the paper
+// plots.
+//
+// Every figure in the paper is a sweep over one parameter with one line per
+// routing algorithm, averaged over several random topologies. RunSweep
+// executes exactly that — for each x-value and each router it runs
+// `repetitions` scenarios (seeds base+rep, identical across routers, so the
+// comparison is paired) and pools the counts — and PrintTable renders the
+// series in the layout recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/metrics.h"
+#include "sim/scenario.h"
+
+namespace dcrd {
+
+struct SweepPoint {
+  double x = 0.0;
+  std::vector<RunSummary> per_router;  // parallel to the router list
+};
+
+struct SweepResult {
+  std::string title;
+  std::string x_label;
+  std::vector<RouterKind> routers;
+  std::vector<SweepPoint> points;
+};
+
+// Applies (x, config&) for each x-value, runs every router `repetitions`
+// times and pools the summaries. `configure` receives a copy of `base`
+// already carrying the right seed/router and must set the swept parameter.
+SweepResult RunSweep(const std::string& title, const std::string& x_label,
+                     const ScenarioConfig& base,
+                     const std::vector<RouterKind>& routers,
+                     const std::vector<double>& x_values,
+                     const std::function<void(double, ScenarioConfig&)>& configure,
+                     int repetitions,
+                     const std::function<double(const RunSummary&)>& metric
+                         = nullptr /* unused; kept for symmetry */);
+
+// One metric as a table: rows = x-values, columns = routers.
+void PrintTable(std::ostream& os, const SweepResult& sweep,
+                const std::string& metric_name,
+                const std::function<double(const RunSummary&)>& metric);
+
+// Convenience: the paper's three standard panels (delivery ratio, QoS
+// delivery ratio, packets/subscriber) for one sweep.
+void PrintStandardPanels(std::ostream& os, const SweepResult& sweep);
+
+// Empirical CDF evaluated at `grid` points from pooled lateness samples.
+std::vector<double> LatenessCdf(const RunSummary& summary,
+                                const std::vector<double>& grid);
+
+}  // namespace dcrd

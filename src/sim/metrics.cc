@@ -1,0 +1,69 @@
+#include "sim/metrics.h"
+
+namespace dcrd {
+
+void RunSummary::Absorb(const RunSummary& other) {
+  expected_pairs += other.expected_pairs;
+  delivered_pairs += other.delivered_pairs;
+  qos_pairs += other.qos_pairs;
+  duplicate_deliveries += other.duplicate_deliveries;
+  data_transmissions += other.data_transmissions;
+  ack_transmissions += other.ack_transmissions;
+  control_transmissions += other.control_transmissions;
+  messages_published += other.messages_published;
+  lateness_ratios.insert(lateness_ratios.end(), other.lateness_ratios.begin(),
+                         other.lateness_ratios.end());
+  delay_ms_samples.insert(delay_ms_samples.end(),
+                          other.delay_ms_samples.begin(),
+                          other.delay_ms_samples.end());
+}
+
+void MetricsCollector::OnPublished(const Message& message) {
+  PendingMessage pending;
+  pending.publish_time = message.publish_time;
+  pending.topic = message.topic;
+  for (const Subscription& sub :
+       subscriptions_.subscriptions(message.topic)) {
+    pending.awaiting.emplace(sub.subscriber, sub.deadline);
+  }
+  ++summary_.messages_published;
+  summary_.expected_pairs += pending.awaiting.size();
+  open_.emplace(message.id.value, std::move(pending));
+}
+
+void MetricsCollector::OnDelivered(const Message& message, NodeId subscriber,
+                                   SimTime arrival) {
+  const auto it = open_.find(message.id.value);
+  if (it == open_.end()) {
+    ++summary_.duplicate_deliveries;
+    return;
+  }
+  const auto awaiting_it = it->second.awaiting.find(subscriber);
+  if (awaiting_it == it->second.awaiting.end()) {
+    ++summary_.duplicate_deliveries;
+    return;
+  }
+  const SimDuration deadline = awaiting_it->second;
+  it->second.awaiting.erase(awaiting_it);
+  ++summary_.delivered_pairs;
+  const SimDuration delay = arrival - it->second.publish_time;
+  summary_.delay_ms_samples.push_back(delay.millis());
+  if (delay <= deadline) {
+    ++summary_.qos_pairs;
+  } else {
+    summary_.lateness_ratios.push_back(delay.RatioTo(deadline));
+  }
+  if (it->second.awaiting.empty()) open_.erase(it);
+}
+
+RunSummary MetricsCollector::Summarize(
+    std::uint64_t data_transmissions, std::uint64_t ack_transmissions,
+    std::uint64_t control_transmissions) const {
+  RunSummary out = summary_;
+  out.data_transmissions = data_transmissions;
+  out.ack_transmissions = ack_transmissions;
+  out.control_transmissions = control_transmissions;
+  return out;
+}
+
+}  // namespace dcrd

@@ -1,0 +1,92 @@
+// Metrics collection — paper Section IV-C.
+//
+//   Delivery Ratio      — delivered (message, subscriber) pairs over
+//                         published pairs, late arrivals included.
+//   QoS Delivery Ratio  — pairs delivered within the subscriber's deadline.
+//   Packets Sent / Subscriber — data transmissions (every hop, every
+//                         retransmission, every reroute) over published
+//                         pairs; ACKs excluded, matching the paper's
+//                         "R-Tree sends one packet per subscriber in a full
+//                         mesh" calibration.
+//   Lateness samples    — for deadline-missing deliveries, actual delay
+//                         divided by the deadline (the Fig. 7 CDF, x >= 1).
+//
+// Only the first arrival of a (message, subscriber) pair counts; duplicates
+// from lost ACKs or multipath are tallied separately.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "pubsub/publisher.h"
+#include "pubsub/subscriptions.h"
+
+namespace dcrd {
+
+struct RunSummary {
+  std::uint64_t expected_pairs = 0;
+  std::uint64_t delivered_pairs = 0;
+  std::uint64_t qos_pairs = 0;
+  std::uint64_t duplicate_deliveries = 0;
+  std::uint64_t data_transmissions = 0;
+  std::uint64_t ack_transmissions = 0;
+  std::uint64_t control_transmissions = 0;  // gossip updates (distributed mode)
+  std::uint64_t messages_published = 0;
+  std::vector<double> lateness_ratios;  // delay/deadline for late pairs
+  std::vector<double> delay_ms_samples;  // end-to-end delay of every pair
+
+  [[nodiscard]] double delivery_ratio() const {
+    return expected_pairs == 0
+               ? 1.0
+               : static_cast<double>(delivered_pairs) / expected_pairs;
+  }
+  [[nodiscard]] double qos_ratio() const {
+    return expected_pairs == 0
+               ? 1.0
+               : static_cast<double>(qos_pairs) / expected_pairs;
+  }
+  [[nodiscard]] double packets_per_subscriber() const {
+    return expected_pairs == 0
+               ? 0.0
+               : static_cast<double>(data_transmissions) / expected_pairs;
+  }
+
+  // Pools counts (and lateness samples) across repetitions so ratios are
+  // weighted by pair counts rather than averaging per-run ratios.
+  void Absorb(const RunSummary& other);
+};
+
+class MetricsCollector final : public DeliverySink {
+ public:
+  explicit MetricsCollector(const SubscriptionTable& subscriptions)
+      : subscriptions_(subscriptions) {}
+
+  // Engine calls this when a message enters the system.
+  void OnPublished(const Message& message);
+  void OnDelivered(const Message& message, NodeId subscriber,
+                   SimTime arrival) override;
+
+  // Snapshot with the transmission counters folded in.
+  [[nodiscard]] RunSummary Summarize(std::uint64_t data_transmissions,
+                                     std::uint64_t ack_transmissions,
+                                     std::uint64_t control_transmissions =
+                                         0) const;
+
+ private:
+  struct PendingMessage {
+    SimTime publish_time;
+    TopicId topic;
+    // Subscribers not yet delivered, with the deadline captured at publish
+    // time — the subscription table may mutate under churn afterwards.
+    std::unordered_map<NodeId, SimDuration> awaiting;
+  };
+
+  const SubscriptionTable& subscriptions_;
+  std::unordered_map<std::uint64_t, PendingMessage> open_;
+  RunSummary summary_;
+};
+
+}  // namespace dcrd

@@ -1,0 +1,65 @@
+#include "sim/report.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+namespace dcrd {
+
+namespace {
+
+// CSV-safe router token: lowercase, '-' dropped.
+std::string RouterToken(RouterKind kind) {
+  std::string token;
+  for (const char c : std::string(RouterName(kind))) {
+    if (c == '-') continue;
+    token.push_back(static_cast<char>(std::tolower(c)));
+  }
+  return token;
+}
+
+}  // namespace
+
+void WriteSweepCsv(std::ostream& os, const SweepResult& sweep) {
+  os << "x";
+  for (const RouterKind router : sweep.routers) {
+    const std::string token = RouterToken(router);
+    os << "," << token << "_delivery" << "," << token << "_qos" << ","
+       << token << "_pkts_per_sub";
+  }
+  os << "\n";
+  for (const SweepPoint& point : sweep.points) {
+    os << point.x;
+    for (const RunSummary& summary : point.per_router) {
+      os << "," << summary.delivery_ratio() << "," << summary.qos_ratio()
+         << "," << summary.packets_per_subscriber();
+    }
+    os << "\n";
+  }
+}
+
+void WriteLatenessCdfCsv(std::ostream& os, const RunSummary& summary,
+                         const std::vector<double>& grid) {
+  os << "x,cdf\n";
+  const std::vector<double> cdf = LatenessCdf(summary, grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    os << grid[i] << "," << cdf[i] << "\n";
+  }
+}
+
+std::string SaveSweepCsv(const std::string& directory,
+                         const std::string& stem, const SweepResult& sweep) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  const std::filesystem::path path =
+      std::filesystem::path(directory) / (stem + ".csv");
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return {};
+  }
+  WriteSweepCsv(file, sweep);
+  return path.string();
+}
+
+}  // namespace dcrd

@@ -1,0 +1,28 @@
+// Result serialisation: CSV files for sweeps and lateness CDFs, so figure
+// data can be re-plotted outside the terminal tables.
+//
+// Layout per sweep CSV: one row per x-value; first column is the x-label,
+// then one column per (router, metric) pair named `<router>_<metric>`.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "sim/experiment.h"
+
+namespace dcrd {
+
+// Writes delivery_ratio / qos_ratio / packets_per_subscriber columns for
+// every router in the sweep.
+void WriteSweepCsv(std::ostream& os, const SweepResult& sweep);
+
+// Writes `x,cdf` rows for the pooled lateness distribution of one summary.
+void WriteLatenessCdfCsv(std::ostream& os, const RunSummary& summary,
+                         const std::vector<double>& grid);
+
+// Convenience: WriteSweepCsv into `<directory>/<stem>.csv`. Returns the
+// path written, or an empty string (with a warning on stderr) on I/O error.
+std::string SaveSweepCsv(const std::string& directory,
+                         const std::string& stem, const SweepResult& sweep);
+
+}  // namespace dcrd

@@ -1,0 +1,30 @@
+#include "sim/scenario.h"
+
+#include <sstream>
+
+namespace dcrd {
+
+const char* RouterName(RouterKind kind) {
+  switch (kind) {
+    case RouterKind::kDcrd: return "DCRD";
+    case RouterKind::kRTree: return "R-Tree";
+    case RouterKind::kDTree: return "D-Tree";
+    case RouterKind::kOracle: return "ORACLE";
+    case RouterKind::kMultipath: return "Multipath";
+  }
+  return "?";
+}
+
+std::string ScenarioConfig::Describe() const {
+  std::ostringstream os;
+  os << RouterName(router) << " n=" << node_count << " "
+     << (topology == TopologyKind::kFullMesh
+             ? std::string("full-mesh")
+             : "degree-" + std::to_string(degree))
+     << " Pf=" << failure_probability << " Pl=" << loss_rate
+     << " m=" << max_transmissions << " qos=" << qos_factor
+     << " T=" << sim_time.seconds() << "s seed=" << seed;
+  return os.str();
+}
+
+}  // namespace dcrd

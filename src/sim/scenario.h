@@ -1,0 +1,102 @@
+// Scenario configuration (paper Section IV-A defaults).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/sim_time.h"
+#include "dcrd/dr.h"
+
+namespace dcrd {
+
+enum class TopologyKind {
+  kFullMesh,      // Fig. 2
+  kRandomDegree,  // Figs. 3-8 ("for a given link degree, we randomly choose
+                  //  the neighboring nodes")
+};
+
+enum class RouterKind { kDcrd, kRTree, kDTree, kOracle, kMultipath };
+
+const char* RouterName(RouterKind kind);
+
+struct ScenarioConfig {
+  // --- topology -----------------------------------------------------------
+  std::size_t node_count = 20;
+  TopologyKind topology = TopologyKind::kRandomDegree;
+  std::size_t degree = 8;
+  SimDuration link_delay_min = SimDuration::Millis(10);
+  SimDuration link_delay_max = SimDuration::Millis(50);
+  // When non-empty, the overlay is loaded from this edge-list file (see
+  // graph/io.h) instead of being generated; node_count / topology / degree
+  // and the delay range are then ignored.
+  std::string topology_file;
+
+  // --- failure / loss processes -------------------------------------------
+  double failure_probability = 0.0;   // Pf, stationary link-down fraction
+  SimDuration failure_epoch = SimDuration::Seconds(1);
+  // Length of a link outage in epochs (1 = the paper's one-second blips;
+  // larger values model long outages for the persistency-mode experiments).
+  int link_outage_epochs = 1;
+  // Per-link spread of the failure probability: 0 = every link fails at
+  // exactly Pf (the paper's model); h > 0 draws each link's down fraction
+  // as Pf * exp(U(-h, h)) — heterogeneous "flaky vs clean" links, the
+  // regime where reliability-aware ordering earns its keep.
+  double failure_heterogeneity = 0.0;
+  // Broker-node failure process (paper Section V future work). A down
+  // broker can neither send nor receive.
+  double node_failure_probability = 0.0;
+  int node_outage_epochs = 1;
+  double loss_rate = 1e-4;            // Pl, per transmission
+  // Per-packet link occupancy; 0 = infinite bandwidth (the paper's model).
+  SimDuration link_serialization = SimDuration::Zero();
+  // Propagation jitter fraction; 0 = the paper's fixed delays.
+  double delay_jitter = 0.0;
+
+  // --- protocol parameters --------------------------------------------------
+  RouterKind router = RouterKind::kDcrd;
+  int max_transmissions = 1;          // m
+  SimDuration ack_slack = SimDuration::Millis(1);
+  // ACK propagation as a fraction of the link delay. 0 = the paper's
+  // "senders immediately know the reception status" out-of-band model;
+  // 1 = physical in-band round trip (ablation).
+  double ack_delay_factor = 0.0;
+  bool dcrd_best_effort_fallback = true;
+  int dcrd_reroute_retry_cap = 20;
+  // Persistency mode (paper Section III); see DcrdConfig.
+  bool dcrd_persistence = false;
+  SimDuration dcrd_persistence_retry = SimDuration::Seconds(1);
+  int dcrd_persistence_max_retries = 60;
+  // Parallel routes per subscriber for the Multipath baseline (paper: 2).
+  std::size_t multipath_path_count = 2;
+  // Sending-list ordering (ablation; kTheorem1 is DCRD proper).
+  OrderingPolicy dcrd_ordering = OrderingPolicy::kTheorem1;
+  // Run the Section III-B recursion as real gossip instead of the
+  // centralized solver (control traffic counted; brief convergence window
+  // after every epoch).
+  bool dcrd_distributed = false;
+
+  // --- monitoring ------------------------------------------------------------
+  SimDuration monitor_interval = SimDuration::Seconds(300);
+  int monitor_probes = 30;
+  double monitor_ewma_weight = 0.5;
+
+  // --- workload ---------------------------------------------------------------
+  std::size_t topic_count = 10;
+  double subscriber_probability_min = 0.2;  // Ps drawn per topic
+  double subscriber_probability_max = 0.6;
+  SimDuration publish_interval = SimDuration::Seconds(1);
+  double qos_factor = 3.0;  // deadline = factor * shortest-path delay
+  // Subscription churn: at every monitoring epoch each subscription is,
+  // with this probability, replaced by a subscription from a random
+  // previously-uninterested broker (count-preserving join/leave). 0 = the
+  // paper's static subscriber population.
+  double subscription_churn = 0.0;
+
+  // --- run control --------------------------------------------------------------
+  SimDuration sim_time = SimDuration::Seconds(7200);  // paper: two hours
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] std::string Describe() const;
+};
+
+}  // namespace dcrd

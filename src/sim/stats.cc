@@ -1,0 +1,105 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace dcrd {
+
+double Quantile(std::vector<double> samples, double q) {
+  DCRD_CHECK(q >= 0.0 && q <= 1.0);
+  if (samples.empty()) return 0.0;
+  const std::size_t rank = std::min(
+      samples.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(samples.size())));
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(rank),
+                   samples.end());
+  return samples[rank];
+}
+
+double Mean(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : samples) sum += x;
+  return sum / static_cast<double>(samples.size());
+}
+
+double StdDev(const std::vector<double>& samples) {
+  if (samples.size() < 2) return 0.0;
+  const double mean = Mean(samples);
+  double sum_sq = 0.0;
+  for (const double x : samples) sum_sq += (x - mean) * (x - mean);
+  return std::sqrt(sum_sq / static_cast<double>(samples.size() - 1));
+}
+
+std::uint64_t Histogram::total() const {
+  std::uint64_t sum = underflow + overflow;
+  for (const std::uint64_t b : buckets) sum += b;
+  return sum;
+}
+
+double Histogram::CdfAt(double x) const {
+  const std::uint64_t n = total();
+  if (n == 0) return 0.0;
+  if (x < lo) return 0.0;
+  std::uint64_t below = underflow;
+  const double width = (hi - lo) / static_cast<double>(buckets.size());
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double bucket_lo = lo + width * static_cast<double>(i);
+    const double bucket_hi = bucket_lo + width;
+    if (x >= bucket_hi) {
+      below += buckets[i];
+      continue;
+    }
+    const double fraction = (x - bucket_lo) / width;
+    return (static_cast<double>(below) +
+            fraction * static_cast<double>(buckets[i])) /
+           static_cast<double>(n);
+  }
+  return static_cast<double>(n - overflow) / static_cast<double>(n);
+}
+
+std::string Histogram::Render(int bar_width) const {
+  std::ostringstream os;
+  std::uint64_t max_bucket = 1;
+  for (const std::uint64_t b : buckets) max_bucket = std::max(max_bucket, b);
+  const double width = (hi - lo) / static_cast<double>(buckets.size());
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double bucket_lo = lo + width * static_cast<double>(i);
+    const int bar = static_cast<int>(
+        static_cast<double>(buckets[i]) / static_cast<double>(max_bucket) *
+        bar_width);
+    os << "[" << bucket_lo << ", " << bucket_lo + width << ") "
+       << std::string(static_cast<std::size_t>(bar), '#') << " "
+       << buckets[i] << "\n";
+  }
+  if (underflow > 0) os << "underflow: " << underflow << "\n";
+  if (overflow > 0) os << "overflow: " << overflow << "\n";
+  return os.str();
+}
+
+Histogram MakeHistogram(const std::vector<double>& samples, double lo,
+                        double hi, std::size_t bucket_count) {
+  DCRD_CHECK(hi > lo);
+  DCRD_CHECK(bucket_count > 0);
+  Histogram histogram;
+  histogram.lo = lo;
+  histogram.hi = hi;
+  histogram.buckets.assign(bucket_count, 0);
+  const double width = (hi - lo) / static_cast<double>(bucket_count);
+  for (const double x : samples) {
+    if (x < lo) {
+      ++histogram.underflow;
+    } else if (x >= hi) {
+      ++histogram.overflow;
+    } else {
+      ++histogram.buckets[static_cast<std::size_t>((x - lo) / width)];
+    }
+  }
+  return histogram;
+}
+
+}  // namespace dcrd

@@ -1,0 +1,39 @@
+// Small descriptive-statistics toolkit used by the metrics layer and the
+// CLI: quantiles, means, and fixed-width histograms over double samples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcrd {
+
+// Empirical quantile (nearest-rank on the sorted copy); q in [0, 1].
+// Returns 0 for an empty sample set.
+double Quantile(std::vector<double> samples, double q);
+
+double Mean(const std::vector<double>& samples);
+
+// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+double StdDev(const std::vector<double>& samples);
+
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::uint64_t> buckets;  // uniform width over [lo, hi)
+  std::uint64_t underflow = 0;
+  std::uint64_t overflow = 0;
+
+  [[nodiscard]] std::uint64_t total() const;
+  // Fraction of samples at or below `x` (linear interpolation within the
+  // containing bucket).
+  [[nodiscard]] double CdfAt(double x) const;
+  // Terminal-friendly rendering: one row per bucket with a proportional
+  // bar, e.g. for dcrdsim --histogram.
+  [[nodiscard]] std::string Render(int bar_width = 40) const;
+};
+
+Histogram MakeHistogram(const std::vector<double>& samples, double lo,
+                        double hi, std::size_t bucket_count);
+
+}  // namespace dcrd

@@ -1,0 +1,86 @@
+#include "sim/workload.h"
+
+#include <numeric>
+#include <vector>
+
+#include "graph/shortest_path.h"
+
+namespace dcrd {
+
+SubscriptionTable GenerateWorkload(const Graph& graph,
+                                   const ScenarioConfig& config, Rng& rng) {
+  const std::size_t n = graph.node_count();
+  DCRD_CHECK(config.topic_count <= n)
+      << "more publishers than broker nodes";
+
+  // Distinct random publisher placements.
+  std::vector<std::uint32_t> nodes(n);
+  std::iota(nodes.begin(), nodes.end(), 0U);
+  rng.Shuffle(nodes);
+
+  SubscriptionTable table;
+  for (std::size_t t = 0; t < config.topic_count; ++t) {
+    const NodeId publisher(nodes[t]);
+    const TopicId topic = table.AddTopic(publisher);
+    const PathTree true_delays = ShortestDelayTree(graph, publisher);
+
+    // Redraw until the topic has at least one subscriber; a topic nobody
+    // hears carries no information for any metric.
+    std::vector<NodeId> chosen;
+    while (chosen.empty()) {
+      const double ps =
+          rng.NextDoubleInRange(config.subscriber_probability_min,
+                                config.subscriber_probability_max);
+      for (std::size_t v = 0; v < n; ++v) {
+        const NodeId node(static_cast<NodeId::underlying_type>(v));
+        if (node == publisher) continue;
+        if (rng.NextBernoulli(ps)) chosen.push_back(node);
+      }
+    }
+    for (NodeId subscriber : chosen) {
+      DCRD_CHECK(true_delays.Reachable(subscriber))
+          << "generator produced a disconnected overlay";
+      const SimDuration shortest =
+          true_delays.distance[subscriber.underlying()];
+      table.AddSubscription(
+          topic, subscriber,
+          SimDuration::FromMillisF(shortest.millis() * config.qos_factor));
+    }
+  }
+  return table;
+}
+
+void ApplySubscriptionChurn(const Graph& graph, const ScenarioConfig& config,
+                            Rng& rng, SubscriptionTable& table) {
+  const std::size_t n = graph.node_count();
+  for (std::size_t t = 0; t < table.topic_count(); ++t) {
+    const TopicId topic(static_cast<TopicId::underlying_type>(t));
+    const NodeId publisher = table.publisher(topic);
+    const PathTree true_delays = ShortestDelayTree(graph, publisher);
+
+    // Snapshot: mutations below must not affect this round's draws.
+    const std::vector<NodeId> current = table.SubscriberNodes(topic);
+    for (const NodeId leaver : current) {
+      if (!rng.NextBernoulli(config.subscription_churn)) continue;
+      // Joiner: a uniformly random broker currently uninterested in the
+      // topic (and not the publisher). No candidate -> the leaver stays,
+      // keeping every topic non-empty.
+      std::vector<NodeId> candidates;
+      for (std::size_t v = 0; v < n; ++v) {
+        const NodeId node(static_cast<NodeId::underlying_type>(v));
+        if (node == publisher || table.IsSubscribed(topic, node)) continue;
+        candidates.push_back(node);
+      }
+      if (candidates.empty()) continue;
+      const NodeId joiner =
+          candidates[rng.NextBounded(candidates.size())];
+      table.RemoveSubscription(topic, leaver);
+      const SimDuration shortest = true_delays.distance[joiner.underlying()];
+      table.AddSubscription(
+          topic, joiner,
+          SimDuration::FromMillisF(shortest.millis() * config.qos_factor));
+    }
+  }
+}
+
+}  // namespace dcrd

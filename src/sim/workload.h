@@ -1,0 +1,33 @@
+// Workload generation (paper Section IV-A).
+//
+// Publishers: `topic_count` publishers on randomly chosen distinct broker
+// nodes, one topic each, publishing at 1 packet/s. Subscribers: per topic a
+// probability Ps is drawn uniformly from [0.2, 0.6] and every broker node
+// (except the topic's publisher) subscribes independently with probability
+// Ps; topics that end up with zero subscribers are redrawn so every topic
+// carries traffic. Deadlines: D_PS = qos_factor times the ground-truth
+// shortest-path delay from publisher to subscriber — the paper's "three
+// times the shortest-path delay" hint, with the factor swept in Fig. 6.
+#pragma once
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "pubsub/subscriptions.h"
+#include "sim/scenario.h"
+
+namespace dcrd {
+
+// Builds the subscription table for `graph` under `config`. Deterministic
+// in `rng`.
+SubscriptionTable GenerateWorkload(const Graph& graph,
+                                   const ScenarioConfig& config, Rng& rng);
+
+// One round of count-preserving churn: each subscription is, with
+// probability `config.subscription_churn`, replaced by a subscription from
+// a random broker not currently subscribed to that topic (the joiner's
+// deadline follows the usual qos_factor rule). Called by the engine at
+// monitoring epochs, immediately before routers rebuild.
+void ApplySubscriptionChurn(const Graph& graph, const ScenarioConfig& config,
+                            Rng& rng, SubscriptionTable& table);
+
+}  // namespace dcrd

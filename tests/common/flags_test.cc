@@ -1,0 +1,76 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace dcrd {
+namespace {
+
+Flags ParseArgs(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  argv.push_back(const_cast<char*>("binary"));
+  for (auto& arg : storage) argv.push_back(arg.data());
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsForm) {
+  const Flags flags = ParseArgs({"--pf=0.06", "--nodes=20"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("pf", 0), 0.06);
+  EXPECT_EQ(flags.GetInt("nodes", 0), 20);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  const Flags flags = ParseArgs({"--seconds", "600"});
+  EXPECT_EQ(flags.GetInt("seconds", 0), 600);
+}
+
+TEST(FlagsTest, BareBoolean) {
+  const Flags flags = ParseArgs({"--paper"});
+  EXPECT_TRUE(flags.GetBool("paper", false));
+  EXPECT_FALSE(flags.GetBool("missing", false));
+}
+
+TEST(FlagsTest, ExplicitFalse) {
+  const Flags flags = ParseArgs({"--fallback=false", "--x=0", "--y=no"});
+  EXPECT_FALSE(flags.GetBool("fallback", true));
+  EXPECT_FALSE(flags.GetBool("x", true));
+  EXPECT_FALSE(flags.GetBool("y", true));
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  const Flags flags = ParseArgs({});
+  EXPECT_EQ(flags.GetInt("n", 42), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("p", 0.5), 0.5);
+  EXPECT_EQ(flags.GetString("s", "dflt"), "dflt");
+  EXPECT_FALSE(flags.Has("n"));
+}
+
+TEST(FlagsTest, BenchmarkFlagsPassThrough) {
+  const Flags flags = ParseArgs({"--benchmark_filter=BM_Run", "--pf=0.1"});
+  ASSERT_EQ(flags.passthrough().size(), 1U);
+  EXPECT_EQ(flags.passthrough()[0], "--benchmark_filter=BM_Run");
+  EXPECT_TRUE(flags.Has("pf"));
+}
+
+TEST(FlagsTest, PositionalArgumentsPassThrough) {
+  const Flags flags = ParseArgs({"positional", "--a=1"});
+  ASSERT_EQ(flags.passthrough().size(), 1U);
+  EXPECT_EQ(flags.passthrough()[0], "positional");
+}
+
+TEST(FlagsTest, SpaceFormDoesNotEatNextFlag) {
+  const Flags flags = ParseArgs({"--verbose", "--pf=0.1"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("pf", 0), 0.1);
+}
+
+TEST(FlagsTest, UnknownFlagDetection) {
+  const Flags flags = ParseArgs({"--pf=1", "--typo=2"});
+  const auto unknown = flags.UnknownFlags({"pf", "nodes"});
+  ASSERT_EQ(unknown.size(), 1U);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+}  // namespace
+}  // namespace dcrd

@@ -1,0 +1,74 @@
+#include "common/ids.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace dcrd {
+namespace {
+
+TEST(DenseIdTest, DefaultConstructedIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.underlying(), NodeId::kInvalid);
+}
+
+TEST(DenseIdTest, ExplicitValueIsValid) {
+  NodeId id(7);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.underlying(), 7U);
+}
+
+TEST(DenseIdTest, ComparisonIsByValue) {
+  EXPECT_EQ(NodeId(3), NodeId(3));
+  EXPECT_NE(NodeId(3), NodeId(4));
+  EXPECT_LT(NodeId(3), NodeId(4));
+}
+
+TEST(DenseIdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<NodeId, LinkId>);
+  static_assert(!std::is_same_v<NodeId, TopicId>);
+}
+
+TEST(DenseIdTest, StreamsWithPrefix) {
+  std::ostringstream os;
+  os << NodeId(5) << " " << LinkId(2) << " " << TopicId(0);
+  EXPECT_EQ(os.str(), "n5 l2 t0");
+}
+
+TEST(DenseIdTest, StreamsInvalidDistinctly) {
+  std::ostringstream os;
+  os << NodeId();
+  EXPECT_EQ(os.str(), "n<invalid>");
+}
+
+TEST(DenseIdTest, HashableInUnorderedContainers) {
+  std::unordered_set<NodeId> set;
+  set.insert(NodeId(1));
+  set.insert(NodeId(2));
+  set.insert(NodeId(1));
+  EXPECT_EQ(set.size(), 2U);
+  EXPECT_TRUE(set.contains(NodeId(2)));
+}
+
+TEST(MessageIdTest, DefaultIsInvalid) {
+  MessageId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_TRUE(MessageId(0).valid());
+}
+
+TEST(MessageIdTest, OrderedByValue) {
+  EXPECT_LT(MessageId(1), MessageId(2));
+  EXPECT_EQ(MessageId(9), MessageId(9));
+}
+
+TEST(MessageIdTest, Hashable) {
+  std::unordered_set<MessageId> set;
+  set.insert(MessageId(10));
+  set.insert(MessageId(10));
+  EXPECT_EQ(set.size(), 1U);
+}
+
+}  // namespace
+}  // namespace dcrd

@@ -1,0 +1,58 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace dcrd {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GlobalLogLevel()) {}
+  ~LogLevelGuard() { GlobalLogLevel() = saved_; }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelGatesOutput) {
+  LogLevelGuard guard;
+  GlobalLogLevel() = LogLevel::kWarn;
+
+  ::testing::internal::CaptureStderr();
+  DCRD_LOG(kError) << "error-visible";
+  DCRD_LOG(kDebug) << "debug-hidden";
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("error-visible"), std::string::npos);
+  EXPECT_EQ(captured.find("debug-hidden"), std::string::npos);
+}
+
+TEST(LoggingTest, DebugLevelShowsEverything) {
+  LogLevelGuard guard;
+  GlobalLogLevel() = LogLevel::kDebug;
+  ::testing::internal::CaptureStderr();
+  DCRD_LOG(kDebug) << "now-visible";
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("now-visible"), std::string::npos);
+}
+
+TEST(LoggingTest, MessagesCarryFileAndLevelTag) {
+  LogLevelGuard guard;
+  GlobalLogLevel() = LogLevel::kInfo;
+  ::testing::internal::CaptureStderr();
+  DCRD_LOG(kInfo) << "tagged";
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("[I logging_test.cc:"), std::string::npos);
+}
+
+TEST(LoggingDeathTest, CheckFailureAbortsWithExpression) {
+  EXPECT_DEATH({ DCRD_CHECK(1 == 2) << "math broke"; },
+               "CHECK failed: 1 == 2.*math broke");
+}
+
+TEST(LoggingTest, CheckPassesThrough) {
+  DCRD_CHECK(true) << "never evaluated";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dcrd

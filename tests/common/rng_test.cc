@@ -1,0 +1,129 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dcrd {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependent) {
+  Rng root(55);
+  Rng f1 = root.Fork("failures");
+  Rng f2 = Rng(55).Fork("failures");
+  EXPECT_EQ(f1(), f2());
+
+  Rng g = root.Fork("topology");
+  Rng h = root.Fork("failures");
+  EXPECT_NE(g(), h());
+}
+
+TEST(RngTest, ForkIndexYieldsDistinctStreams) {
+  Rng root(55);
+  EXPECT_NE(root.Fork("rep", 0)(), root.Fork("rep", 1)());
+}
+
+TEST(RngTest, ForkDoesNotAdvanceParent) {
+  Rng a(9), b(9);
+  (void)a.Fork("x");
+  EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoundedStaysInBound) {
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_LT(rng.NextBounded(17), 17U);
+  }
+  EXPECT_EQ(rng.NextBounded(0), 0U);
+  EXPECT_EQ(rng.NextBounded(1), 0U);
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(3);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10'000; ++i) ++seen[rng.NextBounded(10)];
+  for (int count : seen) EXPECT_GT(count, 800);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = rng.NextInRange(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.06) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.06, 0.005);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(21);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, HashLabelStable) {
+  EXPECT_EQ(HashLabel("failures"), HashLabel("failures"));
+  EXPECT_NE(HashLabel("failures"), HashLabel("topology"));
+}
+
+}  // namespace
+}  // namespace dcrd

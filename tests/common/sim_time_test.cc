@@ -1,0 +1,60 @@
+#include "common/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace dcrd {
+namespace {
+
+TEST(SimDurationTest, UnitConversions) {
+  EXPECT_EQ(SimDuration::Millis(3).micros(), 3000);
+  EXPECT_EQ(SimDuration::Seconds(2).micros(), 2'000'000);
+  EXPECT_DOUBLE_EQ(SimDuration::Micros(2500).millis(), 2.5);
+  EXPECT_DOUBLE_EQ(SimDuration::Seconds(5).seconds(), 5.0);
+}
+
+TEST(SimDurationTest, FloatingConstructionRounds) {
+  EXPECT_EQ(SimDuration::FromMillisF(1.4996).micros(), 1500);
+  EXPECT_EQ(SimDuration::FromSecondsF(0.000001).micros(), 1);
+  EXPECT_EQ(SimDuration::FromMillisF(-1.5).micros(), -1500);
+}
+
+TEST(SimDurationTest, Arithmetic) {
+  const SimDuration a = SimDuration::Millis(10);
+  const SimDuration b = SimDuration::Millis(4);
+  EXPECT_EQ((a + b).micros(), 14'000);
+  EXPECT_EQ((a - b).micros(), 6'000);
+  EXPECT_EQ((a * 3).micros(), 30'000);
+  EXPECT_EQ((3 * a).micros(), 30'000);
+  SimDuration c = a;
+  c += b;
+  c -= SimDuration::Millis(1);
+  EXPECT_EQ(c.micros(), 13'000);
+}
+
+TEST(SimDurationTest, ComparisonAndRatio) {
+  EXPECT_LT(SimDuration::Millis(1), SimDuration::Millis(2));
+  EXPECT_EQ(SimDuration::Zero(), SimDuration::Micros(0));
+  EXPECT_DOUBLE_EQ(
+      SimDuration::Millis(30).RatioTo(SimDuration::Millis(20)), 1.5);
+}
+
+TEST(SimTimeTest, AdvancesByDuration) {
+  SimTime t = SimTime::Zero();
+  t += SimDuration::Seconds(1);
+  EXPECT_EQ(t.micros(), 1'000'000);
+  const SimTime later = t + SimDuration::Millis(500);
+  EXPECT_EQ(later.micros(), 1'500'000);
+  EXPECT_EQ((later - t).micros(), 500'000);
+}
+
+TEST(SimTimeTest, Ordering) {
+  EXPECT_LT(SimTime::Zero(), SimTime::FromMicros(1));
+  EXPECT_LT(SimTime::FromMicros(5), SimTime::Max());
+}
+
+TEST(SimTimeTest, SecondsAccessor) {
+  EXPECT_DOUBLE_EQ(SimTime::FromMicros(2'500'000).seconds(), 2.5);
+}
+
+}  // namespace
+}  // namespace dcrd

@@ -1,0 +1,103 @@
+// Monte-Carlo validation of the <d,r> algebra: simulate the actual
+// "try neighbours in order, each hop an independent Bernoulli" process the
+// equations model and compare the empirical conditional delay and success
+// probability against Eq. 3 (and against Eq. 1 + Eq. 2 composition).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dcrd/dr.h"
+
+namespace dcrd {
+namespace {
+
+struct Empirical {
+  double mean_delay_us = 0.0;
+  double success_rate = 0.0;
+};
+
+// One trial of the Eq. 3 process: walk the ordered entries; entry i
+// succeeds with probability r_via and then costs the prefix sum of d_via
+// (the paper charges the full expected delay of every failed attempt plus
+// the successful one).
+Empirical SimulateOrderedProcess(const std::vector<ViaEntry>& entries,
+                                 int trials, Rng& rng) {
+  double total_delay = 0.0;
+  std::uint64_t successes = 0;
+  for (int t = 0; t < trials; ++t) {
+    double elapsed = 0.0;
+    for (const ViaEntry& entry : entries) {
+      elapsed += entry.d_via_us;
+      if (rng.NextBernoulli(entry.r_via)) {
+        total_delay += elapsed;
+        ++successes;
+        break;
+      }
+    }
+  }
+  Empirical result;
+  result.success_rate = static_cast<double>(successes) / trials;
+  result.mean_delay_us = successes == 0 ? 0.0 : total_delay / successes;
+  return result;
+}
+
+TEST(DrMonteCarloTest, CombineOrderedMatchesSimulatedProcess) {
+  Rng rng(99);
+  for (int instance = 0; instance < 10; ++instance) {
+    std::vector<ViaEntry> entries;
+    const int n = static_cast<int>(rng.NextInRange(1, 6));
+    for (int i = 0; i < n; ++i) {
+      entries.push_back(ViaEntry{NodeId(static_cast<std::uint32_t>(i)),
+                                 LinkId(static_cast<std::uint32_t>(i)),
+                                 rng.NextDoubleInRange(5'000, 50'000),
+                                 rng.NextDoubleInRange(0.2, 0.95)});
+    }
+    const DR analytic = CombineOrdered(entries);
+    const Empirical empirical =
+        SimulateOrderedProcess(entries, 300'000, rng);
+    EXPECT_NEAR(empirical.success_rate, analytic.r, 0.005)
+        << "instance " << instance;
+    EXPECT_NEAR(empirical.mean_delay_us / analytic.d_us, 1.0, 0.01)
+        << "instance " << instance;
+  }
+}
+
+TEST(DrMonteCarloTest, LiftedLinkMatchesTwoStageProcess) {
+  // Eq. 1 composed with Eq. 2: a hop with per-transmission success gamma
+  // retried up to m times, then the downstream <d_i, r_i> process.
+  Rng rng(7);
+  const double alpha_us = 12'000.0, gamma = 0.6;
+  const int m = 3;
+  const DR downstream{40'000.0, 0.8};
+
+  const LinkModel lifted =
+      MTransmissionModel(LinkModel{alpha_us, gamma}, m);
+  const ViaEntry entry =
+      LiftAcrossLink(NodeId(1), LinkId(0), lifted, downstream);
+
+  double total_delay = 0.0;
+  std::uint64_t successes = 0;
+  const int trials = 400'000;
+  for (int t = 0; t < trials; ++t) {
+    // Hop stage: k-th transmission succeeds with prob gamma.
+    int k = 0;
+    bool hop_ok = false;
+    for (k = 1; k <= m; ++k) {
+      if (rng.NextBernoulli(gamma)) {
+        hop_ok = true;
+        break;
+      }
+    }
+    if (!hop_ok) continue;
+    // Downstream stage.
+    if (!rng.NextBernoulli(downstream.r)) continue;
+    total_delay += k * alpha_us + downstream.d_us;
+    ++successes;
+  }
+  EXPECT_NEAR(static_cast<double>(successes) / trials, entry.r_via, 0.005);
+  EXPECT_NEAR((total_delay / successes) / entry.d_via_us, 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace dcrd

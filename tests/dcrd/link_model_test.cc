@@ -1,0 +1,111 @@
+#include "dcrd/link_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dcrd {
+namespace {
+
+TEST(LinkModelTest, MEqualsOneIsIdentity) {
+  const LinkModel single{25'000.0, 0.9};
+  const LinkModel lifted = MTransmissionModel(single, 1);
+  EXPECT_DOUBLE_EQ(lifted.alpha_us, 25'000.0);
+  EXPECT_DOUBLE_EQ(lifted.gamma, 0.9);
+}
+
+TEST(LinkModelTest, GammaFollowsClosedForm) {
+  // Eq. 1: gamma^(m) = 1 - (1-gamma)^m.
+  const LinkModel single{10'000.0, 0.7};
+  for (int m = 1; m <= 6; ++m) {
+    const LinkModel lifted = MTransmissionModel(single, m);
+    EXPECT_NEAR(lifted.gamma, 1.0 - std::pow(0.3, m), 1e-12) << "m=" << m;
+  }
+}
+
+TEST(LinkModelTest, AlphaMatchesDirectExpectation) {
+  // alpha^(m) = E[k * alpha | success within m] computed directly.
+  const double alpha = 20'000.0, gamma = 0.6;
+  for (int m = 1; m <= 5; ++m) {
+    double numerator = 0.0, mass = 0.0;
+    for (int k = 1; k <= m; ++k) {
+      const double pk = gamma * std::pow(1 - gamma, k - 1);
+      numerator += k * alpha * pk;
+      mass += pk;
+    }
+    const LinkModel lifted = MTransmissionModel(LinkModel{alpha, gamma}, m);
+    EXPECT_NEAR(lifted.alpha_us, numerator / mass, 1e-9) << "m=" << m;
+    EXPECT_NEAR(lifted.gamma, mass, 1e-12);
+  }
+}
+
+TEST(LinkModelTest, PerfectLinkNeverRetransmits) {
+  const LinkModel lifted = MTransmissionModel(LinkModel{15'000.0, 1.0}, 5);
+  EXPECT_DOUBLE_EQ(lifted.alpha_us, 15'000.0);
+  EXPECT_DOUBLE_EQ(lifted.gamma, 1.0);
+}
+
+TEST(LinkModelTest, DeadLinkStaysDead) {
+  const LinkModel lifted = MTransmissionModel(LinkModel{15'000.0, 0.0}, 5);
+  EXPECT_EQ(lifted.gamma, 0.0);
+  EXPECT_TRUE(std::isinf(lifted.alpha_us));
+}
+
+TEST(LinkModelTest, MoreTransmissionsMonotonic) {
+  // gamma^(m) increases with m; alpha^(m) increases too (later successes
+  // weigh in).
+  const LinkModel single{30'000.0, 0.5};
+  LinkModel previous = MTransmissionModel(single, 1);
+  for (int m = 2; m <= 8; ++m) {
+    const LinkModel current = MTransmissionModel(single, m);
+    EXPECT_GT(current.gamma, previous.gamma);
+    EXPECT_GT(current.alpha_us, previous.alpha_us);
+    previous = current;
+  }
+}
+
+TEST(LinkModelTest, AlphaBoundedByWorstCase) {
+  // alpha^(m) is a convex combination of {1..m} * alpha.
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double alpha = rng.NextDoubleInRange(1'000, 100'000);
+    const double gamma = rng.NextDoubleInRange(0.05, 1.0);
+    const int m = static_cast<int>(rng.NextInRange(1, 6));
+    const LinkModel lifted = MTransmissionModel(LinkModel{alpha, gamma}, m);
+    EXPECT_GE(lifted.alpha_us, alpha - 1e-9);
+    EXPECT_LE(lifted.alpha_us, m * alpha + 1e-9);
+    EXPECT_GE(lifted.gamma, gamma - 1e-12);
+  }
+}
+
+TEST(LinkModelTest, MonteCarloAgreement) {
+  // Simulate the retransmission process and compare the conditional mean.
+  const double alpha = 10'000.0, gamma = 0.4;
+  const int m = 3;
+  Rng rng(17);
+  double total = 0.0;
+  std::uint64_t successes = 0;
+  const int trials = 200'000;
+  for (int t = 0; t < trials; ++t) {
+    for (int k = 1; k <= m; ++k) {
+      if (rng.NextBernoulli(gamma)) {
+        total += k * alpha;
+        ++successes;
+        break;
+      }
+    }
+  }
+  const LinkModel lifted = MTransmissionModel(LinkModel{alpha, gamma}, m);
+  EXPECT_NEAR(total / successes, lifted.alpha_us, 100.0);
+  EXPECT_NEAR(static_cast<double>(successes) / trials, lifted.gamma, 0.005);
+}
+
+TEST(LinkModelDeathTest, RejectsBadArguments) {
+  EXPECT_DEATH(MTransmissionModel(LinkModel{1.0, 0.5}, 0), "");
+  EXPECT_DEATH(MTransmissionModel(LinkModel{1.0, 1.5}, 1), "");
+}
+
+}  // namespace
+}  // namespace dcrd

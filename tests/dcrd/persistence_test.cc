@@ -1,0 +1,148 @@
+// Persistency-mode tests (paper Section III: "persist all packets, and then
+// send them when the failures are recovered").
+#include <gtest/gtest.h>
+
+#include "dcrd/dcrd_router.h"
+#include "graph/topology.h"
+#include "routing/test_harness.h"
+
+namespace dcrd {
+namespace {
+
+using testing::RouterHarness;
+
+// Finds a seed where the single link 0-1 is down for the first
+// `down_seconds` seconds and up in the second after.
+std::uint64_t SeedWithInitialOutage(const Graph& /*graph*/, LinkId link,
+                                    double pf, int outage_epochs,
+                                    int down_seconds) {
+  for (std::uint64_t seed = 0; seed < 500'000; ++seed) {
+    const FailureSchedule schedule(seed, pf, SimDuration::Seconds(1),
+                                   outage_epochs);
+    bool matches = true;
+    for (int s = 0; s < down_seconds && matches; ++s) {
+      matches = !schedule.IsUp(link, SimTime::FromMicros(s * 1'000'000LL));
+    }
+    if (matches &&
+        schedule.IsUp(link, SimTime::FromMicros(down_seconds * 1'000'000LL))) {
+      return seed;
+    }
+  }
+  ADD_FAILURE() << "no seed with the requested outage found";
+  return 0;
+}
+
+struct PersistenceFixture {
+  Graph graph = Line(2, SimDuration::Millis(10));
+  LinkId link = *graph.FindEdge(NodeId(0), NodeId(1));
+};
+
+TEST(PersistenceTest, RescuesPacketAcrossLongOutage) {
+  PersistenceFixture f;
+  const std::uint64_t seed =
+      SeedWithInitialOutage(f.graph, f.link, 0.3, /*outage_epochs=*/4,
+                            /*down_seconds=*/4);
+  for (const bool persistence : {false, true}) {
+    Graph copy = f.graph;
+    RouterHarness h(std::move(copy), 0.3, 0.0, seed);
+    // Match the failure process the seed was searched for.
+    OverlayNetwork network(h.graph, h.scheduler,
+                           FailureSchedule(seed, 0.3, SimDuration::Seconds(1), 4),
+                           OverlayNetworkConfig{}, Rng(seed));
+    const TopicId topic = h.subscriptions.AddTopic(NodeId(0));
+    h.subscriptions.AddSubscription(topic, NodeId(1),
+                                    SimDuration::Millis(100));
+    DcrdConfig config;
+    config.enable_persistence = persistence;
+    RouterContext context = h.Context();
+    context.network = &network;
+    DcrdRouter router(context, config);
+    router.Rebuild(h.monitor.view());
+    const Message message = h.PublishVia(router, topic);
+    h.scheduler.Run();
+    EXPECT_EQ(h.sink.Delivered(message.id, NodeId(1)), persistence);
+    if (persistence) {
+      // Delivery happened only after the outage cleared (>= 4 s), far past
+      // the deadline — persistence trades latency for delivery.
+      EXPECT_GE(h.sink.ArrivalOf(message.id, NodeId(1)),
+                SimTime::Zero() + SimDuration::Seconds(4));
+      EXPECT_GT(router.persistence_retries(), 0U);
+      EXPECT_EQ(router.dropped_undeliverable(), 0U);
+    } else {
+      EXPECT_EQ(router.dropped_undeliverable(), 1U);
+    }
+  }
+}
+
+TEST(PersistenceTest, GivesUpAfterRetryCap) {
+  PersistenceFixture f;
+  RouterHarness h(std::move(f.graph), 1.0, 0.0);  // permanently dead link
+  const TopicId topic = h.subscriptions.AddTopic(NodeId(0));
+  h.subscriptions.AddSubscription(topic, NodeId(1), SimDuration::Millis(100));
+  DcrdConfig config;
+  config.enable_persistence = true;
+  config.persistence_max_retries = 5;
+  DcrdRouter router(h.Context(), config);
+  router.Rebuild(h.monitor.view());
+  const Message message = h.PublishVia(router, topic);
+  h.scheduler.Run();
+  EXPECT_FALSE(h.sink.Delivered(message.id, NodeId(1)));
+  EXPECT_EQ(router.persistence_retries(), 5U);
+  EXPECT_EQ(router.dropped_undeliverable(), 1U);
+  EXPECT_TRUE(h.scheduler.empty());
+}
+
+TEST(PersistenceTest, OffByDefaultDropsImmediately) {
+  PersistenceFixture f;
+  RouterHarness h(std::move(f.graph), 1.0, 0.0);
+  const TopicId topic = h.subscriptions.AddTopic(NodeId(0));
+  h.subscriptions.AddSubscription(topic, NodeId(1), SimDuration::Millis(100));
+  DcrdRouter router(h.Context());
+  router.Rebuild(h.monitor.view());
+  h.PublishVia(router, topic);
+  h.scheduler.Run();
+  EXPECT_EQ(router.persisted_packets(), 0U);
+  EXPECT_EQ(router.persistence_retries(), 0U);
+  EXPECT_EQ(router.dropped_undeliverable(), 1U);
+}
+
+TEST(PersistenceTest, RetryGenerationBypassesDuplicateSuppression) {
+  // Two-hop line: node 1's processed-set has seen the message from the
+  // failed first attempt; the persisted retry must still get through.
+  Graph graph = Line(3, SimDuration::Millis(10));
+  const LinkId link12 = *graph.FindEdge(NodeId(1), NodeId(2));
+  // Link 1-2 down for the first 2 seconds, link 0-1 always up.
+  const LinkId link01 = *graph.FindEdge(NodeId(0), NodeId(1));
+  std::uint64_t seed = 0;
+  for (; seed < 500'000; ++seed) {
+    const FailureSchedule schedule(seed, 0.25, SimDuration::Seconds(1), 2);
+    bool ok = true;
+    for (int s = 0; s < 2 && ok; ++s) {
+      const SimTime t = SimTime::FromMicros(s * 1'000'000LL);
+      ok = !schedule.IsUp(link12, t) && schedule.IsUp(link01, t);
+    }
+    ok = ok && schedule.IsUp(link12, SimTime::FromMicros(2'000'000)) &&
+         schedule.IsUp(link01, SimTime::FromMicros(2'000'000));
+    if (ok) break;
+  }
+  ASSERT_LT(seed, 500'000U);
+
+  RouterHarness h(std::move(graph), 0.25, 0.0, seed);
+  OverlayNetwork network(h.graph, h.scheduler,
+                         FailureSchedule(seed, 0.25, SimDuration::Seconds(1), 2),
+                         OverlayNetworkConfig{}, Rng(seed));
+  const TopicId topic = h.subscriptions.AddTopic(NodeId(0));
+  h.subscriptions.AddSubscription(topic, NodeId(2), SimDuration::Millis(100));
+  DcrdConfig config;
+  config.enable_persistence = true;
+  RouterContext context = h.Context();
+  context.network = &network;
+  DcrdRouter router(context, config);
+  router.Rebuild(h.monitor.view());
+  const Message message = h.PublishVia(router, topic);
+  h.scheduler.Run();
+  EXPECT_TRUE(h.sink.Delivered(message.id, NodeId(2)));
+}
+
+}  // namespace
+}  // namespace dcrd

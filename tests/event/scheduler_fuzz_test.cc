@@ -1,0 +1,141 @@
+// Randomized differential test: the heap-based Scheduler against a naive
+// reference implementation (sorted vector, linear scans). Any divergence in
+// execution order, clock values, or cancellation results is a bug in the
+// production scheduler.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "event/scheduler.h"
+
+namespace dcrd {
+namespace {
+
+// Reference model: O(n) everything, obviously correct.
+class ReferenceScheduler {
+ public:
+  std::uint64_t ScheduleAt(SimTime at, int payload) {
+    entries_.push_back(Entry{at, next_seq_, payload, false});
+    return next_seq_++;
+  }
+  bool Cancel(std::uint64_t seq) {
+    for (Entry& entry : entries_) {
+      if (entry.seq == seq && !entry.cancelled && !entry.executed) {
+        entry.cancelled = true;
+        return true;
+      }
+    }
+    return false;
+  }
+  // Executes everything, returning payloads in execution order.
+  std::vector<int> Run(SimTime& now) {
+    std::vector<int> order;
+    while (true) {
+      Entry* best = nullptr;
+      for (Entry& entry : entries_) {
+        if (entry.cancelled || entry.executed) continue;
+        if (best == nullptr || entry.at < best->at ||
+            (entry.at == best->at && entry.seq < best->seq)) {
+          best = &entry;
+        }
+      }
+      if (best == nullptr) break;
+      best->executed = true;
+      now = best->at;
+      order.push_back(best->payload);
+    }
+    return order;
+  }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    int payload;
+    bool cancelled = false;
+    bool executed = false;
+  };
+  std::vector<Entry> entries_;
+  std::uint64_t next_seq_ = 0;
+};
+
+class SchedulerFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerFuzzTest, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  Scheduler scheduler;
+  ReferenceScheduler reference;
+
+  std::vector<int> production_order;
+  std::vector<EventHandle> handles;
+  std::vector<std::uint64_t> reference_handles;
+
+  const int operations = 400;
+  for (int op = 0; op < operations; ++op) {
+    if (!handles.empty() && rng.NextBernoulli(0.3)) {
+      // Cancel a random prior event; results must agree.
+      const std::size_t pick = rng.NextBounded(handles.size());
+      EXPECT_EQ(scheduler.Cancel(handles[pick]),
+                reference.Cancel(reference_handles[pick]));
+    } else {
+      const int payload = op;
+      const SimTime at =
+          SimTime::FromMicros(rng.NextInRange(0, 10'000));
+      handles.push_back(scheduler.ScheduleAt(
+          at, [payload, &production_order] {
+            production_order.push_back(payload);
+          }));
+      reference_handles.push_back(reference.ScheduleAt(at, payload));
+    }
+  }
+
+  scheduler.Run();
+  SimTime reference_now = SimTime::Zero();
+  const std::vector<int> reference_order = reference.Run(reference_now);
+
+  EXPECT_EQ(production_order, reference_order);
+  if (!reference_order.empty()) {
+    EXPECT_EQ(scheduler.now(), reference_now);
+  }
+  EXPECT_TRUE(scheduler.empty());
+}
+
+TEST_P(SchedulerFuzzTest, InterleavedRunAndScheduleMatches) {
+  // Events scheduled from within events, plus cancellations of not-yet-run
+  // events from within events.
+  Rng rng(GetParam() + 1000);
+  Scheduler scheduler;
+  std::vector<int> order;
+  int spawned = 0;
+
+  std::function<void(int)> spawn = [&](int depth) {
+    order.push_back(depth);
+    if (depth < 3 && spawned < 500) {
+      const int children = static_cast<int>(rng.NextInRange(0, 3));
+      for (int c = 0; c < children; ++c) {
+        ++spawned;
+        scheduler.ScheduleAfter(
+            SimDuration::Micros(rng.NextInRange(1, 50)),
+            [&spawn, depth] { spawn(depth + 1); });
+      }
+    }
+  };
+  for (int i = 0; i < 10; ++i) {
+    ++spawned;
+    scheduler.ScheduleAfter(SimDuration::Micros(rng.NextInRange(1, 50)),
+                            [&spawn] { spawn(0); });
+  }
+  scheduler.Run();
+  EXPECT_EQ(order.size(), static_cast<std::size_t>(spawned));
+  EXPECT_TRUE(scheduler.empty());
+  // The clock never runs backwards and ends at the last event.
+  EXPECT_GE(scheduler.now(), SimTime::Zero());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dcrd

@@ -1,0 +1,159 @@
+#include "event/scheduler.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dcrd {
+namespace {
+
+TEST(SchedulerTest, StartsAtZeroAndEmpty) {
+  Scheduler scheduler;
+  EXPECT_EQ(scheduler.now(), SimTime::Zero());
+  EXPECT_TRUE(scheduler.empty());
+  EXPECT_FALSE(scheduler.Step());
+}
+
+TEST(SchedulerTest, ExecutesInTimeOrder) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  scheduler.ScheduleAt(SimTime::FromMicros(30), [&] { order.push_back(3); });
+  scheduler.ScheduleAt(SimTime::FromMicros(10), [&] { order.push_back(1); });
+  scheduler.ScheduleAt(SimTime::FromMicros(20), [&] { order.push_back(2); });
+  scheduler.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(scheduler.now(), SimTime::FromMicros(30));
+}
+
+TEST(SchedulerTest, TiesBreakInSchedulingOrder) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    scheduler.ScheduleAt(SimTime::FromMicros(100),
+                         [&order, i] { order.push_back(i); });
+  }
+  scheduler.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulerTest, ClockAdvancesDuringExecution) {
+  Scheduler scheduler;
+  SimTime observed;
+  scheduler.ScheduleAfter(SimDuration::Millis(5),
+                          [&] { observed = scheduler.now(); });
+  scheduler.Run();
+  EXPECT_EQ(observed, SimTime::FromMicros(5000));
+}
+
+TEST(SchedulerTest, EventsMayScheduleMoreEvents) {
+  Scheduler scheduler;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 10) scheduler.ScheduleAfter(SimDuration::Millis(1), chain);
+  };
+  scheduler.ScheduleAfter(SimDuration::Millis(1), chain);
+  scheduler.Run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(scheduler.now(), SimTime::FromMicros(10'000));
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler scheduler;
+  bool ran = false;
+  const EventHandle handle =
+      scheduler.ScheduleAfter(SimDuration::Millis(1), [&] { ran = true; });
+  EXPECT_TRUE(scheduler.Cancel(handle));
+  scheduler.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SchedulerTest, CancelTwiceReturnsFalse) {
+  Scheduler scheduler;
+  const EventHandle handle =
+      scheduler.ScheduleAfter(SimDuration::Millis(1), [] {});
+  EXPECT_TRUE(scheduler.Cancel(handle));
+  EXPECT_FALSE(scheduler.Cancel(handle));
+}
+
+TEST(SchedulerTest, CancelAfterExecutionReturnsFalse) {
+  Scheduler scheduler;
+  const EventHandle handle =
+      scheduler.ScheduleAfter(SimDuration::Millis(1), [] {});
+  scheduler.Run();
+  EXPECT_FALSE(scheduler.Cancel(handle));
+}
+
+TEST(SchedulerTest, DefaultHandleCancelIsNoop) {
+  Scheduler scheduler;
+  EventHandle handle;
+  EXPECT_FALSE(handle.valid());
+  EXPECT_FALSE(scheduler.Cancel(handle));
+}
+
+TEST(SchedulerTest, PendingCountExcludesTombstones) {
+  Scheduler scheduler;
+  const EventHandle a = scheduler.ScheduleAfter(SimDuration::Millis(1), [] {});
+  scheduler.ScheduleAfter(SimDuration::Millis(2), [] {});
+  EXPECT_EQ(scheduler.pending_count(), 2U);
+  scheduler.Cancel(a);
+  EXPECT_EQ(scheduler.pending_count(), 1U);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtDeadline) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  scheduler.ScheduleAt(SimTime::FromMicros(10), [&] { order.push_back(1); });
+  scheduler.ScheduleAt(SimTime::FromMicros(20), [&] { order.push_back(2); });
+  scheduler.ScheduleAt(SimTime::FromMicros(30), [&] { order.push_back(3); });
+  scheduler.RunUntil(SimTime::FromMicros(20));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(scheduler.now(), SimTime::FromMicros(20));
+  EXPECT_EQ(scheduler.pending_count(), 1U);
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClockPastLastEvent) {
+  Scheduler scheduler;
+  scheduler.ScheduleAt(SimTime::FromMicros(5), [] {});
+  scheduler.RunUntil(SimTime::FromMicros(1000));
+  EXPECT_EQ(scheduler.now(), SimTime::FromMicros(1000));
+}
+
+TEST(SchedulerTest, RunUntilIncludesDeadlineEvents) {
+  Scheduler scheduler;
+  bool ran = false;
+  scheduler.ScheduleAt(SimTime::FromMicros(100), [&] { ran = true; });
+  scheduler.RunUntil(SimTime::FromMicros(100));
+  EXPECT_TRUE(ran);
+}
+
+TEST(SchedulerTest, CountsExecutedEvents) {
+  Scheduler scheduler;
+  for (int i = 0; i < 7; ++i) {
+    scheduler.ScheduleAfter(SimDuration::Micros(i + 1), [] {});
+  }
+  EXPECT_EQ(scheduler.Run(), 7U);
+  EXPECT_EQ(scheduler.events_executed(), 7U);
+}
+
+TEST(SchedulerTest, CancelFromWithinAnEvent) {
+  Scheduler scheduler;
+  bool second_ran = false;
+  EventHandle second;
+  scheduler.ScheduleAt(SimTime::FromMicros(1),
+                       [&] { scheduler.Cancel(second); });
+  second = scheduler.ScheduleAt(SimTime::FromMicros(2),
+                                [&] { second_ran = true; });
+  scheduler.Run();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(SchedulerDeathTest, SchedulingInThePastAborts) {
+  Scheduler scheduler;
+  scheduler.ScheduleAt(SimTime::FromMicros(10), [] {});
+  scheduler.Run();
+  EXPECT_DEATH(scheduler.ScheduleAt(SimTime::FromMicros(5), [] {}),
+               "scheduling into the past");
+}
+
+}  // namespace
+}  // namespace dcrd

@@ -1,0 +1,89 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace dcrd {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph graph(4);
+  EXPECT_EQ(graph.node_count(), 4U);
+  EXPECT_EQ(graph.edge_count(), 0U);
+  EXPECT_TRUE(graph.neighbors(NodeId(0)).empty());
+}
+
+TEST(GraphTest, AddEdgePopulatesBothAdjacencies) {
+  Graph graph(3);
+  const LinkId link = graph.AddEdge(NodeId(0), NodeId(2), SimDuration::Millis(10));
+  ASSERT_EQ(graph.neighbors(NodeId(0)).size(), 1U);
+  ASSERT_EQ(graph.neighbors(NodeId(2)).size(), 1U);
+  EXPECT_EQ(graph.neighbors(NodeId(0))[0].peer, NodeId(2));
+  EXPECT_EQ(graph.neighbors(NodeId(0))[0].link, link);
+  EXPECT_EQ(graph.neighbors(NodeId(2))[0].peer, NodeId(0));
+  EXPECT_TRUE(graph.neighbors(NodeId(1)).empty());
+}
+
+TEST(GraphTest, EdgeLookup) {
+  Graph graph(3);
+  const LinkId link = graph.AddEdge(NodeId(0), NodeId(1), SimDuration::Millis(5));
+  EXPECT_EQ(graph.FindEdge(NodeId(0), NodeId(1)), link);
+  EXPECT_EQ(graph.FindEdge(NodeId(1), NodeId(0)), link);
+  EXPECT_FALSE(graph.FindEdge(NodeId(0), NodeId(2)).has_value());
+  EXPECT_TRUE(graph.HasEdge(NodeId(1), NodeId(0)));
+}
+
+TEST(GraphTest, EdgeSpecOtherEnd) {
+  Graph graph(2);
+  const LinkId link = graph.AddEdge(NodeId(0), NodeId(1), SimDuration::Millis(5));
+  const EdgeSpec& edge = graph.edge(link);
+  EXPECT_EQ(edge.OtherEnd(NodeId(0)), NodeId(1));
+  EXPECT_EQ(edge.OtherEnd(NodeId(1)), NodeId(0));
+  EXPECT_EQ(edge.delay, SimDuration::Millis(5));
+}
+
+TEST(GraphTest, DegreeCounts) {
+  Graph graph(4);
+  graph.AddEdge(NodeId(0), NodeId(1), SimDuration::Millis(1));
+  graph.AddEdge(NodeId(0), NodeId(2), SimDuration::Millis(1));
+  graph.AddEdge(NodeId(0), NodeId(3), SimDuration::Millis(1));
+  EXPECT_EQ(graph.degree(NodeId(0)), 3U);
+  EXPECT_EQ(graph.degree(NodeId(1)), 1U);
+}
+
+TEST(GraphTest, AllNodesEnumerates) {
+  Graph graph(3);
+  const auto nodes = graph.AllNodes();
+  ASSERT_EQ(nodes.size(), 3U);
+  EXPECT_EQ(nodes[0], NodeId(0));
+  EXPECT_EQ(nodes[2], NodeId(2));
+}
+
+TEST(GraphTest, LinkIdsAreDense) {
+  Graph graph(4);
+  EXPECT_EQ(graph.AddEdge(NodeId(0), NodeId(1), SimDuration::Millis(1)),
+            LinkId(0));
+  EXPECT_EQ(graph.AddEdge(NodeId(1), NodeId(2), SimDuration::Millis(1)),
+            LinkId(1));
+  EXPECT_EQ(graph.edge_count(), 2U);
+}
+
+TEST(GraphDeathTest, RejectsSelfLoop) {
+  Graph graph(2);
+  EXPECT_DEATH(graph.AddEdge(NodeId(1), NodeId(1), SimDuration::Millis(1)),
+               "self-loop");
+}
+
+TEST(GraphDeathTest, RejectsParallelEdge) {
+  Graph graph(2);
+  graph.AddEdge(NodeId(0), NodeId(1), SimDuration::Millis(1));
+  EXPECT_DEATH(graph.AddEdge(NodeId(1), NodeId(0), SimDuration::Millis(2)),
+               "parallel edge");
+}
+
+TEST(GraphDeathTest, RejectsNonPositiveDelay) {
+  Graph graph(2);
+  EXPECT_DEATH(graph.AddEdge(NodeId(0), NodeId(1), SimDuration::Zero()), "");
+}
+
+}  // namespace
+}  // namespace dcrd

@@ -1,0 +1,93 @@
+#include "graph/io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/topology.h"
+
+namespace dcrd {
+namespace {
+
+TEST(GraphIoTest, RoundTripPreservesEverything) {
+  Rng rng(4);
+  const Graph original = RandomConnected(15, 5, rng);
+  std::stringstream buffer;
+  WriteEdgeList(buffer, original);
+  std::string error;
+  const auto restored = ReadEdgeList(buffer, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+  ASSERT_EQ(restored->node_count(), original.node_count());
+  ASSERT_EQ(restored->edge_count(), original.edge_count());
+  for (std::size_t e = 0; e < original.edge_count(); ++e) {
+    const LinkId link(static_cast<LinkId::underlying_type>(e));
+    EXPECT_EQ(restored->edge(link).a, original.edge(link).a);
+    EXPECT_EQ(restored->edge(link).b, original.edge(link).b);
+    EXPECT_EQ(restored->edge(link).delay, original.edge(link).delay);
+  }
+}
+
+TEST(GraphIoTest, ParsesCommentsAndBlankLines) {
+  std::istringstream input(
+      "# a comment\n"
+      "\n"
+      "3\n"
+      "# another\n"
+      "0 1 15000\n"
+      "1 2 20000\n");
+  const auto graph = ReadEdgeList(input);
+  ASSERT_TRUE(graph.has_value());
+  EXPECT_EQ(graph->node_count(), 3U);
+  EXPECT_EQ(graph->edge_count(), 2U);
+  EXPECT_EQ(graph->edge(LinkId(1)).delay, SimDuration::Millis(20));
+}
+
+TEST(GraphIoTest, RejectsMalformedInput) {
+  const struct {
+    const char* input;
+    const char* expected_error;
+  } cases[] = {
+      {"", "empty input"},
+      {"0\n", "positive node count"},
+      {"abc\n", "positive node count"},
+      {"3\n0 1\n", "expected `a b delay_us`"},
+      {"3\n0 5 1000\n", "endpoint out of range"},
+      {"3\n1 1 1000\n", "self-loop"},
+      {"3\n0 1 0\n", "non-positive delay"},
+      {"3\n0 1 1000\n1 0 2000\n", "duplicate edge"},
+  };
+  for (const auto& test_case : cases) {
+    std::istringstream input(test_case.input);
+    std::string error;
+    EXPECT_FALSE(ReadEdgeList(input, &error).has_value())
+        << test_case.input;
+    EXPECT_NE(error.find(test_case.expected_error), std::string::npos)
+        << "got: " << error;
+  }
+}
+
+TEST(GraphIoTest, ErrorMentionsLineNumber) {
+  std::istringstream input("3\n0 1 1000\n0 9 1000\n");
+  std::string error;
+  ASSERT_FALSE(ReadEdgeList(input, &error).has_value());
+  EXPECT_NE(error.find("line 3"), std::string::npos);
+}
+
+TEST(GraphIoTest, DotOutputHasNodesAndLabeledEdges) {
+  Graph graph(2);
+  graph.AddEdge(NodeId(0), NodeId(1), SimDuration::Millis(25));
+  const std::string dot = ToDot(graph);
+  EXPECT_NE(dot.find("graph overlay {"), std::string::npos);
+  EXPECT_NE(dot.find("n0;"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("25ms"), std::string::npos);
+}
+
+TEST(GraphIoTest, NullErrorPointerIsSafe) {
+  std::istringstream input("bogus\n");
+  EXPECT_FALSE(ReadEdgeList(input, nullptr).has_value());
+}
+
+}  // namespace
+}  // namespace dcrd

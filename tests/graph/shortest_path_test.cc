@@ -1,0 +1,198 @@
+#include "graph/shortest_path.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/topology.h"
+
+namespace dcrd {
+namespace {
+
+// Diamond: 0-1 (10ms), 0-2 (1ms), 2-1 (2ms), 1-3 (1ms).
+// Shortest delay 0->1 is via 2 (3ms); shortest hops 0->1 is direct.
+Graph Diamond() {
+  Graph graph(4);
+  graph.AddEdge(NodeId(0), NodeId(1), SimDuration::Millis(10));
+  graph.AddEdge(NodeId(0), NodeId(2), SimDuration::Millis(1));
+  graph.AddEdge(NodeId(2), NodeId(1), SimDuration::Millis(2));
+  graph.AddEdge(NodeId(1), NodeId(3), SimDuration::Millis(1));
+  return graph;
+}
+
+TEST(ShortestDelayTreeTest, PrefersLowerDelayOverFewerHops) {
+  const Graph graph = Diamond();
+  const PathTree tree = ShortestDelayTree(graph, NodeId(0));
+  EXPECT_EQ(tree.distance[1], SimDuration::Millis(3));
+  EXPECT_EQ(tree.PathTo(NodeId(1)),
+            (std::vector<NodeId>{NodeId(0), NodeId(2), NodeId(1)}));
+  EXPECT_EQ(tree.distance[3], SimDuration::Millis(4));
+  EXPECT_EQ(tree.hops[1], 2U);
+}
+
+TEST(ShortestHopTreeTest, PrefersFewerHops) {
+  const Graph graph = Diamond();
+  const PathTree tree = ShortestHopTree(graph, NodeId(0));
+  EXPECT_EQ(tree.PathTo(NodeId(1)),
+            (std::vector<NodeId>{NodeId(0), NodeId(1)}));
+  EXPECT_EQ(tree.hops[1], 1U);
+  EXPECT_EQ(tree.distance[1], SimDuration::Millis(10));
+}
+
+TEST(ShortestHopTreeTest, BreaksHopTiesByDelay) {
+  // Two 2-hop routes 0->3: via 1 (3ms) and via 2 (2ms).
+  Graph graph(4);
+  graph.AddEdge(NodeId(0), NodeId(1), SimDuration::Millis(1));
+  graph.AddEdge(NodeId(1), NodeId(3), SimDuration::Millis(2));
+  graph.AddEdge(NodeId(0), NodeId(2), SimDuration::Millis(1));
+  graph.AddEdge(NodeId(2), NodeId(3), SimDuration::Millis(1));
+  const PathTree tree = ShortestHopTree(graph, NodeId(0));
+  EXPECT_EQ(tree.PathTo(NodeId(3)),
+            (std::vector<NodeId>{NodeId(0), NodeId(2), NodeId(3)}));
+}
+
+TEST(PathTreeTest, SourceProperties) {
+  const Graph graph = Diamond();
+  const PathTree tree = ShortestDelayTree(graph, NodeId(0));
+  EXPECT_EQ(tree.distance[0], SimDuration::Zero());
+  EXPECT_EQ(tree.PathTo(NodeId(0)), (std::vector<NodeId>{NodeId(0)}));
+  EXPECT_TRUE(tree.LinksTo(NodeId(0)).empty());
+  EXPECT_FALSE(tree.parent[0].valid());
+}
+
+TEST(PathTreeTest, UnreachableNode) {
+  Graph graph(3);
+  graph.AddEdge(NodeId(0), NodeId(1), SimDuration::Millis(1));
+  const PathTree tree = ShortestDelayTree(graph, NodeId(0));
+  EXPECT_FALSE(tree.Reachable(NodeId(2)));
+  EXPECT_TRUE(tree.PathTo(NodeId(2)).empty());
+  EXPECT_EQ(tree.distance[2], SimDuration::Max());
+}
+
+TEST(PathTreeTest, LinksToMatchesPathTo) {
+  const Graph graph = Diamond();
+  const PathTree tree = ShortestDelayTree(graph, NodeId(0));
+  const auto nodes = tree.PathTo(NodeId(3));
+  const auto links = tree.LinksTo(NodeId(3));
+  ASSERT_EQ(links.size(), nodes.size() - 1);
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const EdgeSpec& edge = graph.edge(links[i]);
+    EXPECT_TRUE((edge.a == nodes[i] && edge.b == nodes[i + 1]) ||
+                (edge.b == nodes[i] && edge.a == nodes[i + 1]));
+  }
+}
+
+TEST(ShortestPathTest, DelayOverrideChangesRouting) {
+  const Graph graph = Diamond();
+  // Pretend the 0-2 link is slow: direct 0-1 becomes best.
+  const LinkDelayFn slow02 = [&graph](LinkId link) {
+    const EdgeSpec& edge = graph.edge(link);
+    if ((edge.a == NodeId(0) && edge.b == NodeId(2)) ||
+        (edge.a == NodeId(2) && edge.b == NodeId(0))) {
+      return SimDuration::Millis(100);
+    }
+    return edge.delay;
+  };
+  const PathTree tree = ShortestDelayTree(graph, NodeId(0), slow02);
+  EXPECT_EQ(tree.PathTo(NodeId(1)),
+            (std::vector<NodeId>{NodeId(0), NodeId(1)}));
+}
+
+TEST(ShortestPathTest, LinkFilterExcludesEdges) {
+  const Graph graph = Diamond();
+  const auto link02 = graph.FindEdge(NodeId(0), NodeId(2));
+  const LinkFilterFn admit = [&](LinkId link) { return link != *link02; };
+  const PathTree tree = ShortestDelayTree(graph, NodeId(0), nullptr, admit);
+  EXPECT_EQ(tree.PathTo(NodeId(1)),
+            (std::vector<NodeId>{NodeId(0), NodeId(1)}));
+  EXPECT_EQ(tree.PathTo(NodeId(2)),
+            (std::vector<NodeId>{NodeId(0), NodeId(1), NodeId(2)}));
+}
+
+TEST(ShortestPathTest, MatchesBruteForceOnRandomGraphs) {
+  // Floyd–Warshall cross-check on random overlays.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    const Graph graph = RandomConnected(12, 4, rng);
+    const std::size_t n = graph.node_count();
+    std::vector<std::vector<std::int64_t>> dist(
+        n, std::vector<std::int64_t>(n, INT64_MAX / 4));
+    for (std::size_t i = 0; i < n; ++i) dist[i][i] = 0;
+    for (const EdgeSpec& edge : graph.edges()) {
+      const auto a = edge.a.underlying(), b = edge.b.underlying();
+      dist[a][b] = std::min(dist[a][b], edge.delay.micros());
+      dist[b][a] = dist[a][b];
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          dist[i][j] = std::min(dist[i][j], dist[i][k] + dist[k][j]);
+        }
+      }
+    }
+    const PathTree tree = ShortestDelayTree(graph, NodeId(0));
+    for (std::size_t v = 0; v < n; ++v) {
+      EXPECT_EQ(tree.distance[v].micros(), dist[0][v])
+          << "seed " << seed << " node " << v;
+    }
+  }
+}
+
+TEST(TimeAwareShortestPathTest, NoFailuresMatchesPlainDijkstra) {
+  const Graph graph = Diamond();
+  const auto always_up = [](LinkId, SimTime) { return true; };
+  const auto path = TimeAwareShortestPath(graph, NodeId(0), NodeId(3),
+                                          SimTime::Zero(), always_up);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->nodes,
+            (std::vector<NodeId>{NodeId(0), NodeId(2), NodeId(1), NodeId(3)}));
+  EXPECT_EQ(path->arrival, SimTime::Zero() + SimDuration::Millis(4));
+}
+
+TEST(TimeAwareShortestPathTest, AvoidsLinkFailedAtEntryTime) {
+  const Graph graph = Diamond();
+  const auto link02 = *graph.FindEdge(NodeId(0), NodeId(2));
+  // 0-2 is down exactly at departure: the plan must go direct.
+  const auto up_at = [&](LinkId link, SimTime t) {
+    return !(link == link02 && t < SimTime::FromMicros(500));
+  };
+  const auto path = TimeAwareShortestPath(graph, NodeId(0), NodeId(1),
+                                          SimTime::Zero(), up_at);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->nodes, (std::vector<NodeId>{NodeId(0), NodeId(1)}));
+}
+
+TEST(TimeAwareShortestPathTest, AvoidsLinkThatWillFailMidFlight) {
+  // Path 0-2-1: link 2-1 would be entered at t=1ms; fail it then.
+  const Graph graph = Diamond();
+  const auto link21 = *graph.FindEdge(NodeId(2), NodeId(1));
+  const auto up_at = [&](LinkId link, SimTime t) {
+    return !(link == link21 && t >= SimTime::FromMicros(900) &&
+             t <= SimTime::FromMicros(1100));
+  };
+  const auto path = TimeAwareShortestPath(graph, NodeId(0), NodeId(1),
+                                          SimTime::Zero(), up_at);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->nodes, (std::vector<NodeId>{NodeId(0), NodeId(1)}));
+}
+
+TEST(TimeAwareShortestPathTest, ReturnsNulloptWhenCut) {
+  Graph graph(2);
+  graph.AddEdge(NodeId(0), NodeId(1), SimDuration::Millis(1));
+  const auto never_up = [](LinkId, SimTime) { return false; };
+  EXPECT_FALSE(TimeAwareShortestPath(graph, NodeId(0), NodeId(1),
+                                     SimTime::Zero(), never_up)
+                   .has_value());
+}
+
+TEST(TimeAwareShortestPathTest, DepartureTimeShiftsArrival) {
+  const Graph graph = Diamond();
+  const auto always_up = [](LinkId, SimTime) { return true; };
+  const SimTime depart = SimTime::FromMicros(5'000'000);
+  const auto path = TimeAwareShortestPath(graph, NodeId(0), NodeId(3),
+                                          depart, always_up);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->arrival, depart + SimDuration::Millis(4));
+}
+
+}  // namespace
+}  // namespace dcrd

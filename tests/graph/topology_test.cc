@@ -1,0 +1,155 @@
+#include "graph/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+
+namespace dcrd {
+namespace {
+
+TEST(FullMeshTest, EveryPairConnected) {
+  Rng rng(1);
+  const Graph graph = FullMesh(8, rng);
+  EXPECT_EQ(graph.edge_count(), 8U * 7U / 2U);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(graph.degree(NodeId(static_cast<NodeId::underlying_type>(i))),
+              7U);
+  }
+  EXPECT_TRUE(IsConnected(graph));
+}
+
+TEST(FullMeshTest, DelaysWithinPaperRange) {
+  Rng rng(2);
+  const Graph graph = FullMesh(20, rng);
+  for (const EdgeSpec& edge : graph.edges()) {
+    EXPECT_GE(edge.delay, SimDuration::Millis(10));
+    EXPECT_LE(edge.delay, SimDuration::Millis(50));
+  }
+}
+
+TEST(FullMeshTest, DelaysVary) {
+  Rng rng(3);
+  const Graph graph = FullMesh(20, rng);
+  SimDuration min = SimDuration::Max(), max = SimDuration::Zero();
+  for (const EdgeSpec& edge : graph.edges()) {
+    min = std::min(min, edge.delay);
+    max = std::max(max, edge.delay);
+  }
+  EXPECT_LT(min + SimDuration::Millis(5), max);
+}
+
+TEST(RandomConnectedTest, ConnectedAtEveryDegree) {
+  for (std::size_t degree = 2; degree <= 10; ++degree) {
+    Rng rng(degree);
+    const Graph graph = RandomConnected(20, degree, rng);
+    EXPECT_TRUE(IsConnected(graph)) << "degree " << degree;
+  }
+}
+
+TEST(RandomConnectedTest, DegreeBounds) {
+  Rng rng(9);
+  const Graph graph = RandomConnected(20, 5, rng);
+  std::size_t at_target = 0;
+  for (std::size_t v = 0; v < 20; ++v) {
+    const std::size_t degree =
+        graph.degree(NodeId(static_cast<NodeId::underlying_type>(v)));
+    EXPECT_GE(degree, 2U);
+    EXPECT_LE(degree, 5U);
+    at_target += degree == 5 ? 1 : 0;
+  }
+  // The greedy augmentation leaves at most a small residue below target.
+  EXPECT_GE(at_target, 16U);
+}
+
+TEST(RandomConnectedTest, DeterministicForSeed) {
+  Rng rng_a(42), rng_b(42);
+  const Graph a = RandomConnected(15, 4, rng_a);
+  const Graph b = RandomConnected(15, 4, rng_b);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (std::size_t e = 0; e < a.edge_count(); ++e) {
+    const LinkId link(static_cast<LinkId::underlying_type>(e));
+    EXPECT_EQ(a.edge(link).a, b.edge(link).a);
+    EXPECT_EQ(a.edge(link).b, b.edge(link).b);
+    EXPECT_EQ(a.edge(link).delay, b.edge(link).delay);
+  }
+}
+
+TEST(RandomConnectedTest, DifferentSeedsDiffer) {
+  Rng rng_a(1), rng_b(2);
+  const Graph a = RandomConnected(15, 4, rng_a);
+  const Graph b = RandomConnected(15, 4, rng_b);
+  bool differs = a.edge_count() != b.edge_count();
+  for (std::size_t e = 0; !differs && e < a.edge_count(); ++e) {
+    const LinkId link(static_cast<LinkId::underlying_type>(e));
+    differs = a.edge(link).a != b.edge(link).a ||
+              a.edge(link).b != b.edge(link).b;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomConnectedTest, LargeNetworkSizes) {
+  // The Fig. 5 sizes must all generate quickly and connected.
+  for (std::size_t n : {10U, 20U, 40U, 80U, 120U, 160U}) {
+    Rng rng(n);
+    const Graph graph = RandomConnected(n, 8, rng);
+    EXPECT_TRUE(IsConnected(graph));
+    EXPECT_EQ(graph.node_count(), n);
+  }
+}
+
+TEST(RingTest, Shape) {
+  const Graph graph = Ring(5, SimDuration::Millis(10));
+  EXPECT_EQ(graph.edge_count(), 5U);
+  for (std::size_t v = 0; v < 5; ++v) {
+    EXPECT_EQ(graph.degree(NodeId(static_cast<NodeId::underlying_type>(v))),
+              2U);
+  }
+  EXPECT_TRUE(IsConnected(graph));
+}
+
+TEST(LineTest, Shape) {
+  const Graph graph = Line(4, SimDuration::Millis(10));
+  EXPECT_EQ(graph.edge_count(), 3U);
+  EXPECT_EQ(graph.degree(NodeId(0)), 1U);
+  EXPECT_EQ(graph.degree(NodeId(1)), 2U);
+  EXPECT_EQ(graph.degree(NodeId(3)), 1U);
+}
+
+TEST(StarTest, Shape) {
+  const Graph graph = Star(6, SimDuration::Millis(10));
+  EXPECT_EQ(graph.node_count(), 7U);
+  EXPECT_EQ(graph.degree(NodeId(0)), 6U);
+  EXPECT_EQ(graph.degree(NodeId(3)), 1U);
+}
+
+TEST(ConnectivityTest, ReachableFromRespectsFilter) {
+  const Graph graph = Line(4, SimDuration::Millis(10));
+  const auto link12 = *graph.FindEdge(NodeId(1), NodeId(2));
+  const auto seen = ReachableFrom(graph, NodeId(0), [&](LinkId link) {
+    return link != link12;
+  });
+  EXPECT_TRUE(seen[0]);
+  EXPECT_TRUE(seen[1]);
+  EXPECT_FALSE(seen[2]);
+  EXPECT_FALSE(seen[3]);
+}
+
+TEST(ConnectivityTest, DisconnectedGraphDetected) {
+  Graph graph(4);
+  graph.AddEdge(NodeId(0), NodeId(1), SimDuration::Millis(1));
+  graph.AddEdge(NodeId(2), NodeId(3), SimDuration::Millis(1));
+  EXPECT_FALSE(IsConnected(graph));
+}
+
+TEST(DrawLinkDelayTest, RespectsCustomRange) {
+  Rng rng(4);
+  const DelayRange range{SimDuration::Millis(2), SimDuration::Millis(3)};
+  for (int i = 0; i < 1000; ++i) {
+    const SimDuration delay = DrawLinkDelay(rng, range);
+    EXPECT_GE(delay, range.min);
+    EXPECT_LE(delay, range.max);
+  }
+}
+
+}  // namespace
+}  // namespace dcrd

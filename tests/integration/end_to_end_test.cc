@@ -1,0 +1,123 @@
+// Integration tests: whole-stack scenarios exercising the evaluation
+// pipeline the figure binaries use, at reduced scale.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+
+namespace dcrd {
+namespace {
+
+ScenarioConfig PaperScenario() {
+  ScenarioConfig config;
+  config.node_count = 20;
+  config.topology = TopologyKind::kRandomDegree;
+  config.degree = 8;
+  config.topic_count = 10;
+  config.sim_time = SimDuration::Seconds(60);
+  config.seed = 2;
+  return config;
+}
+
+RunSummary RunCase(RouterKind router, double pf, std::uint64_t seed = 2,
+               SimDuration sim_time = SimDuration::Seconds(60)) {
+  ScenarioConfig config = PaperScenario();
+  config.router = router;
+  config.failure_probability = pf;
+  config.seed = seed;
+  config.sim_time = sim_time;
+  return RunScenario(config);
+}
+
+TEST(EndToEndTest, DcrdDeliversNearlyEverythingUnderFailures) {
+  const RunSummary summary = RunCase(RouterKind::kDcrd, 0.06);
+  EXPECT_GT(summary.delivery_ratio(), 0.99);
+  EXPECT_GT(summary.qos_ratio(), 0.93);
+}
+
+TEST(EndToEndTest, OracleDominatesEveryProtocol) {
+  const RunSummary oracle = RunCase(RouterKind::kOracle, 0.08);
+  for (const RouterKind router :
+       {RouterKind::kDcrd, RouterKind::kRTree, RouterKind::kDTree,
+        RouterKind::kMultipath}) {
+    const RunSummary other = RunCase(router, 0.08);
+    EXPECT_GE(oracle.qos_ratio() + 1e-9, other.qos_ratio())
+        << RouterName(router);
+  }
+}
+
+TEST(EndToEndTest, DcrdBeatsFixedRoutesUnderFailures) {
+  const RunSummary dcrd = RunCase(RouterKind::kDcrd, 0.08);
+  const RunSummary rtree = RunCase(RouterKind::kRTree, 0.08);
+  const RunSummary dtree = RunCase(RouterKind::kDTree, 0.08);
+  const RunSummary multipath = RunCase(RouterKind::kMultipath, 0.08);
+  EXPECT_GT(dcrd.delivery_ratio(), rtree.delivery_ratio());
+  EXPECT_GT(dcrd.delivery_ratio(), dtree.delivery_ratio());
+  EXPECT_GT(dcrd.qos_ratio(), rtree.qos_ratio());
+  EXPECT_GT(dcrd.qos_ratio(), dtree.qos_ratio());
+  // Our Multipath picks genuinely link-disjoint path pairs, so it is
+  // stronger than the paper's (see EXPERIMENTS.md): DCRD matches its QoS
+  // ratio within noise while delivering strictly more messages on less
+  // than 60% of its traffic.
+  EXPECT_GT(dcrd.delivery_ratio(), multipath.delivery_ratio());
+  EXPECT_GT(dcrd.qos_ratio(), multipath.qos_ratio() - 0.01);
+  EXPECT_LT(dcrd.packets_per_subscriber(),
+            0.6 * multipath.packets_per_subscriber());
+}
+
+TEST(EndToEndTest, TrafficOrderingMatchesPaper) {
+  // Multipath sends the most; DCRD sends more than the trees under
+  // failures (it pays for discovery); ACK traffic exists for everyone.
+  const RunSummary dcrd = RunCase(RouterKind::kDcrd, 0.06);
+  const RunSummary dtree = RunCase(RouterKind::kDTree, 0.06);
+  const RunSummary multipath = RunCase(RouterKind::kMultipath, 0.06);
+  EXPECT_GT(multipath.packets_per_subscriber(),
+            dcrd.packets_per_subscriber());
+  EXPECT_GT(dcrd.packets_per_subscriber(), dtree.packets_per_subscriber());
+}
+
+TEST(EndToEndTest, FailureSweepMonotonicallyHurtsTrees) {
+  double previous = 1.1;
+  for (const double pf : {0.0, 0.04, 0.10}) {
+    const double ratio = RunCase(RouterKind::kDTree, pf).delivery_ratio();
+    EXPECT_LT(ratio, previous + 1e-9) << "Pf=" << pf;
+    previous = ratio;
+  }
+}
+
+TEST(EndToEndTest, LooserDeadlinesImproveDcrdQos) {
+  ScenarioConfig tight = PaperScenario();
+  tight.router = RouterKind::kDcrd;
+  tight.failure_probability = 0.06;
+  tight.qos_factor = 1.2;
+  ScenarioConfig loose = tight;
+  loose.qos_factor = 4.0;
+  EXPECT_GT(RunScenario(loose).qos_ratio(), RunScenario(tight).qos_ratio());
+}
+
+TEST(EndToEndTest, LatenessSamplesOnlyFromLateDeliveries) {
+  const RunSummary summary = RunCase(RouterKind::kDcrd, 0.08);
+  for (const double ratio : summary.lateness_ratios) {
+    EXPECT_GT(ratio, 1.0);
+  }
+  EXPECT_EQ(summary.delivered_pairs - summary.qos_pairs,
+            summary.lateness_ratios.size());
+}
+
+TEST(EndToEndTest, FullMeshBeatsSparseForEveryone) {
+  for (const RouterKind router : {RouterKind::kDcrd, RouterKind::kDTree}) {
+    ScenarioConfig mesh = PaperScenario();
+    mesh.router = router;
+    mesh.topology = TopologyKind::kFullMesh;
+    mesh.failure_probability = 0.08;
+    ScenarioConfig sparse = PaperScenario();
+    sparse.router = router;
+    sparse.degree = 3;
+    sparse.failure_probability = 0.08;
+    EXPECT_GE(RunScenario(mesh).qos_ratio() + 0.02,
+              RunScenario(sparse).qos_ratio())
+        << RouterName(router);
+  }
+}
+
+}  // namespace
+}  // namespace dcrd

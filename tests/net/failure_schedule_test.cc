@@ -1,0 +1,109 @@
+#include "net/failure_schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace dcrd {
+namespace {
+
+TEST(FailureScheduleTest, ZeroProbabilityAlwaysUp) {
+  const FailureSchedule schedule(1, 0.0);
+  for (int link = 0; link < 10; ++link) {
+    for (int s = 0; s < 100; ++s) {
+      EXPECT_TRUE(schedule.IsUp(LinkId(link), SimTime::FromMicros(s * 999'937)));
+    }
+  }
+}
+
+TEST(FailureScheduleTest, ProbabilityOneAlwaysDown) {
+  const FailureSchedule schedule(1, 1.0);
+  EXPECT_FALSE(schedule.IsUp(LinkId(0), SimTime::Zero()));
+  EXPECT_FALSE(schedule.IsUp(LinkId(7), SimTime::FromMicros(5'500'000)));
+}
+
+TEST(FailureScheduleTest, ConstantWithinEpoch) {
+  const FailureSchedule schedule(42, 0.5);
+  for (int link = 0; link < 50; ++link) {
+    const bool at_start =
+        schedule.IsUp(LinkId(link), SimTime::FromMicros(3'000'000));
+    EXPECT_EQ(schedule.IsUp(LinkId(link), SimTime::FromMicros(3'500'000)),
+              at_start);
+    EXPECT_EQ(schedule.IsUp(LinkId(link), SimTime::FromMicros(3'999'999)),
+              at_start);
+  }
+}
+
+TEST(FailureScheduleTest, RedrawsAcrossEpochs) {
+  const FailureSchedule schedule(42, 0.5);
+  int changes = 0;
+  for (int s = 0; s + 1 < 200; ++s) {
+    const bool now = schedule.IsUp(LinkId(3), SimTime::FromMicros(s * 1'000'000));
+    const bool next =
+        schedule.IsUp(LinkId(3), SimTime::FromMicros((s + 1) * 1'000'000));
+    changes += now != next ? 1 : 0;
+  }
+  EXPECT_GT(changes, 50);  // ~100 expected at Pf=0.5
+}
+
+TEST(FailureScheduleTest, EmpiricalRateMatchesPf) {
+  const FailureSchedule schedule(7, 0.06);
+  int down = 0;
+  const int samples = 100'000;
+  for (int i = 0; i < samples; ++i) {
+    const LinkId link(static_cast<LinkId::underlying_type>(i % 100));
+    const SimTime t = SimTime::FromMicros((i / 100) * 1'000'000);
+    down += schedule.IsUp(link, t) ? 0 : 1;
+  }
+  EXPECT_NEAR(static_cast<double>(down) / samples, 0.06, 0.005);
+}
+
+TEST(FailureScheduleTest, DeterministicAcrossInstances) {
+  const FailureSchedule a(99, 0.3);
+  const FailureSchedule b(99, 0.3);
+  for (int i = 0; i < 1000; ++i) {
+    const LinkId link(static_cast<LinkId::underlying_type>(i % 17));
+    const SimTime t = SimTime::FromMicros(i * 333'333);
+    EXPECT_EQ(a.IsUp(link, t), b.IsUp(link, t));
+  }
+}
+
+TEST(FailureScheduleTest, SeedChangesSamplePath) {
+  const FailureSchedule a(1, 0.3);
+  const FailureSchedule b(2, 0.3);
+  int diffs = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const LinkId link(static_cast<LinkId::underlying_type>(i % 17));
+    const SimTime t = SimTime::FromMicros(i * 1'000'000);
+    diffs += a.IsUp(link, t) != b.IsUp(link, t) ? 1 : 0;
+  }
+  EXPECT_GT(diffs, 100);
+}
+
+TEST(FailureScheduleTest, LinksIndependent) {
+  const FailureSchedule schedule(5, 0.5);
+  int diffs = 0;
+  for (int s = 0; s < 1000; ++s) {
+    const SimTime t = SimTime::FromMicros(s * 1'000'000);
+    diffs += schedule.IsUp(LinkId(0), t) != schedule.IsUp(LinkId(1), t) ? 1 : 0;
+  }
+  EXPECT_GT(diffs, 300);
+}
+
+TEST(FailureScheduleTest, CustomEpochLength) {
+  const FailureSchedule schedule(11, 0.5, SimDuration::Seconds(10));
+  for (int link = 0; link < 20; ++link) {
+    const bool at_zero = schedule.IsUp(LinkId(link), SimTime::Zero());
+    EXPECT_EQ(schedule.IsUp(LinkId(link), SimTime::FromMicros(9'999'999)),
+              at_zero);
+  }
+}
+
+TEST(FailureScheduleTest, FutureQueriesWork) {
+  // The ORACLE plans with entry times beyond the current clock; the
+  // schedule must answer any horizon deterministically.
+  const FailureSchedule schedule(3, 0.1);
+  const SimTime far = SimTime::FromMicros(123'456'789'000LL);
+  EXPECT_EQ(schedule.IsUp(LinkId(4), far), schedule.IsUp(LinkId(4), far));
+}
+
+}  // namespace
+}  // namespace dcrd

@@ -1,0 +1,125 @@
+// Per-link heterogeneous failure probabilities and propagation jitter.
+#include <gtest/gtest.h>
+
+#include "graph/topology.h"
+#include "net/failure_schedule.h"
+#include "net/overlay_network.h"
+
+namespace dcrd {
+namespace {
+
+TEST(HeterogeneityTest, ZeroSpreadIsUniform) {
+  Rng rng(1);
+  const auto fractions = DrawHeterogeneousFractions(50, 0.06, 0.0, rng);
+  for (const double f : fractions) EXPECT_DOUBLE_EQ(f, 0.06);
+}
+
+TEST(HeterogeneityTest, SpreadProducesVariedFractionsAroundMean) {
+  Rng rng(2);
+  const auto fractions = DrawHeterogeneousFractions(5000, 0.06, 1.5, rng);
+  double min = 1.0, max = 0.0, sum = 0.0;
+  for (const double f : fractions) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 0.9);
+    min = std::min(min, f);
+    max = std::max(max, f);
+    sum += f;
+  }
+  EXPECT_LT(min, 0.02);   // exp(-1.5) * 0.06 ~ 0.013
+  EXPECT_GT(max, 0.2);    // exp(+1.5) * 0.06 ~ 0.27
+  // Log-uniform mean: Pf * (e^h - e^-h) / 2h ~ 0.085 at h = 1.5.
+  EXPECT_NEAR(sum / fractions.size(), 0.085, 0.01);
+}
+
+TEST(HeterogeneityTest, ZeroMeanStaysZero) {
+  Rng rng(3);
+  const auto fractions = DrawHeterogeneousFractions(10, 0.0, 2.0, rng);
+  for (const double f : fractions) EXPECT_DOUBLE_EQ(f, 0.0);
+}
+
+TEST(HeterogeneityTest, PerLinkEmpiricalRatesMatchFractions) {
+  const std::vector<double> fractions = {0.02, 0.3, 0.0, 0.6};
+  const FailureSchedule schedule(9, fractions);
+  for (std::size_t l = 0; l < fractions.size(); ++l) {
+    const LinkId link(static_cast<LinkId::underlying_type>(l));
+    EXPECT_DOUBLE_EQ(schedule.DownFraction(link), fractions[l]);
+    int down = 0;
+    const int samples = 50'000;
+    for (int s = 0; s < samples; ++s) {
+      down += schedule.IsUp(link, SimTime::FromMicros(s * 1'000'000LL)) ? 0 : 1;
+    }
+    EXPECT_NEAR(static_cast<double>(down) / samples, fractions[l], 0.01)
+        << "link " << l;
+  }
+}
+
+TEST(HeterogeneityTest, MeanFractionReported) {
+  const FailureSchedule schedule(9, std::vector<double>{0.1, 0.3});
+  EXPECT_DOUBLE_EQ(schedule.failure_probability(), 0.2);
+}
+
+TEST(HeterogeneityTest, HeterogeneousWithLongOutages) {
+  // Outage-length semantics must hold per link at its own rate.
+  const std::vector<double> fractions = {0.25};
+  const FailureSchedule schedule(4, fractions, SimDuration::Seconds(1), 5);
+  const LinkId link(0);
+  int down = 0, consecutive = 0;
+  const int samples = 100'000;
+  for (int s = 5; s < samples; ++s) {
+    const bool up = schedule.IsUp(link, SimTime::FromMicros(s * 1'000'000LL));
+    down += up ? 0 : 1;
+    if (!up) {
+      ++consecutive;
+    } else {
+      if (consecutive > 0) {
+        EXPECT_GE(consecutive, 5);
+      }
+      consecutive = 0;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(down) / (samples - 5), 0.25, 0.015);
+}
+
+TEST(JitterTest, ArrivalsSpreadAroundBaseDelay) {
+  const Graph graph = Line(2, SimDuration::Millis(20));
+  Scheduler scheduler;
+  OverlayNetworkConfig config;
+  config.delay_jitter = 0.25;
+  OverlayNetwork network(graph, scheduler, FailureSchedule(1, 0.0), config,
+                         Rng(11));
+  const LinkId link = *graph.FindEdge(NodeId(0), NodeId(1));
+  std::vector<double> arrival_ms;
+  for (int i = 0; i < 2000; ++i) {
+    network.Transmit(NodeId(0), link, TrafficClass::kData,
+                     [&] { arrival_ms.push_back(scheduler.now().micros() / 1e3); });
+  }
+  scheduler.Run();
+  ASSERT_EQ(arrival_ms.size(), 2000U);
+  double min = 1e9, max = 0, sum = 0;
+  for (const double a : arrival_ms) {
+    min = std::min(min, a);
+    max = std::max(max, a);
+    sum += a;
+  }
+  EXPECT_GE(min, 15.0 - 1e-6);  // 20ms * 0.75
+  EXPECT_LE(max, 25.0 + 1e-6);  // 20ms * 1.25
+  EXPECT_LT(min, 16.0);         // jitter actually exercises the range
+  EXPECT_GT(max, 24.0);
+  EXPECT_NEAR(sum / arrival_ms.size(), 20.0, 0.2);
+}
+
+TEST(JitterTest, ZeroJitterIsExact) {
+  const Graph graph = Line(2, SimDuration::Millis(20));
+  Scheduler scheduler;
+  OverlayNetwork network(graph, scheduler, FailureSchedule(1, 0.0),
+                         OverlayNetworkConfig{}, Rng(11));
+  const LinkId link = *graph.FindEdge(NodeId(0), NodeId(1));
+  SimTime arrival;
+  network.Transmit(NodeId(0), link, TrafficClass::kData,
+                   [&] { arrival = scheduler.now(); });
+  scheduler.Run();
+  EXPECT_EQ(arrival, SimTime::Zero() + SimDuration::Millis(20));
+}
+
+}  // namespace
+}  // namespace dcrd

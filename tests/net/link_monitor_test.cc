@@ -1,0 +1,116 @@
+#include "net/link_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/topology.h"
+
+namespace dcrd {
+namespace {
+
+TEST(LinkMonitorTest, AlphaReportsTrueDelay) {
+  Rng rng(1);
+  const Graph graph = FullMesh(6, rng);
+  const FailureSchedule failures(2, 0.0);
+  LinkMonitor monitor(graph, failures, LinkMonitorConfig{}, Rng(3));
+  monitor.MeasureAt(SimTime::Zero());
+  for (std::size_t e = 0; e < graph.edge_count(); ++e) {
+    const LinkId link(static_cast<LinkId::underlying_type>(e));
+    EXPECT_EQ(monitor.view().alpha(link), graph.edge(link).delay);
+  }
+}
+
+TEST(LinkMonitorTest, PerfectNetworkYieldsGammaOne) {
+  Rng rng(1);
+  const Graph graph = FullMesh(6, rng);
+  const FailureSchedule failures(2, 0.0);
+  LinkMonitor monitor(graph, failures, LinkMonitorConfig{}, Rng(3));
+  monitor.MeasureAt(SimTime::Zero());
+  for (std::size_t e = 0; e < graph.edge_count(); ++e) {
+    EXPECT_DOUBLE_EQ(
+        monitor.view().gamma(LinkId(static_cast<LinkId::underlying_type>(e))),
+        1.0);
+  }
+}
+
+TEST(LinkMonitorTest, GammaTracksFailureRate) {
+  Rng rng(1);
+  const Graph graph = FullMesh(10, rng);
+  const FailureSchedule failures(7, 0.2);
+  LinkMonitorConfig config;
+  config.probe_count = 200;  // tight estimate for the assertion
+  LinkMonitor monitor(graph, failures, config, Rng(3));
+  // Several epochs of EWMA smoothing.
+  for (int epoch = 0; epoch <= 5; ++epoch) {
+    monitor.MeasureAt(SimTime::Zero() + SimDuration::Seconds(300) * epoch);
+  }
+  double total = 0;
+  for (std::size_t e = 0; e < graph.edge_count(); ++e) {
+    total += monitor.view().gamma(
+        LinkId(static_cast<LinkId::underlying_type>(e)));
+  }
+  EXPECT_NEAR(total / graph.edge_count(), 0.8, 0.03);
+}
+
+TEST(LinkMonitorTest, GammaIncludesLossRate) {
+  Rng rng(1);
+  const Graph graph = FullMesh(10, rng);
+  const FailureSchedule failures(7, 0.0);
+  LinkMonitorConfig config;
+  config.probe_count = 200;
+  config.loss_rate = 0.3;
+  LinkMonitor monitor(graph, failures, config, Rng(3));
+  for (int epoch = 0; epoch <= 5; ++epoch) {
+    monitor.MeasureAt(SimTime::Zero() + SimDuration::Seconds(300) * epoch);
+  }
+  double total = 0;
+  for (std::size_t e = 0; e < graph.edge_count(); ++e) {
+    total += monitor.view().gamma(
+        LinkId(static_cast<LinkId::underlying_type>(e)));
+  }
+  EXPECT_NEAR(total / graph.edge_count(), 0.7, 0.03);
+}
+
+TEST(LinkMonitorTest, GammaNeverZero) {
+  Rng rng(1);
+  const Graph graph = FullMesh(5, rng);
+  const FailureSchedule failures(7, 1.0);  // everything always down
+  LinkMonitor monitor(graph, failures, LinkMonitorConfig{}, Rng(3));
+  monitor.MeasureAt(SimTime::Zero());
+  for (std::size_t e = 0; e < graph.edge_count(); ++e) {
+    EXPECT_GT(monitor.view().gamma(
+                  LinkId(static_cast<LinkId::underlying_type>(e))),
+              0.0);
+  }
+}
+
+TEST(LinkMonitorTest, EwmaSmoothsTowardNewSample) {
+  Rng rng(1);
+  const Graph graph = FullMesh(5, rng);
+  const FailureSchedule failures(7, 1.0);
+  LinkMonitorConfig config;
+  config.ewma_weight = 0.5;
+  LinkMonitor monitor(graph, failures, config, Rng(3));
+  monitor.MeasureAt(SimTime::Zero());
+  // First sample: gamma = 0.5*0 + 0.5*1 (bootstrap state 1.0) = 0.5.
+  const LinkId link(0);
+  EXPECT_NEAR(monitor.view().gamma(link), 0.5, 1e-9);
+  monitor.MeasureAt(SimTime::Zero() + SimDuration::Seconds(300));
+  EXPECT_NEAR(monitor.view().gamma(link), 0.25, 1e-9);
+}
+
+TEST(LinkMonitorTest, DeterministicForSeed) {
+  Rng rng(1);
+  const Graph graph = FullMesh(8, rng);
+  const FailureSchedule failures(7, 0.1);
+  LinkMonitor a(graph, failures, LinkMonitorConfig{}, Rng(9));
+  LinkMonitor b(graph, failures, LinkMonitorConfig{}, Rng(9));
+  a.MeasureAt(SimTime::Zero());
+  b.MeasureAt(SimTime::Zero());
+  for (std::size_t e = 0; e < graph.edge_count(); ++e) {
+    const LinkId link(static_cast<LinkId::underlying_type>(e));
+    EXPECT_DOUBLE_EQ(a.view().gamma(link), b.view().gamma(link));
+  }
+}
+
+}  // namespace
+}  // namespace dcrd

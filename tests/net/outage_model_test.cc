@@ -1,0 +1,195 @@
+// Tests for the extended failure machinery: multi-epoch link outages and
+// broker-node failures.
+#include <gtest/gtest.h>
+
+#include "graph/topology.h"
+#include "net/failure_schedule.h"
+#include "net/overlay_network.h"
+
+namespace dcrd {
+namespace {
+
+TEST(OutageLengthTest, StationaryDownFractionIndependentOfLength) {
+  // P(down) must equal Pf for any outage length L.
+  for (const int length : {1, 2, 5, 10}) {
+    const FailureSchedule schedule(5, 0.10, SimDuration::Seconds(1), length);
+    int down = 0;
+    const int samples = 200'000;
+    for (int i = 0; i < samples; ++i) {
+      const LinkId link(static_cast<LinkId::underlying_type>(i % 50));
+      // Skip the first L epochs (edge-of-time clamp biases them up).
+      const SimTime t =
+          SimTime::FromMicros((length + i / 50) * 1'000'000LL);
+      down += schedule.IsUp(link, t) ? 0 : 1;
+    }
+    EXPECT_NEAR(static_cast<double>(down) / samples, 0.10, 0.01)
+        << "L=" << length;
+  }
+}
+
+TEST(OutageLengthTest, OutagesLastAtLeastLEpochs) {
+  // Every down->up transition must be preceded by >= L consecutive down
+  // epochs.
+  const int length = 4;
+  const FailureSchedule schedule(9, 0.05, SimDuration::Seconds(1), length);
+  const LinkId link(3);
+  int consecutive_down = 0;
+  int observed_outages = 0;
+  for (int s = 0; s < 200'000; ++s) {
+    const bool up = schedule.IsUp(link, SimTime::FromMicros(s * 1'000'000LL));
+    if (!up) {
+      ++consecutive_down;
+    } else {
+      if (consecutive_down > 0) {
+        EXPECT_GE(consecutive_down, length);
+        ++observed_outages;
+      }
+      consecutive_down = 0;
+    }
+  }
+  EXPECT_GT(observed_outages, 100);  // the process actually fires
+}
+
+TEST(OutageLengthTest, LengthOneMatchesLegacyBehaviour) {
+  const FailureSchedule a(7, 0.06, SimDuration::Seconds(1), 1);
+  const FailureSchedule b(7, 0.06);
+  for (int i = 0; i < 5000; ++i) {
+    const LinkId link(static_cast<LinkId::underlying_type>(i % 20));
+    const SimTime t = SimTime::FromMicros((i / 20) * 1'000'000LL);
+    EXPECT_EQ(a.IsUp(link, t), b.IsUp(link, t));
+  }
+}
+
+TEST(NodeFailureScheduleTest, DefaultNeverFails) {
+  const NodeFailureSchedule schedule;
+  for (int v = 0; v < 20; ++v) {
+    EXPECT_TRUE(schedule.IsUp(NodeId(v), SimTime::FromMicros(v * 777'777)));
+  }
+}
+
+TEST(NodeFailureScheduleTest, EmpiricalRate) {
+  const NodeFailureSchedule schedule(11, 0.05);
+  int down = 0;
+  const int samples = 100'000;
+  for (int i = 0; i < samples; ++i) {
+    const NodeId node(static_cast<NodeId::underlying_type>(i % 20));
+    const SimTime t = SimTime::FromMicros((i / 20) * 1'000'000LL);
+    down += schedule.IsUp(node, t) ? 0 : 1;
+  }
+  EXPECT_NEAR(static_cast<double>(down) / samples, 0.05, 0.005);
+}
+
+TEST(NodeFailureTest, DownEndpointDropsTransmissions) {
+  // Find a seed/time where node 1 is down but node 0 is up.
+  std::uint64_t seed = 0;
+  for (; seed < 10'000; ++seed) {
+    const NodeFailureSchedule schedule(seed, 0.4);
+    if (!schedule.IsUp(NodeId(1), SimTime::Zero()) &&
+        schedule.IsUp(NodeId(0), SimTime::Zero())) {
+      break;
+    }
+  }
+  ASSERT_LT(seed, 10'000U);
+
+  const Graph graph = Line(2, SimDuration::Millis(10));
+  Scheduler scheduler;
+  OverlayNetwork network(graph, scheduler, FailureSchedule(1, 0.0),
+                         OverlayNetworkConfig{}, Rng(1),
+                         NodeFailureSchedule(seed, 0.4));
+  const LinkId link = *graph.FindEdge(NodeId(0), NodeId(1));
+  bool delivered = false;
+  network.Transmit(NodeId(0), link, TrafficClass::kData,
+                   [&] { delivered = true; });
+  scheduler.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(network.counters(TrafficClass::kData).dropped_node_failure, 1U);
+}
+
+TEST(NodeFailureTest, NodeUpQueriesSchedule) {
+  const Graph graph = Line(2, SimDuration::Millis(10));
+  Scheduler scheduler;
+  OverlayNetwork network(graph, scheduler, FailureSchedule(1, 0.0),
+                         OverlayNetworkConfig{}, Rng(1),
+                         NodeFailureSchedule(3, 1.0));
+  EXPECT_FALSE(network.NodeUp(NodeId(0)));
+}
+
+TEST(QueuingTest, SerializationDelaysBursts) {
+  // Two back-to-back packets on one link: the second waits for the first's
+  // serialization slot.
+  const Graph graph = Line(2, SimDuration::Millis(10));
+  Scheduler scheduler;
+  OverlayNetworkConfig config;
+  config.serialization = SimDuration::Millis(4);
+  OverlayNetwork network(graph, scheduler, FailureSchedule(1, 0.0), config,
+                         Rng(1));
+  const LinkId link = *graph.FindEdge(NodeId(0), NodeId(1));
+  std::vector<SimTime> arrivals;
+  for (int i = 0; i < 3; ++i) {
+    network.Transmit(NodeId(0), link, TrafficClass::kData,
+                     [&] { arrivals.push_back(scheduler.now()); });
+  }
+  scheduler.Run();
+  ASSERT_EQ(arrivals.size(), 3U);
+  EXPECT_EQ(arrivals[0], SimTime::Zero() + SimDuration::Millis(10));
+  EXPECT_EQ(arrivals[1], SimTime::Zero() + SimDuration::Millis(14));
+  EXPECT_EQ(arrivals[2], SimTime::Zero() + SimDuration::Millis(18));
+}
+
+TEST(QueuingTest, DirectionsQueueIndependently) {
+  const Graph graph = Line(2, SimDuration::Millis(10));
+  Scheduler scheduler;
+  OverlayNetworkConfig config;
+  config.serialization = SimDuration::Millis(4);
+  OverlayNetwork network(graph, scheduler, FailureSchedule(1, 0.0), config,
+                         Rng(1));
+  const LinkId link = *graph.FindEdge(NodeId(0), NodeId(1));
+  std::vector<SimTime> arrivals;
+  network.Transmit(NodeId(0), link, TrafficClass::kData,
+                   [&] { arrivals.push_back(scheduler.now()); });
+  network.Transmit(NodeId(1), link, TrafficClass::kData,
+                   [&] { arrivals.push_back(scheduler.now()); });
+  scheduler.Run();
+  ASSERT_EQ(arrivals.size(), 2U);
+  // No cross-direction interference: both land after one propagation.
+  EXPECT_EQ(arrivals[0], SimTime::Zero() + SimDuration::Millis(10));
+  EXPECT_EQ(arrivals[1], SimTime::Zero() + SimDuration::Millis(10));
+}
+
+TEST(QueuingTest, AcksBypassTheQueue) {
+  const Graph graph = Line(2, SimDuration::Millis(10));
+  Scheduler scheduler;
+  OverlayNetworkConfig config;
+  config.serialization = SimDuration::Millis(50);
+  OverlayNetwork network(graph, scheduler, FailureSchedule(1, 0.0), config,
+                         Rng(1));
+  const LinkId link = *graph.FindEdge(NodeId(0), NodeId(1));
+  // Saturate the data direction, then send an ACK: it must not wait.
+  network.Transmit(NodeId(0), link, TrafficClass::kData, [] {});
+  network.Transmit(NodeId(0), link, TrafficClass::kData, [] {});
+  SimTime ack_arrival = SimTime::Max();
+  network.Transmit(NodeId(0), link, TrafficClass::kAck,
+                   [&] { ack_arrival = scheduler.now(); });
+  scheduler.Run();
+  EXPECT_EQ(ack_arrival, SimTime::Zero());  // instant out-of-band ACK
+}
+
+TEST(QueuingTest, ZeroSerializationMeansNoQueue) {
+  const Graph graph = Line(2, SimDuration::Millis(10));
+  Scheduler scheduler;
+  OverlayNetwork network(graph, scheduler, FailureSchedule(1, 0.0),
+                         OverlayNetworkConfig{}, Rng(1));
+  const LinkId link = *graph.FindEdge(NodeId(0), NodeId(1));
+  std::vector<SimTime> arrivals;
+  for (int i = 0; i < 5; ++i) {
+    network.Transmit(NodeId(0), link, TrafficClass::kData,
+                     [&] { arrivals.push_back(scheduler.now()); });
+  }
+  scheduler.Run();
+  for (const SimTime arrival : arrivals) {
+    EXPECT_EQ(arrival, SimTime::Zero() + SimDuration::Millis(10));
+  }
+}
+
+}  // namespace
+}  // namespace dcrd

@@ -1,0 +1,132 @@
+#include "net/overlay_network.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/topology.h"
+
+namespace dcrd {
+namespace {
+
+struct Fixture {
+  Graph graph = Line(3, SimDuration::Millis(10));
+  Scheduler scheduler;
+};
+
+TEST(OverlayNetworkTest, DeliversAfterLinkDelay) {
+  Fixture f;
+  OverlayNetwork network(f.graph, f.scheduler, FailureSchedule(1, 0.0), 0.0,
+                         Rng(1));
+  const LinkId link = *f.graph.FindEdge(NodeId(0), NodeId(1));
+  SimTime arrival;
+  bool delivered = false;
+  network.Transmit(NodeId(0), link, TrafficClass::kData, [&] {
+    delivered = true;
+    arrival = f.scheduler.now();
+  });
+  f.scheduler.Run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(arrival, SimTime::Zero() + SimDuration::Millis(10));
+}
+
+TEST(OverlayNetworkTest, DropsOnFailedLink) {
+  Fixture f;
+  OverlayNetwork network(f.graph, f.scheduler, FailureSchedule(1, 1.0), 0.0,
+                         Rng(1));
+  const LinkId link = *f.graph.FindEdge(NodeId(0), NodeId(1));
+  bool delivered = false;
+  network.Transmit(NodeId(0), link, TrafficClass::kData,
+                   [&] { delivered = true; });
+  f.scheduler.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(network.counters(TrafficClass::kData).dropped_failure, 1U);
+  EXPECT_EQ(network.counters(TrafficClass::kData).delivered, 0U);
+}
+
+TEST(OverlayNetworkTest, LossRateOneDropsEverything) {
+  Fixture f;
+  OverlayNetwork network(f.graph, f.scheduler, FailureSchedule(1, 0.0), 1.0,
+                         Rng(1));
+  const LinkId link = *f.graph.FindEdge(NodeId(1), NodeId(2));
+  bool delivered = false;
+  network.Transmit(NodeId(1), link, TrafficClass::kData,
+                   [&] { delivered = true; });
+  f.scheduler.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(network.counters(TrafficClass::kData).dropped_loss, 1U);
+}
+
+TEST(OverlayNetworkTest, EmpiricalLossRate) {
+  Fixture f;
+  OverlayNetwork network(f.graph, f.scheduler, FailureSchedule(1, 0.0), 0.1,
+                         Rng(5));
+  const LinkId link = *f.graph.FindEdge(NodeId(0), NodeId(1));
+  int delivered = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    network.Transmit(NodeId(0), link, TrafficClass::kData,
+                     [&] { ++delivered; });
+  }
+  f.scheduler.Run();
+  EXPECT_NEAR(static_cast<double>(delivered) / n, 0.9, 0.01);
+  EXPECT_EQ(network.counters(TrafficClass::kData).attempted,
+            static_cast<std::uint64_t>(n));
+}
+
+TEST(OverlayNetworkTest, CountersSplitByTrafficClass) {
+  Fixture f;
+  OverlayNetwork network(f.graph, f.scheduler, FailureSchedule(1, 0.0), 0.0,
+                         Rng(1));
+  const LinkId link = *f.graph.FindEdge(NodeId(0), NodeId(1));
+  network.Transmit(NodeId(0), link, TrafficClass::kData, [] {});
+  network.Transmit(NodeId(1), link, TrafficClass::kAck, [] {});
+  network.Transmit(NodeId(1), link, TrafficClass::kAck, [] {});
+  f.scheduler.Run();
+  EXPECT_EQ(network.counters(TrafficClass::kData).attempted, 1U);
+  EXPECT_EQ(network.counters(TrafficClass::kAck).attempted, 2U);
+  EXPECT_EQ(network.counters(TrafficClass::kControl).attempted, 0U);
+}
+
+TEST(OverlayNetworkTest, FailureAppliesAtEntryInstant) {
+  // Link down only during second 1; a transmission at t=0 passes, at t=1.5s
+  // drops, at t=2.2s passes again.
+  Fixture f;
+  // Find a seed where link 0's epoch pattern is up,down,up over the first
+  // three seconds.
+  std::uint64_t seed = 0;
+  const LinkId link = *f.graph.FindEdge(NodeId(0), NodeId(1));
+  for (; seed < 10'000; ++seed) {
+    const FailureSchedule schedule(seed, 0.5);
+    if (schedule.IsUp(link, SimTime::Zero()) &&
+        !schedule.IsUp(link, SimTime::FromMicros(1'500'000)) &&
+        schedule.IsUp(link, SimTime::FromMicros(2'200'000))) {
+      break;
+    }
+  }
+  ASSERT_LT(seed, 10'000U);
+  OverlayNetwork network(f.graph, f.scheduler, FailureSchedule(seed, 0.5),
+                         0.0, Rng(1));
+  int delivered = 0;
+  network.Transmit(NodeId(0), link, TrafficClass::kData, [&] { ++delivered; });
+  f.scheduler.ScheduleAt(SimTime::FromMicros(1'500'000), [&] {
+    network.Transmit(NodeId(0), link, TrafficClass::kData,
+                     [&] { ++delivered; });
+  });
+  f.scheduler.ScheduleAt(SimTime::FromMicros(2'200'000), [&] {
+    network.Transmit(NodeId(0), link, TrafficClass::kData,
+                     [&] { ++delivered; });
+  });
+  f.scheduler.Run();
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(OverlayNetworkDeathTest, RejectsNonEndpointSender) {
+  Fixture f;
+  OverlayNetwork network(f.graph, f.scheduler, FailureSchedule(1, 0.0), 0.0,
+                         Rng(1));
+  const LinkId link = *f.graph.FindEdge(NodeId(0), NodeId(1));
+  EXPECT_DEATH(network.Transmit(NodeId(2), link, TrafficClass::kData, [] {}),
+               "not an endpoint");
+}
+
+}  // namespace
+}  // namespace dcrd

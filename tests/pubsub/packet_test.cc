@@ -1,0 +1,94 @@
+#include "pubsub/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace dcrd {
+namespace {
+
+Message TestMessage() {
+  Message message;
+  message.id = MessageId(42);
+  message.topic = TopicId(1);
+  message.publisher = NodeId(0);
+  message.publish_time = SimTime::FromMicros(1000);
+  return message;
+}
+
+TEST(PacketTest, DestinationsAreSortedAndSearchable) {
+  const Packet packet(TestMessage(), {NodeId(5), NodeId(2), NodeId(9)});
+  EXPECT_EQ(packet.destinations(),
+            (std::vector<NodeId>{NodeId(2), NodeId(5), NodeId(9)}));
+  EXPECT_TRUE(packet.IsDestination(NodeId(5)));
+  EXPECT_FALSE(packet.IsDestination(NodeId(4)));
+}
+
+TEST(PacketTest, RoutingPathStartsEmpty) {
+  const Packet packet(TestMessage(), {NodeId(5)});
+  EXPECT_TRUE(packet.routing_path().empty());
+  EXPECT_FALSE(packet.OnRoutingPath(NodeId(0)));
+}
+
+TEST(PacketTest, RecordOnPathAppendsUnconditionally) {
+  // Algorithm 2 line 20: every sender stamps itself before every send, so
+  // revisits produce duplicate entries — the path's tail is always the
+  // last sender.
+  Packet packet(TestMessage(), {NodeId(5)});
+  packet.RecordOnPath(NodeId(0));
+  packet.RecordOnPath(NodeId(3));
+  packet.RecordOnPath(NodeId(0));
+  EXPECT_EQ(packet.routing_path(),
+            (std::vector<NodeId>{NodeId(0), NodeId(3), NodeId(0)}));
+  EXPECT_TRUE(packet.OnRoutingPath(NodeId(3)));
+}
+
+TEST(PacketTest, UpstreamLookup) {
+  Packet packet(TestMessage(), {NodeId(5)});
+  packet.RecordOnPath(NodeId(0));
+  packet.RecordOnPath(NodeId(3));
+  packet.RecordOnPath(NodeId(7));
+  EXPECT_EQ(packet.UpstreamOf(NodeId(7)), NodeId(3));
+  EXPECT_EQ(packet.UpstreamOf(NodeId(3)), NodeId(0));
+  // The path head (publisher) has no upstream.
+  EXPECT_FALSE(packet.UpstreamOf(NodeId(0)).valid());
+  // Nodes not on the path have no upstream either.
+  EXPECT_FALSE(packet.UpstreamOf(NodeId(9)).valid());
+}
+
+TEST(PacketTest, UpstreamUsesFirstOccurrenceAfterRevisit) {
+  // 0 -> 3 -> back to 0 -> 7: node 3's original upstream stays 0, and node
+  // 7 (fresh) sees the last sender 0 as path tail.
+  Packet packet(TestMessage(), {NodeId(5)});
+  packet.RecordOnPath(NodeId(0));
+  packet.RecordOnPath(NodeId(3));
+  packet.RecordOnPath(NodeId(0));
+  EXPECT_EQ(packet.UpstreamOf(NodeId(3)), NodeId(0));
+  EXPECT_EQ(packet.routing_path().back(), NodeId(0));
+}
+
+TEST(PacketTest, WithDestinationsKeepsMessageAndPath) {
+  Packet packet(TestMessage(), {NodeId(5), NodeId(6)});
+  packet.RecordOnPath(NodeId(0));
+  packet.set_flow_label(1);
+  const Packet narrowed = packet.WithDestinations({NodeId(6)});
+  EXPECT_EQ(narrowed.destinations(), (std::vector<NodeId>{NodeId(6)}));
+  EXPECT_EQ(narrowed.message().id, MessageId(42));
+  EXPECT_EQ(narrowed.routing_path(), packet.routing_path());
+  EXPECT_EQ(narrowed.flow_label(), 1);
+  // The original is untouched.
+  EXPECT_EQ(packet.destinations().size(), 2U);
+}
+
+TEST(PacketTest, WithDestinationsSortsNewSet) {
+  const Packet packet(TestMessage(), {NodeId(1)});
+  const Packet widened = packet.WithDestinations({NodeId(9), NodeId(3)});
+  EXPECT_EQ(widened.destinations(),
+            (std::vector<NodeId>{NodeId(3), NodeId(9)}));
+}
+
+TEST(PacketTest, FlowLabelDefaultsToZero) {
+  const Packet packet(TestMessage(), {NodeId(1)});
+  EXPECT_EQ(packet.flow_label(), 0);
+}
+
+}  // namespace
+}  // namespace dcrd

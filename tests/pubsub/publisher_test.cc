@@ -1,0 +1,77 @@
+#include "pubsub/publisher.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dcrd {
+namespace {
+
+TEST(PublisherTest, PublishesAtConfiguredInterval) {
+  Scheduler scheduler;
+  std::vector<SimTime> times;
+  Publisher publisher(TopicId(0), NodeId(3), SimDuration::Seconds(1),
+                      scheduler,
+                      [&](const Message&) { times.push_back(scheduler.now()); });
+  std::uint64_t next_id = 0;
+  publisher.Start(SimDuration::Millis(250),
+                  SimTime::Zero() + SimDuration::Seconds(5), next_id);
+  scheduler.Run();
+  ASSERT_EQ(times.size(), 5U);  // 0.25, 1.25, 2.25, 3.25, 4.25
+  EXPECT_EQ(times.front(), SimTime::FromMicros(250'000));
+  EXPECT_EQ(times.back(), SimTime::FromMicros(4'250'000));
+  EXPECT_EQ(publisher.published_count(), 5U);
+}
+
+TEST(PublisherTest, StopsAtEndTime) {
+  Scheduler scheduler;
+  int count = 0;
+  Publisher publisher(TopicId(0), NodeId(0), SimDuration::Seconds(1),
+                      scheduler, [&](const Message&) { ++count; });
+  std::uint64_t next_id = 0;
+  publisher.Start(SimDuration::Zero(), SimTime::Zero() + SimDuration::Seconds(3),
+                  next_id);
+  scheduler.Run();
+  EXPECT_EQ(count, 4);  // t = 0, 1, 2, 3
+  EXPECT_TRUE(scheduler.empty());
+}
+
+TEST(PublisherTest, MessagesCarryMetadata) {
+  Scheduler scheduler;
+  std::vector<Message> messages;
+  Publisher publisher(TopicId(7), NodeId(4), SimDuration::Seconds(1),
+                      scheduler,
+                      [&](const Message& m) { messages.push_back(m); });
+  std::uint64_t next_id = 100;
+  publisher.Start(SimDuration::Millis(10),
+                  SimTime::Zero() + SimDuration::Seconds(2), next_id);
+  scheduler.Run();
+  ASSERT_EQ(messages.size(), 2U);
+  EXPECT_EQ(messages[0].id, MessageId(100));
+  EXPECT_EQ(messages[1].id, MessageId(101));
+  EXPECT_EQ(messages[0].topic, TopicId(7));
+  EXPECT_EQ(messages[0].publisher, NodeId(4));
+  EXPECT_EQ(messages[0].publish_time, SimTime::FromMicros(10'000));
+  EXPECT_EQ(next_id, 102U);
+}
+
+TEST(PublisherTest, SharedIdCounterKeepsIdsUnique) {
+  Scheduler scheduler;
+  std::vector<std::uint64_t> ids;
+  const auto record = [&](const Message& m) { ids.push_back(m.id.value); };
+  Publisher a(TopicId(0), NodeId(0), SimDuration::Seconds(1), scheduler,
+              record);
+  Publisher b(TopicId(1), NodeId(1), SimDuration::Seconds(1), scheduler,
+              record);
+  std::uint64_t next_id = 0;
+  const SimTime end = SimTime::Zero() + SimDuration::Seconds(3);
+  a.Start(SimDuration::Millis(100), end, next_id);
+  b.Start(SimDuration::Millis(600), end, next_id);
+  scheduler.Run();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+  EXPECT_EQ(ids.size(), next_id);
+}
+
+}  // namespace
+}  // namespace dcrd

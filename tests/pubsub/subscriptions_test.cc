@@ -1,0 +1,71 @@
+#include "pubsub/subscriptions.h"
+
+#include <gtest/gtest.h>
+
+namespace dcrd {
+namespace {
+
+TEST(SubscriptionTableTest, TopicsGetDenseIds) {
+  SubscriptionTable table;
+  EXPECT_EQ(table.AddTopic(NodeId(3)), TopicId(0));
+  EXPECT_EQ(table.AddTopic(NodeId(5)), TopicId(1));
+  EXPECT_EQ(table.topic_count(), 2U);
+  EXPECT_EQ(table.publisher(TopicId(0)), NodeId(3));
+  EXPECT_EQ(table.publisher(TopicId(1)), NodeId(5));
+}
+
+TEST(SubscriptionTableTest, SubscriptionsRecorded) {
+  SubscriptionTable table;
+  const TopicId topic = table.AddTopic(NodeId(0));
+  table.AddSubscription(topic, NodeId(1), SimDuration::Millis(90));
+  table.AddSubscription(topic, NodeId(2), SimDuration::Millis(120));
+  ASSERT_EQ(table.subscriptions(topic).size(), 2U);
+  EXPECT_EQ(table.SubscriberNodes(topic),
+            (std::vector<NodeId>{NodeId(1), NodeId(2)}));
+  EXPECT_TRUE(table.IsSubscribed(topic, NodeId(1)));
+  EXPECT_FALSE(table.IsSubscribed(topic, NodeId(3)));
+}
+
+TEST(SubscriptionTableTest, DeadlinesPerSubscriber) {
+  SubscriptionTable table;
+  const TopicId topic = table.AddTopic(NodeId(0));
+  table.AddSubscription(topic, NodeId(1), SimDuration::Millis(90));
+  table.AddSubscription(topic, NodeId(2), SimDuration::Millis(120));
+  EXPECT_EQ(table.Deadline(topic, NodeId(1)), SimDuration::Millis(90));
+  EXPECT_EQ(table.Deadline(topic, NodeId(2)), SimDuration::Millis(120));
+}
+
+TEST(SubscriptionTableTest, TopicsIndependent) {
+  SubscriptionTable table;
+  const TopicId a = table.AddTopic(NodeId(0));
+  const TopicId b = table.AddTopic(NodeId(1));
+  table.AddSubscription(a, NodeId(2), SimDuration::Millis(50));
+  EXPECT_TRUE(table.IsSubscribed(a, NodeId(2)));
+  EXPECT_FALSE(table.IsSubscribed(b, NodeId(2)));
+  EXPECT_TRUE(table.subscriptions(b).empty());
+}
+
+TEST(SubscriptionTableDeathTest, DuplicateSubscriptionRejected) {
+  SubscriptionTable table;
+  const TopicId topic = table.AddTopic(NodeId(0));
+  table.AddSubscription(topic, NodeId(1), SimDuration::Millis(90));
+  EXPECT_DEATH(
+      table.AddSubscription(topic, NodeId(1), SimDuration::Millis(10)),
+      "already subscribed");
+}
+
+TEST(SubscriptionTableDeathTest, DeadlineForUnknownSubscriberAborts) {
+  SubscriptionTable table;
+  const TopicId topic = table.AddTopic(NodeId(0));
+  EXPECT_DEATH((void)table.Deadline(topic, NodeId(9)), "not subscribed");
+}
+
+TEST(SubscriptionTableDeathTest, NonPositiveDeadlineRejected) {
+  SubscriptionTable table;
+  const TopicId topic = table.AddTopic(NodeId(0));
+  EXPECT_DEATH(table.AddSubscription(topic, NodeId(1), SimDuration::Zero()),
+               "");
+}
+
+}  // namespace
+}  // namespace dcrd

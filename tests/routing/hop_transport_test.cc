@@ -1,0 +1,217 @@
+#include "routing/hop_transport.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/topology.h"
+
+namespace dcrd {
+namespace {
+
+Message TestMessage() {
+  Message message;
+  message.id = MessageId(1);
+  message.topic = TopicId(0);
+  message.publisher = NodeId(0);
+  message.publish_time = SimTime::Zero();
+  return message;
+}
+
+struct Fixture {
+  Graph graph = Line(2, SimDuration::Millis(10));
+  Scheduler scheduler;
+  LinkId link = *graph.FindEdge(NodeId(0), NodeId(1));
+
+  OverlayNetwork MakeNetwork(double pf, double pl, std::uint64_t seed = 1) {
+    return OverlayNetwork(graph, scheduler, FailureSchedule(seed, pf), pl,
+                          Rng(seed));
+  }
+  static SimDuration Timeout() { return SimDuration::Millis(21); }
+};
+
+TEST(HopTransportTest, DeliversAndAcks) {
+  Fixture f;
+  OverlayNetwork network = f.MakeNetwork(0.0, 0.0);
+  std::vector<NodeId> arrivals;
+  HopTransport transport(network,
+                         [&](NodeId at, const Packet&, NodeId from) {
+                           arrivals.push_back(at);
+                           EXPECT_EQ(from, NodeId(0));
+                         });
+  bool acked = false;
+  transport.SendReliable(NodeId(0), f.link, Packet(TestMessage(), {NodeId(1)}),
+                         1, Fixture::Timeout(),
+                         [&](bool ok) { acked = ok; });
+  f.scheduler.Run();
+  EXPECT_EQ(arrivals, (std::vector<NodeId>{NodeId(1)}));
+  EXPECT_TRUE(acked);
+  EXPECT_EQ(network.counters(TrafficClass::kData).attempted, 1U);
+  EXPECT_EQ(network.counters(TrafficClass::kAck).attempted, 1U);
+  EXPECT_EQ(transport.pending_count(), 0U);
+}
+
+TEST(HopTransportTest, AckTimingFollowsAckDelayFactor) {
+  // Factor 0 (paper model): the ACK returns the instant the data lands.
+  {
+    Fixture f;
+    OverlayNetwork network(f.graph, f.scheduler, FailureSchedule(1, 0.0), 0.0,
+                           Rng(1), /*ack_delay_factor=*/0.0);
+    HopTransport transport(network, [](NodeId, const Packet&, NodeId) {});
+    SimTime ack_time;
+    transport.SendReliable(NodeId(0), f.link,
+                           Packet(TestMessage(), {NodeId(1)}), 1,
+                           Fixture::Timeout(),
+                           [&](bool) { ack_time = f.scheduler.now(); });
+    f.scheduler.Run();
+    EXPECT_EQ(ack_time, SimTime::Zero() + SimDuration::Millis(10));
+  }
+  // Factor 1 (physical): a full round trip.
+  {
+    Fixture f;
+    OverlayNetwork network(f.graph, f.scheduler, FailureSchedule(1, 0.0), 0.0,
+                           Rng(1), /*ack_delay_factor=*/1.0);
+    HopTransport transport(network, [](NodeId, const Packet&, NodeId) {});
+    SimTime ack_time;
+    transport.SendReliable(NodeId(0), f.link,
+                           Packet(TestMessage(), {NodeId(1)}), 1,
+                           Fixture::Timeout(),
+                           [&](bool) { ack_time = f.scheduler.now(); });
+    f.scheduler.Run();
+    EXPECT_EQ(ack_time, SimTime::Zero() + SimDuration::Millis(20));
+  }
+}
+
+TEST(HopTransportTest, ReportsFailureAfterTimeout) {
+  Fixture f;
+  OverlayNetwork network = f.MakeNetwork(1.0, 0.0);  // link always down
+  int arrivals = 0;
+  HopTransport transport(network,
+                         [&](NodeId, const Packet&, NodeId) { ++arrivals; });
+  bool done_value = true;
+  SimTime done_time;
+  transport.SendReliable(NodeId(0), f.link, Packet(TestMessage(), {NodeId(1)}),
+                         1, Fixture::Timeout(), [&](bool ok) {
+                           done_value = ok;
+                           done_time = f.scheduler.now();
+                         });
+  f.scheduler.Run();
+  EXPECT_FALSE(done_value);
+  EXPECT_EQ(arrivals, 0);
+  EXPECT_EQ(done_time, SimTime::Zero() + Fixture::Timeout());
+}
+
+TEST(HopTransportTest, RetransmitsUpToM) {
+  Fixture f;
+  OverlayNetwork network = f.MakeNetwork(1.0, 0.0);
+  HopTransport transport(network, [](NodeId, const Packet&, NodeId) {});
+  bool done_value = true;
+  transport.SendReliable(NodeId(0), f.link, Packet(TestMessage(), {NodeId(1)}),
+                         3, Fixture::Timeout(),
+                         [&](bool ok) { done_value = ok; });
+  f.scheduler.Run();
+  EXPECT_FALSE(done_value);
+  EXPECT_EQ(network.counters(TrafficClass::kData).attempted, 3U);
+}
+
+TEST(HopTransportTest, RetransmissionRecoversLoss) {
+  // Drop only the first transmission: loss rng with rate such that first
+  // draw losses. Use rate 1.0 for the first send then 0: emulate via a
+  // failed first second. Simpler: link down during second 0, up in second 1,
+  // timeout pushes the retry into second 1.
+  Fixture f;
+  std::uint64_t seed = 0;
+  for (; seed < 20'000; ++seed) {
+    const FailureSchedule schedule(seed, 0.5);
+    if (!schedule.IsUp(f.link, SimTime::Zero()) &&
+        schedule.IsUp(f.link, SimTime::FromMicros(1'050'000))) {
+      break;
+    }
+  }
+  ASSERT_LT(seed, 20'000U);
+  OverlayNetwork network(f.graph, f.scheduler, FailureSchedule(seed, 0.5),
+                         0.0, Rng(1));
+  int arrivals = 0;
+  HopTransport transport(network,
+                         [&](NodeId, const Packet&, NodeId) { ++arrivals; });
+  bool acked = false;
+  // Timeout of 1.05 s puts transmission #2 into the next failure epoch.
+  transport.SendReliable(NodeId(0), f.link, Packet(TestMessage(), {NodeId(1)}),
+                         2, SimDuration::Millis(1050),
+                         [&](bool ok) { acked = ok; });
+  f.scheduler.Run();
+  EXPECT_TRUE(acked);
+  EXPECT_EQ(arrivals, 1);
+  EXPECT_EQ(network.counters(TrafficClass::kData).attempted, 2U);
+}
+
+TEST(HopTransportTest, DuplicateDataSuppressedButReAcked) {
+  // ACK is lost (but data passes): sender retransmits, receiver must not
+  // hand the duplicate to the protocol yet must re-ACK.
+  Fixture f;
+  Graph graph = Line(2, SimDuration::Millis(10));
+  Scheduler& scheduler = f.scheduler;
+  // Loss rng: we need data-pass, ack-drop, data-pass, ack-pass. Search a
+  // seed whose first four Bernoulli(0.5) draws are pass,drop,pass,pass.
+  std::uint64_t seed = 0;
+  for (; seed < 100'000; ++seed) {
+    Rng probe(seed);
+    if (!probe.NextBernoulli(0.5) && probe.NextBernoulli(0.5) &&
+        !probe.NextBernoulli(0.5) && !probe.NextBernoulli(0.5)) {
+      break;
+    }
+  }
+  ASSERT_LT(seed, 100'000U);
+  OverlayNetwork network(graph, scheduler, FailureSchedule(1, 0.0), 0.5,
+                         Rng(seed));
+  const LinkId link = *graph.FindEdge(NodeId(0), NodeId(1));
+  int deliveries = 0;
+  HopTransport transport(network,
+                         [&](NodeId, const Packet&, NodeId) { ++deliveries; });
+  bool acked = false;
+  transport.SendReliable(NodeId(0), link, Packet(TestMessage(), {NodeId(1)}),
+                         2, SimDuration::Millis(21),
+                         [&](bool ok) { acked = ok; });
+  scheduler.Run();
+  EXPECT_EQ(deliveries, 1);  // duplicate suppressed
+  EXPECT_TRUE(acked);        // second ACK got through
+  EXPECT_EQ(network.counters(TrafficClass::kAck).attempted, 2U);
+}
+
+TEST(HopTransportTest, DoneRunsExactlyOnce) {
+  Fixture f;
+  OverlayNetwork network = f.MakeNetwork(0.0, 0.0);
+  HopTransport transport(network, [](NodeId, const Packet&, NodeId) {});
+  int done_calls = 0;
+  transport.SendReliable(NodeId(0), f.link, Packet(TestMessage(), {NodeId(1)}),
+                         3, Fixture::Timeout(), [&](bool) { ++done_calls; });
+  f.scheduler.Run();
+  EXPECT_EQ(done_calls, 1);
+}
+
+TEST(HopTransportTest, ConcurrentSendsIndependent) {
+  Fixture f;
+  OverlayNetwork network = f.MakeNetwork(0.0, 0.0);
+  HopTransport transport(network, [](NodeId, const Packet&, NodeId) {});
+  int acks = 0;
+  for (int i = 0; i < 10; ++i) {
+    transport.SendReliable(NodeId(0), f.link,
+                           Packet(TestMessage(), {NodeId(1)}), 1,
+                           Fixture::Timeout(), [&](bool ok) { acks += ok; });
+  }
+  f.scheduler.Run();
+  EXPECT_EQ(acks, 10);
+}
+
+TEST(HopTransportTest, ClearDedupStateKeepsPendingSendsAlive) {
+  Fixture f;
+  OverlayNetwork network = f.MakeNetwork(0.0, 0.0);
+  HopTransport transport(network, [](NodeId, const Packet&, NodeId) {});
+  bool acked = false;
+  transport.SendReliable(NodeId(0), f.link, Packet(TestMessage(), {NodeId(1)}),
+                         1, Fixture::Timeout(), [&](bool ok) { acked = ok; });
+  transport.ClearDedupState();
+  f.scheduler.Run();
+  EXPECT_TRUE(acked);
+}
+
+}  // namespace
+}  // namespace dcrd

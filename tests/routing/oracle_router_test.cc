@@ -1,0 +1,114 @@
+#include "routing/oracle_router.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/topology.h"
+#include "test_harness.h"
+
+namespace dcrd {
+namespace {
+
+using testing::RouterHarness;
+
+Graph Diamond() {
+  Graph graph(4);
+  graph.AddEdge(NodeId(0), NodeId(1), SimDuration::Millis(10));
+  graph.AddEdge(NodeId(0), NodeId(2), SimDuration::Millis(1));
+  graph.AddEdge(NodeId(2), NodeId(1), SimDuration::Millis(2));
+  graph.AddEdge(NodeId(1), NodeId(3), SimDuration::Millis(1));
+  return graph;
+}
+
+TEST(OracleRouterTest, FollowsShortestDelayWhenHealthy) {
+  RouterHarness h(Diamond(), 0.0, 0.0);
+  const TopicId topic = h.subscriptions.AddTopic(NodeId(0));
+  h.subscriptions.AddSubscription(topic, NodeId(3), SimDuration::Millis(100));
+  OracleRouter router(h.Context());
+  router.Rebuild(h.monitor.view());
+
+  const Message message = h.PublishVia(router, topic);
+  h.scheduler.Run();
+  EXPECT_EQ(h.sink.ArrivalOf(message.id, NodeId(3)),
+            SimTime::Zero() + SimDuration::Millis(4));  // 0-2-1-3
+}
+
+TEST(OracleRouterTest, RoutesAroundCurrentFailure) {
+  // Find a seed where, at t=0, the cheap 0-2 link is down but 0-1 and 1-3
+  // are up: the oracle must pay for the direct edge and still deliver.
+  const Graph graph = Diamond();
+  const LinkId link02 = *graph.FindEdge(NodeId(0), NodeId(2));
+  const LinkId link01 = *graph.FindEdge(NodeId(0), NodeId(1));
+  const LinkId link13 = *graph.FindEdge(NodeId(1), NodeId(3));
+  std::uint64_t seed = 0;
+  for (; seed < 50'000; ++seed) {
+    const FailureSchedule schedule(seed, 0.4);
+    if (!schedule.IsUp(link02, SimTime::Zero()) &&
+        schedule.IsUp(link01, SimTime::Zero()) &&
+        schedule.IsUp(link13, SimTime::FromMicros(10'000))) {
+      break;
+    }
+  }
+  ASSERT_LT(seed, 50'000U);
+  RouterHarness h(Diamond(), 0.4, 0.0, seed);
+  const TopicId topic = h.subscriptions.AddTopic(NodeId(0));
+  h.subscriptions.AddSubscription(topic, NodeId(3), SimDuration::Millis(100));
+  OracleRouter router(h.Context());
+  router.Rebuild(h.monitor.view());
+
+  const Message message = h.PublishVia(router, topic);
+  h.scheduler.Run();
+  EXPECT_TRUE(h.sink.Delivered(message.id, NodeId(3)));
+  EXPECT_EQ(h.sink.ArrivalOf(message.id, NodeId(3)),
+            SimTime::Zero() + SimDuration::Millis(11));  // 0-1-3 direct
+}
+
+TEST(OracleRouterTest, DropsWhenPartitioned) {
+  RouterHarness h(Line(3, SimDuration::Millis(10)), 1.0, 0.0);
+  const TopicId topic = h.subscriptions.AddTopic(NodeId(0));
+  h.subscriptions.AddSubscription(topic, NodeId(2), SimDuration::Millis(100));
+  OracleRouter router(h.Context());
+  router.Rebuild(h.monitor.view());
+  const Message message = h.PublishVia(router, topic);
+  h.scheduler.Run();
+  EXPECT_FALSE(h.sink.Delivered(message.id, NodeId(2)));
+  // The oracle knew: it never transmitted at all.
+  EXPECT_EQ(h.network.counters(TrafficClass::kData).attempted, 0U);
+}
+
+TEST(OracleRouterTest, PlannedHopsNeverHitFailedLinks) {
+  // Under heavy failures, every oracle data transmission must succeed at
+  // the failure layer (losses are off): dropped_failure stays zero.
+  Rng rng(4);
+  RouterHarness h(RandomConnected(12, 5, rng), 0.3, 0.0, /*seed=*/9);
+  const TopicId topic = h.subscriptions.AddTopic(NodeId(0));
+  for (std::uint32_t v = 1; v < 12; v += 2) {
+    h.subscriptions.AddSubscription(topic, NodeId(v),
+                                    SimDuration::Millis(400));
+  }
+  OracleRouter router(h.Context());
+  router.Rebuild(h.monitor.view());
+  for (int burst = 0; burst < 30; ++burst) {
+    h.PublishVia(router, topic);
+    h.scheduler.RunUntil(h.scheduler.now() + SimDuration::Millis(700));
+  }
+  h.scheduler.Run();
+  EXPECT_EQ(h.network.counters(TrafficClass::kData).dropped_failure, 0U);
+  EXPECT_GT(h.network.counters(TrafficClass::kData).attempted, 0U);
+}
+
+TEST(OracleRouterTest, SharesCopiesAcrossSubscribers) {
+  RouterHarness h(Line(4, SimDuration::Millis(10)), 0.0, 0.0);
+  const TopicId topic = h.subscriptions.AddTopic(NodeId(0));
+  h.subscriptions.AddSubscription(topic, NodeId(2), SimDuration::Millis(500));
+  h.subscriptions.AddSubscription(topic, NodeId(3), SimDuration::Millis(500));
+  OracleRouter router(h.Context());
+  router.Rebuild(h.monitor.view());
+  const Message message = h.PublishVia(router, topic);
+  h.scheduler.Run();
+  EXPECT_TRUE(h.sink.Delivered(message.id, NodeId(2)));
+  EXPECT_TRUE(h.sink.Delivered(message.id, NodeId(3)));
+  EXPECT_EQ(h.network.counters(TrafficClass::kData).attempted, 3U);
+}
+
+}  // namespace
+}  // namespace dcrd

@@ -1,0 +1,68 @@
+// SourceRoutedRouter internals reachable only through contrived timing:
+// the per-message route cache and its TTL purge.
+#include <gtest/gtest.h>
+
+#include "graph/topology.h"
+#include "routing/tree_router.h"
+#include "test_harness.h"
+
+namespace dcrd {
+namespace {
+
+using testing::RouterHarness;
+
+TEST(SourceRoutedTest, PurgedRouteAbandonsInFlightPacket) {
+  // Links slower than the 120 s route-cache TTL: publishing a second
+  // message after the TTL purges the first message's routes, so the first
+  // packet is abandoned at the intermediate broker mid-journey.
+  Graph graph(3);
+  graph.AddEdge(NodeId(0), NodeId(1), SimDuration::Seconds(130));
+  graph.AddEdge(NodeId(1), NodeId(2), SimDuration::Seconds(130));
+  RouterHarness h(std::move(graph), 0.0, 0.0);
+  const TopicId topic = h.subscriptions.AddTopic(NodeId(0));
+  h.subscriptions.AddSubscription(topic, NodeId(2), SimDuration::Seconds(600));
+  TreeRouter router(h.Context(), TreeKind::kShortestDelay);
+  router.Rebuild(h.monitor.view());
+
+  const Message first = h.PublishVia(router, topic);
+  // Past the TTL but before the first packet reaches broker 1.
+  h.scheduler.RunUntil(h.scheduler.now() + SimDuration::Seconds(125));
+  const Message second = h.PublishVia(router, topic);
+  h.scheduler.Run();
+
+  EXPECT_FALSE(h.sink.Delivered(first.id, NodeId(2)));
+  EXPECT_TRUE(h.sink.Delivered(second.id, NodeId(2)));
+}
+
+TEST(SourceRoutedTest, CacheSurvivesWithinTtl) {
+  // Same shape but fast links: everything within TTL, both delivered.
+  RouterHarness h(Line(3, SimDuration::Millis(10)), 0.0, 0.0);
+  const TopicId topic = h.subscriptions.AddTopic(NodeId(0));
+  h.subscriptions.AddSubscription(topic, NodeId(2), SimDuration::Millis(500));
+  TreeRouter router(h.Context(), TreeKind::kShortestDelay);
+  router.Rebuild(h.monitor.view());
+  const Message first = h.PublishVia(router, topic);
+  h.scheduler.RunUntil(h.scheduler.now() + SimDuration::Seconds(60));
+  const Message second = h.PublishVia(router, topic);
+  h.scheduler.Run();
+  EXPECT_TRUE(h.sink.Delivered(first.id, NodeId(2)));
+  EXPECT_TRUE(h.sink.Delivered(second.id, NodeId(2)));
+}
+
+TEST(SourceRoutedDeathTest, DuplicateMessageIdRejected) {
+  RouterHarness h(Line(2, SimDuration::Millis(10)), 0.0, 0.0);
+  const TopicId topic = h.subscriptions.AddTopic(NodeId(0));
+  h.subscriptions.AddSubscription(topic, NodeId(1), SimDuration::Millis(100));
+  TreeRouter router(h.Context(), TreeKind::kShortestDelay);
+  router.Rebuild(h.monitor.view());
+  Message message;
+  message.id = MessageId(42);
+  message.topic = topic;
+  message.publisher = NodeId(0);
+  message.publish_time = h.scheduler.now();
+  router.Publish(message);
+  EXPECT_DEATH(router.Publish(message), "duplicate message id");
+}
+
+}  // namespace
+}  // namespace dcrd

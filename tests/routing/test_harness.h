@@ -1,0 +1,100 @@
+// Shared fixture for router-level tests: a graph, a network with
+// configurable failure/loss processes, a monitor with fresh estimates, a
+// subscription table, and a recording delivery sink.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "net/link_monitor.h"
+#include "net/overlay_network.h"
+#include "pubsub/publisher.h"
+#include "pubsub/subscriptions.h"
+#include "routing/router.h"
+
+namespace dcrd::testing {
+
+class RecordingSink final : public DeliverySink {
+ public:
+  struct Delivery {
+    MessageId message;
+    NodeId subscriber;
+    SimTime arrival;
+  };
+
+  void OnDelivered(const Message& message, NodeId subscriber,
+                   SimTime arrival) override {
+    deliveries_.push_back(Delivery{message.id, subscriber, arrival});
+  }
+
+  [[nodiscard]] const std::vector<Delivery>& deliveries() const {
+    return deliveries_;
+  }
+  [[nodiscard]] std::size_t CountFor(MessageId message) const {
+    std::size_t count = 0;
+    for (const Delivery& d : deliveries_) count += d.message == message;
+    return count;
+  }
+  [[nodiscard]] bool Delivered(MessageId message, NodeId subscriber) const {
+    for (const Delivery& d : deliveries_) {
+      if (d.message == message && d.subscriber == subscriber) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] SimTime ArrivalOf(MessageId message, NodeId subscriber) const {
+    for (const Delivery& d : deliveries_) {
+      if (d.message == message && d.subscriber == subscriber) return d.arrival;
+    }
+    return SimTime::Max();
+  }
+  void Clear() { deliveries_.clear(); }
+
+ private:
+  std::vector<Delivery> deliveries_;
+};
+
+struct RouterHarness {
+  Graph graph;
+  Scheduler scheduler;
+  OverlayNetwork network;
+  LinkMonitor monitor;
+  SubscriptionTable subscriptions;
+  RecordingSink sink;
+  std::uint64_t next_message_id = 0;
+
+  RouterHarness(Graph g, double pf, double pl, std::uint64_t seed = 1)
+      : graph(std::move(g)),
+        network(graph, scheduler, FailureSchedule(seed, pf), pl, Rng(seed)),
+        monitor(graph, FailureSchedule(seed, pf), MonitorConfigFor(pl),
+                Rng(seed + 1)) {
+    monitor.MeasureAt(SimTime::Zero());
+  }
+
+  static LinkMonitorConfig MonitorConfigFor(double pl) {
+    LinkMonitorConfig config;
+    config.loss_rate = pl;
+    return config;
+  }
+
+  [[nodiscard]] RouterContext Context(int m = 1) {
+    RouterContext context;
+    context.network = &network;
+    context.subscriptions = &subscriptions;
+    context.sink = &sink;
+    context.max_transmissions = m;
+    return context;
+  }
+
+  Message PublishVia(Router& router, TopicId topic) {
+    Message message;
+    message.id = MessageId(next_message_id++);
+    message.topic = topic;
+    message.publisher = subscriptions.publisher(topic);
+    message.publish_time = scheduler.now();
+    router.Publish(message);
+    return message;
+  }
+};
+
+}  // namespace dcrd::testing

@@ -1,0 +1,157 @@
+// Subscription churn: the workload mutation itself plus whole-system
+// behaviour when subscribers come and go mid-run.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dcrd/dcrd_router.h"
+#include "graph/shortest_path.h"
+#include "graph/topology.h"
+#include "routing/test_harness.h"
+#include "sim/engine.h"
+#include "sim/workload.h"
+
+namespace dcrd {
+namespace {
+
+ScenarioConfig ChurnConfig() {
+  ScenarioConfig config;
+  config.node_count = 20;
+  config.topic_count = 5;
+  config.degree = 6;
+  config.qos_factor = 3.0;
+  return config;
+}
+
+TEST(ChurnTest, PreservesSubscriptionCounts) {
+  Rng topo_rng(1), rng(2), churn_rng(3);
+  const Graph graph = RandomConnected(20, 6, topo_rng);
+  ScenarioConfig config = ChurnConfig();
+  config.subscription_churn = 0.5;
+  SubscriptionTable table = GenerateWorkload(graph, config, rng);
+  std::vector<std::size_t> before;
+  for (std::size_t t = 0; t < table.topic_count(); ++t) {
+    before.push_back(
+        table.subscriptions(TopicId(static_cast<TopicId::underlying_type>(t)))
+            .size());
+  }
+  for (int round = 0; round < 5; ++round) {
+    ApplySubscriptionChurn(graph, config, churn_rng, table);
+  }
+  for (std::size_t t = 0; t < table.topic_count(); ++t) {
+    EXPECT_EQ(
+        table.subscriptions(TopicId(static_cast<TopicId::underlying_type>(t)))
+            .size(),
+        before[t]);
+  }
+}
+
+TEST(ChurnTest, ActuallyReplacesSubscribers) {
+  Rng topo_rng(1), rng(2), churn_rng(3);
+  const Graph graph = RandomConnected(20, 6, topo_rng);
+  ScenarioConfig config = ChurnConfig();
+  config.subscription_churn = 0.5;
+  SubscriptionTable table = GenerateWorkload(graph, config, rng);
+  const TopicId topic(0);
+  const auto before = table.SubscriberNodes(topic);
+  ApplySubscriptionChurn(graph, config, churn_rng, table);
+  const auto after = table.SubscriberNodes(topic);
+  const std::set<NodeId> before_set(before.begin(), before.end());
+  std::size_t changed = 0;
+  for (const NodeId node : after) changed += before_set.contains(node) ? 0 : 1;
+  EXPECT_GT(changed, 0U);
+}
+
+TEST(ChurnTest, NeverSubscribesThePublisher) {
+  Rng topo_rng(1), rng(2), churn_rng(3);
+  const Graph graph = RandomConnected(20, 6, topo_rng);
+  ScenarioConfig config = ChurnConfig();
+  config.subscription_churn = 1.0;  // maximal churn
+  SubscriptionTable table = GenerateWorkload(graph, config, rng);
+  for (int round = 0; round < 10; ++round) {
+    ApplySubscriptionChurn(graph, config, churn_rng, table);
+  }
+  for (std::size_t t = 0; t < table.topic_count(); ++t) {
+    const TopicId topic(static_cast<TopicId::underlying_type>(t));
+    EXPECT_FALSE(table.IsSubscribed(topic, table.publisher(topic)));
+    EXPECT_FALSE(table.subscriptions(topic).empty());
+  }
+}
+
+TEST(ChurnTest, JoinerDeadlineFollowsQosRule) {
+  Rng topo_rng(1), rng(2), churn_rng(3);
+  const Graph graph = RandomConnected(20, 6, topo_rng);
+  ScenarioConfig config = ChurnConfig();
+  config.subscription_churn = 1.0;
+  SubscriptionTable table = GenerateWorkload(graph, config, rng);
+  ApplySubscriptionChurn(graph, config, churn_rng, table);
+  for (std::size_t t = 0; t < table.topic_count(); ++t) {
+    const TopicId topic(static_cast<TopicId::underlying_type>(t));
+    const PathTree tree = ShortestDelayTree(graph, table.publisher(topic));
+    for (const Subscription& sub : table.subscriptions(topic)) {
+      EXPECT_NEAR(sub.deadline.millis(),
+                  tree.distance[sub.subscriber.underlying()].millis() * 3.0,
+                  0.001);
+    }
+  }
+}
+
+TEST(ChurnTest, ZeroChurnIsNoop) {
+  Rng topo_rng(1), rng(2), churn_rng(3);
+  const Graph graph = RandomConnected(20, 6, topo_rng);
+  ScenarioConfig config = ChurnConfig();
+  config.subscription_churn = 0.0;
+  SubscriptionTable table = GenerateWorkload(graph, config, rng);
+  const auto before = table.SubscriberNodes(TopicId(0));
+  ApplySubscriptionChurn(graph, config, churn_rng, table);
+  EXPECT_EQ(table.SubscriberNodes(TopicId(0)), before);
+}
+
+TEST(ChurnTest, EndToEndRunStaysHealthy) {
+  // Whole-system: churn at every epoch, every router survives and DCRD
+  // still delivers essentially everything that was expected at publish
+  // time.
+  for (const RouterKind router :
+       {RouterKind::kDcrd, RouterKind::kDTree, RouterKind::kMultipath}) {
+    ScenarioConfig config;
+    config.router = router;
+    config.node_count = 15;
+    config.degree = 5;
+    config.topic_count = 4;
+    config.failure_probability = 0.04;
+    config.subscription_churn = 0.3;
+    config.monitor_interval = SimDuration::Seconds(10);  // frequent churn
+    config.sim_time = SimDuration::Seconds(60);
+    config.seed = 5;
+    const RunSummary summary = RunScenario(config);
+    EXPECT_GT(summary.messages_published, 0U) << RouterName(router);
+    EXPECT_LE(summary.qos_pairs, summary.delivered_pairs);
+    EXPECT_LE(summary.delivered_pairs, summary.expected_pairs);
+    if (router == RouterKind::kDcrd) {
+      EXPECT_GT(summary.delivery_ratio(), 0.95);
+    }
+  }
+}
+
+TEST(ChurnTest, DcrdDropsInFlightPacketForDepartedSubscriber) {
+  // Publish toward a subscriber, then remove the subscription and rebuild
+  // while the packet is still in flight: the router must neither crash nor
+  // deliver, and the episode must wind down cleanly.
+  testing::RouterHarness h(Line(3, SimDuration::Millis(10)), 0.0, 0.0);
+  const TopicId topic = h.subscriptions.AddTopic(NodeId(0));
+  h.subscriptions.AddSubscription(topic, NodeId(2), SimDuration::Millis(100));
+  DcrdRouter router(h.Context());
+  router.Rebuild(h.monitor.view());
+  const Message message = h.PublishVia(router, topic);
+  // Unsubscribe and rebuild while the packet is mid-flight on the first
+  // hop; node 1 then has no tables for the departed subscriber.
+  h.scheduler.RunUntil(h.scheduler.now() + SimDuration::Millis(5));
+  ASSERT_TRUE(h.subscriptions.RemoveSubscription(topic, NodeId(2)));
+  router.Rebuild(h.monitor.view());
+  h.scheduler.Run();
+  EXPECT_FALSE(h.sink.Delivered(message.id, NodeId(2)));
+  EXPECT_TRUE(h.scheduler.empty());
+}
+
+}  // namespace
+}  // namespace dcrd

@@ -1,0 +1,119 @@
+// Engine-level behaviour of the extension knobs: jitter, heterogeneity,
+// node failures, queuing, persistence and ordering policies all running
+// through RunScenario.
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+
+namespace dcrd {
+namespace {
+
+ScenarioConfig Base(RouterKind router) {
+  ScenarioConfig config;
+  config.router = router;
+  config.node_count = 12;
+  config.topology = TopologyKind::kRandomDegree;
+  config.degree = 5;
+  config.topic_count = 3;
+  config.sim_time = SimDuration::Seconds(40);
+  config.seed = 9;
+  return config;
+}
+
+TEST(EngineExtensionsTest, JitterPreservesDeliveryLoosensDelays) {
+  ScenarioConfig crisp = Base(RouterKind::kDcrd);
+  crisp.failure_probability = 0.0;
+  crisp.loss_rate = 0.0;
+  ScenarioConfig jittery = crisp;
+  jittery.delay_jitter = 0.2;
+  const RunSummary crisp_summary = RunScenario(crisp);
+  const RunSummary jitter_summary = RunScenario(jittery);
+  EXPECT_DOUBLE_EQ(jitter_summary.delivery_ratio(), 1.0);
+  // Deadlines are 3x shortest path; ±20% jitter cannot break them.
+  EXPECT_GT(jitter_summary.qos_ratio(), 0.999);
+  // But the delay distribution must actually differ.
+  EXPECT_NE(crisp_summary.delay_ms_samples, jitter_summary.delay_ms_samples);
+}
+
+TEST(EngineExtensionsTest, HeterogeneityChangesOutcomesDeterministically) {
+  ScenarioConfig uniform = Base(RouterKind::kDcrd);
+  uniform.failure_probability = 0.08;
+  ScenarioConfig heterogeneous = uniform;
+  heterogeneous.failure_heterogeneity = 1.5;
+  const RunSummary a = RunScenario(heterogeneous);
+  const RunSummary b = RunScenario(heterogeneous);
+  EXPECT_EQ(a.delivered_pairs, b.delivered_pairs);
+  EXPECT_EQ(a.data_transmissions, b.data_transmissions);
+  EXPECT_NE(RunScenario(uniform).data_transmissions, a.data_transmissions);
+}
+
+TEST(EngineExtensionsTest, NodeFailuresHurtEveryRouter) {
+  for (const RouterKind router :
+       {RouterKind::kDcrd, RouterKind::kDTree, RouterKind::kOracle}) {
+    ScenarioConfig clean = Base(router);
+    clean.failure_probability = 0.0;
+    clean.loss_rate = 0.0;
+    ScenarioConfig faulty = clean;
+    faulty.node_failure_probability = 0.05;
+    faulty.node_outage_epochs = 3;
+    EXPECT_LT(RunScenario(faulty).delivery_ratio(),
+              RunScenario(clean).delivery_ratio())
+        << RouterName(router);
+  }
+}
+
+TEST(EngineExtensionsTest, QueuingDelaysShowUpInDelaySamples) {
+  ScenarioConfig unqueued = Base(RouterKind::kDTree);
+  unqueued.failure_probability = 0.0;
+  unqueued.loss_rate = 0.0;
+  unqueued.publish_interval = SimDuration::FromSecondsF(0.05);  // 20 pkts/s
+  ScenarioConfig queued = unqueued;
+  queued.link_serialization = SimDuration::Millis(10);
+  const RunSummary fast = RunScenario(unqueued);
+  const RunSummary slow = RunScenario(queued);
+  double fast_sum = 0, slow_sum = 0;
+  for (const double d : fast.delay_ms_samples) fast_sum += d;
+  for (const double d : slow.delay_ms_samples) slow_sum += d;
+  ASSERT_FALSE(fast.delay_ms_samples.empty());
+  ASSERT_FALSE(slow.delay_ms_samples.empty());
+  EXPECT_GT(slow_sum / slow.delay_ms_samples.size(),
+            fast_sum / fast.delay_ms_samples.size());
+}
+
+TEST(EngineExtensionsTest, PersistenceNeverLowersDelivery) {
+  ScenarioConfig off = Base(RouterKind::kDcrd);
+  off.degree = 2;  // ring: partitions actually happen
+  off.failure_probability = 0.10;
+  off.link_outage_epochs = 5;
+  ScenarioConfig on = off;
+  on.dcrd_persistence = true;
+  const RunSummary off_summary = RunScenario(off);
+  const RunSummary on_summary = RunScenario(on);
+  EXPECT_GE(on_summary.delivery_ratio(), off_summary.delivery_ratio());
+  EXPECT_LT(off_summary.delivery_ratio(), 1.0);  // the knob had work to do
+}
+
+TEST(EngineExtensionsTest, OrderingPoliciesRunAndDiffer) {
+  ScenarioConfig theorem = Base(RouterKind::kDcrd);
+  theorem.failure_probability = 0.10;
+  theorem.failure_heterogeneity = 1.5;
+  ScenarioConfig reliability = theorem;
+  reliability.dcrd_ordering = OrderingPolicy::kReliabilityFirst;
+  const RunSummary a = RunScenario(theorem);
+  const RunSummary b = RunScenario(reliability);
+  EXPECT_NE(a.data_transmissions, b.data_transmissions);
+  EXPECT_GE(a.qos_ratio() + 1e-9, b.qos_ratio());
+}
+
+TEST(EngineExtensionsTest, MultipathPathCountScalesTraffic) {
+  ScenarioConfig two = Base(RouterKind::kMultipath);
+  two.failure_probability = 0.0;
+  two.loss_rate = 0.0;
+  ScenarioConfig three = two;
+  three.multipath_path_count = 3;
+  EXPECT_GT(RunScenario(three).packets_per_subscriber(),
+            RunScenario(two).packets_per_subscriber());
+}
+
+}  // namespace
+}  // namespace dcrd

@@ -1,0 +1,105 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace dcrd {
+namespace {
+
+ScenarioConfig SmallScenario(RouterKind router) {
+  ScenarioConfig config;
+  config.router = router;
+  config.node_count = 10;
+  config.topology = TopologyKind::kRandomDegree;
+  config.degree = 4;
+  config.topic_count = 3;
+  config.sim_time = SimDuration::Seconds(30);
+  config.seed = 5;
+  return config;
+}
+
+TEST(EngineTest, PerfectNetworkDeliversEverythingOnTime) {
+  for (const RouterKind router :
+       {RouterKind::kDcrd, RouterKind::kRTree, RouterKind::kDTree,
+        RouterKind::kOracle, RouterKind::kMultipath}) {
+    ScenarioConfig config = SmallScenario(router);
+    config.failure_probability = 0.0;
+    config.loss_rate = 0.0;
+    const RunSummary summary = RunScenario(config);
+    EXPECT_GT(summary.messages_published, 0U) << RouterName(router);
+    EXPECT_DOUBLE_EQ(summary.delivery_ratio(), 1.0) << RouterName(router);
+    EXPECT_DOUBLE_EQ(summary.qos_ratio(), 1.0) << RouterName(router);
+  }
+}
+
+TEST(EngineTest, PublishCadenceMatchesConfig) {
+  ScenarioConfig config = SmallScenario(RouterKind::kDTree);
+  config.failure_probability = 0.0;
+  config.loss_rate = 0.0;
+  const RunSummary summary = RunScenario(config);
+  // 3 topics x 1 pkt/s x 30 s; the random phase makes it 30 or 31 each.
+  EXPECT_GE(summary.messages_published, 90U);
+  EXPECT_LE(summary.messages_published, 93U);
+}
+
+TEST(EngineTest, DeterministicForSeed) {
+  const ScenarioConfig config = SmallScenario(RouterKind::kDcrd);
+  ScenarioConfig with_failures = config;
+  with_failures.failure_probability = 0.06;
+  const RunSummary a = RunScenario(with_failures);
+  const RunSummary b = RunScenario(with_failures);
+  EXPECT_EQ(a.delivered_pairs, b.delivered_pairs);
+  EXPECT_EQ(a.qos_pairs, b.qos_pairs);
+  EXPECT_EQ(a.data_transmissions, b.data_transmissions);
+  EXPECT_EQ(a.lateness_ratios, b.lateness_ratios);
+}
+
+TEST(EngineTest, SeedChangesOutcome) {
+  ScenarioConfig a = SmallScenario(RouterKind::kDcrd);
+  a.failure_probability = 0.06;
+  ScenarioConfig b = a;
+  b.seed = 6;
+  EXPECT_NE(RunScenario(a).data_transmissions,
+            RunScenario(b).data_transmissions);
+}
+
+TEST(EngineTest, MultipathSendsMoreTrafficThanTree) {
+  ScenarioConfig tree = SmallScenario(RouterKind::kDTree);
+  ScenarioConfig multipath = SmallScenario(RouterKind::kMultipath);
+  tree.failure_probability = multipath.failure_probability = 0.0;
+  tree.loss_rate = multipath.loss_rate = 0.0;
+  EXPECT_GT(RunScenario(multipath).packets_per_subscriber(),
+            RunScenario(tree).packets_per_subscriber());
+}
+
+TEST(EngineTest, FullMeshRTreeSendsOnePacketPerSubscriber) {
+  // The paper's calibration point: with direct links everywhere, R-Tree's
+  // shortest-hop tree is the star of direct edges.
+  ScenarioConfig config = SmallScenario(RouterKind::kRTree);
+  config.topology = TopologyKind::kFullMesh;
+  config.failure_probability = 0.0;
+  config.loss_rate = 0.0;
+  const RunSummary summary = RunScenario(config);
+  EXPECT_DOUBLE_EQ(summary.packets_per_subscriber(), 1.0);
+}
+
+TEST(EngineTest, FailuresDegradeTreesMoreThanDcrd) {
+  ScenarioConfig dcrd = SmallScenario(RouterKind::kDcrd);
+  ScenarioConfig dtree = SmallScenario(RouterKind::kDTree);
+  dcrd.failure_probability = dtree.failure_probability = 0.08;
+  dcrd.sim_time = dtree.sim_time = SimDuration::Seconds(120);
+  const RunSummary dcrd_summary = RunScenario(dcrd);
+  const RunSummary dtree_summary = RunScenario(dtree);
+  EXPECT_GT(dcrd_summary.delivery_ratio(), dtree_summary.delivery_ratio());
+}
+
+TEST(EngineTest, AcksAreCountedSeparately) {
+  ScenarioConfig config = SmallScenario(RouterKind::kDcrd);
+  config.failure_probability = 0.0;
+  config.loss_rate = 0.0;
+  const RunSummary summary = RunScenario(config);
+  // Hop-by-hop ACKs: one per successful data transmission here.
+  EXPECT_EQ(summary.ack_transmissions, summary.data_transmissions);
+}
+
+}  // namespace
+}  // namespace dcrd

@@ -1,0 +1,118 @@
+#include "sim/experiment.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace dcrd {
+namespace {
+
+ScenarioConfig TinyBase() {
+  ScenarioConfig config;
+  config.node_count = 8;
+  config.topology = TopologyKind::kRandomDegree;
+  config.degree = 3;
+  config.topic_count = 2;
+  config.sim_time = SimDuration::Seconds(10);
+  config.seed = 1;
+  return config;
+}
+
+TEST(ExperimentTest, SweepShapesMatchInputs) {
+  const std::vector<RouterKind> routers = {RouterKind::kDcrd,
+                                           RouterKind::kDTree};
+  const SweepResult sweep = RunSweep(
+      "test", "Pf", TinyBase(), routers, {0.0, 0.05},
+      [](double pf, ScenarioConfig& config) {
+        config.failure_probability = pf;
+      },
+      /*repetitions=*/2);
+  ASSERT_EQ(sweep.points.size(), 2U);
+  EXPECT_DOUBLE_EQ(sweep.points[0].x, 0.0);
+  EXPECT_DOUBLE_EQ(sweep.points[1].x, 0.05);
+  for (const SweepPoint& point : sweep.points) {
+    ASSERT_EQ(point.per_router.size(), 2U);
+    for (const RunSummary& summary : point.per_router) {
+      EXPECT_GT(summary.messages_published, 0U);
+    }
+  }
+}
+
+TEST(ExperimentTest, RepetitionsPoolCounts) {
+  const std::vector<RouterKind> routers = {RouterKind::kDTree};
+  const auto run = [&](int reps) {
+    return RunSweep(
+        "test", "x", TinyBase(), routers, {0.0},
+        [](double, ScenarioConfig&) {}, reps);
+  };
+  const RunSummary once = run(1).points[0].per_router[0];
+  const RunSummary thrice = run(3).points[0].per_router[0];
+  EXPECT_GT(thrice.messages_published, 2 * once.messages_published);
+}
+
+TEST(ExperimentTest, PairedSeedsAcrossRouters) {
+  // With Pf=Pl=0 both routers face the identical workload: expected pair
+  // counts must agree exactly.
+  const std::vector<RouterKind> routers = {RouterKind::kDcrd,
+                                           RouterKind::kRTree};
+  const SweepResult sweep = RunSweep(
+      "test", "x", TinyBase(), routers, {0.0},
+      [](double, ScenarioConfig& config) {
+        config.failure_probability = 0.0;
+        config.loss_rate = 0.0;
+      },
+      2);
+  EXPECT_EQ(sweep.points[0].per_router[0].expected_pairs,
+            sweep.points[0].per_router[1].expected_pairs);
+}
+
+TEST(ExperimentTest, PrintTableIsWellFormed) {
+  const std::vector<RouterKind> routers = {RouterKind::kDcrd,
+                                           RouterKind::kOracle};
+  const SweepResult sweep = RunSweep(
+      "My sweep", "Pf", TinyBase(), routers, {0.0},
+      [](double, ScenarioConfig&) {}, 1);
+  std::ostringstream os;
+  PrintTable(os, sweep, "Delivery Ratio",
+             [](const RunSummary& s) { return s.delivery_ratio(); });
+  const std::string out = os.str();
+  EXPECT_NE(out.find("My sweep"), std::string::npos);
+  EXPECT_NE(out.find("Delivery Ratio"), std::string::npos);
+  EXPECT_NE(out.find("DCRD"), std::string::npos);
+  EXPECT_NE(out.find("ORACLE"), std::string::npos);
+  EXPECT_NE(out.find("1.0000"), std::string::npos);
+}
+
+TEST(ExperimentTest, PrintStandardPanelsEmitsThreeTables) {
+  const SweepResult sweep = RunSweep(
+      "panels", "x", TinyBase(), {RouterKind::kDTree}, {0.0},
+      [](double, ScenarioConfig&) {}, 1);
+  std::ostringstream os;
+  PrintStandardPanels(os, sweep);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Delivery Ratio"), std::string::npos);
+  EXPECT_NE(out.find("QoS Delivery Ratio"), std::string::npos);
+  EXPECT_NE(out.find("Packets Sent / Subscriber"), std::string::npos);
+}
+
+TEST(LatenessCdfTest, ComputesEmpiricalCdf) {
+  RunSummary summary;
+  summary.lateness_ratios = {1.1, 1.2, 1.2, 1.6, 2.4};
+  const auto cdf = LatenessCdf(summary, {1.0, 1.2, 1.5, 2.0, 3.0});
+  ASSERT_EQ(cdf.size(), 5U);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.6);
+  EXPECT_DOUBLE_EQ(cdf[2], 0.6);
+  EXPECT_DOUBLE_EQ(cdf[3], 0.8);
+  EXPECT_DOUBLE_EQ(cdf[4], 1.0);
+}
+
+TEST(LatenessCdfTest, EmptySamplesYieldOnes) {
+  RunSummary summary;
+  const auto cdf = LatenessCdf(summary, {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(cdf[0], 1.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 1.0);
+}
+
+}  // namespace
+}  // namespace dcrd

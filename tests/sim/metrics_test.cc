@@ -1,0 +1,147 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace dcrd {
+namespace {
+
+struct Fixture {
+  SubscriptionTable subscriptions;
+  TopicId topic;
+
+  Fixture() {
+    topic = subscriptions.AddTopic(NodeId(0));
+    subscriptions.AddSubscription(topic, NodeId(1), SimDuration::Millis(100));
+    subscriptions.AddSubscription(topic, NodeId(2), SimDuration::Millis(50));
+  }
+
+  Message MakeMessage(std::uint64_t id, SimTime at = SimTime::Zero()) {
+    Message message;
+    message.id = MessageId(id);
+    message.topic = topic;
+    message.publisher = NodeId(0);
+    message.publish_time = at;
+    return message;
+  }
+};
+
+TEST(MetricsTest, CountsExpectedPairsPerMessage) {
+  Fixture f;
+  MetricsCollector metrics(f.subscriptions);
+  metrics.OnPublished(f.MakeMessage(0));
+  metrics.OnPublished(f.MakeMessage(1));
+  const RunSummary summary = metrics.Summarize(0, 0);
+  EXPECT_EQ(summary.messages_published, 2U);
+  EXPECT_EQ(summary.expected_pairs, 4U);
+  EXPECT_EQ(summary.delivered_pairs, 0U);
+}
+
+TEST(MetricsTest, OnTimeDeliveryCountsForBothRatios) {
+  Fixture f;
+  MetricsCollector metrics(f.subscriptions);
+  const Message message = f.MakeMessage(0);
+  metrics.OnPublished(message);
+  metrics.OnDelivered(message, NodeId(1),
+                      SimTime::Zero() + SimDuration::Millis(80));
+  const RunSummary summary = metrics.Summarize(0, 0);
+  EXPECT_EQ(summary.delivered_pairs, 1U);
+  EXPECT_EQ(summary.qos_pairs, 1U);
+  EXPECT_TRUE(summary.lateness_ratios.empty());
+  EXPECT_DOUBLE_EQ(summary.delivery_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(summary.qos_ratio(), 0.5);
+}
+
+TEST(MetricsTest, LateDeliveryRecordsLateness) {
+  Fixture f;
+  MetricsCollector metrics(f.subscriptions);
+  const Message message = f.MakeMessage(0);
+  metrics.OnPublished(message);
+  // Deadline for subscriber 2 is 50 ms; arrive at 75 ms -> ratio 1.5.
+  metrics.OnDelivered(message, NodeId(2),
+                      SimTime::Zero() + SimDuration::Millis(75));
+  const RunSummary summary = metrics.Summarize(0, 0);
+  EXPECT_EQ(summary.delivered_pairs, 1U);
+  EXPECT_EQ(summary.qos_pairs, 0U);
+  ASSERT_EQ(summary.lateness_ratios.size(), 1U);
+  EXPECT_DOUBLE_EQ(summary.lateness_ratios[0], 1.5);
+}
+
+TEST(MetricsTest, ExactDeadlineCountsAsOnTime) {
+  Fixture f;
+  MetricsCollector metrics(f.subscriptions);
+  const Message message = f.MakeMessage(0);
+  metrics.OnPublished(message);
+  metrics.OnDelivered(message, NodeId(2),
+                      SimTime::Zero() + SimDuration::Millis(50));
+  EXPECT_EQ(metrics.Summarize(0, 0).qos_pairs, 1U);
+}
+
+TEST(MetricsTest, DeadlineMeasuredFromPublishTime) {
+  Fixture f;
+  MetricsCollector metrics(f.subscriptions);
+  const SimTime published = SimTime::FromMicros(5'000'000);
+  const Message message = f.MakeMessage(0, published);
+  metrics.OnPublished(message);
+  metrics.OnDelivered(message, NodeId(2), published + SimDuration::Millis(40));
+  EXPECT_EQ(metrics.Summarize(0, 0).qos_pairs, 1U);
+}
+
+TEST(MetricsTest, DuplicatesIgnored) {
+  Fixture f;
+  MetricsCollector metrics(f.subscriptions);
+  const Message message = f.MakeMessage(0);
+  metrics.OnPublished(message);
+  metrics.OnDelivered(message, NodeId(1),
+                      SimTime::Zero() + SimDuration::Millis(10));
+  metrics.OnDelivered(message, NodeId(1),
+                      SimTime::Zero() + SimDuration::Millis(20));
+  const RunSummary summary = metrics.Summarize(0, 0);
+  EXPECT_EQ(summary.delivered_pairs, 1U);
+  EXPECT_EQ(summary.duplicate_deliveries, 1U);
+}
+
+TEST(MetricsTest, UnknownMessageCountsAsDuplicate) {
+  Fixture f;
+  MetricsCollector metrics(f.subscriptions);
+  metrics.OnDelivered(f.MakeMessage(99), NodeId(1), SimTime::Zero());
+  EXPECT_EQ(metrics.Summarize(0, 0).duplicate_deliveries, 1U);
+}
+
+TEST(MetricsTest, PacketsPerSubscriberUsesDataTransmissions) {
+  Fixture f;
+  MetricsCollector metrics(f.subscriptions);
+  metrics.OnPublished(f.MakeMessage(0));  // 2 pairs
+  const RunSummary summary = metrics.Summarize(/*data=*/6, /*ack=*/9);
+  EXPECT_DOUBLE_EQ(summary.packets_per_subscriber(), 3.0);
+  EXPECT_EQ(summary.ack_transmissions, 9U);
+}
+
+TEST(MetricsTest, AbsorbPoolsCounts) {
+  RunSummary a, b;
+  a.expected_pairs = 10;
+  a.delivered_pairs = 9;
+  a.qos_pairs = 8;
+  a.data_transmissions = 30;
+  a.lateness_ratios = {1.2};
+  b.expected_pairs = 10;
+  b.delivered_pairs = 10;
+  b.qos_pairs = 10;
+  b.data_transmissions = 10;
+  b.lateness_ratios = {1.5, 2.0};
+  a.Absorb(b);
+  EXPECT_EQ(a.expected_pairs, 20U);
+  EXPECT_DOUBLE_EQ(a.delivery_ratio(), 0.95);
+  EXPECT_DOUBLE_EQ(a.qos_ratio(), 0.9);
+  EXPECT_DOUBLE_EQ(a.packets_per_subscriber(), 2.0);
+  EXPECT_EQ(a.lateness_ratios.size(), 3U);
+}
+
+TEST(MetricsTest, EmptySummaryRatiosAreBenign) {
+  const RunSummary summary;
+  EXPECT_DOUBLE_EQ(summary.delivery_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(summary.qos_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(summary.packets_per_subscriber(), 0.0);
+}
+
+}  // namespace
+}  // namespace dcrd

@@ -1,0 +1,98 @@
+#include "sim/report.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace dcrd {
+namespace {
+
+SweepResult SampleSweep() {
+  SweepResult sweep;
+  sweep.title = "sample";
+  sweep.x_label = "Pf";
+  sweep.routers = {RouterKind::kDcrd, RouterKind::kRTree};
+  for (const double x : {0.0, 0.1}) {
+    SweepPoint point;
+    point.x = x;
+    for (std::size_t r = 0; r < 2; ++r) {
+      RunSummary summary;
+      summary.expected_pairs = 100;
+      summary.delivered_pairs = 90 - static_cast<std::uint64_t>(x * 100);
+      summary.qos_pairs = summary.delivered_pairs - 5;
+      summary.data_transmissions = 200;
+      point.per_router.push_back(summary);
+    }
+    sweep.points.push_back(point);
+  }
+  return sweep;
+}
+
+TEST(ReportTest, SweepCsvHeaderNamesRoutersAndMetrics) {
+  std::ostringstream os;
+  WriteSweepCsv(os, SampleSweep());
+  std::string header;
+  std::istringstream lines(os.str());
+  std::getline(lines, header);
+  EXPECT_EQ(header,
+            "x,dcrd_delivery,dcrd_qos,dcrd_pkts_per_sub,"
+            "rtree_delivery,rtree_qos,rtree_pkts_per_sub");
+}
+
+TEST(ReportTest, SweepCsvRowsCarryValues) {
+  std::ostringstream os;
+  WriteSweepCsv(os, SampleSweep());
+  std::istringstream lines(os.str());
+  std::string line;
+  std::getline(lines, line);  // header
+  std::getline(lines, line);
+  EXPECT_EQ(line, "0,0.9,0.85,2,0.9,0.85,2");
+  std::getline(lines, line);
+  EXPECT_EQ(line, "0.1,0.8,0.75,2,0.8,0.75,2");
+}
+
+TEST(ReportTest, LatenessCdfCsv) {
+  RunSummary summary;
+  summary.lateness_ratios = {1.2, 1.4, 2.0};
+  std::ostringstream os;
+  WriteLatenessCdfCsv(os, summary, {1.0, 1.5, 2.5});
+  std::istringstream lines(os.str());
+  std::string line;
+  std::getline(lines, line);
+  EXPECT_EQ(line, "x,cdf");
+  std::getline(lines, line);
+  EXPECT_EQ(line, "1,0");
+  std::getline(lines, line);
+  EXPECT_EQ(line, "1.5,0.666667");
+  std::getline(lines, line);
+  EXPECT_EQ(line, "2.5,1");
+}
+
+TEST(ReportTest, SaveSweepCsvWritesFile) {
+  const std::string directory =
+      (std::filesystem::temp_directory_path() / "dcrd_report_test").string();
+  const std::string path = SaveSweepCsv(directory, "sweep", SampleSweep());
+  ASSERT_FALSE(path.empty());
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string header;
+  std::getline(file, header);
+  EXPECT_NE(header.find("dcrd_delivery"), std::string::npos);
+  std::filesystem::remove_all(directory);
+}
+
+TEST(ReportTest, SaveSweepCsvReportsFailure) {
+  // A directory path that cannot be created (a file is in the way).
+  const auto blocker =
+      std::filesystem::temp_directory_path() / "dcrd_report_blocker";
+  std::ofstream(blocker).put('x');
+  const std::string path =
+      SaveSweepCsv(blocker.string(), "sweep", SampleSweep());
+  EXPECT_TRUE(path.empty());
+  std::filesystem::remove(blocker);
+}
+
+}  // namespace
+}  // namespace dcrd

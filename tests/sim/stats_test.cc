@@ -1,0 +1,81 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dcrd {
+namespace {
+
+TEST(QuantileTest, KnownValues) {
+  const std::vector<double> samples = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(Quantile(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(samples, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(samples, 1.0), 5.0);
+}
+
+TEST(QuantileTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(QuantileTest, SingleSample) {
+  EXPECT_DOUBLE_EQ(Quantile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(Quantile({7.0}, 0.99), 7.0);
+}
+
+TEST(QuantileTest, UniformSamplesMatchTheory) {
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 100'000; ++i) samples.push_back(rng.NextDouble());
+  EXPECT_NEAR(Quantile(samples, 0.5), 0.5, 0.01);
+  EXPECT_NEAR(Quantile(samples, 0.95), 0.95, 0.01);
+}
+
+TEST(MeanStdDevTest, HandComputed) {
+  const std::vector<double> samples = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(samples), 5.0);
+  EXPECT_NEAR(StdDev(samples), 2.1380899, 1e-6);
+}
+
+TEST(MeanStdDevTest, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({3.0}), 0.0);
+}
+
+TEST(HistogramTest, BucketsSamples) {
+  const Histogram histogram =
+      MakeHistogram({0.5, 1.5, 1.7, 2.5, -1.0, 10.0}, 0.0, 3.0, 3);
+  ASSERT_EQ(histogram.buckets.size(), 3U);
+  EXPECT_EQ(histogram.buckets[0], 1U);
+  EXPECT_EQ(histogram.buckets[1], 2U);
+  EXPECT_EQ(histogram.buckets[2], 1U);
+  EXPECT_EQ(histogram.underflow, 1U);
+  EXPECT_EQ(histogram.overflow, 1U);
+  EXPECT_EQ(histogram.total(), 6U);
+}
+
+TEST(HistogramTest, CdfInterpolates) {
+  const Histogram histogram = MakeHistogram({0.5, 1.5, 2.5, 3.5}, 0.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(histogram.CdfAt(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.CdfAt(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(histogram.CdfAt(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.CdfAt(4.0), 1.0);
+  // Mid-bucket: half of bucket [1,2)'s single sample.
+  EXPECT_DOUBLE_EQ(histogram.CdfAt(1.5), 0.25 + 0.125);
+}
+
+TEST(HistogramTest, RenderContainsBucketsAndCounts) {
+  const Histogram histogram = MakeHistogram({0.5, 0.6, 1.5}, 0.0, 2.0, 2);
+  const std::string rendered = histogram.Render(10);
+  EXPECT_NE(rendered.find("[0, 1) ########## 2"), std::string::npos);
+  EXPECT_NE(rendered.find("[1, 2) ##### 1"), std::string::npos);
+}
+
+TEST(HistogramTest, EmptyCdfIsZero) {
+  const Histogram histogram = MakeHistogram({}, 0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(histogram.CdfAt(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace dcrd

@@ -1,0 +1,127 @@
+#include "sim/workload.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/shortest_path.h"
+#include "graph/topology.h"
+
+namespace dcrd {
+namespace {
+
+ScenarioConfig BaseConfig() {
+  ScenarioConfig config;
+  config.node_count = 20;
+  config.topic_count = 10;
+  config.qos_factor = 3.0;
+  return config;
+}
+
+TEST(WorkloadTest, CreatesConfiguredTopicCount) {
+  Rng topo_rng(1), rng(2);
+  const Graph graph = RandomConnected(20, 6, topo_rng);
+  const SubscriptionTable table = GenerateWorkload(graph, BaseConfig(), rng);
+  EXPECT_EQ(table.topic_count(), 10U);
+}
+
+TEST(WorkloadTest, PublishersAreDistinctNodes) {
+  Rng topo_rng(1), rng(2);
+  const Graph graph = RandomConnected(20, 6, topo_rng);
+  const SubscriptionTable table = GenerateWorkload(graph, BaseConfig(), rng);
+  std::set<NodeId> publishers;
+  for (std::size_t t = 0; t < table.topic_count(); ++t) {
+    publishers.insert(
+        table.publisher(TopicId(static_cast<TopicId::underlying_type>(t))));
+  }
+  EXPECT_EQ(publishers.size(), 10U);
+}
+
+TEST(WorkloadTest, EveryTopicHasSubscribers) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng topo_rng(seed), rng(seed + 100);
+    const Graph graph = RandomConnected(20, 6, topo_rng);
+    const SubscriptionTable table = GenerateWorkload(graph, BaseConfig(), rng);
+    for (std::size_t t = 0; t < table.topic_count(); ++t) {
+      const TopicId topic(static_cast<TopicId::underlying_type>(t));
+      EXPECT_FALSE(table.subscriptions(topic).empty()) << "seed " << seed;
+    }
+  }
+}
+
+TEST(WorkloadTest, PublisherNeverSubscribesToOwnTopic) {
+  Rng topo_rng(3), rng(4);
+  const Graph graph = RandomConnected(20, 6, topo_rng);
+  const SubscriptionTable table = GenerateWorkload(graph, BaseConfig(), rng);
+  for (std::size_t t = 0; t < table.topic_count(); ++t) {
+    const TopicId topic(static_cast<TopicId::underlying_type>(t));
+    EXPECT_FALSE(table.IsSubscribed(topic, table.publisher(topic)));
+  }
+}
+
+TEST(WorkloadTest, DeadlineIsFactorTimesShortestPath) {
+  Rng topo_rng(5), rng(6);
+  const Graph graph = RandomConnected(20, 6, topo_rng);
+  ScenarioConfig config = BaseConfig();
+  config.qos_factor = 2.5;
+  const SubscriptionTable table = GenerateWorkload(graph, config, rng);
+  for (std::size_t t = 0; t < table.topic_count(); ++t) {
+    const TopicId topic(static_cast<TopicId::underlying_type>(t));
+    const PathTree tree = ShortestDelayTree(graph, table.publisher(topic));
+    for (const Subscription& sub : table.subscriptions(topic)) {
+      const double shortest_ms =
+          tree.distance[sub.subscriber.underlying()].millis();
+      EXPECT_NEAR(sub.deadline.millis(), shortest_ms * 2.5, 0.001);
+    }
+  }
+}
+
+TEST(WorkloadTest, SubscriptionDensityWithinPsRange) {
+  // Across many topics the per-topic subscription fraction must stay in a
+  // band consistent with Ps in [0.2, 0.6] (19 eligible nodes per topic).
+  Rng topo_rng(7), rng(8);
+  const Graph graph = RandomConnected(20, 6, topo_rng);
+  ScenarioConfig config = BaseConfig();
+  std::size_t total = 0;
+  const int rounds = 30;
+  for (int round = 0; round < rounds; ++round) {
+    const SubscriptionTable table = GenerateWorkload(graph, config, rng);
+    for (std::size_t t = 0; t < table.topic_count(); ++t) {
+      total += table
+                   .subscriptions(TopicId(static_cast<TopicId::underlying_type>(t)))
+                   .size();
+    }
+  }
+  const double mean_fraction =
+      static_cast<double>(total) / (rounds * 10) / 19.0;
+  EXPECT_GT(mean_fraction, 0.3);  // E[Ps] = 0.4
+  EXPECT_LT(mean_fraction, 0.5);
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  Rng topo_rng_a(9), topo_rng_b(9);
+  const Graph a_graph = RandomConnected(20, 6, topo_rng_a);
+  const Graph b_graph = RandomConnected(20, 6, topo_rng_b);
+  Rng a_rng(10), b_rng(10);
+  const SubscriptionTable a = GenerateWorkload(a_graph, BaseConfig(), a_rng);
+  const SubscriptionTable b = GenerateWorkload(b_graph, BaseConfig(), b_rng);
+  ASSERT_EQ(a.topic_count(), b.topic_count());
+  for (std::size_t t = 0; t < a.topic_count(); ++t) {
+    const TopicId topic(static_cast<TopicId::underlying_type>(t));
+    EXPECT_EQ(a.publisher(topic), b.publisher(topic));
+    EXPECT_EQ(a.SubscriberNodes(topic), b.SubscriberNodes(topic));
+  }
+}
+
+TEST(WorkloadDeathTest, MorePublishersThanNodesRejected) {
+  Rng topo_rng(1), rng(2);
+  const Graph graph = RandomConnected(5, 3, topo_rng);
+  ScenarioConfig config = BaseConfig();
+  config.node_count = 5;
+  config.topic_count = 6;
+  EXPECT_DEATH((void)GenerateWorkload(graph, config, rng),
+               "more publishers than broker nodes");
+}
+
+}  // namespace
+}  // namespace dcrd
