@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dcrd.dir/ablation_dcrd.cc.o"
+  "CMakeFiles/ablation_dcrd.dir/ablation_dcrd.cc.o.d"
+  "ablation_dcrd"
+  "ablation_dcrd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dcrd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_dcrd_compute.dir/bench_micro_dcrd_compute.cc.o"
+  "CMakeFiles/bench_micro_dcrd_compute.dir/bench_micro_dcrd_compute.cc.o.d"
+  "bench_micro_dcrd_compute"
+  "bench_micro_dcrd_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_dcrd_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

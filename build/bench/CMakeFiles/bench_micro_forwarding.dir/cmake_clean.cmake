@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_forwarding.dir/bench_micro_forwarding.cc.o"
+  "CMakeFiles/bench_micro_forwarding.dir/bench_micro_forwarding.cc.o.d"
+  "bench_micro_forwarding"
+  "bench_micro_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext1_node_failures.dir/ext1_node_failures.cc.o"
+  "CMakeFiles/ext1_node_failures.dir/ext1_node_failures.cc.o.d"
+  "ext1_node_failures"
+  "ext1_node_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext1_node_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext2_persistence.cc" "bench/CMakeFiles/ext2_persistence.dir/ext2_persistence.cc.o" "gcc" "bench/CMakeFiles/ext2_persistence.dir/ext2_persistence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dcrd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcrd/CMakeFiles/dcrd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dcrd_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dcrd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dcrd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/dcrd_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/dcrd_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcrd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext2_persistence.dir/ext2_persistence.cc.o"
+  "CMakeFiles/ext2_persistence.dir/ext2_persistence.cc.o.d"
+  "ext2_persistence"
+  "ext2_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext2_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext3_congestion.dir/ext3_congestion.cc.o"
+  "CMakeFiles/ext3_congestion.dir/ext3_congestion.cc.o.d"
+  "ext3_congestion"
+  "ext3_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext3_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

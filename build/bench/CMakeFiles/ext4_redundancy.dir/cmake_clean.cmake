@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext4_redundancy.dir/ext4_redundancy.cc.o"
+  "CMakeFiles/ext4_redundancy.dir/ext4_redundancy.cc.o.d"
+  "ext4_redundancy"
+  "ext4_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext4_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

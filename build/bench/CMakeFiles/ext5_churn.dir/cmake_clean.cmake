@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext5_churn.dir/ext5_churn.cc.o"
+  "CMakeFiles/ext5_churn.dir/ext5_churn.cc.o.d"
+  "ext5_churn"
+  "ext5_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext5_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

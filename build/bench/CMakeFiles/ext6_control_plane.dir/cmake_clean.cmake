@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext6_control_plane.dir/ext6_control_plane.cc.o"
+  "CMakeFiles/ext6_control_plane.dir/ext6_control_plane.cc.o.d"
+  "ext6_control_plane"
+  "ext6_control_plane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext6_control_plane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_full_mesh.dir/fig2_full_mesh.cc.o"
+  "CMakeFiles/fig2_full_mesh.dir/fig2_full_mesh.cc.o.d"
+  "fig2_full_mesh"
+  "fig2_full_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_full_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

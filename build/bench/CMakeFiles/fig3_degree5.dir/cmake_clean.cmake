@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_degree5.dir/fig3_degree5.cc.o"
+  "CMakeFiles/fig3_degree5.dir/fig3_degree5.cc.o.d"
+  "fig3_degree5"
+  "fig3_degree5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_degree5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_connectivity.dir/fig4_connectivity.cc.o"
+  "CMakeFiles/fig4_connectivity.dir/fig4_connectivity.cc.o.d"
+  "fig4_connectivity"
+  "fig4_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

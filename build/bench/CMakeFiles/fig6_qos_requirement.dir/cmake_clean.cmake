@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_qos_requirement.dir/fig6_qos_requirement.cc.o"
+  "CMakeFiles/fig6_qos_requirement.dir/fig6_qos_requirement.cc.o.d"
+  "fig6_qos_requirement"
+  "fig6_qos_requirement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_qos_requirement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

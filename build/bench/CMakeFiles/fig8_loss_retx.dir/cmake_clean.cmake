@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_loss_retx.dir/fig8_loss_retx.cc.o"
+  "CMakeFiles/fig8_loss_retx.dir/fig8_loss_retx.cc.o.d"
+  "fig8_loss_retx"
+  "fig8_loss_retx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_loss_retx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8_loss_retx.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_surveillance.dir/air_surveillance.cc.o"
+  "CMakeFiles/air_surveillance.dir/air_surveillance.cc.o.d"
+  "air_surveillance"
+  "air_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

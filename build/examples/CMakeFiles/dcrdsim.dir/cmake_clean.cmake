@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcrdsim.dir/dcrdsim.cc.o"
+  "CMakeFiles/dcrdsim.dir/dcrdsim.cc.o.d"
+  "dcrdsim"
+  "dcrdsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcrdsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

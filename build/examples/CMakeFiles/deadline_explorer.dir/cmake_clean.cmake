@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_explorer.dir/deadline_explorer.cc.o"
+  "CMakeFiles/deadline_explorer.dir/deadline_explorer.cc.o.d"
+  "deadline_explorer"
+  "deadline_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

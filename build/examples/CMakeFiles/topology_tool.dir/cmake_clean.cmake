@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_tool.dir/topology_tool.cc.o"
+  "CMakeFiles/topology_tool.dir/topology_tool.cc.o.d"
+  "topology_tool"
+  "topology_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

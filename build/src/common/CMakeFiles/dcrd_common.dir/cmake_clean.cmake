@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcrd_common.dir/flags.cc.o"
+  "CMakeFiles/dcrd_common.dir/flags.cc.o.d"
+  "CMakeFiles/dcrd_common.dir/logging.cc.o"
+  "CMakeFiles/dcrd_common.dir/logging.cc.o.d"
+  "libdcrd_common.a"
+  "libdcrd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcrd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcrd_core.dir/dcrd_router.cc.o"
+  "CMakeFiles/dcrd_core.dir/dcrd_router.cc.o.d"
+  "CMakeFiles/dcrd_core.dir/distributed_dr.cc.o"
+  "CMakeFiles/dcrd_core.dir/distributed_dr.cc.o.d"
+  "CMakeFiles/dcrd_core.dir/dr.cc.o"
+  "CMakeFiles/dcrd_core.dir/dr.cc.o.d"
+  "CMakeFiles/dcrd_core.dir/dr_computation.cc.o"
+  "CMakeFiles/dcrd_core.dir/dr_computation.cc.o.d"
+  "libdcrd_core.a"
+  "libdcrd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcrd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcrd_event.dir/scheduler.cc.o"
+  "CMakeFiles/dcrd_event.dir/scheduler.cc.o.d"
+  "libdcrd_event.a"
+  "libdcrd_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcrd_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/connectivity.cc" "src/graph/CMakeFiles/dcrd_graph.dir/connectivity.cc.o" "gcc" "src/graph/CMakeFiles/dcrd_graph.dir/connectivity.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/dcrd_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/dcrd_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/dcrd_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/dcrd_graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/shortest_path.cc" "src/graph/CMakeFiles/dcrd_graph.dir/shortest_path.cc.o" "gcc" "src/graph/CMakeFiles/dcrd_graph.dir/shortest_path.cc.o.d"
+  "/root/repo/src/graph/topology.cc" "src/graph/CMakeFiles/dcrd_graph.dir/topology.cc.o" "gcc" "src/graph/CMakeFiles/dcrd_graph.dir/topology.cc.o.d"
+  "/root/repo/src/graph/yen_ksp.cc" "src/graph/CMakeFiles/dcrd_graph.dir/yen_ksp.cc.o" "gcc" "src/graph/CMakeFiles/dcrd_graph.dir/yen_ksp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcrd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcrd_graph.dir/connectivity.cc.o"
+  "CMakeFiles/dcrd_graph.dir/connectivity.cc.o.d"
+  "CMakeFiles/dcrd_graph.dir/graph.cc.o"
+  "CMakeFiles/dcrd_graph.dir/graph.cc.o.d"
+  "CMakeFiles/dcrd_graph.dir/io.cc.o"
+  "CMakeFiles/dcrd_graph.dir/io.cc.o.d"
+  "CMakeFiles/dcrd_graph.dir/shortest_path.cc.o"
+  "CMakeFiles/dcrd_graph.dir/shortest_path.cc.o.d"
+  "CMakeFiles/dcrd_graph.dir/topology.cc.o"
+  "CMakeFiles/dcrd_graph.dir/topology.cc.o.d"
+  "CMakeFiles/dcrd_graph.dir/yen_ksp.cc.o"
+  "CMakeFiles/dcrd_graph.dir/yen_ksp.cc.o.d"
+  "libdcrd_graph.a"
+  "libdcrd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcrd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

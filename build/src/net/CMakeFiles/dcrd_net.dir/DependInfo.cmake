@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/failure_schedule.cc" "src/net/CMakeFiles/dcrd_net.dir/failure_schedule.cc.o" "gcc" "src/net/CMakeFiles/dcrd_net.dir/failure_schedule.cc.o.d"
+  "/root/repo/src/net/link_monitor.cc" "src/net/CMakeFiles/dcrd_net.dir/link_monitor.cc.o" "gcc" "src/net/CMakeFiles/dcrd_net.dir/link_monitor.cc.o.d"
+  "/root/repo/src/net/overlay_network.cc" "src/net/CMakeFiles/dcrd_net.dir/overlay_network.cc.o" "gcc" "src/net/CMakeFiles/dcrd_net.dir/overlay_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcrd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/dcrd_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dcrd_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

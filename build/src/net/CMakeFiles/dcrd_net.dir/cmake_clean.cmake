@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcrd_net.dir/failure_schedule.cc.o"
+  "CMakeFiles/dcrd_net.dir/failure_schedule.cc.o.d"
+  "CMakeFiles/dcrd_net.dir/link_monitor.cc.o"
+  "CMakeFiles/dcrd_net.dir/link_monitor.cc.o.d"
+  "CMakeFiles/dcrd_net.dir/overlay_network.cc.o"
+  "CMakeFiles/dcrd_net.dir/overlay_network.cc.o.d"
+  "libdcrd_net.a"
+  "libdcrd_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcrd_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pubsub/publisher.cc" "src/pubsub/CMakeFiles/dcrd_pubsub.dir/publisher.cc.o" "gcc" "src/pubsub/CMakeFiles/dcrd_pubsub.dir/publisher.cc.o.d"
+  "/root/repo/src/pubsub/subscriptions.cc" "src/pubsub/CMakeFiles/dcrd_pubsub.dir/subscriptions.cc.o" "gcc" "src/pubsub/CMakeFiles/dcrd_pubsub.dir/subscriptions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcrd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/dcrd_event.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

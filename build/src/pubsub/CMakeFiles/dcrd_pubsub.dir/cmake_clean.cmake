@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcrd_pubsub.dir/publisher.cc.o"
+  "CMakeFiles/dcrd_pubsub.dir/publisher.cc.o.d"
+  "CMakeFiles/dcrd_pubsub.dir/subscriptions.cc.o"
+  "CMakeFiles/dcrd_pubsub.dir/subscriptions.cc.o.d"
+  "libdcrd_pubsub.a"
+  "libdcrd_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcrd_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/hop_transport.cc" "src/routing/CMakeFiles/dcrd_routing.dir/hop_transport.cc.o" "gcc" "src/routing/CMakeFiles/dcrd_routing.dir/hop_transport.cc.o.d"
+  "/root/repo/src/routing/multipath_router.cc" "src/routing/CMakeFiles/dcrd_routing.dir/multipath_router.cc.o" "gcc" "src/routing/CMakeFiles/dcrd_routing.dir/multipath_router.cc.o.d"
+  "/root/repo/src/routing/oracle_router.cc" "src/routing/CMakeFiles/dcrd_routing.dir/oracle_router.cc.o" "gcc" "src/routing/CMakeFiles/dcrd_routing.dir/oracle_router.cc.o.d"
+  "/root/repo/src/routing/source_routed.cc" "src/routing/CMakeFiles/dcrd_routing.dir/source_routed.cc.o" "gcc" "src/routing/CMakeFiles/dcrd_routing.dir/source_routed.cc.o.d"
+  "/root/repo/src/routing/tree_router.cc" "src/routing/CMakeFiles/dcrd_routing.dir/tree_router.cc.o" "gcc" "src/routing/CMakeFiles/dcrd_routing.dir/tree_router.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcrd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/dcrd_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dcrd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dcrd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/dcrd_pubsub.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcrd_routing.dir/hop_transport.cc.o"
+  "CMakeFiles/dcrd_routing.dir/hop_transport.cc.o.d"
+  "CMakeFiles/dcrd_routing.dir/multipath_router.cc.o"
+  "CMakeFiles/dcrd_routing.dir/multipath_router.cc.o.d"
+  "CMakeFiles/dcrd_routing.dir/oracle_router.cc.o"
+  "CMakeFiles/dcrd_routing.dir/oracle_router.cc.o.d"
+  "CMakeFiles/dcrd_routing.dir/source_routed.cc.o"
+  "CMakeFiles/dcrd_routing.dir/source_routed.cc.o.d"
+  "CMakeFiles/dcrd_routing.dir/tree_router.cc.o"
+  "CMakeFiles/dcrd_routing.dir/tree_router.cc.o.d"
+  "libdcrd_routing.a"
+  "libdcrd_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcrd_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

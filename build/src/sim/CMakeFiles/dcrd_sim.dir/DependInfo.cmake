@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cc" "src/sim/CMakeFiles/dcrd_sim.dir/engine.cc.o" "gcc" "src/sim/CMakeFiles/dcrd_sim.dir/engine.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/sim/CMakeFiles/dcrd_sim.dir/experiment.cc.o" "gcc" "src/sim/CMakeFiles/dcrd_sim.dir/experiment.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/sim/CMakeFiles/dcrd_sim.dir/metrics.cc.o" "gcc" "src/sim/CMakeFiles/dcrd_sim.dir/metrics.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/sim/CMakeFiles/dcrd_sim.dir/report.cc.o" "gcc" "src/sim/CMakeFiles/dcrd_sim.dir/report.cc.o.d"
+  "/root/repo/src/sim/scenario.cc" "src/sim/CMakeFiles/dcrd_sim.dir/scenario.cc.o" "gcc" "src/sim/CMakeFiles/dcrd_sim.dir/scenario.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/dcrd_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/dcrd_sim.dir/stats.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/dcrd_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/dcrd_sim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcrd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/dcrd_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dcrd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dcrd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/dcrd_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dcrd_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcrd/CMakeFiles/dcrd_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcrd_sim.dir/engine.cc.o"
+  "CMakeFiles/dcrd_sim.dir/engine.cc.o.d"
+  "CMakeFiles/dcrd_sim.dir/experiment.cc.o"
+  "CMakeFiles/dcrd_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/dcrd_sim.dir/metrics.cc.o"
+  "CMakeFiles/dcrd_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/dcrd_sim.dir/report.cc.o"
+  "CMakeFiles/dcrd_sim.dir/report.cc.o.d"
+  "CMakeFiles/dcrd_sim.dir/scenario.cc.o"
+  "CMakeFiles/dcrd_sim.dir/scenario.cc.o.d"
+  "CMakeFiles/dcrd_sim.dir/stats.cc.o"
+  "CMakeFiles/dcrd_sim.dir/stats.cc.o.d"
+  "CMakeFiles/dcrd_sim.dir/workload.cc.o"
+  "CMakeFiles/dcrd_sim.dir/workload.cc.o.d"
+  "libdcrd_sim.a"
+  "libdcrd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcrd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dcrd/dcrd_router_test.cc" "tests/CMakeFiles/dcrd_test.dir/dcrd/dcrd_router_test.cc.o" "gcc" "tests/CMakeFiles/dcrd_test.dir/dcrd/dcrd_router_test.cc.o.d"
+  "/root/repo/tests/dcrd/distributed_dr_test.cc" "tests/CMakeFiles/dcrd_test.dir/dcrd/distributed_dr_test.cc.o" "gcc" "tests/CMakeFiles/dcrd_test.dir/dcrd/distributed_dr_test.cc.o.d"
+  "/root/repo/tests/dcrd/distributed_mode_test.cc" "tests/CMakeFiles/dcrd_test.dir/dcrd/distributed_mode_test.cc.o" "gcc" "tests/CMakeFiles/dcrd_test.dir/dcrd/distributed_mode_test.cc.o.d"
+  "/root/repo/tests/dcrd/dr_computation_test.cc" "tests/CMakeFiles/dcrd_test.dir/dcrd/dr_computation_test.cc.o" "gcc" "tests/CMakeFiles/dcrd_test.dir/dcrd/dr_computation_test.cc.o.d"
+  "/root/repo/tests/dcrd/dr_montecarlo_test.cc" "tests/CMakeFiles/dcrd_test.dir/dcrd/dr_montecarlo_test.cc.o" "gcc" "tests/CMakeFiles/dcrd_test.dir/dcrd/dr_montecarlo_test.cc.o.d"
+  "/root/repo/tests/dcrd/dr_test.cc" "tests/CMakeFiles/dcrd_test.dir/dcrd/dr_test.cc.o" "gcc" "tests/CMakeFiles/dcrd_test.dir/dcrd/dr_test.cc.o.d"
+  "/root/repo/tests/dcrd/link_model_test.cc" "tests/CMakeFiles/dcrd_test.dir/dcrd/link_model_test.cc.o" "gcc" "tests/CMakeFiles/dcrd_test.dir/dcrd/link_model_test.cc.o.d"
+  "/root/repo/tests/dcrd/ordering_policy_test.cc" "tests/CMakeFiles/dcrd_test.dir/dcrd/ordering_policy_test.cc.o" "gcc" "tests/CMakeFiles/dcrd_test.dir/dcrd/ordering_policy_test.cc.o.d"
+  "/root/repo/tests/dcrd/persistence_test.cc" "tests/CMakeFiles/dcrd_test.dir/dcrd/persistence_test.cc.o" "gcc" "tests/CMakeFiles/dcrd_test.dir/dcrd/persistence_test.cc.o.d"
+  "/root/repo/tests/dcrd/theorem1_test.cc" "tests/CMakeFiles/dcrd_test.dir/dcrd/theorem1_test.cc.o" "gcc" "tests/CMakeFiles/dcrd_test.dir/dcrd/theorem1_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dcrd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcrd/CMakeFiles/dcrd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dcrd_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dcrd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dcrd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/dcrd_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/dcrd_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcrd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcrd_test.dir/dcrd/dcrd_router_test.cc.o"
+  "CMakeFiles/dcrd_test.dir/dcrd/dcrd_router_test.cc.o.d"
+  "CMakeFiles/dcrd_test.dir/dcrd/distributed_dr_test.cc.o"
+  "CMakeFiles/dcrd_test.dir/dcrd/distributed_dr_test.cc.o.d"
+  "CMakeFiles/dcrd_test.dir/dcrd/distributed_mode_test.cc.o"
+  "CMakeFiles/dcrd_test.dir/dcrd/distributed_mode_test.cc.o.d"
+  "CMakeFiles/dcrd_test.dir/dcrd/dr_computation_test.cc.o"
+  "CMakeFiles/dcrd_test.dir/dcrd/dr_computation_test.cc.o.d"
+  "CMakeFiles/dcrd_test.dir/dcrd/dr_montecarlo_test.cc.o"
+  "CMakeFiles/dcrd_test.dir/dcrd/dr_montecarlo_test.cc.o.d"
+  "CMakeFiles/dcrd_test.dir/dcrd/dr_test.cc.o"
+  "CMakeFiles/dcrd_test.dir/dcrd/dr_test.cc.o.d"
+  "CMakeFiles/dcrd_test.dir/dcrd/link_model_test.cc.o"
+  "CMakeFiles/dcrd_test.dir/dcrd/link_model_test.cc.o.d"
+  "CMakeFiles/dcrd_test.dir/dcrd/ordering_policy_test.cc.o"
+  "CMakeFiles/dcrd_test.dir/dcrd/ordering_policy_test.cc.o.d"
+  "CMakeFiles/dcrd_test.dir/dcrd/persistence_test.cc.o"
+  "CMakeFiles/dcrd_test.dir/dcrd/persistence_test.cc.o.d"
+  "CMakeFiles/dcrd_test.dir/dcrd/theorem1_test.cc.o"
+  "CMakeFiles/dcrd_test.dir/dcrd/theorem1_test.cc.o.d"
+  "dcrd_test"
+  "dcrd_test.pdb"
+  "dcrd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcrd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

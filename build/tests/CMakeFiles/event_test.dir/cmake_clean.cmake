@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_test.dir/event/scheduler_fuzz_test.cc.o"
+  "CMakeFiles/event_test.dir/event/scheduler_fuzz_test.cc.o.d"
+  "CMakeFiles/event_test.dir/event/scheduler_test.cc.o"
+  "CMakeFiles/event_test.dir/event/scheduler_test.cc.o.d"
+  "event_test"
+  "event_test.pdb"
+  "event_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_test.dir/graph/graph_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/graph_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/io_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/io_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/shortest_path_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/shortest_path_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/topology_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/topology_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/yen_ksp_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/yen_ksp_test.cc.o.d"
+  "graph_test"
+  "graph_test.pdb"
+  "graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_test.dir/routing/hop_transport_test.cc.o"
+  "CMakeFiles/routing_test.dir/routing/hop_transport_test.cc.o.d"
+  "CMakeFiles/routing_test.dir/routing/multipath_router_test.cc.o"
+  "CMakeFiles/routing_test.dir/routing/multipath_router_test.cc.o.d"
+  "CMakeFiles/routing_test.dir/routing/oracle_router_test.cc.o"
+  "CMakeFiles/routing_test.dir/routing/oracle_router_test.cc.o.d"
+  "CMakeFiles/routing_test.dir/routing/source_routed_test.cc.o"
+  "CMakeFiles/routing_test.dir/routing/source_routed_test.cc.o.d"
+  "CMakeFiles/routing_test.dir/routing/tree_router_test.cc.o"
+  "CMakeFiles/routing_test.dir/routing/tree_router_test.cc.o.d"
+  "routing_test"
+  "routing_test.pdb"
+  "routing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
