@@ -31,6 +31,7 @@ struct Variant {
 int main(int argc, char** argv) {
   const dcrd::Flags flags = dcrd::Flags::Parse(argc, argv);
   const auto scale = dcrd::figures::ParseScale(flags);
+  flags.ExitOnUnqueried();
   dcrd::figures::PrintHeader(
       "Ablation: DCRD variants, 20 nodes, degree 5, Pf=0.08, "
       "heterogeneity 1.5",

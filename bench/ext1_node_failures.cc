@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   base.loss_rate = 1e-4;
   base.node_outage_epochs =
       static_cast<int>(flags.GetInt("outage_epochs", 5));
+  flags.ExitOnUnqueried();
   dcrd::figures::ApplyScale(scale, base);
 
   const dcrd::SweepResult sweep = dcrd::RunSweep(

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   base.loss_rate = 1e-4;
   base.link_serialization =
       dcrd::SimDuration::Millis(flags.GetInt("serialization_ms", 10));
+  flags.ExitOnUnqueried();
   dcrd::figures::ApplyScale(scale, base);
 
   const dcrd::SweepResult sweep = dcrd::RunSweep(

@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   const dcrd::Flags flags = dcrd::Flags::Parse(argc, argv);
   const auto scale = dcrd::figures::ParseScale(flags);
+  flags.ExitOnUnqueried();
   dcrd::figures::PrintHeader(
       "Ext.4: Multipath redundancy sweep, 20 nodes, degree 8, Pf=0.08",
       scale);

@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   const dcrd::Flags flags = dcrd::Flags::Parse(argc, argv);
   const auto scale = dcrd::figures::ParseScale(flags);
+  flags.ExitOnUnqueried();
   dcrd::figures::PrintHeader(
       "Ext.5: subscription churn, 20 nodes, degree 8, Pf=0.04, epoch 30s",
       scale);

@@ -24,6 +24,8 @@ int main(int argc, char** argv) {
   const std::size_t degree =
       static_cast<std::size_t>(flags.GetInt("degree", 8));
   const double threshold_us = flags.GetDouble("threshold_us", 50.0);
+  const std::int64_t e2e_seconds = flags.GetInt("seconds", 300);
+  flags.ExitOnUnqueried();
 
   std::cout << "=== Ext.6: distributed <d,r> control plane, degree "
             << degree << ", update threshold " << threshold_us << "us ===\n\n"
@@ -97,8 +99,7 @@ int main(int argc, char** argv) {
       config.degree = degree;
       config.failure_probability = 0.06;
       config.loss_rate = 1e-4;
-      config.sim_time =
-          dcrd::SimDuration::Seconds(flags.GetInt("seconds", 300));
+      config.sim_time = dcrd::SimDuration::Seconds(e2e_seconds);
       config.seed = 1 + static_cast<std::uint64_t>(rep);
       pooled.Absorb(dcrd::RunScenario(config));
     }

@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   const dcrd::Flags flags = dcrd::Flags::Parse(argc, argv);
   const auto scale = dcrd::figures::ParseScale(flags);
+  flags.ExitOnUnqueried();
   dcrd::figures::PrintHeader("Figure 3: 20-node overlay, degree 5", scale);
 
   dcrd::ScenarioConfig base;

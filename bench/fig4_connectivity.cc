@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   const dcrd::Flags flags = dcrd::Flags::Parse(argc, argv);
   const auto scale = dcrd::figures::ParseScale(flags);
+  flags.ExitOnUnqueried();
   dcrd::figures::PrintHeader(
       "Figure 4: 20-node overlay, degree swept, Pf=0.06", scale);
 

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   if (!flags.Has("seconds") && !flags.GetBool("paper", false)) {
     scale.sim_time = dcrd::SimDuration::Seconds(300);  // N=160 is heavy
   }
+  flags.ExitOnUnqueried();
   dcrd::figures::PrintHeader("Figure 5: network size, degree 8, Pf=0.06",
                              scale);
 

@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   const dcrd::Flags flags = dcrd::Flags::Parse(argc, argv);
   const auto scale = dcrd::figures::ParseScale(flags);
+  flags.ExitOnUnqueried();
   dcrd::figures::PrintHeader(
       "Figure 7: lateness CDF of deadline-missing DCRD packets, Pf=0.06",
       scale);

@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   const dcrd::Flags flags = dcrd::Flags::Parse(argc, argv);
   const auto scale = dcrd::figures::ParseScale(flags);
+  flags.ExitOnUnqueried();
   dcrd::figures::PrintHeader(
       "Figure 8: loss rate x retransmissions, 20 nodes, degree 8, Pf=0.01",
       scale);

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   config.qos_factor = flags.GetDouble("qos", 2.0);
   config.sim_time = dcrd::SimDuration::Seconds(flags.GetInt("seconds", 600));
   config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  flags.ExitOnUnqueried();
 
   const std::vector<dcrd::RouterKind> routers = {
       dcrd::RouterKind::kDcrd, dcrd::RouterKind::kRTree,

@@ -27,6 +27,8 @@ const std::vector<std::string> kKnownFlags = {
     "monitor_s",   "rate",         "ack_delay_factor", "verbose",
     "histogram",   "heterogeneity", "jitter",          "ordering",
     "churn",       "load",          "distributed",
+    "gray",        "gray_loss",     "gray_delay_factor", "gray_asymmetry",
+    "adaptive_rto", "check_invariants",
 };
 
 dcrd::RouterKind ParseRouter(const std::string& name) {
@@ -51,6 +53,13 @@ void PrintSummary(const dcrd::ScenarioConfig& config,
             << dcrd::Quantile(summary.delay_ms_samples, 0.95) << std::setw(11)
             << dcrd::Quantile(summary.delay_ms_samples, 0.99) << "\n";
   std::cout.unsetf(std::ios::fixed);
+  if (summary.invariant_violation_count > 0) {
+    std::cout << "INVARIANT VIOLATIONS (" << summary.invariant_violation_count
+              << "):\n";
+    for (const std::string& violation : summary.invariant_violations) {
+      std::cout << "  " << violation << "\n";
+    }
+  }
   if (histogram && !summary.delay_ms_samples.empty()) {
     const double hi = dcrd::Quantile(summary.delay_ms_samples, 0.999) + 1.0;
     std::cout << "\nend-to-end delay (ms):\n"
@@ -64,9 +73,14 @@ void PrintSummary(const dcrd::ScenarioConfig& config,
 
 int main(int argc, char** argv) {
   const dcrd::Flags flags = dcrd::Flags::Parse(argc, argv);
+  // Flags are read lazily below, so typo rejection uses the explicit
+  // allow-list rather than ExitOnUnqueried().
+  bool unknown_flags = false;
   for (const std::string& unknown : flags.UnknownFlags(kKnownFlags)) {
-    std::cerr << "warning: unknown flag --" << unknown << "\n";
+    std::cerr << "error: unknown flag --" << unknown << "\n";
+    unknown_flags = true;
   }
+  if (unknown_flags) return 2;
   if (flags.GetBool("verbose", false)) {
     dcrd::GlobalLogLevel() = dcrd::LogLevel::kDebug;
   }
@@ -100,6 +114,12 @@ int main(int argc, char** argv) {
   config.failure_heterogeneity = flags.GetDouble("heterogeneity", 0.0);
   config.delay_jitter = flags.GetDouble("jitter", 0.0);
   config.subscription_churn = flags.GetDouble("churn", 0.0);
+  config.gray_probability = flags.GetDouble("gray", 0.0);
+  config.gray_extra_loss = flags.GetDouble("gray_loss", 0.25);
+  config.gray_delay_factor = flags.GetDouble("gray_delay_factor", 3.0);
+  config.gray_asymmetry = flags.GetDouble("gray_asymmetry", 0.5);
+  config.adaptive_rto = flags.GetBool("adaptive_rto", false);
+  config.enable_invariant_checker = flags.GetBool("check_invariants", false);
   config.topology_file = flags.GetString("load", "");
   config.dcrd_distributed = flags.GetBool("distributed", false);
   const std::string ordering = flags.GetString("ordering", "theorem1");

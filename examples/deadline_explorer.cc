@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   const double pf = flags.GetDouble("pf", 0.06);
 
   dcrd::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 3)));
+  flags.ExitOnUnqueried();
   dcrd::Rng topo_rng = rng.Fork("topology");
   const dcrd::Graph graph = dcrd::RandomConnected(nodes, degree, topo_rng);
 

@@ -21,6 +21,8 @@ int main(int argc, char** argv) {
   base.degree = static_cast<std::size_t>(flags.GetInt("degree", 4));
   base.sim_time = dcrd::SimDuration::Seconds(flags.GetInt("seconds", 400));
   base.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 11));
+  const int reps = static_cast<int>(flags.GetInt("reps", 2));
+  flags.ExitOnUnqueried();
 
   const std::vector<dcrd::RouterKind> routers = {
       dcrd::RouterKind::kDcrd, dcrd::RouterKind::kRTree,
@@ -34,7 +36,7 @@ int main(int argc, char** argv) {
       [](double pf, dcrd::ScenarioConfig& config) {
         config.failure_probability = pf;
       },
-      static_cast<int>(flags.GetInt("reps", 2)));
+      reps);
 
   dcrd::PrintStandardPanels(std::cout, sweep);
   return 0;

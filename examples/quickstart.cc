@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   config.sim_time =
       dcrd::SimDuration::Seconds(flags.GetInt("seconds", 300));
   config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 7));
+  flags.ExitOnUnqueried();
   config.router = dcrd::RouterKind::kDcrd;
 
   std::cout << "Running: " << config.Describe() << "\n";

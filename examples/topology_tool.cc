@@ -62,12 +62,24 @@ void PrintStats(const dcrd::Graph& graph) {
 
 int main(int argc, char** argv) {
   const dcrd::Flags flags = dcrd::Flags::Parse(argc, argv);
+  // Read the full flag set up front: generation flags are ignored with
+  // --load, but they are not typos.
+  const std::string load = flags.GetString("load", "");
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  const auto nodes = static_cast<std::size_t>(flags.GetInt("nodes", 20));
+  const bool mesh = flags.GetBool("mesh", false);
+  const auto degree = static_cast<std::size_t>(flags.GetInt("degree", 5));
+  const bool want_dot = flags.Has("dot");
+  const std::string dot = flags.GetString("dot", "");
+  const bool want_edges = flags.Has("edges");
+  const std::string edges = flags.GetString("edges", "");
+  flags.ExitOnUnqueried();
 
   dcrd::Graph graph(3);
-  if (flags.Has("load")) {
-    std::ifstream file(flags.GetString("load", ""));
+  if (!load.empty()) {
+    std::ifstream file(load);
     if (!file) {
-      std::cerr << "cannot open " << flags.GetString("load", "") << "\n";
+      std::cerr << "cannot open " << load << "\n";
       return 1;
     }
     std::string error;
@@ -78,27 +90,22 @@ int main(int argc, char** argv) {
     }
     graph = *loaded;
   } else {
-    dcrd::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 1)));
-    const auto nodes = static_cast<std::size_t>(flags.GetInt("nodes", 20));
-    graph = flags.GetBool("mesh", false)
-                ? dcrd::FullMesh(nodes, rng)
-                : dcrd::RandomConnected(
-                      nodes,
-                      static_cast<std::size_t>(flags.GetInt("degree", 5)),
-                      rng);
+    dcrd::Rng rng(seed);
+    graph = mesh ? dcrd::FullMesh(nodes, rng)
+                 : dcrd::RandomConnected(nodes, degree, rng);
   }
 
   PrintStats(graph);
 
-  if (flags.Has("dot")) {
-    std::ofstream file(flags.GetString("dot", ""));
+  if (want_dot) {
+    std::ofstream file(dot);
     file << dcrd::ToDot(graph);
-    std::cout << "wrote " << flags.GetString("dot", "") << "\n";
+    std::cout << "wrote " << dot << "\n";
   }
-  if (flags.Has("edges")) {
-    std::ofstream file(flags.GetString("edges", ""));
+  if (want_edges) {
+    std::ofstream file(edges);
     dcrd::WriteEdgeList(file, graph);
-    std::cout << "wrote " << flags.GetString("edges", "") << "\n";
+    std::cout << "wrote " << edges << "\n";
   }
   return 0;
 }

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Full pre-merge check: the tier-1 verify (configure, build, ctest) run
+# twice — once plain, once under AddressSanitizer + UBSan — in separate
+# build directories so the object files never mix.
+#
+#   scripts/check.sh            # both passes
+#   scripts/check.sh --plain    # plain pass only
+#   scripts/check.sh --asan     # sanitized pass only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_plain=1
+run_asan=1
+case "${1:-}" in
+  --plain) run_asan=0 ;;
+  --asan) run_plain=0 ;;
+  "") ;;
+  *) echo "usage: $0 [--plain|--asan]" >&2; exit 2 ;;
+esac
+
+verify() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j
+  ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+}
+
+if [[ "$run_plain" == 1 ]]; then
+  echo "=== tier-1 verify (plain) ==="
+  verify build
+fi
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "=== tier-1 verify (address;undefined) ==="
+  verify build-asan "-DDCRD_SANITIZE=address;undefined"
+fi
+
+echo "=== check.sh: all requested passes green ==="

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <iostream>
 #include <string_view>
 
 namespace dcrd {
@@ -36,30 +37,52 @@ Flags Flags::Parse(int argc, char** argv) {
 }
 
 bool Flags::Has(const std::string& name) const {
+  queried_.insert(name);
   return values_.contains(name);
 }
 
 std::string Flags::GetString(const std::string& name,
                              const std::string& fallback) const {
+  queried_.insert(name);
   const auto it = values_.find(name);
   return it == values_.end() ? fallback : it->second;
 }
 
 std::int64_t Flags::GetInt(const std::string& name,
                            std::int64_t fallback) const {
+  queried_.insert(name);
   const auto it = values_.find(name);
   return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
 }
 
 double Flags::GetDouble(const std::string& name, double fallback) const {
+  queried_.insert(name);
   const auto it = values_.find(name);
   return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
 }
 
 bool Flags::GetBool(const std::string& name, bool fallback) const {
+  queried_.insert(name);
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+std::vector<std::string> Flags::UnqueriedFlags() const {
+  std::vector<std::string> unqueried;
+  for (const auto& [name, value] : values_) {
+    if (!queried_.contains(name)) unqueried.push_back(name);
+  }
+  return unqueried;
+}
+
+void Flags::ExitOnUnqueried() const {
+  const std::vector<std::string> unqueried = UnqueriedFlags();
+  if (unqueried.empty()) return;
+  for (const std::string& name : unqueried) {
+    std::cerr << "error: unknown flag --" << name << "\n";
+  }
+  std::exit(2);
 }
 
 std::vector<std::string> Flags::UnknownFlags(

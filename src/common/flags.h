@@ -1,12 +1,16 @@
 // Tiny command-line flag parser for the experiment binaries and examples.
 //
-// Supports `--name=value`, `--name value`, and boolean `--name`. Unknown
-// flags are collected so a binary can reject typos; google-benchmark flags
-// (--benchmark_*) are passed through untouched.
+// Supports `--name=value`, `--name value`, and boolean `--name`. Every
+// Has/Get* call records the queried name, so after a binary has read its
+// whole configuration it calls ExitOnUnqueried() and any leftover flag — a
+// typo like --sedonds — aborts the run instead of silently running the
+// default configuration. google-benchmark flags (--benchmark_*) are passed
+// through untouched.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -30,14 +34,21 @@ class Flags {
   [[nodiscard]] const std::vector<std::string>& passthrough() const {
     return passthrough_;
   }
-  // Flags that were parsed but never queried via a Get*/Has call would be
-  // typos; binaries may call this after reading their config.
+  // Flags parsed but never touched by a Has/Get* call so far. A non-empty
+  // result after a binary has read its whole configuration means typos.
+  [[nodiscard]] std::vector<std::string> UnqueriedFlags() const;
+  // Exits with an error listing UnqueriedFlags() when it is non-empty.
+  // Call after the last flag read; every experiment binary does.
+  void ExitOnUnqueried() const;
+  // Flags whose names are not in `known` (explicit allow-list variant).
   [[nodiscard]] std::vector<std::string> UnknownFlags(
       const std::vector<std::string>& known) const;
 
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> passthrough_;
+  // Names queried through the const accessors; see header comment.
+  mutable std::set<std::string> queried_;
 };
 
 }  // namespace dcrd

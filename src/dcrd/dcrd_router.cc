@@ -10,7 +10,8 @@ DcrdRouter::DcrdRouter(RouterContext context, DcrdConfig config)
       transport_(*context_.network,
                  [this](NodeId at, const Packet& packet, NodeId from) {
                    OnArrival(at, packet, from);
-                 }) {
+                 },
+                 context_.MakeTransportConfig()) {
   DCRD_CHECK(context_.network != nullptr);
   DCRD_CHECK(context_.subscriptions != nullptr);
   DCRD_CHECK(context_.sink != nullptr);

@@ -95,6 +95,12 @@ class DcrdRouter final : public Router {
   [[nodiscard]] std::uint64_t persistence_retries() const {
     return persistence_retries_;
   }
+  [[nodiscard]] TransportStats transport_stats() const override {
+    return transport_.stats();
+  }
+  [[nodiscard]] std::size_t open_episodes() const override {
+    return episodes_.size();
+  }
 
  private:
   struct Episode {

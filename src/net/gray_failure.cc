@@ -1,0 +1,48 @@
+#include "net/gray_failure.h"
+
+namespace dcrd {
+
+namespace {
+
+// One 64-bit draw per (seed, link, epoch, salt), same idiom as
+// internal::OutageProcess::Draw so the two processes stay independent even
+// under a shared scenario seed (the salts differ).
+double HashDraw(std::uint64_t seed, std::uint64_t link, std::uint64_t epoch,
+                std::uint64_t salt) {
+  std::uint64_t s = seed ^ (0xA24BAED4963EE407ULL * (link + 1));
+  s ^= 0x9FB21C651E98DF25ULL * (epoch + 1);
+  s ^= salt;
+  const std::uint64_t bits = SplitMix64(s);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+GrayFailureSchedule::Mode GrayFailureSchedule::ModeAt(LinkId link,
+                                                      SimTime t) const {
+  if (!enabled()) return Mode::kClean;
+  const std::uint64_t epoch =
+      static_cast<std::uint64_t>(t.micros() / config_.epoch.micros());
+  const std::uint64_t id = link.underlying();
+  if (HashDraw(seed_, id, epoch, /*salt=*/1) >= config_.probability) {
+    return Mode::kClean;
+  }
+  if (HashDraw(seed_, id, epoch, /*salt=*/2) >= config_.asymmetry) {
+    return Mode::kBoth;
+  }
+  return HashDraw(seed_, id, epoch, /*salt=*/3) < 0.5 ? Mode::kAToBOnly
+                                                      : Mode::kBToAOnly;
+}
+
+bool GrayFailureSchedule::Degraded(LinkId link, LinkDirection dir,
+                                   SimTime t) const {
+  switch (ModeAt(link, t)) {
+    case Mode::kClean: return false;
+    case Mode::kBoth: return true;
+    case Mode::kAToBOnly: return dir == LinkDirection::kAToB;
+    case Mode::kBToAOnly: return dir == LinkDirection::kBToA;
+  }
+  return false;
+}
+
+}  // namespace dcrd

@@ -1,0 +1,113 @@
+// Gray-failure (partial-degradation) processes.
+//
+// The paper's Section IV-A failure model is binary and symmetric: a link is
+// either perfectly up or completely down, in both directions at once. Real
+// overlay links mostly fail *gray*: they keep passing traffic but drop a
+// fraction of it, inflate its delay, or degrade in one direction only (the
+// classic "data gets through, ACKs don't" pathology that defeats fixed
+// ACK timers). This module injects exactly those modes:
+//
+//  * Partial loss: while a gray episode is active, transmissions suffer an
+//    extra drop probability on top of the background loss rate Pl.
+//  * Delay inflation: propagation is multiplied by `delay_factor`, so the
+//    monitored alpha_hat — measured mostly during clean epochs and refreshed
+//    only every 5 minutes — underestimates the true delay and a fixed
+//    `alpha_hat + slack` timer fires spuriously.
+//  * Asymmetry: with probability `asymmetry` an episode degrades only one
+//    direction of the link (which one is a fair coin), so the data direction
+//    can be clean while the returning ACK direction is lossy, and vice
+//    versa.
+//
+// Like FailureSchedule, the process is *counter-based*: whether (and how) a
+// link is gray in an epoch is a pure hash of (seed, link, epoch), so queries
+// need no state, arbitrary-future queries work, and every router under
+// comparison faces the identical gray sample path. Only the per-transmission
+// extra-loss Bernoulli draws are stateful (they live in OverlayNetwork's
+// rng, like the background loss draws).
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace dcrd {
+
+// Direction of a transmission over an (undirected) overlay link, from the
+// edge's canonical endpoint order: 0 = a->b, 1 = b->a. ACKs for a data
+// packet travel the opposite direction, which is what makes asymmetric
+// degradation observable.
+enum class LinkDirection : int { kAToB = 0, kBToA = 1 };
+
+[[nodiscard]] constexpr LinkDirection Opposite(LinkDirection dir) {
+  return dir == LinkDirection::kAToB ? LinkDirection::kBToA
+                                     : LinkDirection::kAToB;
+}
+
+struct GrayFailureConfig {
+  // Per (link, epoch) probability that a gray episode is active. 0 disables
+  // the process entirely (the default — paper parity).
+  double probability = 0.0;
+  // Extra drop probability imposed on degraded directions while gray.
+  double extra_loss = 0.25;
+  // Propagation-delay multiplier on degraded directions while gray (>= 1).
+  double delay_factor = 3.0;
+  // Probability that an episode degrades only one direction; the afflicted
+  // direction is then a fair coin. 0 = always symmetric.
+  double asymmetry = 0.5;
+  SimDuration epoch = SimDuration::Seconds(1);
+};
+
+class GrayFailureSchedule {
+ public:
+  // The default-constructed schedule never degrades anything.
+  GrayFailureSchedule() = default;
+  GrayFailureSchedule(std::uint64_t seed, GrayFailureConfig config)
+      : seed_(seed), config_(config) {
+    DCRD_CHECK(config_.probability >= 0.0 && config_.probability <= 1.0);
+    DCRD_CHECK(config_.extra_loss >= 0.0 && config_.extra_loss <= 1.0);
+    DCRD_CHECK(config_.delay_factor >= 1.0);
+    DCRD_CHECK(config_.asymmetry >= 0.0 && config_.asymmetry <= 1.0);
+    DCRD_CHECK(config_.epoch > SimDuration::Zero());
+  }
+
+  [[nodiscard]] bool enabled() const { return config_.probability > 0.0; }
+
+  // True when a gray episode (in any direction) is active on `link` for a
+  // transmission entered at `t`.
+  [[nodiscard]] bool Active(LinkId link, SimTime t) const {
+    return enabled() && ModeAt(link, t) != Mode::kClean;
+  }
+
+  // True when the given direction of `link` is degraded at `t`.
+  [[nodiscard]] bool Degraded(LinkId link, LinkDirection dir, SimTime t) const;
+
+  // Extra drop probability for a transmission in `dir` at `t`; 0 when the
+  // direction is clean.
+  [[nodiscard]] double ExtraLoss(LinkId link, LinkDirection dir,
+                                 SimTime t) const {
+    return Degraded(link, dir, t) ? config_.extra_loss : 0.0;
+  }
+
+  // Propagation multiplier for a transmission in `dir` at `t`; 1 when the
+  // direction is clean.
+  [[nodiscard]] double DelayFactor(LinkId link, LinkDirection dir,
+                                   SimTime t) const {
+    return Degraded(link, dir, t) ? config_.delay_factor : 1.0;
+  }
+
+  [[nodiscard]] const GrayFailureConfig& config() const { return config_; }
+
+ private:
+  enum class Mode { kClean, kBoth, kAToBOnly, kBToAOnly };
+
+  // The (deterministic) episode mode of `link` in the epoch containing `t`.
+  [[nodiscard]] Mode ModeAt(LinkId link, SimTime t) const;
+
+  std::uint64_t seed_ = 0;
+  GrayFailureConfig config_{};
+};
+
+}  // namespace dcrd

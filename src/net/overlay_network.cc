@@ -26,6 +26,13 @@ void OverlayNetwork::Transmit(NodeId from, LinkId link, TrafficClass cls,
     ++counter.dropped_loss;
     return;
   }
+  const LinkDirection direction =
+      from == edge.a ? LinkDirection::kAToB : LinkDirection::kBToA;
+  const double gray_loss = gray_.ExtraLoss(link, direction, now);
+  if (gray_loss > 0.0 && gray_rng_.NextBernoulli(gray_loss)) {
+    ++counter.dropped_gray;
+    return;
+  }
   ++counter.delivered;
 
   SimTime departure = now;
@@ -48,6 +55,10 @@ void OverlayNetwork::Transmit(NodeId from, LinkId link, TrafficClass cls,
     propagation = SimDuration::FromMillisF(edge.delay.millis() *
                                            config_.ack_delay_factor);
   }
+  // Delay inflation applies to data and ACK alike (an ACK direction with
+  // ack_delay_factor 0 stays instantaneous — the paper's out-of-band model).
+  propagation = SimDuration::FromMillisF(
+      propagation.millis() * gray_.DelayFactor(link, direction, now));
   scheduler_.ScheduleAt(departure + propagation, std::move(on_delivered));
 }
 

@@ -1,11 +1,14 @@
 // Overlay transmission service.
 //
 // A transmission over link L entered at time t succeeds iff L is up at t,
-// both endpoint brokers are up at t, and an independent Bernoulli(Pl) loss
-// draw passes; on success the payload callback fires at the receiving
-// endpoint after (queuing +) propagation delay. Senders are never told the
-// outcome directly — reliable delivery is built *above* this service from
-// hop-by-hop ACKs, exactly as in the paper.
+// both endpoint brokers are up at t, an independent Bernoulli(Pl) loss
+// draw passes, and — when a gray episode degrades the transmission's
+// direction (see gray_failure.h) — an extra Bernoulli loss draw passes; on
+// success the payload callback fires at the receiving endpoint after
+// (queuing +) propagation delay, inflated by the gray delay factor while
+// the direction is degraded. Senders are never told the outcome directly —
+// reliable delivery is built *above* this service from hop-by-hop ACKs,
+// exactly as in the paper.
 //
 // Optional per-link queuing: when `serialization` is non-zero every data
 // packet occupies its directed link for that long, so bursts build a FIFO
@@ -29,6 +32,7 @@
 #include "event/scheduler.h"
 #include "graph/graph.h"
 #include "net/failure_schedule.h"
+#include "net/gray_failure.h"
 
 namespace dcrd {
 
@@ -40,6 +44,14 @@ struct TrafficCounters {
   std::uint64_t dropped_failure = 0;       // link down at entry
   std::uint64_t dropped_node_failure = 0;  // an endpoint broker down
   std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_gray = 0;  // gray episode's extra loss
+
+  // Every attempt is either delivered or lands in exactly one drop bucket;
+  // the invariant checker asserts this every monitoring epoch.
+  [[nodiscard]] std::uint64_t accounted() const {
+    return delivered + dropped_failure + dropped_node_failure + dropped_loss +
+           dropped_gray;
+  }
 };
 
 struct OverlayNetworkConfig {
@@ -61,13 +73,18 @@ class OverlayNetwork {
   OverlayNetwork(const Graph& graph, Scheduler& scheduler,
                  FailureSchedule failures, OverlayNetworkConfig config,
                  Rng loss_rng,
-                 NodeFailureSchedule node_failures = NodeFailureSchedule())
+                 NodeFailureSchedule node_failures = NodeFailureSchedule(),
+                 GrayFailureSchedule gray = GrayFailureSchedule())
       : graph_(graph),
         scheduler_(scheduler),
         failures_(failures),
         node_failures_(node_failures),
+        gray_(gray),
         config_(config),
         loss_rng_(loss_rng),
+        // Gray extra-loss draws use a forked substream so enabling the gray
+        // process never perturbs the background loss sample path.
+        gray_rng_(loss_rng.Fork("gray-loss")),
         // One busy-until slot per directed link: index 2*link + direction.
         link_free_(graph.edge_count() * 2, SimTime::Zero()) {}
 
@@ -100,6 +117,7 @@ class OverlayNetwork {
   [[nodiscard]] const NodeFailureSchedule& node_failures() const {
     return node_failures_;
   }
+  [[nodiscard]] const GrayFailureSchedule& gray() const { return gray_; }
   [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
   [[nodiscard]] const TrafficCounters& counters(TrafficClass cls) const {
     return counters_[static_cast<std::size_t>(cls)];
@@ -114,8 +132,10 @@ class OverlayNetwork {
   Scheduler& scheduler_;
   FailureSchedule failures_;
   NodeFailureSchedule node_failures_;
+  GrayFailureSchedule gray_;
   OverlayNetworkConfig config_;
   Rng loss_rng_;
+  Rng gray_rng_;
   std::vector<SimTime> link_free_;
   std::array<TrafficCounters, 3> counters_{};
 };

@@ -9,9 +9,11 @@ void HopTransport::SendReliable(NodeId from, LinkId link, Packet packet,
                                 std::function<void(bool)> done) {
   DCRD_CHECK(max_tx >= 1);
   const std::uint64_t copy_id = next_copy_id_++;
-  pending_.emplace(copy_id, Pending{from, link, std::move(packet), max_tx,
-                                    ack_timeout, std::move(done),
-                                    EventHandle{}});
+  Pending pending{from,          link, std::move(packet), max_tx,
+                  ack_timeout,   std::move(done), EventHandle{},
+                  copy_id,       0,    {}};
+  pending.tx_times.reserve(static_cast<std::size_t>(max_tx));
+  pending_.emplace(copy_id, std::move(pending));
   TransmitOnce(copy_id);
 }
 
@@ -21,6 +23,10 @@ void HopTransport::TransmitOnce(std::uint64_t copy_id) {
   Pending& pending = it->second;
   DCRD_CHECK(pending.transmissions_left > 0);
   --pending.transmissions_left;
+  const int tx_index = pending.transmissions_made++;
+  pending.tx_times.push_back(network_.scheduler().now());
+  ++stats_.transmissions;
+  if (tx_index > 0) ++stats_.retransmissions;
 
   const NodeId from = pending.from;
   const LinkId link = pending.link;
@@ -29,11 +35,16 @@ void HopTransport::TransmitOnce(std::uint64_t copy_id) {
   // later SendReliable cannot mutate a packet already in flight.
   const Packet on_wire = pending.packet;
   network_.Transmit(from, link, TrafficClass::kData,
-                    [this, copy_id, to, from, link, on_wire] {
-                      HandleDataArrival(copy_id, to, from, link, on_wire);
+                    [this, copy_id, tx_index, to, from, link, on_wire] {
+                      HandleDataArrival(copy_id, tx_index, to, from, link,
+                                        on_wire);
                     });
+  const SimDuration timeout =
+      config_.adaptive_rto
+          ? rto_.TimeoutFor(link, pending.ack_timeout, tx_index, copy_id)
+          : pending.ack_timeout;
   pending.timer = network_.scheduler().ScheduleAfter(
-      pending.ack_timeout, [this, copy_id] { HandleTimeout(copy_id); });
+      timeout, [this, copy_id] { HandleTimeout(copy_id); });
 }
 
 void HopTransport::HandleTimeout(std::uint64_t copy_id) {
@@ -44,27 +55,72 @@ void HopTransport::HandleTimeout(std::uint64_t copy_id) {
     TransmitOnce(copy_id);
     return;
   }
+  // Budget exhausted. A badly late ACK may still straggle home — leave a
+  // tombstone so it can feed the RTO estimator and have the copy's
+  // retransmissions classified as spurious instead of silently dropping
+  // the accounting on the floor.
+  expired_.emplace(copy_id,
+                   Expired{pending.link, pending.transmissions_made,
+                           std::move(pending.tx_times)});
   auto done = std::move(pending.done);
   pending_.erase(it);
   if (done) done(false);
 }
 
-void HopTransport::HandleDataArrival(std::uint64_t copy_id, NodeId at,
-                                     NodeId from, LinkId link,
+void HopTransport::HandleDataArrival(std::uint64_t copy_id, int tx_index,
+                                     NodeId at, NodeId from, LinkId link,
                                      const Packet& packet) {
-  // Always ACK — the sender may have missed an earlier ACK.
-  network_.Transmit(at, link, TrafficClass::kAck,
-                    [this, copy_id] { HandleAckArrival(copy_id); });
-  // Hand to the protocol only on first sight of this copy.
-  if (!seen_copies_.insert(copy_id).second) return;
+  // Always ACK — the sender may have missed an earlier ACK. The ACK names
+  // the transmission it answers, which disambiguates RTT samples and lets
+  // the sender recognise spurious retransmissions.
+  network_.Transmit(at, link, TrafficClass::kAck, [this, copy_id, tx_index] {
+    HandleAckArrival(copy_id, tx_index);
+  });
+  // Hand to the protocol only on first sight of this copy. Insert into the
+  // current generation even when the previous one already knows the copy,
+  // so repeat stragglers keep their suppression entry alive across
+  // rotations.
+  const bool in_prev = prev_seen_copies_.count(copy_id) != 0;
+  const bool handed_up = seen_copies_.insert(copy_id).second && !in_prev;
+  if (config_.observer != nullptr) {
+    config_.observer->OnCopyArrival(copy_id, at, from, packet, handed_up);
+  }
+  if (!handed_up) return;
   on_arrival_(at, packet, from);
 }
 
-void HopTransport::HandleAckArrival(std::uint64_t copy_id) {
+void HopTransport::HandleAckArrival(std::uint64_t copy_id, int tx_index) {
   auto it = pending_.find(copy_id);
-  if (it == pending_.end()) return;  // duplicate ACK or already timed out
-  network_.scheduler().Cancel(it->second.timer);
-  auto done = std::move(it->second.done);
+  if (it == pending_.end()) {
+    // Not in flight any more: a duplicate ACK, or the first ACK of a copy
+    // whose budget already expired. The latter still carries information —
+    // the hop was alive, just slower than m timeouts.
+    const auto expired_it = expired_.find(copy_id);
+    if (expired_it == expired_.end()) return;
+    const Expired& expired = expired_it->second;
+    rto_.OnSample(expired.link,
+                  network_.scheduler().now() -
+                      expired.tx_times[static_cast<std::size_t>(tx_index)]);
+    if (expired.transmissions_made - 1 > tx_index) {
+      stats_.spurious_retransmissions += static_cast<std::uint64_t>(
+          expired.transmissions_made - 1 - tx_index);
+    }
+    expired_.erase(expired_it);  // later ACKs of this copy are duplicates
+    return;
+  }
+  Pending& pending = it->second;
+  // Unambiguous round-trip sample: this ACK answers transmission tx_index.
+  rto_.OnSample(pending.link, network_.scheduler().now() -
+                                  pending.tx_times[static_cast<std::size_t>(
+                                      tx_index)]);
+  // Every transmission after tx_index happened although the hop was alive
+  // and this ACK was already on its way — those were spurious.
+  if (pending.transmissions_made - 1 > tx_index) {
+    stats_.spurious_retransmissions +=
+        static_cast<std::uint64_t>(pending.transmissions_made - 1 - tx_index);
+  }
+  network_.scheduler().Cancel(pending.timer);
+  auto done = std::move(pending.done);
   pending_.erase(it);
   if (done) done(true);
 }

@@ -16,19 +16,50 @@
 //    false after the m-th transmission's timeout expires. A data copy can
 //    have been delivered even when done(false) fires (ACK lost) — protocols
 //    must tolerate duplicates, exactly as over a real network.
+//
+// Timer modes:
+//  * Fixed (default, paper parity): every transmission of a copy arms the
+//    caller-supplied `ack_timeout` (2*alpha_hat-style), bit-identical to
+//    the paper's model.
+//  * Adaptive (config.adaptive_rto): timers come from a per-link
+//    Jacobson/Karels RTO estimator fed by observed ACK round-trips and
+//    seeded from `ack_timeout` until the first sample, with exponential
+//    backoff plus deterministic jitter across the m retransmissions (see
+//    rto_estimator.h). ACKs identify the transmission they answer, so the
+//    transport also counts *spurious* retransmissions — copies retransmitted
+//    although an earlier transmission's ACK was merely late.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/ids.h"
 #include "event/scheduler.h"
 #include "net/overlay_network.h"
 #include "pubsub/packet.h"
+#include "routing/rto_estimator.h"
+#include "routing/transport_observer.h"
 
 namespace dcrd {
+
+struct HopTransportConfig {
+  bool adaptive_rto = false;
+  RtoConfig rto;
+  TransportObserver* observer = nullptr;
+};
+
+// Cumulative counters, readable at any time (pending_copies is the live
+// in-flight count; it must be 0 after the scheduler drains).
+struct TransportStats {
+  std::uint64_t transmissions = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t spurious_retransmissions = 0;
+  std::uint64_t rtt_samples = 0;
+  std::size_t pending_copies = 0;
+};
 
 class HopTransport {
  public:
@@ -37,24 +68,46 @@ class HopTransport {
   using ArrivalHandler =
       std::function<void(NodeId at, const Packet& packet, NodeId from)>;
 
-  HopTransport(OverlayNetwork& network, ArrivalHandler on_arrival)
-      : network_(network), on_arrival_(std::move(on_arrival)) {}
+  HopTransport(OverlayNetwork& network, ArrivalHandler on_arrival,
+               HopTransportConfig config = {})
+      : network_(network),
+        on_arrival_(std::move(on_arrival)),
+        config_(config),
+        rto_(config.rto) {}
 
   HopTransport(const HopTransport&) = delete;
   HopTransport& operator=(const HopTransport&) = delete;
 
   // Sends `packet` from `from` over `link`, retrying until `max_tx` total
-  // transmissions, each armed with `ack_timeout`. `done` may start further
-  // sends; it is always invoked from a scheduler event (never re-entrantly).
+  // transmissions. `ack_timeout` is the fixed per-transmission timer in
+  // fixed mode and the estimator seed in adaptive mode. `done` may start
+  // further sends; it is always invoked from a scheduler event (never
+  // re-entrantly).
   void SendReliable(NodeId from, LinkId link, Packet packet, int max_tx,
                     SimDuration ack_timeout, std::function<void(bool)> done);
 
-  // Drops receiver-side duplicate-suppression state. Copy ids are globally
-  // unique so clearing can never resurrect a copy; the engine calls this at
-  // monitoring epochs purely to bound memory over multi-hour runs.
-  void ClearDedupState() { seen_copies_.clear(); }
+  // Ages receiver-side duplicate-suppression state to bound memory over
+  // multi-hour runs. Rotation (not a hard clear): a spurious retransmission
+  // of an already-handed-up copy can still be in flight when the monitoring
+  // epoch turns over, so the previous generation stays consulted for one
+  // more epoch. A copy id is only forgotten after two consecutive epochs
+  // without an arrival — far longer than any transmission stays airborne.
+  void ClearDedupState() {
+    prev_seen_copies_ = std::move(seen_copies_);
+    seen_copies_.clear();
+    // Ack-tombstones follow the same bound: an ACK more than an epoch late
+    // is not worth accounting for.
+    expired_.clear();
+  }
 
   [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  [[nodiscard]] TransportStats stats() const {
+    TransportStats out = stats_;
+    out.rtt_samples = rto_.sample_count();
+    out.pending_copies = pending_.size();
+    return out;
+  }
+  [[nodiscard]] const RtoEstimator& rto() const { return rto_; }
 
  private:
   struct Pending {
@@ -62,21 +115,37 @@ class HopTransport {
     LinkId link;
     Packet packet;
     int transmissions_left;
-    SimDuration ack_timeout;
+    SimDuration ack_timeout;  // fixed timer / adaptive seed
     std::function<void(bool)> done;
     EventHandle timer;
+    std::uint64_t copy_id = 0;
+    int transmissions_made = 0;
+    std::vector<SimTime> tx_times;  // send instant per transmission index
+  };
+
+  // Accounting stub left behind when a copy's send budget expires before
+  // its ACK returns; lets the straggling ACK still be classified.
+  struct Expired {
+    LinkId link;
+    int transmissions_made;
+    std::vector<SimTime> tx_times;
   };
 
   void TransmitOnce(std::uint64_t copy_id);
   void HandleTimeout(std::uint64_t copy_id);
-  void HandleDataArrival(std::uint64_t copy_id, NodeId at, NodeId from,
-                         LinkId link, const Packet& packet);
-  void HandleAckArrival(std::uint64_t copy_id);
+  void HandleDataArrival(std::uint64_t copy_id, int tx_index, NodeId at,
+                         NodeId from, LinkId link, const Packet& packet);
+  void HandleAckArrival(std::uint64_t copy_id, int tx_index);
 
   OverlayNetwork& network_;
   ArrivalHandler on_arrival_;
+  HopTransportConfig config_;
+  RtoEstimator rto_;
+  TransportStats stats_;
   std::unordered_map<std::uint64_t, Pending> pending_;
+  std::unordered_map<std::uint64_t, Expired> expired_;
   std::unordered_set<std::uint64_t> seen_copies_;
+  std::unordered_set<std::uint64_t> prev_seen_copies_;
   std::uint64_t next_copy_id_ = 1;
 };
 

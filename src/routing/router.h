@@ -16,6 +16,7 @@
 #include "pubsub/packet.h"
 #include "pubsub/publisher.h"
 #include "pubsub/subscriptions.h"
+#include "routing/hop_transport.h"
 
 namespace dcrd {
 
@@ -29,15 +30,28 @@ struct RouterContext {
   // Added on top of the expected ACK return time when arming timeout
   // timers.
   SimDuration ack_slack = SimDuration::Millis(1);
+  // Replace the paper's fixed per-send timer with the per-link
+  // Jacobson/Karels estimator (see rto_estimator.h). Off by default for
+  // figure parity.
+  bool adaptive_rto = false;
+  RtoConfig rto;
+  // Hooked through to every HopTransport; used by the invariant checker.
+  TransportObserver* transport_observer = nullptr;
 
   // Timeout to arm after transmitting over a link with (estimated) one-way
   // delay `alpha`: data takes alpha, the ACK takes alpha times the
   // network's ack-delay factor (0 in the paper's "senders immediately know"
-  // model), plus slack.
+  // model), plus slack. In adaptive mode this value only seeds the
+  // estimator until the link's first real RTT sample.
   [[nodiscard]] SimDuration AckTimeout(SimDuration alpha) const {
     return SimDuration::FromMillisF(
                alpha.millis() * (1.0 + network->ack_delay_factor())) +
            ack_slack;
+  }
+
+  // The transport configuration every router passes to its HopTransport.
+  [[nodiscard]] HopTransportConfig MakeTransportConfig() const {
+    return HopTransportConfig{adaptive_rto, rto, transport_observer};
   }
 };
 
@@ -55,6 +69,15 @@ class Router {
   virtual void Publish(const Message& message) = 0;
 
   [[nodiscard]] virtual std::string_view name() const = 0;
+
+  // Cumulative hop-transport counters (retransmissions, spurious
+  // retransmissions, in-flight copies). Routers owning a HopTransport
+  // override this; the default is all-zero.
+  [[nodiscard]] virtual TransportStats transport_stats() const { return {}; }
+
+  // Protocol-level work still open (e.g. DCRD processing episodes); must be
+  // 0 after the scheduler drains — the invariant checker asserts it.
+  [[nodiscard]] virtual std::size_t open_episodes() const { return 0; }
 };
 
 }  // namespace dcrd

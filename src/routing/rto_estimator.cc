@@ -1,0 +1,63 @@
+#include "routing/rto_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcrd {
+
+void RtoEstimator::OnSample(LinkId link, SimDuration rtt) {
+  const double sample_us = static_cast<double>(rtt.micros());
+  const auto [it, inserted] = state_.try_emplace(link.underlying());
+  State& state = it->second;
+  if (inserted) {
+    // RFC 6298 initialisation: SRTT = R, RTTVAR = R/2.
+    state.srtt_us = sample_us;
+    state.rttvar_us = sample_us / 2.0;
+  } else {
+    state.rttvar_us = (1.0 - config_.rttvar_gain) * state.rttvar_us +
+                      config_.rttvar_gain * std::abs(state.srtt_us - sample_us);
+    state.srtt_us = (1.0 - config_.srtt_gain) * state.srtt_us +
+                    config_.srtt_gain * sample_us;
+  }
+  ++sample_count_;
+}
+
+SimDuration RtoEstimator::Clamp(SimDuration rto) const {
+  return std::clamp(rto, config_.min_rto, config_.max_rto);
+}
+
+SimDuration RtoEstimator::Rto(LinkId link, SimDuration seed) const {
+  const auto it = state_.find(link.underlying());
+  if (it == state_.end()) return Clamp(seed);
+  const double var_term = std::max(
+      static_cast<double>(config_.granularity.micros()),
+      4.0 * it->second.rttvar_us);
+  return Clamp(SimDuration::Micros(
+      static_cast<std::int64_t>(it->second.srtt_us + var_term + 0.5)));
+}
+
+SimDuration RtoEstimator::TimeoutFor(LinkId link, SimDuration seed,
+                                     int attempt,
+                                     std::uint64_t copy_id) const {
+  const SimDuration base = Rto(link, seed);
+  // Exponential backoff, saturating well before the shift overflows.
+  const int shift = std::min(attempt, 16);
+  double timeout_us =
+      static_cast<double>(base.micros()) * static_cast<double>(1ULL << shift);
+  if (config_.jitter > 0.0) {
+    // Deterministic spread in [1, 1+j], a pure hash of (copy, attempt).
+    // One-sided on purpose: once RTTVAR has decayed on a steady link the
+    // RTO sits barely above SRTT, so a jitter that could *shorten* the
+    // timeout would fire just before the ACK and manufacture spurious
+    // retransmissions on perfectly healthy links.
+    std::uint64_t s = copy_id ^ (0xD6E8FEB86659FD93ULL *
+                                 (static_cast<std::uint64_t>(attempt) + 1));
+    const double unit = static_cast<double>(SplitMix64(s) >> 11) * 0x1.0p-53;
+    timeout_us *= 1.0 + config_.jitter * unit;
+  }
+  timeout_us = std::min(timeout_us,
+                        static_cast<double>(config_.max_rto.micros()));
+  return Clamp(SimDuration::Micros(static_cast<std::int64_t>(timeout_us + 0.5)));
+}
+
+}  // namespace dcrd

@@ -29,6 +29,9 @@ class SourceRoutedRouter : public Router {
 
   void Rebuild(const MonitoredView& view) final;
   void Publish(const Message& message) final;
+  [[nodiscard]] TransportStats transport_stats() const final {
+    return transport_.stats();
+  }
 
  protected:
   struct Route {

@@ -1,0 +1,29 @@
+// Observation hook for hop-level packet events.
+//
+// The simulation-wide invariant checker (sim/invariant_checker.h) needs to
+// see every data-copy arrival — including suppressed duplicates — to verify
+// routing-loop freedom and exactly-once hand-up, without the routers or the
+// transport knowing anything about it. Routers thread the observer from
+// RouterContext into their HopTransport; a null observer costs one branch.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+
+namespace dcrd {
+
+class Packet;
+
+class TransportObserver {
+ public:
+  virtual ~TransportObserver() = default;
+
+  // Called for every data-copy arrival at `at` from neighbour `from`,
+  // duplicates included; `handed_up` is true when the transport passed the
+  // packet to the protocol (first sight of this copy id).
+  virtual void OnCopyArrival(std::uint64_t copy_id, NodeId at, NodeId from,
+                             const Packet& packet, bool handed_up) = 0;
+};
+
+}  // namespace dcrd

@@ -13,6 +13,7 @@
 #include "routing/multipath_router.h"
 #include "routing/oracle_router.h"
 #include "routing/tree_router.h"
+#include "sim/invariant_checker.h"
 #include "sim/workload.h"
 
 namespace dcrd {
@@ -91,8 +92,15 @@ RunSummary RunScenario(const ScenarioConfig& config) {
   network_config.ack_delay_factor = config.ack_delay_factor;
   network_config.serialization = config.link_serialization;
   network_config.delay_jitter = config.delay_jitter;
+  GrayFailureConfig gray_config;
+  gray_config.probability = config.gray_probability;
+  gray_config.extra_loss = config.gray_extra_loss;
+  gray_config.delay_factor = config.gray_delay_factor;
+  gray_config.asymmetry = config.gray_asymmetry;
+  gray_config.epoch = config.failure_epoch;
+  const GrayFailureSchedule gray(root.Fork("gray")(), gray_config);
   OverlayNetwork network(graph, scheduler, failures, network_config,
-                         root.Fork("loss"), node_failures);
+                         root.Fork("loss"), node_failures, gray);
 
   LinkMonitorConfig monitor_config;
   monitor_config.interval = config.monitor_interval;
@@ -102,13 +110,23 @@ RunSummary RunScenario(const ScenarioConfig& config) {
   LinkMonitor monitor(graph, failures, monitor_config, root.Fork("probes"));
 
   MetricsCollector metrics(subscriptions);
+  std::unique_ptr<SimInvariantChecker> checker;
+  if (config.enable_invariant_checker) {
+    InvariantCheckerConfig checker_config;
+    checker_config.check_delivery_guarantee = config.check_delivery_guarantee;
+    checker_config.guarantee_window = config.guarantee_window;
+    checker = std::make_unique<SimInvariantChecker>(network, subscriptions,
+                                                    metrics, checker_config);
+  }
 
   RouterContext context;
   context.network = &network;
   context.subscriptions = &subscriptions;
-  context.sink = &metrics;
+  context.sink = checker ? static_cast<DeliverySink*>(checker.get()) : &metrics;
   context.max_transmissions = config.max_transmissions;
   context.ack_slack = config.ack_slack;
+  context.adaptive_rto = config.adaptive_rto;
+  context.transport_observer = checker.get();
   const std::unique_ptr<Router> router = MakeRouter(config, context);
 
   // Bootstrap measurement + epoch rebuilds for the whole run. Churn, when
@@ -124,7 +142,10 @@ RunSummary RunScenario(const ScenarioConfig& config) {
   const SimTime end = SimTime::Zero() + config.sim_time;
   for (SimTime epoch = SimTime::Zero() + config.monitor_interval;
        epoch <= end; epoch += config.monitor_interval) {
-    scheduler.ScheduleAt(epoch, [&monitor, &router, &scheduler, &apply_churn] {
+    scheduler.ScheduleAt(epoch,
+                         [&monitor, &router, &scheduler, &apply_churn,
+                          &checker] {
+      if (checker) checker->CheckEpoch();
       apply_churn();
       monitor.MeasureAt(scheduler.now());
       router->Rebuild(monitor.view());
@@ -139,8 +160,9 @@ RunSummary RunScenario(const ScenarioConfig& config) {
     const TopicId topic(static_cast<TopicId::underlying_type>(t));
     publishers.push_back(std::make_unique<Publisher>(
         topic, subscriptions.publisher(topic), config.publish_interval,
-        scheduler, [&metrics, &router](const Message& message) {
+        scheduler, [&metrics, &router, &checker](const Message& message) {
           metrics.OnPublished(message);
+          if (checker) checker->OnPublished(message);
           router->Publish(message);
         }));
     publishers.back()->Start(
@@ -152,11 +174,21 @@ RunSummary RunScenario(const ScenarioConfig& config) {
   scheduler.RunUntil(end);
   // Drain in-flight deliveries, timers and reroutes published before `end`.
   scheduler.Run();
+  if (checker) checker->CheckEndOfRun(*router, scheduler.now());
 
-  return metrics.Summarize(
+  RunSummary summary = metrics.Summarize(
       network.counters(TrafficClass::kData).attempted,
       network.counters(TrafficClass::kAck).attempted,
       network.counters(TrafficClass::kControl).attempted);
+  const TransportStats transport = router->transport_stats();
+  summary.retransmissions = transport.retransmissions;
+  summary.spurious_retransmissions = transport.spurious_retransmissions;
+  summary.rtt_samples = transport.rtt_samples;
+  if (checker) {
+    summary.invariant_violation_count = checker->violation_count();
+    summary.invariant_violations = checker->violations();
+  }
+  return summary;
 }
 
 }  // namespace dcrd

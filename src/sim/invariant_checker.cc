@@ -1,0 +1,183 @@
+#include "sim/invariant_checker.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "pubsub/packet.h"
+
+namespace dcrd {
+
+namespace {
+
+std::uint64_t PairKey(MessageId message, NodeId subscriber) {
+  DCRD_CHECK(subscriber.underlying() < (1ULL << 16));
+  return (message.value << 16) | subscriber.underlying();
+}
+
+}  // namespace
+
+SimInvariantChecker::SimInvariantChecker(const OverlayNetwork& network,
+                                         const SubscriptionTable& subscriptions,
+                                         DeliverySink& next,
+                                         InvariantCheckerConfig config)
+    : network_(network),
+      subscriptions_(subscriptions),
+      next_(next),
+      config_(config) {}
+
+void SimInvariantChecker::Record(std::string message) {
+  ++violation_count_;
+  if (violations_.size() < config_.max_recorded) {
+    violations_.push_back(std::move(message));
+  }
+}
+
+void SimInvariantChecker::OnPublished(const Message& message) {
+  for (const Subscription& sub :
+       subscriptions_.subscriptions(message.topic)) {
+    PublishedPair pair;
+    pair.publisher = message.publisher;
+    pair.subscriber = sub.subscriber;
+    pair.publish_time = message.publish_time;
+    pairs_.emplace(PairKey(message.id, sub.subscriber), pair);
+  }
+}
+
+void SimInvariantChecker::OnDelivered(const Message& message,
+                                      NodeId subscriber, SimTime arrival) {
+  const auto it = pairs_.find(PairKey(message.id, subscriber));
+  if (it != pairs_.end()) it->second.delivered = true;
+  next_.OnDelivered(message, subscriber, arrival);
+}
+
+void SimInvariantChecker::OnCopyArrival(std::uint64_t copy_id, NodeId at,
+                                        NodeId from, const Packet& packet,
+                                        bool handed_up) {
+  ++copies_observed_;
+  // 1. Loop freedom. The sender stamps itself before every send, so `from`
+  // is always on the path; the receiver may only be on it when the copy is
+  // a reroute back to the sender's original upstream.
+  if (packet.OnRoutingPath(at) && at != packet.UpstreamOf(from)) {
+    std::ostringstream os;
+    os << "routing loop: copy " << copy_id << " of message "
+       << packet.message().id << " arrived at " << at << " from " << from
+       << ", which is on its routing path but is not the sender's upstream";
+    Record(os.str());
+  }
+  // 2. Exactly-once hand-up per copy id, across epoch-boundary dedup
+  // clears.
+  if (handed_up && !handed_up_.insert(copy_id).second) {
+    std::ostringstream os;
+    os << "copy " << copy_id << " of message " << packet.message().id
+       << " handed up twice (at " << at << ")";
+    Record(os.str());
+  }
+}
+
+void SimInvariantChecker::CheckEpoch() {
+  static constexpr TrafficClass kClasses[] = {
+      TrafficClass::kData, TrafficClass::kAck, TrafficClass::kControl};
+  static constexpr const char* kNames[] = {"data", "ack", "control"};
+  for (std::size_t c = 0; c < 3; ++c) {
+    const TrafficCounters& counters = network_.counters(kClasses[c]);
+    if (counters.attempted != counters.accounted()) {
+      std::ostringstream os;
+      os << kNames[c] << " counter leak: attempted=" << counters.attempted
+         << " but delivered+dropped=" << counters.accounted();
+      Record(os.str());
+    }
+  }
+}
+
+bool SimInvariantChecker::LinkClean(LinkId link, SimTime t0,
+                                    SimTime t1) const {
+  const FailureSchedule& failures = network_.failures();
+  const GrayFailureSchedule& gray = network_.gray();
+  const SimDuration epoch = failures.epoch();
+  // Outages and gray episodes are epoch-aligned, so sampling t0 and every
+  // epoch boundary in (t0, t1] covers the whole window.
+  for (SimTime t = t0; t <= t1;) {
+    if (!failures.IsUp(link, t)) return false;
+    if (gray.Active(link, t)) return false;
+    const std::int64_t next_epoch =
+        (t.micros() / epoch.micros() + 1) * epoch.micros();
+    if (SimTime::FromMicros(next_epoch) > t1) break;
+    t = SimTime::FromMicros(next_epoch);
+  }
+  return true;
+}
+
+bool SimInvariantChecker::NodeClean(NodeId node, SimTime t0,
+                                    SimTime t1) const {
+  const NodeFailureSchedule& nodes = network_.node_failures();
+  const SimDuration epoch = network_.failures().epoch();
+  for (SimTime t = t0; t <= t1;) {
+    if (!nodes.IsUp(node, t)) return false;
+    const std::int64_t next_epoch =
+        (t.micros() / epoch.micros() + 1) * epoch.micros();
+    if (SimTime::FromMicros(next_epoch) > t1) break;
+    t = SimTime::FromMicros(next_epoch);
+  }
+  return true;
+}
+
+bool SimInvariantChecker::CleanPathExists(NodeId publisher, NodeId subscriber,
+                                          SimTime t0, SimTime end) const {
+  const SimTime t1 = std::min(t0 + config_.guarantee_window, end);
+  const Graph& graph = network_.graph();
+  if (!NodeClean(publisher, t0, t1) || !NodeClean(subscriber, t0, t1)) {
+    return false;
+  }
+  // BFS over continuously-clean links and nodes.
+  std::vector<bool> visited(graph.node_count(), false);
+  std::deque<NodeId> frontier{publisher};
+  visited[publisher.underlying()] = true;
+  while (!frontier.empty()) {
+    const NodeId node = frontier.front();
+    frontier.pop_front();
+    for (const Neighbor& neighbor : graph.neighbors(node)) {
+      if (visited[neighbor.peer.underlying()]) continue;
+      if (!LinkClean(neighbor.link, t0, t1)) continue;
+      if (!NodeClean(neighbor.peer, t0, t1)) continue;
+      if (neighbor.peer == subscriber) return true;
+      visited[neighbor.peer.underlying()] = true;
+      frontier.push_back(neighbor.peer);
+    }
+  }
+  return false;
+}
+
+void SimInvariantChecker::CheckEndOfRun(const Router& router, SimTime end) {
+  CheckEpoch();
+  // 5. Quiescence.
+  const TransportStats stats = router.transport_stats();
+  if (stats.pending_copies != 0) {
+    std::ostringstream os;
+    os << stats.pending_copies
+       << " transport copies still pending after quiescence";
+    Record(os.str());
+  }
+  if (router.open_episodes() != 0) {
+    std::ostringstream os;
+    os << router.open_episodes()
+       << " router episodes still open after quiescence";
+    Record(os.str());
+  }
+  // 4. Delivery guarantee.
+  if (!config_.check_delivery_guarantee) return;
+  for (const auto& [key, pair] : pairs_) {
+    if (pair.delivered || pair.subscriber == pair.publisher) continue;
+    if (CleanPathExists(pair.publisher, pair.subscriber, pair.publish_time,
+                        end)) {
+      std::ostringstream os;
+      os << "delivery guarantee: message " << (key >> 16) << " published "
+         << pair.publish_time << " at " << pair.publisher
+         << " never reached " << pair.subscriber
+         << " despite a continuously clean path";
+      Record(os.str());
+    }
+  }
+}
+
+}  // namespace dcrd

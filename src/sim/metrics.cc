@@ -11,6 +11,13 @@ void RunSummary::Absorb(const RunSummary& other) {
   ack_transmissions += other.ack_transmissions;
   control_transmissions += other.control_transmissions;
   messages_published += other.messages_published;
+  retransmissions += other.retransmissions;
+  spurious_retransmissions += other.spurious_retransmissions;
+  rtt_samples += other.rtt_samples;
+  invariant_violation_count += other.invariant_violation_count;
+  invariant_violations.insert(invariant_violations.end(),
+                              other.invariant_violations.begin(),
+                              other.invariant_violations.end());
   lateness_ratios.insert(lateness_ratios.end(), other.lateness_ratios.begin(),
                          other.lateness_ratios.end());
   delay_ms_samples.insert(delay_ms_samples.end(),

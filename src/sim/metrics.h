@@ -15,6 +15,7 @@
 // from lost ACKs or multipath are tallied separately.
 #pragma once
 
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -35,6 +36,17 @@ struct RunSummary {
   std::uint64_t ack_transmissions = 0;
   std::uint64_t control_transmissions = 0;  // gossip updates (distributed mode)
   std::uint64_t messages_published = 0;
+  // Hop-transport health (see TransportStats): retransmissions that the
+  // receiver had in fact already acknowledged are "spurious" — pure timer
+  // waste, the quantity adaptive RTO exists to reduce.
+  std::uint64_t retransmissions = 0;
+  std::uint64_t spurious_retransmissions = 0;
+  std::uint64_t rtt_samples = 0;
+  // Invariant-checker output (empty when the checker is disabled or clean).
+  // `invariant_violation_count` is the true total; the message list is
+  // truncated at InvariantCheckerConfig::max_recorded.
+  std::uint64_t invariant_violation_count = 0;
+  std::vector<std::string> invariant_violations;
   std::vector<double> lateness_ratios;  // delay/deadline for late pairs
   std::vector<double> delay_ms_samples;  // end-to-end delay of every pair
 

@@ -47,6 +47,12 @@ struct ScenarioConfig {
   double node_failure_probability = 0.0;
   int node_outage_epochs = 1;
   double loss_rate = 1e-4;            // Pl, per transmission
+  // Gray-failure (partial-degradation) process; see net/gray_failure.h.
+  // Probability 0 disables it and leaves every sample path untouched.
+  double gray_probability = 0.0;      // per link/epoch episode probability
+  double gray_extra_loss = 0.25;      // extra drop probability while gray
+  double gray_delay_factor = 3.0;     // propagation multiplier while gray
+  double gray_asymmetry = 0.5;        // P(episode degrades one direction only)
   // Per-packet link occupancy; 0 = infinite bandwidth (the paper's model).
   SimDuration link_serialization = SimDuration::Zero();
   // Propagation jitter fraction; 0 = the paper's fixed delays.
@@ -56,6 +62,10 @@ struct ScenarioConfig {
   RouterKind router = RouterKind::kDcrd;
   int max_transmissions = 1;          // m
   SimDuration ack_slack = SimDuration::Millis(1);
+  // Adaptive per-link retransmission timers (Jacobson/Karels RTO with
+  // exponential backoff) instead of the paper's fixed 2*alpha_hat + slack
+  // timer. Off by default: the paper's figures assume the fixed timer.
+  bool adaptive_rto = false;
   // ACK propagation as a fraction of the link delay. 0 = the paper's
   // "senders immediately know the reception status" out-of-band model;
   // 1 = physical in-band round trip (ablation).
@@ -95,6 +105,14 @@ struct ScenarioConfig {
   // --- run control --------------------------------------------------------------
   SimDuration sim_time = SimDuration::Seconds(7200);  // paper: two hours
   std::uint64_t seed = 1;
+  // Run the simulation-wide invariant checker (sim/invariant_checker.h)
+  // alongside the metrics collector; violations land in
+  // RunSummary::invariant_violations.
+  bool enable_invariant_checker = false;
+  // Also check the delivery guarantee. Only sound for DCRD with
+  // loss_rate == 0; see InvariantCheckerConfig.
+  bool check_delivery_guarantee = false;
+  SimDuration guarantee_window = SimDuration::Seconds(5);
 
   [[nodiscard]] std::string Describe() const;
 };

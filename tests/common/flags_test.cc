@@ -72,5 +72,31 @@ TEST(FlagsTest, UnknownFlagDetection) {
   EXPECT_EQ(unknown[0], "typo");
 }
 
+TEST(FlagsTest, UnqueriedFlagsTracksEveryAccessor) {
+  const Flags flags = ParseArgs(
+      {"--pf=0.1", "--nodes=20", "--label=x", "--fast", "--typo=7"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("pf", 0), 0.1);
+  EXPECT_EQ(flags.GetInt("nodes", 0), 20);
+  EXPECT_EQ(flags.GetString("label", ""), "x");
+  EXPECT_TRUE(flags.GetBool("fast", false));
+  const auto unqueried = flags.UnqueriedFlags();
+  ASSERT_EQ(unqueried.size(), 1U);
+  EXPECT_EQ(unqueried[0], "typo");
+}
+
+TEST(FlagsTest, HasCountsAsQuery) {
+  // Conditional reads (`if (flags.Has("x")) ...`) must mark the flag as
+  // recognised even when the branch is not taken.
+  const Flags flags = ParseArgs({"--seconds=600"});
+  EXPECT_TRUE(flags.Has("seconds"));
+  EXPECT_TRUE(flags.UnqueriedFlags().empty());
+}
+
+TEST(FlagsTest, QueryingWithDefaultCoversAbsentFlag) {
+  const Flags flags = ParseArgs({});
+  EXPECT_EQ(flags.GetInt("n", 3), 3);
+  EXPECT_TRUE(flags.UnqueriedFlags().empty());
+}
+
 }  // namespace
 }  // namespace dcrd

@@ -1,0 +1,149 @@
+#include "net/gray_failure.h"
+
+#include <gtest/gtest.h>
+
+namespace dcrd {
+namespace {
+
+GrayFailureConfig Config(double probability, double asymmetry = 0.5) {
+  GrayFailureConfig config;
+  config.probability = probability;
+  config.asymmetry = asymmetry;
+  return config;
+}
+
+TEST(GrayFailureTest, DefaultConstructedNeverDegrades) {
+  const GrayFailureSchedule schedule;
+  EXPECT_FALSE(schedule.enabled());
+  for (int link = 0; link < 10; ++link) {
+    for (int s = 0; s < 50; ++s) {
+      const SimTime t = SimTime::FromMicros(s * 999'937);
+      EXPECT_FALSE(schedule.Active(LinkId(link), t));
+      EXPECT_DOUBLE_EQ(
+          schedule.ExtraLoss(LinkId(link), LinkDirection::kAToB, t), 0.0);
+      EXPECT_DOUBLE_EQ(
+          schedule.DelayFactor(LinkId(link), LinkDirection::kBToA, t), 1.0);
+    }
+  }
+}
+
+TEST(GrayFailureTest, ZeroProbabilityNeverDegrades) {
+  const GrayFailureSchedule schedule(99, Config(0.0));
+  EXPECT_FALSE(schedule.enabled());
+  EXPECT_FALSE(schedule.Active(LinkId(3), SimTime::FromMicros(5'500'000)));
+}
+
+TEST(GrayFailureTest, ProbabilityOneAlwaysGray) {
+  const GrayFailureSchedule schedule(1, Config(1.0, /*asymmetry=*/0.0));
+  for (int link = 0; link < 10; ++link) {
+    const SimTime t = SimTime::FromMicros(link * 777'000);
+    EXPECT_TRUE(schedule.Active(LinkId(link), t));
+    // Symmetric episodes degrade both directions.
+    EXPECT_TRUE(schedule.Degraded(LinkId(link), LinkDirection::kAToB, t));
+    EXPECT_TRUE(schedule.Degraded(LinkId(link), LinkDirection::kBToA, t));
+  }
+}
+
+TEST(GrayFailureTest, ConstantWithinEpoch) {
+  const GrayFailureSchedule schedule(42, Config(0.5));
+  for (int link = 0; link < 50; ++link) {
+    for (const LinkDirection dir :
+         {LinkDirection::kAToB, LinkDirection::kBToA}) {
+      const bool at_start =
+          schedule.Degraded(LinkId(link), dir, SimTime::FromMicros(3'000'000));
+      EXPECT_EQ(schedule.Degraded(LinkId(link), dir,
+                                  SimTime::FromMicros(3'500'000)),
+                at_start);
+      EXPECT_EQ(schedule.Degraded(LinkId(link), dir,
+                                  SimTime::FromMicros(3'999'999)),
+                at_start);
+    }
+  }
+}
+
+TEST(GrayFailureTest, DeterministicAcrossInstances) {
+  const GrayFailureSchedule a(7, Config(0.3));
+  const GrayFailureSchedule b(7, Config(0.3));
+  for (int link = 0; link < 20; ++link) {
+    for (int s = 0; s < 50; ++s) {
+      const SimTime t = SimTime::FromMicros(s * 1'000'000);
+      EXPECT_EQ(a.Degraded(LinkId(link), LinkDirection::kAToB, t),
+                b.Degraded(LinkId(link), LinkDirection::kAToB, t));
+      EXPECT_EQ(a.Degraded(LinkId(link), LinkDirection::kBToA, t),
+                b.Degraded(LinkId(link), LinkDirection::kBToA, t));
+    }
+  }
+}
+
+TEST(GrayFailureTest, SeedChangesSamplePath) {
+  const GrayFailureSchedule a(7, Config(0.5));
+  const GrayFailureSchedule b(8, Config(0.5));
+  int differences = 0;
+  for (int link = 0; link < 20; ++link) {
+    for (int s = 0; s < 50; ++s) {
+      const SimTime t = SimTime::FromMicros(s * 1'000'000);
+      differences +=
+          a.Active(LinkId(link), t) != b.Active(LinkId(link), t) ? 1 : 0;
+    }
+  }
+  EXPECT_GT(differences, 100);  // ~500 draws at P=0.5
+}
+
+TEST(GrayFailureTest, EmpiricalEpisodeRateMatchesProbability) {
+  const GrayFailureSchedule schedule(11, Config(0.1));
+  int active = 0;
+  const int samples = 100'000;
+  for (int i = 0; i < samples; ++i) {
+    if (schedule.Active(LinkId(i % 97), SimTime::FromMicros(
+            (i / 97) * 1'000'000))) {
+      ++active;
+    }
+  }
+  const double rate = static_cast<double>(active) / samples;
+  EXPECT_NEAR(rate, 0.1, 0.01);
+}
+
+TEST(GrayFailureTest, AsymmetryProducesOneSidedEpisodes) {
+  // Always gray; episodes one-sided with probability 1 — exactly one
+  // direction degraded, chosen by fair coin, so both sides must appear.
+  const GrayFailureSchedule schedule(5, Config(1.0, /*asymmetry=*/1.0));
+  int a_to_b_only = 0, b_to_a_only = 0;
+  for (int link = 0; link < 200; ++link) {
+    const SimTime t = SimTime::Zero();
+    const bool ab = schedule.Degraded(LinkId(link), LinkDirection::kAToB, t);
+    const bool ba = schedule.Degraded(LinkId(link), LinkDirection::kBToA, t);
+    EXPECT_NE(ab, ba);  // exactly one direction
+    a_to_b_only += ab && !ba ? 1 : 0;
+    b_to_a_only += ba && !ab ? 1 : 0;
+  }
+  EXPECT_GT(a_to_b_only, 50);
+  EXPECT_GT(b_to_a_only, 50);
+}
+
+TEST(GrayFailureTest, ExtraLossAndDelayFollowDegradation) {
+  GrayFailureConfig config = Config(1.0, /*asymmetry=*/1.0);
+  config.extra_loss = 0.4;
+  config.delay_factor = 5.0;
+  const GrayFailureSchedule schedule(5, config);
+  const SimTime t = SimTime::Zero();
+  for (int link = 0; link < 50; ++link) {
+    for (const LinkDirection dir :
+         {LinkDirection::kAToB, LinkDirection::kBToA}) {
+      if (schedule.Degraded(LinkId(link), dir, t)) {
+        EXPECT_DOUBLE_EQ(schedule.ExtraLoss(LinkId(link), dir, t), 0.4);
+        EXPECT_DOUBLE_EQ(schedule.DelayFactor(LinkId(link), dir, t), 5.0);
+      } else {
+        EXPECT_DOUBLE_EQ(schedule.ExtraLoss(LinkId(link), dir, t), 0.0);
+        EXPECT_DOUBLE_EQ(schedule.DelayFactor(LinkId(link), dir, t), 1.0);
+      }
+    }
+  }
+}
+
+TEST(GrayFailureTest, OppositeFlipsDirection) {
+  EXPECT_EQ(Opposite(LinkDirection::kAToB), LinkDirection::kBToA);
+  EXPECT_EQ(Opposite(LinkDirection::kBToA), LinkDirection::kAToB);
+}
+
+}  // namespace
+}  // namespace dcrd

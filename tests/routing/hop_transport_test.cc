@@ -201,6 +201,114 @@ TEST(HopTransportTest, ConcurrentSendsIndependent) {
   EXPECT_EQ(acks, 10);
 }
 
+TEST(HopTransportTest, AckLostOnLastTransmissionDeliversButReportsFailure) {
+  // Regression: the ACK for the final (m-th) transmission is lost. The
+  // sender must report done(false) after the timeout — and the packet must
+  // nevertheless have been handed up exactly once downstream. Protocols
+  // treating done(false) as "not delivered" would re-inject a duplicate;
+  // the header documents this exact hazard.
+  Fixture f;
+  // First Bernoulli(0.5) draw: data passes; second: ACK dropped.
+  std::uint64_t seed = 0;
+  for (; seed < 100'000; ++seed) {
+    Rng probe(seed);
+    if (!probe.NextBernoulli(0.5) && probe.NextBernoulli(0.5)) break;
+  }
+  ASSERT_LT(seed, 100'000U);
+  OverlayNetwork network(f.graph, f.scheduler, FailureSchedule(1, 0.0), 0.5,
+                         Rng(seed));
+  int deliveries = 0;
+  HopTransport transport(network,
+                         [&](NodeId, const Packet&, NodeId) { ++deliveries; });
+  bool done_called = false;
+  bool done_value = true;
+  transport.SendReliable(NodeId(0), f.link, Packet(TestMessage(), {NodeId(1)}),
+                         /*max_tx=*/1, Fixture::Timeout(), [&](bool ok) {
+                           done_called = true;
+                           done_value = ok;
+                         });
+  f.scheduler.Run();
+  EXPECT_TRUE(done_called);
+  EXPECT_FALSE(done_value);  // sender never saw the ACK
+  EXPECT_EQ(deliveries, 1);  // ...but the copy was delivered, exactly once
+  EXPECT_EQ(network.counters(TrafficClass::kData).attempted, 1U);
+  EXPECT_EQ(network.counters(TrafficClass::kAck).attempted, 1U);
+  EXPECT_EQ(transport.pending_count(), 0U);
+}
+
+TEST(HopTransportTest, LateAckCountsSpuriousRetransmission) {
+  // RTT is 20 ms (ack_delay_factor 1) but the timer fires at 15 ms: the
+  // retransmission is already pointless when the first ACK lands.
+  Fixture f;
+  OverlayNetwork network(f.graph, f.scheduler, FailureSchedule(1, 0.0), 0.0,
+                         Rng(1), /*ack_delay_factor=*/1.0);
+  HopTransport transport(network, [](NodeId, const Packet&, NodeId) {});
+  bool acked = false;
+  transport.SendReliable(NodeId(0), f.link, Packet(TestMessage(), {NodeId(1)}),
+                         /*max_tx=*/2, SimDuration::Millis(15),
+                         [&](bool ok) { acked = ok; });
+  f.scheduler.Run();
+  EXPECT_TRUE(acked);
+  const TransportStats stats = transport.stats();
+  EXPECT_EQ(stats.transmissions, 2U);
+  EXPECT_EQ(stats.retransmissions, 1U);
+  EXPECT_EQ(stats.spurious_retransmissions, 1U);
+  EXPECT_GE(stats.rtt_samples, 1U);
+  EXPECT_EQ(stats.pending_copies, 0U);
+}
+
+TEST(HopTransportTest, AdaptiveRtoStopsSpuriousRetransmissionsAfterLearning) {
+  // Same late-timer situation, adaptive mode: the first copy pays one
+  // spurious retransmission, but the RTT sample raises the link's RTO so
+  // later copies wait out the 20 ms round trip.
+  Fixture f;
+  OverlayNetwork network(f.graph, f.scheduler, FailureSchedule(1, 0.0), 0.0,
+                         Rng(1), /*ack_delay_factor=*/1.0);
+  HopTransportConfig config;
+  config.adaptive_rto = true;
+  HopTransport transport(network, [](NodeId, const Packet&, NodeId) {},
+                         config);
+  int acks = 0;
+  const auto send_one = [&] {
+    transport.SendReliable(NodeId(0), f.link,
+                           Packet(TestMessage(), {NodeId(1)}),
+                           /*max_tx=*/2, SimDuration::Millis(15),
+                           [&](bool ok) { acks += ok; });
+  };
+  send_one();
+  f.scheduler.Run();
+  const std::uint64_t spurious_after_first =
+      transport.stats().spurious_retransmissions;
+  for (int i = 0; i < 5; ++i) {
+    send_one();
+    f.scheduler.Run();
+  }
+  EXPECT_EQ(acks, 6);
+  // No further spurious retransmissions once the estimator has a sample.
+  EXPECT_EQ(transport.stats().spurious_retransmissions, spurious_after_first);
+  EXPECT_EQ(transport.stats().transmissions,
+            6U + spurious_after_first);
+}
+
+TEST(HopTransportTest, FixedTimerKeepsFiringSpuriouslyWithoutAdaptation) {
+  // Control for the test above: fixed mode never learns, so every copy
+  // retransmits spuriously under the same late-timer conditions.
+  Fixture f;
+  OverlayNetwork network(f.graph, f.scheduler, FailureSchedule(1, 0.0), 0.0,
+                         Rng(1), /*ack_delay_factor=*/1.0);
+  HopTransport transport(network, [](NodeId, const Packet&, NodeId) {});
+  int acks = 0;
+  for (int i = 0; i < 6; ++i) {
+    transport.SendReliable(NodeId(0), f.link,
+                           Packet(TestMessage(), {NodeId(1)}),
+                           /*max_tx=*/2, SimDuration::Millis(15),
+                           [&](bool ok) { acks += ok; });
+    f.scheduler.Run();
+  }
+  EXPECT_EQ(acks, 6);
+  EXPECT_EQ(transport.stats().spurious_retransmissions, 6U);
+}
+
 TEST(HopTransportTest, ClearDedupStateKeepsPendingSendsAlive) {
   Fixture f;
   OverlayNetwork network = f.MakeNetwork(0.0, 0.0);

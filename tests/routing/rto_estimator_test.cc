@@ -1,0 +1,118 @@
+#include "routing/rto_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace dcrd {
+namespace {
+
+constexpr LinkId kLink(3);
+const SimDuration kSeed = SimDuration::Millis(40);
+
+TEST(RtoEstimatorTest, SeedUsedBeforeFirstSample) {
+  const RtoEstimator estimator;
+  EXPECT_FALSE(estimator.HasSample(kLink));
+  EXPECT_EQ(estimator.Rto(kLink, kSeed), kSeed);
+}
+
+TEST(RtoEstimatorTest, FirstSampleInitialisesRfc6298) {
+  RtoEstimator estimator;
+  estimator.OnSample(kLink, SimDuration::Millis(20));
+  EXPECT_TRUE(estimator.HasSample(kLink));
+  EXPECT_EQ(estimator.sample_count(), 1U);
+  // SRTT = 20ms, RTTVAR = 10ms -> RTO = 20 + 4*10 = 60ms.
+  EXPECT_EQ(estimator.Rto(kLink, kSeed), SimDuration::Millis(60));
+}
+
+TEST(RtoEstimatorTest, SteadySamplesConvergeTowardRtt) {
+  RtoEstimator estimator;
+  for (int i = 0; i < 200; ++i) {
+    estimator.OnSample(kLink, SimDuration::Millis(20));
+  }
+  // Constant samples: RTTVAR decays toward 0, so RTO approaches
+  // SRTT + granularity-floor. Well below the first-sample 60ms and far
+  // below a 2*alpha fixed timer of 40ms... the estimator tracks reality.
+  const SimDuration rto = estimator.Rto(kLink, kSeed);
+  EXPECT_LT(rto, SimDuration::Millis(22));
+  EXPECT_GE(rto, SimDuration::Millis(20));
+}
+
+TEST(RtoEstimatorTest, InflatedRttRaisesRto) {
+  RtoEstimator estimator;
+  for (int i = 0; i < 50; ++i) {
+    estimator.OnSample(kLink, SimDuration::Millis(20));
+  }
+  const SimDuration before = estimator.Rto(kLink, kSeed);
+  // Delay inflation (a gray episode tripling the propagation).
+  for (int i = 0; i < 50; ++i) {
+    estimator.OnSample(kLink, SimDuration::Millis(60));
+  }
+  const SimDuration after = estimator.Rto(kLink, kSeed);
+  EXPECT_GT(after, before);
+  EXPECT_GE(after, SimDuration::Millis(60));
+}
+
+TEST(RtoEstimatorTest, PerLinkStateIsIndependent) {
+  RtoEstimator estimator;
+  estimator.OnSample(LinkId(1), SimDuration::Millis(10));
+  EXPECT_FALSE(estimator.HasSample(LinkId(2)));
+  EXPECT_EQ(estimator.Rto(LinkId(2), kSeed), kSeed);
+}
+
+TEST(RtoEstimatorTest, ClampToMinAndMax) {
+  RtoConfig config;
+  config.min_rto = SimDuration::Millis(5);
+  config.max_rto = SimDuration::Millis(100);
+  RtoEstimator estimator(config);
+  estimator.OnSample(kLink, SimDuration::Micros(100));
+  EXPECT_EQ(estimator.Rto(kLink, kSeed), SimDuration::Millis(5));
+  for (int i = 0; i < 100; ++i) {
+    estimator.OnSample(kLink, SimDuration::Millis(500));
+  }
+  EXPECT_EQ(estimator.Rto(kLink, kSeed), SimDuration::Millis(100));
+}
+
+TEST(RtoEstimatorTest, BackoffGrowsExponentiallyUntilCap) {
+  RtoConfig config;
+  config.jitter = 0.0;  // isolate the backoff
+  RtoEstimator estimator(config);
+  estimator.OnSample(kLink, SimDuration::Millis(10));
+  const SimDuration t0 = estimator.TimeoutFor(kLink, kSeed, 0, 1);
+  const SimDuration t1 = estimator.TimeoutFor(kLink, kSeed, 1, 1);
+  const SimDuration t2 = estimator.TimeoutFor(kLink, kSeed, 2, 1);
+  EXPECT_EQ(t1.micros(), 2 * t0.micros());
+  EXPECT_EQ(t2.micros(), 4 * t0.micros());
+  // Deep attempts saturate at max_rto instead of overflowing.
+  EXPECT_EQ(estimator.TimeoutFor(kLink, kSeed, 40, 1), config.max_rto);
+}
+
+TEST(RtoEstimatorTest, JitterIsDeterministicAndBounded) {
+  RtoConfig config;
+  config.jitter = 0.1;
+  const RtoEstimator a(config);
+  const RtoEstimator b(config);
+  for (std::uint64_t copy = 1; copy < 50; ++copy) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      const SimDuration ta = a.TimeoutFor(kLink, kSeed, attempt, copy);
+      EXPECT_EQ(ta, b.TimeoutFor(kLink, kSeed, attempt, copy));
+      // One-sided: jitter may stretch a timeout but never cuts it below
+      // the RTO — a shortened timer would fire ahead of the ACK.
+      const double base_us =
+          static_cast<double>(kSeed.micros()) * (1 << attempt);
+      EXPECT_GE(static_cast<double>(ta.micros()), base_us - 1.0);
+      EXPECT_LE(static_cast<double>(ta.micros()), 1.1 * base_us + 1.0);
+    }
+  }
+}
+
+TEST(RtoEstimatorTest, JitterVariesAcrossCopies) {
+  RtoConfig config;
+  config.jitter = 0.1;
+  const RtoEstimator estimator(config);
+  // Concurrent copies on one link must not retransmit in lock-step.
+  const SimDuration t1 = estimator.TimeoutFor(kLink, kSeed, 1, 101);
+  const SimDuration t2 = estimator.TimeoutFor(kLink, kSeed, 1, 202);
+  EXPECT_NE(t1, t2);
+}
+
+}  // namespace
+}  // namespace dcrd

@@ -57,6 +57,9 @@ class RecordingSink final : public DeliverySink {
 struct RouterHarness {
   Graph graph;
   Scheduler scheduler;
+  // Owned here because LinkMonitor keeps a reference to its schedule — a
+  // temporary in the mem-initializer would dangle (caught by ASan).
+  FailureSchedule failures;
   OverlayNetwork network;
   LinkMonitor monitor;
   SubscriptionTable subscriptions;
@@ -65,9 +68,9 @@ struct RouterHarness {
 
   RouterHarness(Graph g, double pf, double pl, std::uint64_t seed = 1)
       : graph(std::move(g)),
-        network(graph, scheduler, FailureSchedule(seed, pf), pl, Rng(seed)),
-        monitor(graph, FailureSchedule(seed, pf), MonitorConfigFor(pl),
-                Rng(seed + 1)) {
+        failures(seed, pf),
+        network(graph, scheduler, failures, pl, Rng(seed)),
+        monitor(graph, failures, MonitorConfigFor(pl), Rng(seed + 1)) {
     monitor.MeasureAt(SimTime::Zero());
   }
 
