@@ -50,23 +50,24 @@ int main(int argc, char** argv) {
             << std::setw(12) << "delivery" << std::setw(12) << "QoS"
             << std::setw(14) << "pkts/sub" << "\n";
   for (const Variant& variant : variants) {
-    dcrd::RunSummary pooled;
-    for (int rep = 0; rep < scale.repetitions; ++rep) {
-      dcrd::ScenarioConfig config;
-      config.router = dcrd::RouterKind::kDcrd;
-      config.node_count = 20;
-      config.topology = dcrd::TopologyKind::kRandomDegree;
-      config.degree = 5;
-      config.failure_probability = 0.08;
-      config.failure_heterogeneity = 1.5;
-      config.loss_rate = 1e-4;
-      config.dcrd_ordering = variant.ordering;
-      config.dcrd_best_effort_fallback = variant.fallback;
-      config.dcrd_reroute_retry_cap = variant.reroute_cap;
-      config.sim_time = scale.sim_time;
-      config.seed = scale.seed + static_cast<std::uint64_t>(rep);
-      pooled.Absorb(dcrd::RunScenario(config));
-    }
+    const dcrd::RunSummary pooled = dcrd::figures::RunFigureReps(
+        scale, std::string("ablation:") + variant.label,
+        [&scale, &variant](int rep) {
+          dcrd::ScenarioConfig config;
+          config.router = dcrd::RouterKind::kDcrd;
+          config.node_count = 20;
+          config.topology = dcrd::TopologyKind::kRandomDegree;
+          config.degree = 5;
+          config.failure_probability = 0.08;
+          config.failure_heterogeneity = 1.5;
+          config.loss_rate = 1e-4;
+          config.dcrd_ordering = variant.ordering;
+          config.dcrd_best_effort_fallback = variant.fallback;
+          config.dcrd_reroute_retry_cap = variant.reroute_cap;
+          config.sim_time = scale.sim_time;
+          config.seed = scale.seed + static_cast<std::uint64_t>(rep);
+          return config;
+        });
     std::cout << std::left << std::setw(22) << variant.label << std::right
               << std::fixed << std::setprecision(4) << std::setw(12)
               << pooled.delivery_ratio() << std::setw(12)

@@ -33,13 +33,12 @@ int main(int argc, char** argv) {
   flags.ExitOnUnqueried();
   dcrd::figures::ApplyScale(scale, base);
 
-  const dcrd::SweepResult sweep = dcrd::RunSweep(
-      "Ext.1 node failures", "node Pf", base, scale.routers,
-      {0.0, 0.01, 0.02, 0.04, 0.06},
+  const dcrd::SweepResult sweep = dcrd::figures::RunFigureSweep(
+      scale, "ext1_node_failures", "Ext.1 node failures", "node Pf", base,
+      scale.routers, {0.0, 0.01, 0.02, 0.04, 0.06},
       [](double pf, dcrd::ScenarioConfig& config) {
         config.node_failure_probability = pf;
-      },
-      scale.repetitions);
+      });
 
   dcrd::PrintStandardPanels(std::cout, sweep);
   dcrd::figures::MaybeSaveCsv(scale, "ext1_node_failures", sweep);

@@ -35,21 +35,24 @@ int main(int argc, char** argv) {
             << "\n";
   for (const double pf : {0.02, 0.06, 0.10}) {
     for (const bool persistence : {false, true}) {
-      dcrd::RunSummary pooled;
-      for (int rep = 0; rep < scale.repetitions; ++rep) {
-        dcrd::ScenarioConfig config;
-        config.router = dcrd::RouterKind::kDcrd;
-        config.node_count = 20;
-        config.topology = dcrd::TopologyKind::kRandomDegree;
-        config.degree = 2;  // ring: the only overlay that actually cuts
-        config.failure_probability = pf;
-        config.link_outage_epochs = 10;  // 10-second outages
-        config.loss_rate = 1e-4;
-        config.dcrd_persistence = persistence;
-        config.sim_time = scale.sim_time;
-        config.seed = scale.seed + static_cast<std::uint64_t>(rep);
-        pooled.Absorb(dcrd::RunScenario(config));
-      }
+      const dcrd::RunSummary pooled = dcrd::figures::RunFigureReps(
+          scale,
+          "ext2:pf" + std::to_string(pf) +
+              (persistence ? ":persist" : ":plain"),
+          [&scale, pf, persistence](int rep) {
+            dcrd::ScenarioConfig config;
+            config.router = dcrd::RouterKind::kDcrd;
+            config.node_count = 20;
+            config.topology = dcrd::TopologyKind::kRandomDegree;
+            config.degree = 2;  // ring: the only overlay that actually cuts
+            config.failure_probability = pf;
+            config.link_outage_epochs = 10;  // 10-second outages
+            config.loss_rate = 1e-4;
+            config.dcrd_persistence = persistence;
+            config.sim_time = scale.sim_time;
+            config.seed = scale.seed + static_cast<std::uint64_t>(rep);
+            return config;
+          });
       std::cout << std::left << std::setw(8) << pf << std::setw(14)
                 << (persistence ? "on" : "off") << std::right << std::fixed
                 << std::setprecision(4) << std::setw(12)

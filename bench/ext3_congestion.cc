@@ -38,14 +38,13 @@ int main(int argc, char** argv) {
   flags.ExitOnUnqueried();
   dcrd::figures::ApplyScale(scale, base);
 
-  const dcrd::SweepResult sweep = dcrd::RunSweep(
-      "Ext.3 congestion", "pkts/s per publisher", base, scale.routers,
-      {1, 2, 3, 4, 5},
+  const dcrd::SweepResult sweep = dcrd::figures::RunFigureSweep(
+      scale, "ext3_congestion", "Ext.3 congestion", "pkts/s per publisher",
+      base, scale.routers, {1, 2, 3, 4, 5},
       [](double rate, dcrd::ScenarioConfig& config) {
         config.publish_interval =
             dcrd::SimDuration::FromSecondsF(1.0 / rate);
-      },
-      scale.repetitions);
+      });
 
   dcrd::PrintStandardPanels(std::cout, sweep);
   dcrd::figures::MaybeSaveCsv(scale, "ext3_congestion", sweep);

@@ -21,21 +21,23 @@ int main(int argc, char** argv) {
       scale);
 
   const auto run_pooled = [&](dcrd::RouterKind router, std::size_t paths) {
-    dcrd::RunSummary pooled;
-    for (int rep = 0; rep < scale.repetitions; ++rep) {
-      dcrd::ScenarioConfig config;
-      config.router = router;
-      config.multipath_path_count = paths;
-      config.node_count = 20;
-      config.topology = dcrd::TopologyKind::kRandomDegree;
-      config.degree = 8;
-      config.failure_probability = 0.08;
-      config.loss_rate = 1e-4;
-      config.sim_time = scale.sim_time;
-      config.seed = scale.seed + static_cast<std::uint64_t>(rep);
-      pooled.Absorb(dcrd::RunScenario(config));
-    }
-    return pooled;
+    const std::string stem = router == dcrd::RouterKind::kDcrd
+                                 ? std::string("ext4:dcrd")
+                                 : "ext4:multipath_k" + std::to_string(paths);
+    return dcrd::figures::RunFigureReps(
+        scale, stem, [&scale, router, paths](int rep) {
+          dcrd::ScenarioConfig config;
+          config.router = router;
+          config.multipath_path_count = paths;
+          config.node_count = 20;
+          config.topology = dcrd::TopologyKind::kRandomDegree;
+          config.degree = 8;
+          config.failure_probability = 0.08;
+          config.loss_rate = 1e-4;
+          config.sim_time = scale.sim_time;
+          config.seed = scale.seed + static_cast<std::uint64_t>(rep);
+          return config;
+        });
   };
 
   std::cout << "\n"

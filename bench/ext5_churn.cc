@@ -33,13 +33,12 @@ int main(int argc, char** argv) {
   base.monitor_interval = dcrd::SimDuration::Seconds(30);
   dcrd::figures::ApplyScale(scale, base);
 
-  const dcrd::SweepResult sweep = dcrd::RunSweep(
-      "Ext.5 churn", "churn/epoch", base, scale.routers,
+  const dcrd::SweepResult sweep = dcrd::figures::RunFigureSweep(
+      scale, "ext5_churn", "Ext.5 churn", "churn/epoch", base, scale.routers,
       {0.0, 0.1, 0.2, 0.4},
       [](double churn, dcrd::ScenarioConfig& config) {
         config.subscription_churn = churn;
-      },
-      scale.repetitions);
+      });
 
   dcrd::PrintStandardPanels(std::cout, sweep);
   dcrd::figures::MaybeSaveCsv(scale, "ext5_churn", sweep);

@@ -15,8 +15,11 @@
 #include "dcrd/distributed_dr.h"
 #include "graph/topology.h"
 #include "net/link_monitor.h"
+#include "sim/bench_json.h"
 #include "sim/engine.h"
+#include "sim/experiment.h"
 #include "sim/stats.h"
+#include "sim/sweep_runner.h"
 
 int main(int argc, char** argv) {
   const dcrd::Flags flags = dcrd::Flags::Parse(argc, argv);
@@ -25,7 +28,16 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.GetInt("degree", 8));
   const double threshold_us = flags.GetDouble("threshold_us", 50.0);
   const std::int64_t e2e_seconds = flags.GetInt("seconds", 300);
+  const int jobs =
+      dcrd::ResolveJobCount(static_cast<int>(flags.GetInt("jobs", 0)));
+  const std::string bench_json = flags.GetString("bench_json", "");
   flags.ExitOnUnqueried();
+  std::cerr << "jobs=" << jobs << "\n";
+  const auto append_bench = [&](const std::string& stem,
+                                const dcrd::SweepRunStats& stats) {
+    if (bench_json.empty()) return;
+    dcrd::AppendBenchRecord(bench_json, dcrd::MakeBenchRecord(stem, stats));
+  };
 
   std::cout << "=== Ext.6: distributed <d,r> control plane, degree "
             << degree << ", update threshold " << threshold_us << "us ===\n\n"
@@ -35,41 +47,51 @@ int main(int argc, char** argv) {
             << "\n";
 
   for (const std::size_t nodes : {10U, 20U, 40U, 80U, 160U}) {
-    std::vector<double> converge_ms, updates;
-    for (int rep = 0; rep < repetitions; ++rep) {
-      dcrd::Rng rng(100 + static_cast<std::uint64_t>(rep));
-      dcrd::Rng topo_rng = rng.Fork("topology");
-      const dcrd::Graph graph =
-          dcrd::RandomConnected(nodes, degree, topo_rng);
-      const dcrd::FailureSchedule failures(rng.Fork("failures")(), 0.0);
-      dcrd::LinkMonitor monitor(graph, failures, dcrd::LinkMonitorConfig{},
-                                rng.Fork("probes"));
-      monitor.MeasureAt(dcrd::SimTime::Zero());
+    // One gossip convergence run per repetition; cells are independent, so
+    // they fan over the job pool and land in rep-indexed slots.
+    std::vector<double> converge_ms(static_cast<std::size_t>(repetitions));
+    std::vector<double> updates(static_cast<std::size_t>(repetitions));
+    dcrd::SweepRunStats stats;
+    dcrd::SweepRunner runner(jobs);
+    runner.Run(
+        static_cast<std::size_t>(repetitions),
+        [&](std::size_t rep) {
+          dcrd::Rng rng(100 + static_cast<std::uint64_t>(rep));
+          dcrd::Rng topo_rng = rng.Fork("topology");
+          const dcrd::Graph graph =
+              dcrd::RandomConnected(nodes, degree, topo_rng);
+          const dcrd::FailureSchedule failures(rng.Fork("failures")(), 0.0);
+          dcrd::LinkMonitor monitor(graph, failures,
+                                    dcrd::LinkMonitorConfig{},
+                                    rng.Fork("probes"));
+          monitor.MeasureAt(dcrd::SimTime::Zero());
 
-      const dcrd::NodeId publisher(0);
-      const dcrd::NodeId subscriber(
-          static_cast<dcrd::NodeId::underlying_type>(nodes - 1));
-      const auto dist = dcrd::MonitoredDistancesFrom(graph, monitor.view(),
-                                                     publisher);
-      std::vector<double> budgets(nodes);
-      for (std::size_t i = 0; i < nodes; ++i) {
-        budgets[i] = 3.0 * dist[subscriber.underlying()] - dist[i];
-      }
-      budgets[subscriber.underlying()] =
-          std::max(budgets[subscriber.underlying()], 1.0);
+          const dcrd::NodeId publisher(0);
+          const dcrd::NodeId subscriber(
+              static_cast<dcrd::NodeId::underlying_type>(nodes - 1));
+          const auto dist = dcrd::MonitoredDistancesFrom(
+              graph, monitor.view(), publisher);
+          std::vector<double> budgets(nodes);
+          for (std::size_t i = 0; i < nodes; ++i) {
+            budgets[i] = 3.0 * dist[subscriber.underlying()] - dist[i];
+          }
+          budgets[subscriber.underlying()] =
+              std::max(budgets[subscriber.underlying()], 1.0);
 
-      dcrd::Scheduler scheduler;
-      dcrd::OverlayNetwork network(graph, scheduler, failures, 0.0,
-                                   dcrd::Rng(7));
-      dcrd::DistributedDrConfig config;
-      config.update_threshold_us = threshold_us;
-      auto protocol = std::make_shared<dcrd::DistributedDrComputation>(
-          network, subscriber, monitor.view(), budgets, config);
-      protocol->Start();
-      scheduler.Run();
-      converge_ms.push_back(protocol->last_change().micros() / 1e3);
-      updates.push_back(static_cast<double>(protocol->updates_sent()));
-    }
+          dcrd::Scheduler scheduler;
+          dcrd::OverlayNetwork network(graph, scheduler, failures, 0.0,
+                                       dcrd::Rng(7));
+          dcrd::DistributedDrConfig config;
+          config.update_threshold_us = threshold_us;
+          auto protocol = std::make_shared<dcrd::DistributedDrComputation>(
+              network, subscriber, monitor.view(), budgets, config);
+          protocol->Start();
+          scheduler.Run();
+          converge_ms[rep] = protocol->last_change().micros() / 1e3;
+          updates[rep] = static_cast<double>(protocol->updates_sent());
+        },
+        nullptr, &stats);
+    append_bench("ext6:gossip_n" + std::to_string(nodes), stats);
     std::cout << std::left << std::setw(8) << nodes << std::right
               << std::fixed << std::setprecision(1) << std::setw(16)
               << dcrd::Mean(converge_ms) << std::setw(16) << std::setprecision(0)
@@ -89,20 +111,24 @@ int main(int argc, char** argv) {
             << std::setw(14) << "pkts/sub" << std::setw(16) << "ctl msgs"
             << "\n";
   for (const bool distributed : {false, true}) {
-    dcrd::RunSummary pooled;
-    for (int rep = 0; rep < repetitions; ++rep) {
-      dcrd::ScenarioConfig config;
-      config.router = dcrd::RouterKind::kDcrd;
-      config.dcrd_distributed = distributed;
-      config.node_count = 20;
-      config.topology = dcrd::TopologyKind::kRandomDegree;
-      config.degree = degree;
-      config.failure_probability = 0.06;
-      config.loss_rate = 1e-4;
-      config.sim_time = dcrd::SimDuration::Seconds(e2e_seconds);
-      config.seed = 1 + static_cast<std::uint64_t>(rep);
-      pooled.Absorb(dcrd::RunScenario(config));
-    }
+    dcrd::SweepRunStats stats;
+    const dcrd::RunSummary pooled = dcrd::RunRepetitions(
+        repetitions, jobs,
+        [&](int rep) {
+          dcrd::ScenarioConfig config;
+          config.router = dcrd::RouterKind::kDcrd;
+          config.dcrd_distributed = distributed;
+          config.node_count = 20;
+          config.topology = dcrd::TopologyKind::kRandomDegree;
+          config.degree = degree;
+          config.failure_probability = 0.06;
+          config.loss_rate = 1e-4;
+          config.sim_time = dcrd::SimDuration::Seconds(e2e_seconds);
+          config.seed = 1 + static_cast<std::uint64_t>(rep);
+          return config;
+        },
+        &stats);
+    append_bench(distributed ? "ext6:e2e_gossip" : "ext6:e2e_solver", stats);
     std::cout << std::left << std::setw(14)
               << (distributed ? "gossip" : "solver") << std::right
               << std::fixed << std::setprecision(4) << std::setw(12)

@@ -75,13 +75,12 @@ int main(int argc, char** argv) {
   dcrd::figures::ApplyScale(scale, base);
 
   // Panel set 1: sweep gray-episode probability for all protocols.
-  const dcrd::SweepResult sweep = dcrd::RunSweep(
-      "Ext.7 gray-failure intensity", "gray Pf", base, scale.routers,
-      {0.0, 0.1, 0.2, 0.3, 0.4},
+  const dcrd::SweepResult sweep = dcrd::figures::RunFigureSweep(
+      scale, "ext7_gray_failures", "Ext.7 gray-failure intensity", "gray Pf",
+      base, scale.routers, {0.0, 0.1, 0.2, 0.3, 0.4},
       [](double pf, dcrd::ScenarioConfig& config) {
         config.gray_probability = pf;
-      },
-      scale.repetitions);
+      });
 
   dcrd::PrintTable(std::cout, sweep, "delivery ratio",
                    [](const dcrd::RunSummary& s) { return s.delivery_ratio(); });
@@ -107,13 +106,13 @@ int main(int argc, char** argv) {
   };
 
   inflate.adaptive_rto = false;
-  const dcrd::SweepResult fixed_sweep =
-      dcrd::RunSweep("Ext.7 DCRD fixed timer", "delay factor", inflate,
-                     dcrd_only, factors, set_factor, scale.repetitions);
+  const dcrd::SweepResult fixed_sweep = dcrd::figures::RunFigureSweep(
+      scale, "ext7_rto_fixed", "Ext.7 DCRD fixed timer", "delay factor",
+      inflate, dcrd_only, factors, set_factor);
   inflate.adaptive_rto = true;
-  const dcrd::SweepResult adaptive_sweep =
-      dcrd::RunSweep("Ext.7 DCRD adaptive RTO", "delay factor", inflate,
-                     dcrd_only, factors, set_factor, scale.repetitions);
+  const dcrd::SweepResult adaptive_sweep = dcrd::figures::RunFigureSweep(
+      scale, "ext7_rto_adaptive", "Ext.7 DCRD adaptive RTO", "delay factor",
+      inflate, dcrd_only, factors, set_factor);
 
   std::cout << "\n--- DCRD under delay inflation: fixed 2*alpha timer vs "
                "adaptive RTO ---\n"

@@ -26,13 +26,12 @@ int main(int argc, char** argv) {
   base.max_transmissions = 1;
   dcrd::figures::ApplyScale(scale, base);
 
-  const dcrd::SweepResult sweep = dcrd::RunSweep(
-      "Fig.2 full mesh", "Pf", base, scale.routers,
+  const dcrd::SweepResult sweep = dcrd::figures::RunFigureSweep(
+      scale, "fig2_full_mesh", "Fig.2 full mesh", "Pf", base, scale.routers,
       {0.0, 0.02, 0.04, 0.06, 0.08, 0.10},
       [](double pf, dcrd::ScenarioConfig& config) {
         config.failure_probability = pf;
-      },
-      scale.repetitions);
+      });
 
   dcrd::PrintStandardPanels(std::cout, sweep);
   dcrd::figures::MaybeSaveCsv(scale, "fig2_full_mesh", sweep);

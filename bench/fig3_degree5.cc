@@ -23,13 +23,12 @@ int main(int argc, char** argv) {
   base.max_transmissions = 1;
   dcrd::figures::ApplyScale(scale, base);
 
-  const dcrd::SweepResult sweep = dcrd::RunSweep(
-      "Fig.3 degree-5 overlay", "Pf", base, scale.routers,
-      {0.0, 0.02, 0.04, 0.06, 0.08, 0.10},
+  const dcrd::SweepResult sweep = dcrd::figures::RunFigureSweep(
+      scale, "fig3_degree5", "Fig.3 degree-5 overlay", "Pf", base,
+      scale.routers, {0.0, 0.02, 0.04, 0.06, 0.08, 0.10},
       [](double pf, dcrd::ScenarioConfig& config) {
         config.failure_probability = pf;
-      },
-      scale.repetitions);
+      });
 
   dcrd::PrintStandardPanels(std::cout, sweep);
   dcrd::figures::MaybeSaveCsv(scale, "fig3_degree5", sweep);

@@ -25,13 +25,12 @@ int main(int argc, char** argv) {
   base.max_transmissions = 1;
   dcrd::figures::ApplyScale(scale, base);
 
-  const dcrd::SweepResult sweep = dcrd::RunSweep(
-      "Fig.4 connectivity", "degree", base, scale.routers,
-      {3, 4, 5, 6, 7, 8, 9, 10},
+  const dcrd::SweepResult sweep = dcrd::figures::RunFigureSweep(
+      scale, "fig4_connectivity", "Fig.4 connectivity", "degree", base,
+      scale.routers, {3, 4, 5, 6, 7, 8, 9, 10},
       [](double degree, dcrd::ScenarioConfig& config) {
         config.degree = static_cast<std::size_t>(degree);
-      },
-      scale.repetitions);
+      });
 
   dcrd::PrintStandardPanels(std::cout, sweep);
   dcrd::figures::MaybeSaveCsv(scale, "fig4_connectivity", sweep);

@@ -31,13 +31,12 @@ int main(int argc, char** argv) {
   base.max_transmissions = 1;
   dcrd::figures::ApplyScale(scale, base);
 
-  const dcrd::SweepResult sweep = dcrd::RunSweep(
-      "Fig.5 network size", "nodes", base, scale.routers,
-      {10, 20, 40, 80, 120, 160},
+  const dcrd::SweepResult sweep = dcrd::figures::RunFigureSweep(
+      scale, "fig5_network_size", "Fig.5 network size", "nodes", base,
+      scale.routers, {10, 20, 40, 80, 120, 160},
       [](double nodes, dcrd::ScenarioConfig& config) {
         config.node_count = static_cast<std::size_t>(nodes);
-      },
-      scale.repetitions);
+      });
 
   dcrd::PrintStandardPanels(std::cout, sweep);
   dcrd::figures::MaybeSaveCsv(scale, "fig5_network_size", sweep);

@@ -30,13 +30,12 @@ int main(int argc, char** argv) {
   base.max_transmissions = 1;
   dcrd::figures::ApplyScale(scale, base);
 
-  const dcrd::SweepResult sweep = dcrd::RunSweep(
-      "Fig.6 QoS requirement", "factor", base, scale.routers,
-      {1.5, 2, 3, 4, 5, 6},
+  const dcrd::SweepResult sweep = dcrd::figures::RunFigureSweep(
+      scale, "fig6_qos_requirement", "Fig.6 QoS requirement", "factor", base,
+      scale.routers, {1.5, 2, 3, 4, 5, 6},
       [](double factor, dcrd::ScenarioConfig& config) {
         config.qos_factor = factor;
-      },
-      scale.repetitions);
+      });
 
   dcrd::PrintTable(std::cout, sweep, "QoS Delivery Ratio",
                    [](const dcrd::RunSummary& s) { return s.qos_ratio(); });

@@ -21,9 +21,10 @@ int main(int argc, char** argv) {
       "Figure 7: lateness CDF of deadline-missing DCRD packets, Pf=0.06",
       scale);
 
-  const auto run_case = [&](dcrd::TopologyKind topology, std::size_t degree) {
-    dcrd::RunSummary pooled;
-    for (int rep = 0; rep < scale.repetitions; ++rep) {
+  const auto run_case = [&](const std::string& stem,
+                            dcrd::TopologyKind topology, std::size_t degree) {
+    return dcrd::figures::RunFigureReps(scale, stem, [&, topology,
+                                                      degree](int rep) {
       dcrd::ScenarioConfig config;
       config.router = dcrd::RouterKind::kDcrd;
       config.node_count = 20;
@@ -33,15 +34,14 @@ int main(int argc, char** argv) {
       config.loss_rate = 1e-4;
       config.sim_time = scale.sim_time;
       config.seed = scale.seed + static_cast<std::uint64_t>(rep);
-      pooled.Absorb(dcrd::RunScenario(config));
-    }
-    return pooled;
+      return config;
+    });
   };
 
   const dcrd::RunSummary mesh =
-      run_case(dcrd::TopologyKind::kFullMesh, /*degree=*/0);
+      run_case("fig7_mesh", dcrd::TopologyKind::kFullMesh, /*degree=*/0);
   const dcrd::RunSummary degree8 =
-      run_case(dcrd::TopologyKind::kRandomDegree, 8);
+      run_case("fig7_degree8", dcrd::TopologyKind::kRandomDegree, 8);
 
   std::vector<double> grid;
   for (double x = 1.0; x <= 3.0 + 1e-9; x += 0.125) grid.push_back(x);

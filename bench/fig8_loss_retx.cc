@@ -37,12 +37,12 @@ int main(int argc, char** argv) {
     base.max_transmissions = m;
     dcrd::figures::ApplyScale(scale, base);
 
-    const dcrd::SweepResult sweep = dcrd::RunSweep(
+    const dcrd::SweepResult sweep = dcrd::figures::RunFigureSweep(
+        scale, "fig8_loss_retx_m" + std::to_string(m),
         "Fig.8 with m=" + std::to_string(m), "Pl", base, routers, loss_rates,
         [](double pl, dcrd::ScenarioConfig& config) {
           config.loss_rate = pl;
-        },
-        scale.repetitions);
+        });
 
     dcrd::PrintTable(std::cout, sweep, "QoS Delivery Ratio",
                      [](const dcrd::RunSummary& s) { return s.qos_ratio(); });

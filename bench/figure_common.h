@@ -6,10 +6,19 @@
 //   --seconds S      override simulated seconds
 //   --seed S         base seed (rep r runs with seed S+r)
 //   --routers a,b    subset of DCRD,R-Tree,D-Tree,ORACLE,Multipath
+//   --jobs N         worker threads for the sweep pool (default: all cores;
+//                    1 = the historical serial path). Output is
+//                    bit-identical for any job count.
+//   --bench_json P   append wall-clock/throughput records to the JSON
+//                    array at P (see sim/bench_json.h)
 //
 // Default scale is reduced (2 repetitions x 600 simulated seconds) so the
 // whole bench suite finishes in minutes; the series' *shape* is already
 // stable at that scale, and --paper reproduces the paper's configuration.
+//
+// Run information (repetition counts, job counts, CSV/bench notices) goes
+// to stderr; stdout carries only the deterministic tables, which is what
+// scripts/determinism_check.sh diffs byte-for-byte across job counts.
 #pragma once
 
 #include <iostream>
@@ -18,8 +27,10 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "sim/bench_json.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
+#include "sim/sweep_runner.h"
 
 namespace dcrd::figures {
 
@@ -31,6 +42,8 @@ struct FigureScale {
                                      RouterKind::kDTree, RouterKind::kOracle,
                                      RouterKind::kMultipath};
   std::string csv_dir;  // when set (--csv DIR), sweeps also land as CSV
+  int jobs = 1;         // resolved by ParseScale; 1 only until then
+  std::string bench_json;  // when set (--bench_json PATH), append records
 };
 
 inline std::vector<RouterKind> ParseRouters(const std::string& csv) {
@@ -64,6 +77,8 @@ inline FigureScale ParseScale(const Flags& flags) {
     scale.routers = ParseRouters(flags.GetString("routers", ""));
   }
   scale.csv_dir = flags.GetString("csv", "");
+  scale.jobs = ResolveJobCount(static_cast<int>(flags.GetInt("jobs", 0)));
+  scale.bench_json = flags.GetString("bench_json", "");
   return scale;
 }
 
@@ -71,7 +86,45 @@ inline void MaybeSaveCsv(const FigureScale& scale, const std::string& stem,
                          const SweepResult& sweep) {
   if (scale.csv_dir.empty()) return;
   const std::string path = SaveSweepCsv(scale.csv_dir, stem, sweep);
-  if (!path.empty()) std::cout << "wrote " << path << "\n";
+  if (!path.empty()) std::cerr << "wrote " << path << "\n";
+}
+
+// Appends one bench record for a pooled run when --bench_json is set.
+inline void MaybeAppendBench(const FigureScale& scale, const std::string& stem,
+                             const SweepRunStats& stats) {
+  if (scale.bench_json.empty()) return;
+  if (AppendBenchRecord(scale.bench_json, MakeBenchRecord(stem, stats))) {
+    std::cerr << "bench record '" << stem << "' appended to "
+              << scale.bench_json << "\n";
+  }
+}
+
+// RunSweep on the scale's pool, with bench accounting under `stem`.
+inline SweepResult RunFigureSweep(
+    const FigureScale& scale, const std::string& stem,
+    const std::string& title, const std::string& x_label,
+    const ScenarioConfig& base, const std::vector<RouterKind>& routers,
+    const std::vector<double>& x_values,
+    const std::function<void(double, ScenarioConfig&)>& configure) {
+  SweepRunStats stats;
+  SweepResult sweep = RunSweep(title, x_label, base, routers, x_values,
+                               configure, scale.repetitions, scale.jobs,
+                               &stats);
+  MaybeAppendBench(scale, stem, stats);
+  return sweep;
+}
+
+// RunRepetitions on the scale's pool, with bench accounting under `stem`.
+// `make_config(rep)` must set the seed itself (conventionally
+// scale.seed + rep).
+inline RunSummary RunFigureReps(
+    const FigureScale& scale, const std::string& stem,
+    const std::function<ScenarioConfig(int)>& make_config) {
+  SweepRunStats stats;
+  RunSummary pooled =
+      RunRepetitions(scale.repetitions, scale.jobs, make_config, &stats);
+  MaybeAppendBench(scale, stem, stats);
+  return pooled;
 }
 
 inline void ApplyScale(const FigureScale& scale, ScenarioConfig& config) {
@@ -85,6 +138,8 @@ inline void PrintHeader(const std::string& figure,
             << "repetitions=" << scale.repetitions
             << " simulated=" << scale.sim_time.seconds() << "s"
             << " (use --paper for the 10x7200s paper scale)\n";
+  // stderr: stdout must stay byte-identical across --jobs values.
+  std::cerr << "jobs=" << scale.jobs << "\n";
 }
 
 }  // namespace dcrd::figures

@@ -1,0 +1,61 @@
+// Shared main() for the google-benchmark micro-benches (replaces
+// benchmark_main) so they speak the repo's flag dialect: --bench_json PATH
+// appends a wall-clock record (benchmark count, seconds, git describe) to
+// the JSON perf-trajectory file, --benchmark_* flags pass through to the
+// benchmark library untouched, and unknown --flags abort like every other
+// binary.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "sim/bench_json.h"
+#include "sim/sweep_runner.h"
+
+namespace {
+
+std::string Basename(const std::string& path) {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dcrd::Flags flags = dcrd::Flags::Parse(argc, argv);
+  const std::string bench_json = flags.GetString("bench_json", "");
+  flags.ExitOnUnqueried();
+
+  // Hand benchmark::Initialize argv[0] plus the untouched pass-through
+  // tokens (--benchmark_* and positionals).
+  std::vector<std::string> args;
+  args.emplace_back(argv[0]);
+  for (const std::string& token : flags.passthrough()) args.push_back(token);
+  std::vector<char*> argv_pass;
+  argv_pass.reserve(args.size());
+  for (std::string& token : args) argv_pass.push_back(token.data());
+  int argc_pass = static_cast<int>(argv_pass.size());
+  benchmark::Initialize(&argc_pass, argv_pass.data());
+  if (benchmark::ReportUnrecognizedArguments(argc_pass, argv_pass.data())) {
+    return 1;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t benchmarks_run = benchmark::RunSpecifiedBenchmarks();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (!bench_json.empty()) {
+    dcrd::SweepRunStats stats;
+    stats.jobs = 1;
+    stats.cells = benchmarks_run;
+    stats.wall_seconds = wall_seconds;
+    dcrd::AppendBenchRecord(
+        bench_json, dcrd::MakeBenchRecord(Basename(argv[0]), stats));
+  }
+  benchmark::Shutdown();
+  return 0;
+}

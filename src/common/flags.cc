@@ -5,6 +5,8 @@
 #include <iostream>
 #include <string_view>
 
+#include "common/logging.h"
+
 namespace dcrd {
 
 Flags Flags::Parse(int argc, char** argv) {
@@ -36,33 +38,42 @@ Flags Flags::Parse(int argc, char** argv) {
   return flags;
 }
 
-bool Flags::Has(const std::string& name) const {
+void Flags::RecordQuery(const std::string& name) const {
+  const std::thread::id self = std::this_thread::get_id();
+  if (query_thread_ == std::thread::id{}) query_thread_ = self;
+  DCRD_CHECK(query_thread_ == self)
+      << "Flags queried from multiple threads; read the whole configuration "
+         "before starting worker threads (flag --" << name << ")";
   queried_.insert(name);
+}
+
+bool Flags::Has(const std::string& name) const {
+  RecordQuery(name);
   return values_.contains(name);
 }
 
 std::string Flags::GetString(const std::string& name,
                              const std::string& fallback) const {
-  queried_.insert(name);
+  RecordQuery(name);
   const auto it = values_.find(name);
   return it == values_.end() ? fallback : it->second;
 }
 
 std::int64_t Flags::GetInt(const std::string& name,
                            std::int64_t fallback) const {
-  queried_.insert(name);
+  RecordQuery(name);
   const auto it = values_.find(name);
   return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
 }
 
 double Flags::GetDouble(const std::string& name, double fallback) const {
-  queried_.insert(name);
+  RecordQuery(name);
   const auto it = values_.find(name);
   return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
 }
 
 bool Flags::GetBool(const std::string& name, bool fallback) const {
-  queried_.insert(name);
+  RecordQuery(name);
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   return it->second != "false" && it->second != "0" && it->second != "no";

@@ -12,6 +12,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace dcrd {
@@ -45,10 +46,17 @@ class Flags {
       const std::vector<std::string>& known) const;
 
  private:
+  // Queried-name tracking mutates under const accessors, so Flags is
+  // single-threaded by contract: parse and read the whole configuration
+  // before any worker pool spins up. The first query pins the owning
+  // thread; a query from any other thread is a programmer error and aborts.
+  void RecordQuery(const std::string& name) const;
+
   std::map<std::string, std::string> values_;
   std::vector<std::string> passthrough_;
   // Names queried through the const accessors; see header comment.
   mutable std::set<std::string> queried_;
+  mutable std::thread::id query_thread_{};  // pinned by the first query
 };
 
 }  // namespace dcrd

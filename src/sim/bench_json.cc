@@ -1,0 +1,130 @@
+#include "sim/bench_json.h"
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace dcrd {
+
+namespace {
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UtcNow() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buffer[32];
+  std::strftime(buffer, sizeof buffer, "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buffer;
+}
+
+}  // namespace
+
+std::string GitDescribe() {
+  FILE* pipe = popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  std::string out;
+  char buffer[128];
+  while (fgets(buffer, sizeof buffer, pipe) != nullptr) out += buffer;
+  pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+BenchRecord MakeBenchRecord(const std::string& name,
+                            const SweepRunStats& stats) {
+  BenchRecord record;
+  record.name = name;
+  record.git = GitDescribe();
+  record.utc = UtcNow();
+  record.jobs = stats.jobs;
+  record.cells = stats.cells;
+  record.wall_seconds = stats.wall_seconds;
+  record.cells_per_second = stats.cells_per_second();
+  record.cell_seconds = stats.cell_seconds;
+  return record;
+}
+
+void WriteBenchRecordJson(std::ostream& os, const BenchRecord& record) {
+  os << "{\"name\": \"" << JsonEscape(record.name) << "\", \"git\": \""
+     << JsonEscape(record.git) << "\", \"utc\": \"" << JsonEscape(record.utc)
+     << "\", \"jobs\": " << record.jobs << ", \"cells\": " << record.cells
+     << ", \"wall_seconds\": " << record.wall_seconds
+     << ", \"cells_per_second\": " << record.cells_per_second;
+  if (!record.cell_seconds.empty()) {
+    os << ", \"cell_seconds\": [";
+    for (std::size_t i = 0; i < record.cell_seconds.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << record.cell_seconds[i];
+    }
+    os << "]";
+  }
+  os << "}";
+}
+
+bool AppendBenchRecord(const std::string& path, const BenchRecord& record) {
+  std::string existing;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      existing = buffer.str();
+    }
+  }
+  // Re-open the array: drop everything from the closing bracket on.
+  const auto closing = existing.find_last_of(']');
+  std::string prefix;
+  if (closing == std::string::npos) {
+    if (existing.find_first_not_of(" \t\r\n") != std::string::npos) {
+      std::cerr << "warning: " << path
+                << " is not a JSON array; bench record not written\n";
+      return false;
+    }
+    prefix = "[\n  ";
+  } else {
+    prefix = existing.substr(0, closing);
+    while (!prefix.empty() &&
+           (prefix.back() == ' ' || prefix.back() == '\n' ||
+            prefix.back() == '\r' || prefix.back() == '\t')) {
+      prefix.pop_back();
+    }
+    // ",\n" only when the array already holds a record.
+    if (prefix.empty()) {
+      prefix = "[\n  ";
+    } else {
+      prefix += prefix.back() == '[' ? "\n  " : ",\n  ";
+    }
+  }
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return false;
+  }
+  out << prefix;
+  WriteBenchRecordJson(out, record);
+  out << "\n]\n";
+  return out.good();
+}
+
+}  // namespace dcrd

@@ -3,43 +3,110 @@
 #include <algorithm>
 #include <iomanip>
 #include <ostream>
+#include <sstream>
 
 #include "common/logging.h"
 
 namespace dcrd {
+
+namespace {
+
+// One independent simulation: the unit of parallelism and of determinism.
+struct SweepCell {
+  std::size_t x_index = 0;
+  std::size_t router_index = 0;
+  int rep = 0;
+};
+
+}  // namespace
 
 SweepResult RunSweep(
     const std::string& title, const std::string& x_label,
     const ScenarioConfig& base, const std::vector<RouterKind>& routers,
     const std::vector<double>& x_values,
     const std::function<void(double, ScenarioConfig&)>& configure,
-    int repetitions,
-    const std::function<double(const RunSummary&)>& /*metric*/) {
+    int repetitions, int jobs, SweepRunStats* stats) {
   DCRD_CHECK(repetitions >= 1);
   SweepResult result;
   result.title = title;
   result.x_label = x_label;
   result.routers = routers;
 
+  // Expand in the historical loop order (x, then router, then rep) so the
+  // jobs == 1 path executes cells in exactly the old sequence and the
+  // ordered reduce below absorbs repetitions in rep order.
+  std::vector<SweepCell> cells;
+  cells.reserve(x_values.size() * routers.size() *
+                static_cast<std::size_t>(repetitions));
+  for (std::size_t xi = 0; xi < x_values.size(); ++xi) {
+    for (std::size_t ri = 0; ri < routers.size(); ++ri) {
+      for (int rep = 0; rep < repetitions; ++rep) {
+        cells.push_back(SweepCell{xi, ri, rep});
+      }
+    }
+  }
+
+  std::vector<RunSummary> summaries(cells.size());
+  SweepRunner runner(jobs);
+  runner.Run(
+      cells.size(),
+      [&](std::size_t i) {
+        const SweepCell& cell = cells[i];
+        ScenarioConfig config = base;
+        config.router = routers[cell.router_index];
+        // Same seed across routers for a given rep: identical topology,
+        // workload and failure sample path (paired comparison). The cell
+        // derives its RNG streams from (base seed, rep) alone, never from
+        // thread or completion order.
+        config.seed = base.seed + static_cast<std::uint64_t>(cell.rep);
+        configure(x_values[cell.x_index], config);
+        summaries[i] = RunScenario(config);
+      },
+      [&](std::size_t i) {
+        const SweepCell& cell = cells[i];
+        std::ostringstream label;
+        label << "(" << x_label << "=" << x_values[cell.x_index]
+              << ", router=" << RouterName(routers[cell.router_index])
+              << ", rep=" << cell.rep << ")";
+        return label.str();
+      },
+      stats);
+
+  // Ordered reduce: cell layout is contiguous reps per (x, router), so the
+  // pooled summaries absorb in rep order regardless of completion order.
+  std::size_t next = 0;
   for (double x : x_values) {
     SweepPoint point;
     point.x = x;
-    for (RouterKind router : routers) {
+    for (std::size_t ri = 0; ri < routers.size(); ++ri) {
       RunSummary pooled;
       for (int rep = 0; rep < repetitions; ++rep) {
-        ScenarioConfig config = base;
-        config.router = router;
-        // Same seed across routers for a given rep: identical topology,
-        // workload and failure sample path (paired comparison).
-        config.seed = base.seed + static_cast<std::uint64_t>(rep);
-        configure(x, config);
-        pooled.Absorb(RunScenario(config));
+        pooled.Absorb(summaries[next++]);
       }
       point.per_router.push_back(std::move(pooled));
     }
     result.points.push_back(std::move(point));
   }
   return result;
+}
+
+RunSummary RunRepetitions(
+    int repetitions, int jobs,
+    const std::function<ScenarioConfig(int)>& make_config,
+    SweepRunStats* stats) {
+  DCRD_CHECK(repetitions >= 1);
+  std::vector<RunSummary> summaries(static_cast<std::size_t>(repetitions));
+  SweepRunner runner(jobs);
+  runner.Run(
+      static_cast<std::size_t>(repetitions),
+      [&](std::size_t i) {
+        summaries[i] = RunScenario(make_config(static_cast<int>(i)));
+      },
+      [](std::size_t i) { return "(rep=" + std::to_string(i) + ")"; },
+      stats);
+  RunSummary pooled;
+  for (const RunSummary& summary : summaries) pooled.Absorb(summary);
+  return pooled;
 }
 
 void PrintTable(std::ostream& os, const SweepResult& sweep,

@@ -7,6 +7,11 @@
 // `repetitions` scenarios (seeds base+rep, identical across routers, so the
 // comparison is paired) and pools the counts — and PrintTable renders the
 // series in the layout recorded in EXPERIMENTS.md.
+//
+// Sweeps expand into independent (x, router, rep) cells executed on a
+// SweepRunner pool (`jobs` threads; 1 = the historical serial path) and
+// reduced in cell order, so tables and CSVs are bit-identical for any job
+// count.
 #pragma once
 
 #include <functional>
@@ -17,6 +22,7 @@
 #include "sim/engine.h"
 #include "sim/metrics.h"
 #include "sim/scenario.h"
+#include "sim/sweep_runner.h"
 
 namespace dcrd {
 
@@ -34,15 +40,25 @@ struct SweepResult {
 
 // Applies (x, config&) for each x-value, runs every router `repetitions`
 // times and pools the summaries. `configure` receives a copy of `base`
-// already carrying the right seed/router and must set the swept parameter.
+// already carrying the right seed/router and must set the swept parameter;
+// it is called concurrently from worker threads when jobs > 1 and must not
+// touch shared mutable state. `stats`, when non-null, receives wall-clock
+// accounting for the pooled run.
 SweepResult RunSweep(const std::string& title, const std::string& x_label,
                      const ScenarioConfig& base,
                      const std::vector<RouterKind>& routers,
                      const std::vector<double>& x_values,
                      const std::function<void(double, ScenarioConfig&)>& configure,
-                     int repetitions,
-                     const std::function<double(const RunSummary&)>& metric
-                         = nullptr /* unused; kept for symmetry */);
+                     int repetitions, int jobs = 1,
+                     SweepRunStats* stats = nullptr);
+
+// Pools `repetitions` scenarios built by `make_config(rep)` (cell = one
+// repetition) over a `jobs`-thread pool, absorbing in rep order — the
+// parallel form of the figure binaries' hand-rolled rep loops. `make_config`
+// must derive everything, including the seed, from `rep` alone.
+RunSummary RunRepetitions(int repetitions, int jobs,
+                          const std::function<ScenarioConfig(int)>& make_config,
+                          SweepRunStats* stats = nullptr);
 
 // One metric as a table: rows = x-values, columns = routers.
 void PrintTable(std::ostream& os, const SweepResult& sweep,

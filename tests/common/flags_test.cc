@@ -1,5 +1,7 @@
 #include "common/flags.h"
 
+#include <thread>
+
 #include <gtest/gtest.h>
 
 namespace dcrd {
@@ -96,6 +98,36 @@ TEST(FlagsTest, QueryingWithDefaultCoversAbsentFlag) {
   const Flags flags = ParseArgs({});
   EXPECT_EQ(flags.GetInt("n", 3), 3);
   EXPECT_TRUE(flags.UnqueriedFlags().empty());
+}
+
+TEST(FlagsTest, RepeatedQueriesFromOneThreadAreFine) {
+  const Flags flags = ParseArgs({"--a=1", "--b=2"});
+  EXPECT_EQ(flags.GetInt("a", 0), 1);
+  EXPECT_EQ(flags.GetInt("b", 0), 2);
+  EXPECT_EQ(flags.GetInt("a", 0), 1);  // re-query on the same thread
+  EXPECT_TRUE(flags.UnqueriedFlags().empty());
+}
+
+TEST(FlagsTest, QueriesConfinedToASingleWorkerThreadAreFine) {
+  // The contract pins Flags to the *first* querying thread, whichever one
+  // that is — a worker may own it as long as no second thread joins in.
+  const Flags flags = ParseArgs({"--a=1"});
+  std::int64_t seen = 0;
+  std::thread worker([&] { seen = flags.GetInt("a", 0); });
+  worker.join();
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(FlagsDeathTest, CrossThreadQueryAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const Flags flags = ParseArgs({"--a=1", "--b=2"});
+  EXPECT_DEATH(
+      {
+        (void)flags.GetInt("a", 0);  // pins the query thread
+        std::thread other([&] { (void)flags.GetInt("b", 0); });
+        other.join();
+      },
+      "multiple threads");
 }
 
 }  // namespace
