@@ -5,6 +5,8 @@
 // timer-heavy pattern HopTransport produces (schedule + cancel ~every ACK).
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "common/rng.h"
 #include "event/scheduler.h"
 

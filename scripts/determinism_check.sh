@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Determinism gate: the parallel sweep pool must be bit-identical to the
-# serial path. Runs one figure binary twice — --jobs 1 and --jobs N — and
+# serial path. Runs each figure binary twice — --jobs 1 and --jobs N — and
 # byte-diffs stdout plus every CSV artifact.
 #
 #   scripts/determinism_check.sh [build-dir]
 #
 # Environment overrides:
-#   DCRD_DET_BINARY   figure binary name   (default fig5_network_size)
+#   DCRD_DET_BINARY   single figure binary (overrides the default set)
+#   DCRD_DET_BINARIES space-separated list
+#                     (default "fig5_network_size fig2_full_mesh ext7_gray_failures")
 #   DCRD_DET_REPS     repetitions          (default 2)
 #   DCRD_DET_SECONDS  simulated seconds    (default 120)
 #   DCRD_DET_JOBS     parallel job count   (default 8)
@@ -15,47 +17,54 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 build_dir="${1:-build}"
-binary_name="${DCRD_DET_BINARY:-fig5_network_size}"
+binaries="${DCRD_DET_BINARIES:-fig5_network_size fig2_full_mesh ext7_gray_failures}"
+if [[ -n "${DCRD_DET_BINARY:-}" ]]; then
+  binaries="$DCRD_DET_BINARY"
+fi
 reps="${DCRD_DET_REPS:-2}"
 sim_seconds="${DCRD_DET_SECONDS:-120}"
 jobs="${DCRD_DET_JOBS:-8}"
 
-binary="$build_dir/bench/$binary_name"
-if [[ ! -x "$binary" ]]; then
-  echo "determinism_check: $binary not found; build first" >&2
-  exit 2
-fi
-
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 
-echo "=== determinism check: $binary_name --reps $reps --seconds $sim_seconds, --jobs 1 vs --jobs $jobs ==="
-
-"$binary" --reps "$reps" --seconds "$sim_seconds" --jobs 1 \
-  --csv "$workdir/serial" > "$workdir/serial.out"
-"$binary" --reps "$reps" --seconds "$sim_seconds" --jobs "$jobs" \
-  --csv "$workdir/parallel" > "$workdir/parallel.out"
-
 fail=0
-if ! diff -u "$workdir/serial.out" "$workdir/parallel.out"; then
-  echo "determinism_check: stdout differs between --jobs 1 and --jobs $jobs" >&2
-  fail=1
-fi
+for binary_name in $binaries; do
+  binary="$build_dir/bench/$binary_name"
+  if [[ ! -x "$binary" ]]; then
+    echo "determinism_check: $binary not found; build first" >&2
+    exit 2
+  fi
 
-# CSVs: same file set, same bytes.
-(cd "$workdir/serial" && ls -1 | LC_ALL=C sort) > "$workdir/serial.files"
-(cd "$workdir/parallel" && ls -1 | LC_ALL=C sort) > "$workdir/parallel.files"
-if ! diff -u "$workdir/serial.files" "$workdir/parallel.files"; then
-  echo "determinism_check: CSV file sets differ" >&2
-  fail=1
-fi
-while IFS= read -r csv; do
-  if ! cmp -s "$workdir/serial/$csv" "$workdir/parallel/$csv"; then
-    echo "determinism_check: CSV $csv differs" >&2
-    diff -u "$workdir/serial/$csv" "$workdir/parallel/$csv" || true
+  echo "=== determinism check: $binary_name --reps $reps --seconds $sim_seconds, --jobs 1 vs --jobs $jobs ==="
+
+  serial="$workdir/$binary_name.serial"
+  parallel="$workdir/$binary_name.parallel"
+  "$binary" --reps "$reps" --seconds "$sim_seconds" --jobs 1 \
+    --csv "$serial" > "$serial.out"
+  "$binary" --reps "$reps" --seconds "$sim_seconds" --jobs "$jobs" \
+    --csv "$parallel" > "$parallel.out"
+
+  if ! diff -u "$serial.out" "$parallel.out"; then
+    echo "determinism_check: $binary_name stdout differs between --jobs 1 and --jobs $jobs" >&2
     fail=1
   fi
-done < "$workdir/serial.files"
+
+  # CSVs: same file set, same bytes.
+  (cd "$serial" && ls -1 | LC_ALL=C sort) > "$serial.files"
+  (cd "$parallel" && ls -1 | LC_ALL=C sort) > "$parallel.files"
+  if ! diff -u "$serial.files" "$parallel.files"; then
+    echo "determinism_check: $binary_name CSV file sets differ" >&2
+    fail=1
+  fi
+  while IFS= read -r csv; do
+    if ! cmp -s "$serial/$csv" "$parallel/$csv"; then
+      echo "determinism_check: $binary_name CSV $csv differs" >&2
+      diff -u "$serial/$csv" "$parallel/$csv" || true
+      fail=1
+    fi
+  done < "$serial.files"
+done
 
 if [[ "$fail" != 0 ]]; then
   echo "=== determinism check FAILED ===" >&2

@@ -1,0 +1,124 @@
+// Fixed-capacity, non-allocating callable — the engine's callback type.
+//
+// The scheduler and transport hot paths create and destroy millions of
+// callbacks per figure run. std::function heap-allocates any capture larger
+// than its small-object buffer (16 bytes on libstdc++), and that allocation
+// is the single largest per-event cost. InlineFunction stores the callable
+// in a fixed inline buffer and has *no heap fallback*: a capture that does
+// not fit is a compile error, so the zero-allocation property of the event
+// engine is enforced at build time rather than hoped for. Keep captures
+// small — ids and pointers, not payloads; bulk state (e.g. an in-flight
+// Packet) belongs in a pooled slab (see slot_map.h) with the handle in the
+// capture.
+//
+// Move-only, like the closures it carries. The stored callable must be
+// nothrow-move-constructible so SlotMap slabs can grow without a throwing
+// relocate.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dcrd {
+
+// Default inline budget. 48 bytes fits every engine capture: a `this`
+// pointer plus a handful of ids/times (see the static_asserts at each call
+// site that fail loudly if a capture outgrows it).
+inline constexpr std::size_t kInlineFunctionCapacity = 48;
+
+template <typename Signature, std::size_t Capacity = kInlineFunctionCapacity>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  // Implicit by design: call sites pass lambdas exactly as they passed them
+  // to std::function.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<R, Fn&, Args...>,
+                  "callable signature mismatch");
+    static_assert(sizeof(Fn) <= Capacity,
+                  "capture exceeds the inline budget — shrink the capture or "
+                  "move bulk state into a pooled slab (slot_map.h)");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned capture");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "capture must be nothrow-movable (slab growth relocates)");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    vtable_ = &kVTable<Fn>;
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  InlineFunction& operator=(std::nullptr_t) noexcept {
+    Reset();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return vtable_ != nullptr; }
+
+  R operator()(Args... args) {
+    return vtable_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    // Move-constructs dst from src, then destroys src's object.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr VTable kVTable = {
+      [](void* s, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<Fn*>(s)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* s) noexcept { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+  };
+
+  void MoveFrom(InlineFunction& other) noexcept {
+    if (other.vtable_ == nullptr) return;
+    other.vtable_->relocate(storage_, other.storage_);
+    vtable_ = other.vtable_;
+    other.vtable_ = nullptr;
+  }
+
+  void Reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace dcrd

@@ -1,0 +1,139 @@
+// Generation-checked slot map: the engine's pooled-storage primitive.
+//
+// A SlotMap hands out dense integer slots from a slab, recycling freed
+// slots through an intrusive free list. Every slot carries a generation
+// counter, bumped on release; a Handle is {slot, generation}, so a stale
+// handle — one whose slot has since been released or re-acquired — is
+// rejected by a single compare instead of a hash lookup. This is the
+// classic slot-map / versioned-index design from DES engines and entity
+// systems, and it replaces the `unordered_map<id, state>` pattern on every
+// hot path (scheduler actions, in-flight transport copies).
+//
+// Recycle semantics — deliberate, and the reason the engine is
+// allocation-free in steady state: values are default-constructed once when
+// the slab grows and are NOT destroyed on Release. Acquire returns the slot
+// with the previous tenant's value still in place, so members that own heap
+// capacity (vectors inside a Packet, say) keep that capacity across reuse;
+// the caller overwrites fields by assignment. Callers that hold resources
+// which must not outlive the tenancy (callbacks owning shared_ptrs) reset
+// those members explicitly before Release.
+//
+// The slab is chunked (fixed-size chunks, never reallocated), so growing it
+// never move-constructs existing values — growth cost is one chunk
+// allocation, not an O(n) relocation of every live callback — and the
+// address of a value is stable for the whole map lifetime. Note the slot
+// itself is still recycled: a pointer from Get() must not be used past the
+// slot's Release, because a re-acquire overwrites the value in place.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace dcrd {
+
+// Handle into a SlotMap. Default-constructed handles refer to nothing and
+// are never valid for any map. 32-bit generations wrap after 4 billion
+// reuses of one slot — far beyond any simulation's event count per slot.
+struct SlotHandle {
+  static constexpr std::uint32_t kInvalidSlot = 0xFFFFFFFFu;
+
+  std::uint32_t slot = kInvalidSlot;
+  std::uint32_t generation = 0;
+
+  [[nodiscard]] bool valid() const { return slot != kInvalidSlot; }
+  friend bool operator==(SlotHandle, SlotHandle) = default;
+};
+
+template <typename T>
+class SlotMap {
+ public:
+  SlotMap() = default;
+  SlotMap(const SlotMap&) = delete;
+  SlotMap& operator=(const SlotMap&) = delete;
+
+  // Number of live (acquired) slots.
+  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  // Slab capacity (live + free slots); monotone over the map's lifetime.
+  [[nodiscard]] std::size_t slab_size() const { return meta_.size(); }
+
+  void Reserve(std::size_t n) {
+    meta_.reserve(n);
+    chunks_.reserve((n + kChunkSize - 1) >> kChunkShift);
+  }
+
+  // Acquires a slot and returns its handle. The value is recycled from the
+  // slot's previous tenant (or default-constructed on first use); the
+  // caller overwrites it via Get().
+  SlotHandle Acquire() {
+    std::uint32_t slot;
+    if (free_head_ != SlotHandle::kInvalidSlot) {
+      slot = free_head_;
+      free_head_ = meta_[slot].next_free;
+    } else {
+      slot = static_cast<std::uint32_t>(meta_.size());
+      DCRD_CHECK(slot != SlotHandle::kInvalidSlot) << "slot map exhausted";
+      if ((slot >> kChunkShift) == chunks_.size()) {
+        chunks_.push_back(std::make_unique<T[]>(kChunkSize));
+      }
+      meta_.push_back(Meta{1, SlotHandle::kInvalidSlot, false});
+    }
+    Meta& meta = meta_[slot];
+    DCRD_CHECK(!meta.live);
+    meta.live = true;
+    ++live_;
+    return SlotHandle{slot, meta.generation};
+  }
+
+  // The value for a live handle; nullptr when the handle is stale (its slot
+  // was released, possibly re-acquired by a newer tenant) or empty.
+  [[nodiscard]] T* Get(SlotHandle handle) {
+    if (handle.slot >= meta_.size()) return nullptr;
+    const Meta& meta = meta_[handle.slot];
+    if (!meta.live || meta.generation != handle.generation) return nullptr;
+    return &chunks_[handle.slot >> kChunkShift][handle.slot & kChunkMask];
+  }
+  [[nodiscard]] const T* Get(SlotHandle handle) const {
+    return const_cast<SlotMap*>(this)->Get(handle);
+  }
+
+  // Releases a live handle's slot back to the free list, bumping the
+  // generation so every outstanding handle to it goes stale. Returns false
+  // (and does nothing) when the handle is already stale. The value is kept
+  // constructed for recycling — see the header comment.
+  bool Release(SlotHandle handle) {
+    if (Get(handle) == nullptr) return false;
+    Meta& meta = meta_[handle.slot];
+    meta.live = false;
+    ++meta.generation;
+    meta.next_free = free_head_;
+    free_head_ = handle.slot;
+    DCRD_CHECK(live_ > 0);
+    --live_;
+    return true;
+  }
+
+ private:
+  struct Meta {
+    std::uint32_t generation = 1;  // 0 is reserved for null handles
+    std::uint32_t next_free = SlotHandle::kInvalidSlot;
+    bool live = false;
+  };
+
+  // 1024 values per chunk: large enough that chunk allocations vanish past
+  // warm-up, small enough that a sparse map doesn't overcommit.
+  static constexpr std::uint32_t kChunkShift = 10;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
+
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::vector<Meta> meta_;
+  std::uint32_t free_head_ = SlotHandle::kInvalidSlot;
+  std::size_t live_ = 0;
+};
+
+}  // namespace dcrd

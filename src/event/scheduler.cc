@@ -1,25 +1,57 @@
 #include "event/scheduler.h"
 
+#include <algorithm>
+
 namespace dcrd {
 
 EventHandle Scheduler::ScheduleAt(SimTime at, Action action) {
   DCRD_CHECK(at >= now_) << "scheduling into the past: " << at << " < " << now_;
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{at, seq});
-  actions_.emplace(seq, std::move(action));
-  return EventHandle(seq);
+  const SlotHandle slot = actions_.Acquire();
+  *actions_.Get(slot) = std::move(action);
+  heap_.push_back(Entry{at, next_seq_++, slot});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+  return EventHandle(slot);
 }
 
 bool Scheduler::Cancel(EventHandle handle) {
-  if (!handle.valid()) return false;
-  const auto erased = actions_.erase(handle.seq_);
-  if (erased != 0) ++tombstones_;
-  return erased != 0;
+  Action* action = actions_.Get(handle.handle_);
+  if (action == nullptr) return false;  // ran, already cancelled, or empty
+  // Drop the capture now (it may own resources); the slab slot is recycled.
+  *action = nullptr;
+  actions_.Release(handle.handle_);
+  ++tombstones_;
+  CompactIfStale();
+  return true;
+}
+
+void Scheduler::CompactIfStale() {
+  // An all-dead heap (mass cancellation, engine teardown) drops in O(1).
+  if (tombstones_ == heap_.size()) {
+    heap_.clear();
+    tombstones_ = 0;
+    return;
+  }
+  // Compact once live entries fall below 1/8 of the heap. The high
+  // threshold keeps the rebuilt heap tiny (cheap make_heap) and each
+  // rebuild removes >= 7/8 of the entries, so total compaction work is a
+  // sharply geometric series — amortized O(1) per cancel. The 64-entry
+  // floor keeps tiny heaps out of the path entirely.
+  if (heap_.size() < 64 || tombstones_ < heap_.size() - heap_.size() / 8) {
+    return;
+  }
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Entry& entry) {
+                               return actions_.Get(entry.slot) == nullptr;
+                             }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>());
+  tombstones_ = 0;  // exactly the stale entries were removed
 }
 
 void Scheduler::SkipCancelled() {
-  while (!heap_.empty() && !actions_.contains(heap_.top().seq)) {
-    heap_.pop();
+  while (!heap_.empty() && actions_.Get(heap_.front().slot) == nullptr) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    heap_.pop_back();
     DCRD_CHECK(tombstones_ > 0);
     --tombstones_;
   }
@@ -28,12 +60,15 @@ void Scheduler::SkipCancelled() {
 bool Scheduler::Step() {
   SkipCancelled();
   if (heap_.empty()) return false;
-  const Entry entry = heap_.top();
-  heap_.pop();
-  auto it = actions_.find(entry.seq);
-  DCRD_CHECK(it != actions_.end());
-  Action action = std::move(it->second);
-  actions_.erase(it);
+  const Entry entry = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+  heap_.pop_back();
+  Action* stored = actions_.Get(entry.slot);
+  DCRD_CHECK(stored != nullptr);
+  // Move the action out before running it: it may reschedule (growing the
+  // slab) or cancel other events re-entrantly.
+  Action action = std::move(*stored);
+  actions_.Release(entry.slot);
   now_ = entry.at;
   ++events_executed_;
   action();
@@ -50,7 +85,7 @@ std::uint64_t Scheduler::RunUntil(SimTime deadline) {
   std::uint64_t count = 0;
   while (true) {
     SkipCancelled();
-    if (heap_.empty() || heap_.top().at > deadline) break;
+    if (heap_.empty() || heap_.front().at > deadline) break;
     Step();
     ++count;
   }

@@ -5,20 +5,31 @@
 // order (a monotonically increasing sequence number breaks ties), which is
 // what makes whole-simulation runs bit-reproducible.
 //
+// Storage layout (the hot part): actions live in a generation-checked slot
+// map — a dense slab recycled through a free list — and are InlineAction
+// callbacks with fixed inline capture storage, so ScheduleAt/Cancel/Step
+// perform zero heap allocations once the slab and heap have grown to the
+// simulation's high-water mark. An EventHandle is {slot, generation}:
+// cancelling is two array reads and a compare, and a stale handle (the
+// event already ran, was cancelled, or its slot now belongs to a newer
+// event) is rejected by the generation mismatch — no hash lookup anywhere.
+//
 // Timers (ACK timeouts, monitoring epochs, failure-schedule ticks) are
 // scheduled events that can be cancelled; cancellation is O(1) — the heap
-// entry is tombstoned and skipped on pop.
+// entry goes stale and is skipped on pop. When stale entries outnumber
+// live ones the heap is compacted in place (amortized O(1) per cancel), so
+// timer-heavy workloads where most timers are cancelled — the hop ACK
+// pattern — never sift dead weight through O(log n) pops.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "common/logging.h"
 #include "common/sim_time.h"
+#include "common/slot_map.h"
 
 namespace dcrd {
 
@@ -27,17 +38,19 @@ namespace dcrd {
 class EventHandle {
  public:
   EventHandle() = default;
-  [[nodiscard]] bool valid() const { return seq_ != 0; }
+  [[nodiscard]] bool valid() const { return handle_.valid(); }
 
  private:
   friend class Scheduler;
-  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
-  std::uint64_t seq_ = 0;
+  explicit EventHandle(SlotHandle handle) : handle_(handle) {}
+  SlotHandle handle_;
 };
 
 class Scheduler {
  public:
-  using Action = std::function<void()>;
+  // Non-allocating callback: captures beyond the inline budget are compile
+  // errors, keeping the event loop heap-free (see inline_function.h).
+  using Action = InlineFunction<void()>;
 
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
@@ -79,7 +92,8 @@ class Scheduler {
  private:
   struct Entry {
     SimTime at;
-    std::uint64_t seq;  // tie-breaker and cancellation key
+    std::uint64_t seq;  // tie-breaker; scheduling order at equal times
+    SlotHandle slot;    // action storage; stale once run or cancelled
     // Ordered as a min-heap on (at, seq) via operator> in the comparator.
     friend bool operator>(const Entry& a, const Entry& b) {
       if (a.at != b.at) return a.at > b.at;
@@ -87,17 +101,24 @@ class Scheduler {
     }
   };
 
-  // Pops tombstoned entries off the heap top.
+  // Pops stale (cancelled) entries off the heap top.
   void SkipCancelled();
+  // Rebuilds the heap without stale entries once they outnumber live ones.
+  // Pop order is untouched: entries are strictly ordered by unique
+  // (at, seq), and only entries every pop would skip are removed.
+  void CompactIfStale();
 
   SimTime now_ = SimTime::Zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_executed_ = 0;
   std::size_t tombstones_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  // seq -> action; absence means cancelled/executed. A flat map would also
-  // work, but the action lifetime bookkeeping is clearest with a hash map.
-  std::unordered_map<std::uint64_t, Action> actions_;
+  // Min-heap on (at, seq) maintained with std::push_heap/pop_heap; a raw
+  // vector so compaction can filter it in place, capacity retained.
+  std::vector<Entry> heap_;
+  // Action storage. A slot goes back on the free list the moment its event
+  // runs or is cancelled; the generation bump makes outstanding EventHandles
+  // to it stale.
+  SlotMap<Action> actions_;
 };
 
 }  // namespace dcrd

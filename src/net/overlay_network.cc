@@ -4,8 +4,8 @@
 
 namespace dcrd {
 
-void OverlayNetwork::Transmit(NodeId from, LinkId link, TrafficClass cls,
-                              std::function<void()> on_delivered) {
+bool OverlayNetwork::Transmit(NodeId from, LinkId link, TrafficClass cls,
+                              Scheduler::Action on_delivered) {
   const EdgeSpec& edge = graph_.edge(link);
   DCRD_CHECK(from == edge.a || from == edge.b)
       << from << " is not an endpoint of " << link;
@@ -16,22 +16,22 @@ void OverlayNetwork::Transmit(NodeId from, LinkId link, TrafficClass cls,
   if (!node_failures_.IsUp(from, now) ||
       !node_failures_.IsUp(edge.OtherEnd(from), now)) {
     ++counter.dropped_node_failure;
-    return;
+    return false;
   }
   if (!failures_.IsUp(link, now)) {
     ++counter.dropped_failure;
-    return;
+    return false;
   }
   if (config_.loss_rate > 0.0 && loss_rng_.NextBernoulli(config_.loss_rate)) {
     ++counter.dropped_loss;
-    return;
+    return false;
   }
   const LinkDirection direction =
       from == edge.a ? LinkDirection::kAToB : LinkDirection::kBToA;
   const double gray_loss = gray_.ExtraLoss(link, direction, now);
   if (gray_loss > 0.0 && gray_rng_.NextBernoulli(gray_loss)) {
     ++counter.dropped_gray;
-    return;
+    return false;
   }
   ++counter.delivered;
 
@@ -60,6 +60,7 @@ void OverlayNetwork::Transmit(NodeId from, LinkId link, TrafficClass cls,
   propagation = SimDuration::FromMillisF(
       propagation.millis() * gray_.DelayFactor(link, direction, now));
   scheduler_.ScheduleAt(departure + propagation, std::move(on_delivered));
+  return true;
 }
 
 }  // namespace dcrd

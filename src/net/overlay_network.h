@@ -24,7 +24,6 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/ids.h"
@@ -103,9 +102,12 @@ class OverlayNetwork {
   // Attempts one transmission from `from` over `link`. Precondition: `from`
   // is an endpoint of `link`. On success `on_delivered` runs at the
   // opposite endpoint after queuing + propagation; on failure nothing
-  // happens (the sender's own timeout machinery reacts).
-  void Transmit(NodeId from, LinkId link, TrafficClass cls,
-                std::function<void()> on_delivered);
+  // happens (the sender's own timeout machinery reacts). The return value
+  // (false = dropped, callback destroyed unrun) exists ONLY so callers can
+  // recycle resources referenced by the callback; protocols must never
+  // branch on it — the paper's senders learn outcomes through ACKs alone.
+  bool Transmit(NodeId from, LinkId link, TrafficClass cls,
+                Scheduler::Action on_delivered);
 
   // True when `node` can currently send and receive.
   [[nodiscard]] bool NodeUp(NodeId node) const {

@@ -6,82 +6,122 @@ namespace dcrd {
 
 void HopTransport::SendReliable(NodeId from, LinkId link, Packet packet,
                                 int max_tx, SimDuration ack_timeout,
-                                std::function<void(bool)> done) {
+                                DoneCallback done) {
   DCRD_CHECK(max_tx >= 1);
-  const std::uint64_t copy_id = next_copy_id_++;
-  Pending pending{from,          link, std::move(packet), max_tx,
-                  ack_timeout,   std::move(done), EventHandle{},
-                  copy_id,       0,    {}};
-  pending.tx_times.reserve(static_cast<std::size_t>(max_tx));
-  pending_.emplace(copy_id, std::move(pending));
-  TransmitOnce(copy_id);
+  DCRD_CHECK(max_tx <= kMaxTransmissionBudget)
+      << "transmission budget " << max_tx << " exceeds the compile-time cap "
+      << kMaxTransmissionBudget;
+  const SlotHandle slot = pending_.Acquire();
+  Pending& pending = *pending_.Get(slot);
+  pending.from = from;
+  pending.link = link;
+  // Move-assignment; the slot's previous packet buffers are released into
+  // `packet`'s husk, the slab keeps no stale heap state.
+  pending.packet = std::move(packet);
+  pending.transmissions_left = max_tx;
+  pending.ack_timeout = ack_timeout;
+  pending.done = std::move(done);
+  pending.timer = EventHandle{};
+  pending.copy_id = next_copy_id_++;
+  pending.transmissions_made = 0;
+  TransmitOnce(slot);
 }
 
-void HopTransport::TransmitOnce(std::uint64_t copy_id) {
-  auto it = pending_.find(copy_id);
-  DCRD_CHECK(it != pending_.end());
-  Pending& pending = it->second;
-  DCRD_CHECK(pending.transmissions_left > 0);
-  --pending.transmissions_left;
-  const int tx_index = pending.transmissions_made++;
-  pending.tx_times.push_back(network_.scheduler().now());
+void HopTransport::TransmitOnce(SlotHandle pending_slot) {
+  Pending* pending = pending_.Get(pending_slot);
+  DCRD_CHECK(pending != nullptr);
+  DCRD_CHECK(pending->transmissions_left > 0);
+  --pending->transmissions_left;
+  const int tx_index = pending->transmissions_made++;
+  pending->tx_times[static_cast<std::size_t>(tx_index)] =
+      network_.scheduler().now();
   ++stats_.transmissions;
   if (tx_index > 0) ++stats_.retransmissions;
 
-  const NodeId from = pending.from;
-  const LinkId link = pending.link;
+  const std::uint64_t copy_id = pending->copy_id;
+  const NodeId from = pending->from;
+  const LinkId link = pending->link;
   const NodeId to = network_.graph().edge(link).OtherEnd(from);
-  // The copy sent on the wire is snapshotted here; the lambda owns it so a
-  // later SendReliable cannot mutate a packet already in flight.
-  const Packet on_wire = pending.packet;
-  network_.Transmit(from, link, TrafficClass::kData,
-                    [this, copy_id, tx_index, to, from, link, on_wire] {
-                      HandleDataArrival(copy_id, tx_index, to, from, link,
-                                        on_wire);
-                    });
+  // The copy sent on the wire is snapshotted into the wire slab; the slab
+  // owns it so a later SendReliable cannot mutate a packet already in
+  // flight, and the callback capture stays two words.
+  const SlotHandle wire_slot = wire_.Acquire();
+  WireCopy& wire = *wire_.Get(wire_slot);
+  wire.packet = pending->packet;  // copy-assign: reuses slab buffer capacity
+  wire.copy_id = copy_id;
+  wire.tx_index = tx_index;
+  wire.to = to;
+  wire.from = from;
+  wire.link = link;
+  wire.sender = pending_slot;
+  const bool delivered = network_.Transmit(
+      from, link, TrafficClass::kData,
+      [this, wire_slot] { HandleDataArrival(wire_slot); });
+  if (!delivered) {
+    // Dropped at the link: nothing will ever consume the snapshot. Recycle
+    // the slot now (the sender's own timeout machinery reacts to the loss).
+    wire_.Release(wire_slot);
+  }
   const SimDuration timeout =
       config_.adaptive_rto
-          ? rto_.TimeoutFor(link, pending.ack_timeout, tx_index, copy_id)
-          : pending.ack_timeout;
-  pending.timer = network_.scheduler().ScheduleAfter(
-      timeout, [this, copy_id] { HandleTimeout(copy_id); });
+          ? rto_.TimeoutFor(link, pending->ack_timeout, tx_index, copy_id)
+          : pending->ack_timeout;
+  pending->timer = network_.scheduler().ScheduleAfter(
+      timeout, [this, pending_slot] { HandleTimeout(pending_slot); });
 }
 
-void HopTransport::HandleTimeout(std::uint64_t copy_id) {
-  auto it = pending_.find(copy_id);
-  if (it == pending_.end()) return;  // ACK won the race
-  Pending& pending = it->second;
-  if (pending.transmissions_left > 0) {
-    TransmitOnce(copy_id);
+void HopTransport::HandleTimeout(SlotHandle pending_slot) {
+  Pending* pending = pending_.Get(pending_slot);
+  if (pending == nullptr) return;  // ACK won the race
+  if (pending->transmissions_left > 0) {
+    TransmitOnce(pending_slot);
     return;
   }
   // Budget exhausted. A badly late ACK may still straggle home — leave a
   // tombstone so it can feed the RTO estimator and have the copy's
   // retransmissions classified as spurious instead of silently dropping
   // the accounting on the floor.
-  expired_.emplace(copy_id,
-                   Expired{pending.link, pending.transmissions_made,
-                           std::move(pending.tx_times)});
-  auto done = std::move(pending.done);
-  pending_.erase(it);
+  Expired& expired = *expired_.TryEmplace(pending->copy_id).first;
+  expired.link = pending->link;
+  expired.transmissions_made = pending->transmissions_made;
+  expired.tx_times = pending->tx_times;
+  DoneCallback done = std::move(pending->done);
+  // Release before invoking: `done` may start further sends that reuse the
+  // slot or grow the slab.
+  pending_.Release(pending_slot);
   if (done) done(false);
 }
 
-void HopTransport::HandleDataArrival(std::uint64_t copy_id, int tx_index,
-                                     NodeId at, NodeId from, LinkId link,
-                                     const Packet& packet) {
+void HopTransport::HandleDataArrival(SlotHandle wire_slot) {
+  WireCopy* wire = wire_.Get(wire_slot);
+  DCRD_CHECK(wire != nullptr);
+  const std::uint64_t copy_id = wire->copy_id;
+  const int tx_index = wire->tx_index;
+  const NodeId at = wire->to;
+  const NodeId from = wire->from;
+  const LinkId link = wire->link;
+  const SlotHandle sender = wire->sender;
+  // Park the payload in the scratch slot and recycle the wire slot before
+  // any handler runs: the arrival handler may send onward, and slab growth
+  // would invalidate `wire`. Swapping circulates buffer capacity between
+  // scratch and slab instead of allocating.
+  std::swap(arrival_scratch_, wire->packet);
+  wire_.Release(wire_slot);
+  const Packet& packet = arrival_scratch_;
+
   // Always ACK — the sender may have missed an earlier ACK. The ACK names
   // the transmission it answers, which disambiguates RTT samples and lets
   // the sender recognise spurious retransmissions.
-  network_.Transmit(at, link, TrafficClass::kAck, [this, copy_id, tx_index] {
-    HandleAckArrival(copy_id, tx_index);
-  });
+  network_.Transmit(at, link, TrafficClass::kAck,
+                    [this, sender, copy_id, tx_index] {
+                      HandleAckArrival(sender, copy_id, tx_index);
+                    });
   // Hand to the protocol only on first sight of this copy. Insert into the
   // current generation even when the previous one already knows the copy,
   // so repeat stragglers keep their suppression entry alive across
   // rotations.
-  const bool in_prev = prev_seen_copies_.count(copy_id) != 0;
-  const bool handed_up = seen_copies_.insert(copy_id).second && !in_prev;
+  const bool in_prev = prev_seen_copies_.Contains(copy_id);
+  const bool handed_up = seen_copies_.Insert(copy_id) && !in_prev;
   if (config_.observer != nullptr) {
     config_.observer->OnCopyArrival(copy_id, at, from, packet, handed_up);
   }
@@ -89,39 +129,40 @@ void HopTransport::HandleDataArrival(std::uint64_t copy_id, int tx_index,
   on_arrival_(at, packet, from);
 }
 
-void HopTransport::HandleAckArrival(std::uint64_t copy_id, int tx_index) {
-  auto it = pending_.find(copy_id);
-  if (it == pending_.end()) {
+void HopTransport::HandleAckArrival(SlotHandle pending_slot,
+                                    std::uint64_t copy_id, int tx_index) {
+  Pending* pending = pending_.Get(pending_slot);
+  // Generation check doubles as the identity check: a live slot reused by a
+  // later copy has a new generation, so a stale ACK cannot match it.
+  if (pending == nullptr || pending->copy_id != copy_id) {
     // Not in flight any more: a duplicate ACK, or the first ACK of a copy
     // whose budget already expired. The latter still carries information —
     // the hop was alive, just slower than m timeouts.
-    const auto expired_it = expired_.find(copy_id);
-    if (expired_it == expired_.end()) return;
-    const Expired& expired = expired_it->second;
-    rto_.OnSample(expired.link,
+    const Expired* expired = expired_.Find(copy_id);
+    if (expired == nullptr) return;
+    rto_.OnSample(expired->link,
                   network_.scheduler().now() -
-                      expired.tx_times[static_cast<std::size_t>(tx_index)]);
-    if (expired.transmissions_made - 1 > tx_index) {
+                      expired->tx_times[static_cast<std::size_t>(tx_index)]);
+    if (expired->transmissions_made - 1 > tx_index) {
       stats_.spurious_retransmissions += static_cast<std::uint64_t>(
-          expired.transmissions_made - 1 - tx_index);
+          expired->transmissions_made - 1 - tx_index);
     }
-    expired_.erase(expired_it);  // later ACKs of this copy are duplicates
+    expired_.Erase(copy_id);  // later ACKs of this copy are duplicates
     return;
   }
-  Pending& pending = it->second;
   // Unambiguous round-trip sample: this ACK answers transmission tx_index.
-  rto_.OnSample(pending.link, network_.scheduler().now() -
-                                  pending.tx_times[static_cast<std::size_t>(
-                                      tx_index)]);
+  rto_.OnSample(pending->link,
+                network_.scheduler().now() -
+                    pending->tx_times[static_cast<std::size_t>(tx_index)]);
   // Every transmission after tx_index happened although the hop was alive
   // and this ACK was already on its way — those were spurious.
-  if (pending.transmissions_made - 1 > tx_index) {
-    stats_.spurious_retransmissions +=
-        static_cast<std::uint64_t>(pending.transmissions_made - 1 - tx_index);
+  if (pending->transmissions_made - 1 > tx_index) {
+    stats_.spurious_retransmissions += static_cast<std::uint64_t>(
+        pending->transmissions_made - 1 - tx_index);
   }
-  network_.scheduler().Cancel(pending.timer);
-  auto done = std::move(pending.done);
-  pending_.erase(it);
+  network_.scheduler().Cancel(pending->timer);
+  DoneCallback done = std::move(pending->done);
+  pending_.Release(pending_slot);
   if (done) done(true);
 }
 

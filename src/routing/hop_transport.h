@@ -28,15 +28,25 @@
 //    rto_estimator.h). ACKs identify the transmission they answer, so the
 //    transport also counts *spurious* retransmissions — copies retransmitted
 //    although an earlier transmission's ACK was merely late.
+//
+// Storage layout (the hot part): per-copy sender state lives in a pooled
+// slab (slot_map.h) whose handles ride inside the scheduler/network
+// callbacks, in-flight wire payloads live in a second slab so callback
+// captures stay within the inline budget, and the receiver-side dedup
+// generations plus ACK tombstones are open-addressing tables
+// (dense_map.h). A send/ACK round trip therefore performs zero heap
+// allocations once the slabs have reached the run's in-flight high-water
+// mark — a property enforced by the allocation-counter regression tests.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
 
+#include "common/dense_map.h"
 #include "common/ids.h"
+#include "common/inline_function.h"
+#include "common/slot_map.h"
 #include "event/scheduler.h"
 #include "net/overlay_network.h"
 #include "pubsub/packet.h"
@@ -68,6 +78,15 @@ class HopTransport {
   using ArrivalHandler =
       std::function<void(NodeId at, const Packet& packet, NodeId from)>;
 
+  // Completion callback; inline storage only (see inline_function.h), so
+  // protocol captures stay id-sized by construction.
+  using DoneCallback = InlineFunction<void(bool)>;
+
+  // Hard cap on per-copy transmissions (paper parameter m). The per-copy
+  // send-instant log is a fixed array of this size, so growing the budget
+  // beyond it is a compile-time decision, not silent regrowth.
+  static constexpr int kMaxTransmissionBudget = 16;
+
   HopTransport(OverlayNetwork& network, ArrivalHandler on_arrival,
                HopTransportConfig config = {})
       : network_(network),
@@ -84,7 +103,7 @@ class HopTransport {
   // further sends; it is always invoked from a scheduler event (never
   // re-entrantly).
   void SendReliable(NodeId from, LinkId link, Packet packet, int max_tx,
-                    SimDuration ack_timeout, std::function<void(bool)> done);
+                    SimDuration ack_timeout, DoneCallback done);
 
   // Ages receiver-side duplicate-suppression state to bound memory over
   // multi-hour runs. Rotation (not a hard clear): a spurious retransmission
@@ -93,7 +112,9 @@ class HopTransport {
   // more epoch. A copy id is only forgotten after two consecutive epochs
   // without an arrival — far longer than any transmission stays airborne.
   void ClearDedupState() {
-    prev_seen_copies_ = std::move(seen_copies_);
+    // Swap instead of move: both tables keep their steady-state capacity,
+    // so the rotation itself allocates nothing.
+    swap(prev_seen_copies_, seen_copies_);
     seen_copies_.clear();
     // Ack-tombstones follow the same bound: an ACK more than an epoch late
     // is not worth accounting for.
@@ -114,38 +135,59 @@ class HopTransport {
     NodeId from;
     LinkId link;
     Packet packet;
-    int transmissions_left;
+    int transmissions_left = 0;
     SimDuration ack_timeout;  // fixed timer / adaptive seed
-    std::function<void(bool)> done;
+    DoneCallback done;
     EventHandle timer;
     std::uint64_t copy_id = 0;
     int transmissions_made = 0;
-    std::vector<SimTime> tx_times;  // send instant per transmission index
+    // Send instant per transmission index; fixed-size so the slab entry
+    // never regrows.
+    std::array<SimTime, kMaxTransmissionBudget> tx_times{};
   };
 
   // Accounting stub left behind when a copy's send budget expires before
   // its ACK returns; lets the straggling ACK still be classified.
   struct Expired {
     LinkId link;
-    int transmissions_made;
-    std::vector<SimTime> tx_times;
+    int transmissions_made = 0;
+    std::array<SimTime, kMaxTransmissionBudget> tx_times{};
   };
 
-  void TransmitOnce(std::uint64_t copy_id);
-  void HandleTimeout(std::uint64_t copy_id);
-  void HandleDataArrival(std::uint64_t copy_id, int tx_index, NodeId at,
-                         NodeId from, LinkId link, const Packet& packet);
-  void HandleAckArrival(std::uint64_t copy_id, int tx_index);
+  // Payload of one in-flight data transmission. Pooled so the network
+  // callback captures only {this, handle}; the packet snapshot is recycled
+  // slab storage, not a heap-owning lambda capture.
+  struct WireCopy {
+    Packet packet;
+    std::uint64_t copy_id = 0;
+    int tx_index = 0;
+    NodeId to;
+    NodeId from;
+    LinkId link;
+    SlotHandle sender;  // the sending side's pending slot
+  };
+
+  void TransmitOnce(SlotHandle pending_slot);
+  void HandleTimeout(SlotHandle pending_slot);
+  void HandleDataArrival(SlotHandle wire_slot);
+  void HandleAckArrival(SlotHandle pending_slot, std::uint64_t copy_id,
+                        int tx_index);
 
   OverlayNetwork& network_;
   ArrivalHandler on_arrival_;
   HopTransportConfig config_;
   RtoEstimator rto_;
   TransportStats stats_;
-  std::unordered_map<std::uint64_t, Pending> pending_;
-  std::unordered_map<std::uint64_t, Expired> expired_;
-  std::unordered_set<std::uint64_t> seen_copies_;
-  std::unordered_set<std::uint64_t> prev_seen_copies_;
+  SlotMap<Pending> pending_;
+  SlotMap<WireCopy> wire_;
+  // Packet scratch for the arrival path: the wire slot is released before
+  // the protocol handler runs (the handler may send, growing the slab), so
+  // the payload is swapped here first. Buffer capacity circulates between
+  // the scratch and the slab — no allocation either way.
+  Packet arrival_scratch_;
+  DenseIdMap<Expired> expired_;
+  DenseIdSet seen_copies_;
+  DenseIdSet prev_seen_copies_;
   std::uint64_t next_copy_id_ = 1;
 };
 

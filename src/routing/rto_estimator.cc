@@ -7,8 +7,8 @@ namespace dcrd {
 
 void RtoEstimator::OnSample(LinkId link, SimDuration rtt) {
   const double sample_us = static_cast<double>(rtt.micros());
-  const auto [it, inserted] = state_.try_emplace(link.underlying());
-  State& state = it->second;
+  const auto [slot, inserted] = state_.TryEmplace(link.underlying());
+  State& state = *slot;
   if (inserted) {
     // RFC 6298 initialisation: SRTT = R, RTTVAR = R/2.
     state.srtt_us = sample_us;
@@ -27,13 +27,13 @@ SimDuration RtoEstimator::Clamp(SimDuration rto) const {
 }
 
 SimDuration RtoEstimator::Rto(LinkId link, SimDuration seed) const {
-  const auto it = state_.find(link.underlying());
-  if (it == state_.end()) return Clamp(seed);
-  const double var_term = std::max(
-      static_cast<double>(config_.granularity.micros()),
-      4.0 * it->second.rttvar_us);
+  const State* state = state_.Find(link.underlying());
+  if (state == nullptr) return Clamp(seed);
+  const double var_term =
+      std::max(static_cast<double>(config_.granularity.micros()),
+               4.0 * state->rttvar_us);
   return Clamp(SimDuration::Micros(
-      static_cast<std::int64_t>(it->second.srtt_us + var_term + 0.5)));
+      static_cast<std::int64_t>(state->srtt_us + var_term + 0.5)));
 }
 
 SimDuration RtoEstimator::TimeoutFor(LinkId link, SimDuration seed,

@@ -22,8 +22,8 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/dense_map.h"
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/sim_time.h"
@@ -61,7 +61,7 @@ class RtoEstimator {
                                        std::uint64_t copy_id) const;
 
   [[nodiscard]] bool HasSample(LinkId link) const {
-    return state_.contains(link.underlying());
+    return state_.Contains(link.underlying());
   }
   [[nodiscard]] std::uint64_t sample_count() const { return sample_count_; }
   [[nodiscard]] const RtoConfig& config() const { return config_; }
@@ -75,7 +75,9 @@ class RtoEstimator {
   [[nodiscard]] SimDuration Clamp(SimDuration rto) const;
 
   RtoConfig config_;
-  std::unordered_map<std::uint64_t, State> state_;
+  // Link ids are dense small integers, so per-link state is a flat array
+  // indexed directly — no hashing on the per-ACK sample path.
+  DenseIndexMap<State> state_;
   std::uint64_t sample_count_ = 0;
 };
 

@@ -147,6 +147,46 @@ TEST(SchedulerTest, CancelFromWithinAnEvent) {
   EXPECT_FALSE(second_ran);
 }
 
+TEST(SchedulerTest, StaleHandleToReusedSlotFailsCancel) {
+  // ABA regression: once a handle's slot is freed and reacquired by a later
+  // event, the stale handle's generation no longer matches. Cancelling it
+  // must fail — and must not kill the slot's new occupant.
+  Scheduler scheduler;
+  const EventHandle stale =
+      scheduler.ScheduleAfter(SimDuration::Millis(1), [] {});
+  ASSERT_TRUE(scheduler.Cancel(stale));  // frees the slot
+
+  // With one slot on the free list, the next schedule reuses it.
+  bool reused_ran = false;
+  const EventHandle reused =
+      scheduler.ScheduleAfter(SimDuration::Millis(1),
+                              [&reused_ran] { reused_ran = true; });
+  EXPECT_FALSE(scheduler.Cancel(stale));
+  scheduler.Run();
+  EXPECT_TRUE(reused_ran);
+  (void)reused;
+}
+
+TEST(SchedulerTest, StaleHandleSurvivesManyReuseGenerations) {
+  // Drive one slot through many acquire/release generations; every retired
+  // handle must stay dead even as the generation counter climbs.
+  Scheduler scheduler;
+  std::vector<EventHandle> retired;
+  for (int i = 0; i < 64; ++i) {
+    const EventHandle handle =
+        scheduler.ScheduleAfter(SimDuration::Millis(1), [] {});
+    ASSERT_TRUE(scheduler.Cancel(handle));
+    retired.push_back(handle);
+  }
+  int executed = 0;
+  scheduler.ScheduleAfter(SimDuration::Millis(1), [&executed] { ++executed; });
+  for (const EventHandle handle : retired) {
+    EXPECT_FALSE(scheduler.Cancel(handle));
+  }
+  scheduler.Run();
+  EXPECT_EQ(executed, 1);
+}
+
 TEST(SchedulerDeathTest, SchedulingInThePastAborts) {
   Scheduler scheduler;
   scheduler.ScheduleAt(SimTime::FromMicros(10), [] {});

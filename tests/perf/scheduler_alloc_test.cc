@@ -1,0 +1,89 @@
+// Regression tests for the scheduler's zero-steady-state-allocation
+// property. The slot-map slab and the binary heap grow while the event
+// population climbs to its high-water mark (warm-up); after that, every
+// ScheduleAt/Cancel/Step cycle must run without touching the heap
+// allocator. A single allocation here is a lost property, not a slowdown —
+// fail loudly.
+#include <gtest/gtest.h>
+
+#include "event/scheduler.h"
+#include "support/alloc_counter.h"
+
+namespace dcrd {
+namespace {
+
+using test::AllocProbe;
+
+TEST(SchedulerAllocTest, ScheduleRunCycleIsAllocationFreeAfterWarmup) {
+  Scheduler scheduler;
+  std::uint64_t fired = 0;
+  // Warm-up: grow the heap vector and the action slab to 256 concurrent
+  // events, then drain.
+  for (int i = 0; i < 256; ++i) {
+    scheduler.ScheduleAfter(SimDuration::Micros(i + 1), [&fired] { ++fired; });
+  }
+  scheduler.Run();
+
+  AllocProbe probe;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 256; ++i) {
+      scheduler.ScheduleAfter(SimDuration::Micros(i + 1),
+                              [&fired] { ++fired; });
+    }
+    scheduler.Run();
+  }
+  const auto delta = probe.delta();
+  EXPECT_EQ(delta.allocations, 0u)
+      << "schedule/run cycle allocated " << delta.bytes << " bytes";
+  EXPECT_EQ(fired, 256u * 101u);
+}
+
+TEST(SchedulerAllocTest, ScheduleCancelCycleIsAllocationFreeAfterWarmup) {
+  // The ACK-timer pattern: nearly every timer is cancelled before firing.
+  Scheduler scheduler;
+  std::vector<EventHandle> handles;
+  handles.reserve(512);
+  for (int i = 0; i < 512; ++i) {
+    handles.push_back(scheduler.ScheduleAfter(SimDuration::Millis(60), [] {}));
+  }
+  for (EventHandle handle : handles) scheduler.Cancel(handle);
+  scheduler.Run();
+
+  AllocProbe probe;
+  for (int round = 0; round < 100; ++round) {
+    handles.clear();
+    for (int i = 0; i < 512; ++i) {
+      handles.push_back(
+          scheduler.ScheduleAfter(SimDuration::Millis(60), [] {}));
+    }
+    for (EventHandle handle : handles) scheduler.Cancel(handle);
+    scheduler.Run();
+  }
+  const auto delta = probe.delta();
+  EXPECT_EQ(delta.allocations, 0u)
+      << "schedule/cancel cycle allocated " << delta.bytes << " bytes";
+}
+
+TEST(SchedulerAllocTest, CaptureAtInlineBudgetStaysInline) {
+  // A capture of exactly the inline capacity must not fall back to the
+  // heap (there is no fallback — this guards the budget constant itself).
+  struct Fat {
+    std::uint64_t a, b, c, d, e;  // 40 bytes; +8 for the sink pointer = 48
+  };
+  static_assert(sizeof(Fat) == 40);
+  Scheduler scheduler;
+  scheduler.ScheduleAfter(SimDuration::Micros(1), [] {});  // warm one slot
+  scheduler.Run();
+
+  AllocProbe probe;
+  Fat fat{1, 2, 3, 4, 5};
+  std::uint64_t sink = 0;
+  scheduler.ScheduleAfter(SimDuration::Micros(1),
+                          [fat, &sink] { sink = fat.a + fat.e; });
+  scheduler.Run();
+  EXPECT_EQ(probe.delta().allocations, 0u);
+  EXPECT_EQ(sink, 6u);
+}
+
+}  // namespace
+}  // namespace dcrd
