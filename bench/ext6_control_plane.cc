@@ -31,6 +31,11 @@ int main(int argc, char** argv) {
   const int jobs =
       dcrd::ResolveJobCount(static_cast<int>(flags.GetInt("jobs", 0)));
   const std::string bench_json = flags.GetString("bench_json", "");
+  // Observability knobs for the end-to-end section (the gossip-only section
+  // drives the scheduler directly and has no scenario engine to trace).
+  const bool trace = flags.GetBool("trace", false);
+  const std::string trace_out = flags.GetString("trace_out", "");
+  const std::string metrics_json = flags.GetString("metrics_json", "");
   flags.ExitOnUnqueried();
   std::cerr << "jobs=" << jobs << "\n";
   const auto append_bench = [&](const std::string& stem,
@@ -125,6 +130,16 @@ int main(int argc, char** argv) {
           config.loss_rate = 1e-4;
           config.sim_time = dcrd::SimDuration::Seconds(e2e_seconds);
           config.seed = 1 + static_cast<std::uint64_t>(rep);
+          config.trace = trace || !trace_out.empty();
+          const std::string cell = std::string("ext6_control_plane.") +
+                                   (distributed ? "gossip" : "solver") +
+                                   ".rep" + std::to_string(rep);
+          if (!trace_out.empty()) {
+            config.trace_out = trace_out + "." + cell + ".jsonl";
+          }
+          if (!metrics_json.empty()) {
+            config.metrics_json = metrics_json + "." + cell + ".json";
+          }
           return config;
         },
         &stats);

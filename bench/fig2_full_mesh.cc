@@ -16,6 +16,14 @@
 int main(int argc, char** argv) {
   const dcrd::Flags flags = dcrd::Flags::Parse(argc, argv);
   const auto scale = dcrd::figures::ParseScale(flags);
+  // --m overrides the retransmission budget (paper default 1) so hop
+  // retransmissions appear in traces. A full mesh never exhausts a
+  // 19-entry sending list, so upstream reroutes cannot occur there;
+  // --degree N sparsifies the overlay to a random degree-N graph for
+  // trace walkthroughs that need to see reroute-to-upstream events.
+  // Defaults leave the figure untouched.
+  const int m = static_cast<int>(flags.GetInt("m", 1));
+  const int degree = static_cast<int>(flags.GetInt("degree", 0));
   flags.ExitOnUnqueried();
   dcrd::figures::PrintHeader("Figure 2: fully-meshed 20-node overlay", scale);
 
@@ -23,7 +31,11 @@ int main(int argc, char** argv) {
   base.node_count = 20;
   base.topology = dcrd::TopologyKind::kFullMesh;
   base.loss_rate = 1e-4;
-  base.max_transmissions = 1;
+  base.max_transmissions = m;
+  if (degree > 0) {
+    base.topology = dcrd::TopologyKind::kRandomDegree;
+    base.degree = degree;
+  }
   dcrd::figures::ApplyScale(scale, base);
 
   const dcrd::SweepResult sweep = dcrd::figures::RunFigureSweep(

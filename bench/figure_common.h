@@ -11,6 +11,18 @@
 //                    bit-identical for any job count.
 //   --bench_json P   append wall-clock/throughput records to the JSON
 //                    array at P (see sim/bench_json.h)
+//   --trace          keep an in-memory flight recorder per cell (postmortem
+//                    dumps on invariant violations / crashes)
+//   --trace_out P    stream each cell's full trace to
+//                    P.<stem>.<cell>.jsonl (implies --trace); inspect with
+//                    tools/dcrd_trace
+//   --metrics_json P write each cell's metrics registry to
+//                    P.<stem>.<cell>.json
+//
+// Observability never touches stdout or any RNG stream, so the figure
+// tables stay byte-identical with or without it (determinism_check.sh
+// verifies). Per-cell file names keep parallel sweep workers from writing
+// over each other.
 //
 // Default scale is reduced (2 repetitions x 600 simulated seconds) so the
 // whole bench suite finishes in minutes; the series' *shape* is already
@@ -44,6 +56,9 @@ struct FigureScale {
   std::string csv_dir;  // when set (--csv DIR), sweeps also land as CSV
   int jobs = 1;         // resolved by ParseScale; 1 only until then
   std::string bench_json;  // when set (--bench_json PATH), append records
+  bool trace = false;       // --trace: in-memory flight recorder per cell
+  std::string trace_out;    // --trace_out: JSONL trace file prefix
+  std::string metrics_json;  // --metrics_json: metrics file prefix
 };
 
 inline std::vector<RouterKind> ParseRouters(const std::string& csv) {
@@ -79,7 +94,33 @@ inline FigureScale ParseScale(const Flags& flags) {
   scale.csv_dir = flags.GetString("csv", "");
   scale.jobs = ResolveJobCount(static_cast<int>(flags.GetInt("jobs", 0)));
   scale.bench_json = flags.GetString("bench_json", "");
+  scale.trace = flags.GetBool("trace", false);
+  scale.trace_out = flags.GetString("trace_out", "");
+  scale.metrics_json = flags.GetString("metrics_json", "");
   return scale;
+}
+
+// True when any observability output was requested on the command line.
+inline bool ObservabilityRequested(const FigureScale& scale) {
+  return scale.trace || !scale.trace_out.empty() ||
+         !scale.metrics_json.empty();
+}
+
+// Applies the scale's observability options to one cell's config. `cell`
+// distinguishes concurrent sweep cells (router/x/rep) so their trace and
+// metrics files never collide.
+inline void ApplyObservability(const FigureScale& scale,
+                               const std::string& stem,
+                               const std::string& cell,
+                               ScenarioConfig& config) {
+  config.trace = scale.trace || !scale.trace_out.empty();
+  if (!scale.trace_out.empty()) {
+    config.trace_out = scale.trace_out + "." + stem + "." + cell + ".jsonl";
+  }
+  if (!scale.metrics_json.empty()) {
+    config.metrics_json =
+        scale.metrics_json + "." + stem + "." + cell + ".json";
+  }
 }
 
 inline void MaybeSaveCsv(const FigureScale& scale, const std::string& stem,
@@ -106,9 +147,23 @@ inline SweepResult RunFigureSweep(
     const ScenarioConfig& base, const std::vector<RouterKind>& routers,
     const std::vector<double>& x_values,
     const std::function<void(double, ScenarioConfig&)>& configure) {
+  // RunSweep sets config.router and config.seed (= base.seed + rep) before
+  // calling configure, which is exactly what the per-cell file tag needs.
+  std::function<void(double, ScenarioConfig&)> cell_configure = configure;
+  if (ObservabilityRequested(scale)) {
+    const std::uint64_t base_seed = base.seed;
+    cell_configure = [&scale, stem, base_seed, configure](
+                         double x, ScenarioConfig& config) {
+      const std::uint64_t rep = config.seed - base_seed;
+      configure(x, config);
+      std::ostringstream cell;
+      cell << RouterName(config.router) << ".x" << x << ".rep" << rep;
+      ApplyObservability(scale, stem, cell.str(), config);
+    };
+  }
   SweepRunStats stats;
   SweepResult sweep = RunSweep(title, x_label, base, routers, x_values,
-                               configure, scale.repetitions, scale.jobs,
+                               cell_configure, scale.repetitions, scale.jobs,
                                &stats);
   MaybeAppendBench(scale, stem, stats);
   return sweep;
@@ -120,9 +175,19 @@ inline SweepResult RunFigureSweep(
 inline RunSummary RunFigureReps(
     const FigureScale& scale, const std::string& stem,
     const std::function<ScenarioConfig(int)>& make_config) {
+  std::function<ScenarioConfig(int)> cell_config = make_config;
+  if (ObservabilityRequested(scale)) {
+    cell_config = [&scale, stem, make_config](int rep) {
+      ScenarioConfig config = make_config(rep);
+      std::ostringstream cell;
+      cell << RouterName(config.router) << ".rep" << rep;
+      ApplyObservability(scale, stem, cell.str(), config);
+      return config;
+    };
+  }
   SweepRunStats stats;
   RunSummary pooled =
-      RunRepetitions(scale.repetitions, scale.jobs, make_config, &stats);
+      RunRepetitions(scale.repetitions, scale.jobs, cell_config, &stats);
   MaybeAppendBench(scale, stem, stats);
   return pooled;
 }

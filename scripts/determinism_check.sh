@@ -66,6 +66,41 @@ for binary_name in $binaries; do
   done < "$serial.files"
 done
 
+# Observability must be result-neutral: a traced run (full JSONL trace +
+# metrics registry) must produce byte-identical stdout and CSVs to an
+# untraced one. The traces themselves go to per-cell files and stderr only.
+trace_binary="fig2_full_mesh"
+binary="$build_dir/bench/$trace_binary"
+if [[ -x "$binary" ]]; then
+  echo "=== determinism check: $trace_binary untraced vs --trace_out ==="
+  plain="$workdir/$trace_binary.plain"
+  traced="$workdir/$trace_binary.traced"
+  "$binary" --reps "$reps" --seconds "$sim_seconds" --jobs "$jobs" \
+    --csv "$plain" > "$plain.out"
+  "$binary" --reps "$reps" --seconds "$sim_seconds" --jobs "$jobs" \
+    --csv "$traced" --trace_out "$workdir/trace" \
+    --metrics_json "$workdir/metrics" > "$traced.out"
+
+  if ! diff -u "$plain.out" "$traced.out"; then
+    echo "determinism_check: $trace_binary stdout differs when traced" >&2
+    fail=1
+  fi
+  (cd "$plain" && ls -1 | LC_ALL=C sort) > "$plain.files"
+  while IFS= read -r csv; do
+    if ! cmp -s "$plain/$csv" "$traced/$csv"; then
+      echo "determinism_check: $trace_binary CSV $csv differs when traced" >&2
+      diff -u "$plain/$csv" "$traced/$csv" || true
+      fail=1
+    fi
+  done < "$plain.files"
+  if ! ls "$workdir"/trace.*.jsonl > /dev/null 2>&1; then
+    echo "determinism_check: traced run produced no trace files" >&2
+    fail=1
+  fi
+else
+  echo "determinism_check: $binary not found; skipping trace phase" >&2
+fi
+
 if [[ "$fail" != 0 ]]; then
   echo "=== determinism check FAILED ===" >&2
   exit 1

@@ -91,7 +91,7 @@ void Flags::ExitOnUnqueried() const {
   const std::vector<std::string> unqueried = UnqueriedFlags();
   if (unqueried.empty()) return;
   for (const std::string& name : unqueried) {
-    std::cerr << "error: unknown flag --" << name << "\n";
+    DCRD_LOG(kError) << "unknown flag --" << name;
   }
   std::exit(2);
 }

@@ -11,9 +11,18 @@ LogLevel& GlobalLogLevel() {
 
 namespace internal {
 
+const SimTime*& ThreadSimClock() {
+  thread_local const SimTime* clock = nullptr;
+  return clock;
+}
+
 void CheckFailed(const char* expr, const char* file, int line,
                  const std::string& extra) {
-  std::cerr << "CHECK failed: " << expr << " at " << file << ":" << line;
+  std::cerr << "CHECK failed: " << expr << " at " << ComponentPath(file)
+            << ":" << line;
+  if (const SimTime* clock = ThreadSimClock(); clock != nullptr) {
+    std::cerr << " (sim time " << clock->micros() << "us)";
+  }
   if (!extra.empty()) std::cerr << " — " << extra;
   std::cerr << std::endl;
   std::abort();

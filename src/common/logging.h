@@ -1,8 +1,19 @@
-// Minimal leveled logging and check macros.
+// Minimal leveled logging and check macros — the single logging
+// implementation for the whole simulator.
 //
 // The simulator is a library, so logging is off by default and controlled by
-// a process-wide level; benches/examples flip it on with --verbose. CHECK is
-// used for programmer-error invariants (never for expected runtime
+// a process-wide level; benches/examples flip it on with --verbose. Every
+// line carries the level, the current simulation time (when a scheduler is
+// running on this thread; "-" otherwise), and a component/file:line tag:
+//
+//   [W 5000us sim/engine.cc:42] message
+//
+// Output goes to stderr only — stdout belongs to the figure data and must
+// stay byte-identical whether or not logging or tracing is enabled. Raw
+// fprintf/std::cerr diagnostics elsewhere in src/ are a bug; route them
+// through DCRD_LOG so they pick up sim time and obey the global level.
+//
+// CHECK is used for programmer-error invariants (never for expected runtime
 // conditions) and aborts with a message — per the Core Guidelines' advice to
 // make broken preconditions loud.
 #pragma once
@@ -10,6 +21,8 @@
 #include <iostream>
 #include <sstream>
 #include <string_view>
+
+#include "common/sim_time.h"
 
 namespace dcrd {
 
@@ -19,16 +32,36 @@ LogLevel& GlobalLogLevel();
 
 namespace internal {
 
+// Slot for the simulation clock of the scheduler currently running on this
+// thread. Scheduler::Run/RunUntil install a pointer to their clock for the
+// duration of the run (RAII, nesting-safe) so log lines can stamp sim time;
+// nullptr outside a run.
+const SimTime*& ThreadSimClock();
+
+// Last two path segments of __FILE__ — "sim/engine.cc" — so the component
+// is visible without the full build-tree prefix.
+constexpr std::string_view ComponentPath(std::string_view path) {
+  const auto base = path.find_last_of('/');
+  if (base == std::string_view::npos) return path;
+  const auto dir = path.find_last_of('/', base - 1);
+  return dir == std::string_view::npos ? path : path.substr(dir + 1);
+}
+
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line) : level_(level) {
-    stream_ << "[" << Name(level) << " " << Basename(file) << ":" << line
-            << "] ";
+    stream_ << "[" << Name(level) << " ";
+    if (const SimTime* clock = ThreadSimClock(); clock != nullptr) {
+      stream_ << clock->micros() << "us";
+    } else {
+      stream_ << "-";
+    }
+    stream_ << " " << ComponentPath(file) << ":" << line << "] ";
   }
   ~LogMessage() {
     if (static_cast<int>(level_) <= static_cast<int>(GlobalLogLevel())) {
       stream_ << "\n";
-      std::clog << stream_.str();
+      std::cerr << stream_.str();
     }
   }
   std::ostream& stream() { return stream_; }
@@ -42,10 +75,6 @@ class LogMessage {
       case LogLevel::kDebug: return "D";
     }
     return "?";
-  }
-  static constexpr std::string_view Basename(std::string_view path) {
-    const auto pos = path.find_last_of('/');
-    return pos == std::string_view::npos ? path : path.substr(pos + 1);
   }
 
   LogLevel level_;
@@ -67,6 +96,23 @@ class CheckMessage {
   const char* file_;
   int line_;
   std::ostringstream stream_;
+};
+
+// Installs `clock` as the thread's sim clock for the guard's lifetime,
+// restoring the previous value on exit (so nested Run/RunUntil of different
+// schedulers unwind correctly).
+class ScopedSimClock {
+ public:
+  explicit ScopedSimClock(const SimTime* clock)
+      : previous_(ThreadSimClock()) {
+    ThreadSimClock() = clock;
+  }
+  ~ScopedSimClock() { ThreadSimClock() = previous_; }
+  ScopedSimClock(const ScopedSimClock&) = delete;
+  ScopedSimClock& operator=(const ScopedSimClock&) = delete;
+
+ private:
+  const SimTime* previous_;
 };
 
 }  // namespace internal

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
+
 namespace dcrd {
 
 DcrdRouter::DcrdRouter(RouterContext context, DcrdConfig config)
@@ -277,6 +279,12 @@ void DcrdRouter::ProcessEpisode(std::uint64_t episode_id) {
     DCRD_CHECK(link.has_value())
         << "sending list refers to missing edge " << episode.node << "-"
         << next;
+    if (is_reroute && context_.recorder != nullptr) {
+      context_.recorder->Record(
+          TraceEventKind::kReroute, episode.base.message().id.value, 0,
+          episode.node, next, *link, 0,
+          static_cast<std::uint16_t>(group.size()));
+    }
     const SimDuration timeout = context_.AckTimeout(view_->alpha(*link));
     ++episode.in_flight;
     transport_.SendReliable(
@@ -311,10 +319,19 @@ void DcrdRouter::OnCopyResolved(std::uint64_t episode_id, NodeId next_hop,
   FinishEpisodeIfIdle(episode_id);
 }
 
+void DcrdRouter::RecordUndeliverable(NodeId node, const Packet& base,
+                                     NodeId subscriber) {
+  if (context_.recorder == nullptr) return;
+  context_.recorder->Record(
+      TraceEventKind::kDrop, base.message().id.value, 0, node, subscriber,
+      LinkId(), static_cast<std::uint8_t>(TraceDropReason::kUndeliverable));
+}
+
 void DcrdRouter::HandleUndeliverable(NodeId node, const Packet& base,
                                      NodeId subscriber) {
   if (!config_.enable_persistence) {
     ++dropped_undeliverable_;
+    RecordUndeliverable(node, base, subscriber);
     return;
   }
   const auto key = std::make_tuple(node, base.message().id.value, subscriber);
@@ -322,6 +339,7 @@ void DcrdRouter::HandleUndeliverable(NodeId node, const Packet& base,
   if (attempts >= config_.persistence_max_retries) {
     persisted_.erase(key);
     ++dropped_undeliverable_;
+    RecordUndeliverable(node, base, subscriber);
     return;
   }
   ++attempts;

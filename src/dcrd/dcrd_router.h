@@ -118,6 +118,9 @@ class DcrdRouter final : public Router {
   // Persistency mode: parks the (message, subscriber) at `node` and arms a
   // retry timer; gives up into dropped_undeliverable_ past the retry cap.
   void HandleUndeliverable(NodeId node, const Packet& base, NodeId subscriber);
+  // Flight-recorder kDrop[undeliverable] hook, fired exactly where
+  // dropped_undeliverable_ increments.
+  void RecordUndeliverable(NodeId node, const Packet& base, NodeId subscriber);
   // Dedup key for the per-node processed map: message id tagged with the
   // persistence generation, so a stored-and-retried packet is not mistaken
   // for a duplicate of its own failed first attempt.

@@ -76,12 +76,16 @@ bool Scheduler::Step() {
 }
 
 std::uint64_t Scheduler::Run() {
+  // Expose the clock to DCRD_LOG for the whole run, not per Step — a
+  // thread-local store per event would show up in the event-queue bench.
+  internal::ScopedSimClock clock_guard(&now_);
   std::uint64_t count = 0;
   while (Step()) ++count;
   return count;
 }
 
 std::uint64_t Scheduler::RunUntil(SimTime deadline) {
+  internal::ScopedSimClock clock_guard(&now_);
   std::uint64_t count = 0;
   while (true) {
     SkipCancelled();

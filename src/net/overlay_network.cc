@@ -2,28 +2,52 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
+
 namespace dcrd {
 
+namespace {
+
+// One inline helper per drop branch keeps the hot path readable: a disabled
+// recorder costs a null check, and the TraceContext fields only get touched
+// when tracing is actually on.
+inline void RecordDrop(FlightRecorder* recorder, const TraceContext& trace,
+                       TraceDropReason reason, NodeId from, NodeId to,
+                       LinkId link, TrafficClass cls) {
+  if (recorder == nullptr) return;
+  recorder->Record(TraceEventKind::kDrop, trace.packet, trace.copy, from, to,
+                   link, static_cast<std::uint8_t>(reason),
+                   static_cast<std::uint16_t>(cls));
+}
+
+}  // namespace
+
 bool OverlayNetwork::Transmit(NodeId from, LinkId link, TrafficClass cls,
-                              Scheduler::Action on_delivered) {
+                              Scheduler::Action on_delivered,
+                              TraceContext trace) {
   const EdgeSpec& edge = graph_.edge(link);
   DCRD_CHECK(from == edge.a || from == edge.b)
       << from << " is not an endpoint of " << link;
   TrafficCounters& counter = counters_[static_cast<std::size_t>(cls)];
   ++counter.attempted;
 
+  const NodeId to = edge.OtherEnd(from);
   const SimTime now = scheduler_.now();
-  if (!node_failures_.IsUp(from, now) ||
-      !node_failures_.IsUp(edge.OtherEnd(from), now)) {
+  if (!node_failures_.IsUp(from, now) || !node_failures_.IsUp(to, now)) {
     ++counter.dropped_node_failure;
+    RecordDrop(recorder_, trace, TraceDropReason::kNodeDown, from, to, link,
+               cls);
     return false;
   }
   if (!failures_.IsUp(link, now)) {
     ++counter.dropped_failure;
+    RecordDrop(recorder_, trace, TraceDropReason::kLinkDown, from, to, link,
+               cls);
     return false;
   }
   if (config_.loss_rate > 0.0 && loss_rng_.NextBernoulli(config_.loss_rate)) {
     ++counter.dropped_loss;
+    RecordDrop(recorder_, trace, TraceDropReason::kLoss, from, to, link, cls);
     return false;
   }
   const LinkDirection direction =
@@ -31,6 +55,7 @@ bool OverlayNetwork::Transmit(NodeId from, LinkId link, TrafficClass cls,
   const double gray_loss = gray_.ExtraLoss(link, direction, now);
   if (gray_loss > 0.0 && gray_rng_.NextBernoulli(gray_loss)) {
     ++counter.dropped_gray;
+    RecordDrop(recorder_, trace, TraceDropReason::kGray, from, to, link, cls);
     return false;
   }
   ++counter.delivered;

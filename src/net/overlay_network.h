@@ -32,8 +32,11 @@
 #include "graph/graph.h"
 #include "net/failure_schedule.h"
 #include "net/gray_failure.h"
+#include "obs/trace_record.h"
 
 namespace dcrd {
+
+class FlightRecorder;
 
 enum class TrafficClass : std::size_t { kData = 0, kAck = 1, kControl = 2 };
 
@@ -106,8 +109,14 @@ class OverlayNetwork {
   // (false = dropped, callback destroyed unrun) exists ONLY so callers can
   // recycle resources referenced by the callback; protocols must never
   // branch on it — the paper's senders learn outcomes through ACKs alone.
+  // `trace` names the packet/copy for the flight recorder's drop records;
+  // leave defaulted for traffic with no packet identity (probes, gossip).
   bool Transmit(NodeId from, LinkId link, TrafficClass cls,
-                Scheduler::Action on_delivered);
+                Scheduler::Action on_delivered, TraceContext trace = {});
+
+  // Attaches the flight recorder that receives link-level drop events.
+  // nullptr (the default) detaches. Must outlive the network.
+  void set_flight_recorder(FlightRecorder* recorder) { recorder_ = recorder; }
 
   // True when `node` can currently send and receive.
   [[nodiscard]] bool NodeUp(NodeId node) const {
@@ -140,6 +149,7 @@ class OverlayNetwork {
   Rng gray_rng_;
   std::vector<SimTime> link_free_;
   std::array<TrafficCounters, 3> counters_{};
+  FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace dcrd

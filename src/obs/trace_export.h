@@ -1,0 +1,65 @@
+// Trace formatting, parsing and export.
+//
+// Three representations of a trace:
+//  * JSONL — one JSON object per line, the flight recorder's sink format.
+//    FormatTraceJsonl writes into a caller-provided buffer (no allocation;
+//    the recorder's flush path depends on that), ParseTraceJsonl inverts it.
+//  * Chrome trace_event JSON — loadable in Perfetto / chrome://tracing.
+//    One track (tid) per broker under a single "dcrd-sim" process. A copy's
+//    wire lifetime (first hop-send to ACK or budget exhaustion) becomes an
+//    async begin/end pair keyed by the copy id; everything else is an
+//    instant event on its broker's track.
+//  * Human text — one line per record, used by the postmortem dump and the
+//    dcrd_trace packet-timeline view.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace_record.h"
+
+namespace dcrd {
+
+// Upper bound on one formatted JSONL/human line, incl. the trailing
+// newline/NUL. Every numeric field is bounded (u64 <= 20 digits), so 256 is
+// comfortably above the worst case.
+inline constexpr std::size_t kMaxTraceLineBytes = 256;
+
+// Writes `record` as one JSONL line (trailing '\n', NUL-terminated) into
+// `buf`; returns the line length excluding the NUL. `cap` must be at least
+// kMaxTraceLineBytes.
+int FormatTraceJsonl(const TraceRecord& record, char* buf, std::size_t cap);
+
+// Writes `record` as one human-readable line (no trailing newline) into
+// `buf`; returns the length. `cap` must be at least kMaxTraceLineBytes.
+int FormatTraceHuman(const TraceRecord& record, char* buf, std::size_t cap);
+
+// Parses a FormatTraceJsonl line back into `out`. Returns false on a
+// malformed or unrecognised line (blank lines are malformed too).
+bool ParseTraceJsonl(std::string_view line, TraceRecord* out);
+
+// Reads a whole JSONL stream, skipping blank lines; unparseable lines are
+// counted into *dropped_lines when given, otherwise ignored silently.
+std::vector<TraceRecord> ReadTraceJsonl(std::istream& in,
+                                        std::size_t* dropped_lines = nullptr);
+
+// Writes the records as a Chrome trace_event JSON document ("traceEvents"
+// array). Records need not be sorted; the export sorts by time internally.
+void WriteChromeTrace(std::ostream& os,
+                      const std::vector<TraceRecord>& records);
+
+// Prints every event belonging to `packet_id` (publish, per-hop sends and
+// ACKs, reroutes, drops, deliveries) in time order — the "what happened to
+// this packet" view. Returns the number of events printed.
+std::size_t PrintPacketTimeline(std::ostream& os,
+                                const std::vector<TraceRecord>& records,
+                                std::uint64_t packet_id);
+
+// Prints per-kind event counts, the time span, and distinct packet/broker
+// counts — dcrd_trace's default view.
+void PrintTraceSummary(std::ostream& os,
+                       const std::vector<TraceRecord>& records);
+
+}  // namespace dcrd

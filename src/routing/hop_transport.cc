@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.h"
+#include "obs/metrics_registry.h"
+
 namespace dcrd {
 
 void HopTransport::SendReliable(NodeId from, LinkId link, Packet packet,
@@ -24,6 +27,13 @@ void HopTransport::SendReliable(NodeId from, LinkId link, Packet packet,
   pending.timer = EventHandle{};
   pending.copy_id = next_copy_id_++;
   pending.transmissions_made = 0;
+  if (config_.recorder != nullptr) {
+    config_.recorder->Record(TraceEventKind::kEnqueue,
+                             pending.packet.message().id.value,
+                             pending.copy_id, from,
+                             network_.graph().edge(link).OtherEnd(from), link,
+                             0, static_cast<std::uint16_t>(max_tx));
+  }
   TransmitOnce(slot);
 }
 
@@ -39,9 +49,16 @@ void HopTransport::TransmitOnce(SlotHandle pending_slot) {
   if (tx_index > 0) ++stats_.retransmissions;
 
   const std::uint64_t copy_id = pending->copy_id;
+  const std::uint64_t packet_id = pending->packet.message().id.value;
   const NodeId from = pending->from;
   const LinkId link = pending->link;
   const NodeId to = network_.graph().edge(link).OtherEnd(from);
+  if (config_.recorder != nullptr) {
+    config_.recorder->Record(tx_index == 0 ? TraceEventKind::kHopSend
+                                           : TraceEventKind::kRetransmit,
+                             packet_id, copy_id, from, to, link, 0,
+                             static_cast<std::uint16_t>(tx_index));
+  }
   // The copy sent on the wire is snapshotted into the wire slab; the slab
   // owns it so a later SendReliable cannot mutate a packet already in
   // flight, and the callback capture stays two words.
@@ -56,7 +73,8 @@ void HopTransport::TransmitOnce(SlotHandle pending_slot) {
   wire.sender = pending_slot;
   const bool delivered = network_.Transmit(
       from, link, TrafficClass::kData,
-      [this, wire_slot] { HandleDataArrival(wire_slot); });
+      [this, wire_slot] { HandleDataArrival(wire_slot); },
+      TraceContext{packet_id, copy_id});
   if (!delivered) {
     // Dropped at the link: nothing will ever consume the snapshot. Recycle
     // the slot now (the sender's own timeout machinery reacts to the loss).
@@ -85,6 +103,14 @@ void HopTransport::HandleTimeout(SlotHandle pending_slot) {
   expired.link = pending->link;
   expired.transmissions_made = pending->transmissions_made;
   expired.tx_times = pending->tx_times;
+  if (config_.recorder != nullptr) {
+    config_.recorder->Record(
+        TraceEventKind::kBudgetExhausted, pending->packet.message().id.value,
+        pending->copy_id, pending->from,
+        network_.graph().edge(pending->link).OtherEnd(pending->from),
+        pending->link, 0,
+        static_cast<std::uint16_t>(pending->transmissions_made));
+  }
   DoneCallback done = std::move(pending->done);
   // Release before invoking: `done` may start further sends that reuse the
   // slot or grow the slab.
@@ -112,10 +138,12 @@ void HopTransport::HandleDataArrival(SlotHandle wire_slot) {
   // Always ACK — the sender may have missed an earlier ACK. The ACK names
   // the transmission it answers, which disambiguates RTT samples and lets
   // the sender recognise spurious retransmissions.
-  network_.Transmit(at, link, TrafficClass::kAck,
-                    [this, sender, copy_id, tx_index] {
-                      HandleAckArrival(sender, copy_id, tx_index);
-                    });
+  network_.Transmit(
+      at, link, TrafficClass::kAck,
+      [this, sender, copy_id, tx_index] {
+        HandleAckArrival(sender, copy_id, tx_index);
+      },
+      TraceContext{packet.message().id.value, copy_id});
   // Hand to the protocol only on first sight of this copy. Insert into the
   // current generation even when the previous one already knows the copy,
   // so repeat stragglers keep their suppression entry alive across
@@ -125,7 +153,14 @@ void HopTransport::HandleDataArrival(SlotHandle wire_slot) {
   if (config_.observer != nullptr) {
     config_.observer->OnCopyArrival(copy_id, at, from, packet, handed_up);
   }
-  if (!handed_up) return;
+  if (!handed_up) {
+    if (config_.recorder != nullptr) {
+      config_.recorder->Record(TraceEventKind::kDedupSuppress,
+                               packet.message().id.value, copy_id, at, from,
+                               link);
+    }
+    return;
+  }
   on_arrival_(at, packet, from);
 }
 
@@ -140,9 +175,20 @@ void HopTransport::HandleAckArrival(SlotHandle pending_slot,
     // the hop was alive, just slower than m timeouts.
     const Expired* expired = expired_.Find(copy_id);
     if (expired == nullptr) return;
-    rto_.OnSample(expired->link,
-                  network_.scheduler().now() -
-                      expired->tx_times[static_cast<std::size_t>(tx_index)]);
+    const SimDuration rtt =
+        network_.scheduler().now() -
+        expired->tx_times[static_cast<std::size_t>(tx_index)];
+    rto_.OnSample(expired->link, rtt);
+    if (config_.rtt_histogram != nullptr) {
+      config_.rtt_histogram->Record(rtt.micros());
+    }
+    if (config_.recorder != nullptr) {
+      // aux8=1: the ACK outlived its copy's budget (counts as an RTT sample
+      // but closed nothing).
+      config_.recorder->Record(
+          TraceEventKind::kAck, TraceRecord::kNoPacket, copy_id, NodeId(),
+          NodeId(), expired->link, 1, static_cast<std::uint16_t>(tx_index));
+    }
     if (expired->transmissions_made - 1 > tx_index) {
       stats_.spurious_retransmissions += static_cast<std::uint64_t>(
           expired->transmissions_made - 1 - tx_index);
@@ -151,9 +197,20 @@ void HopTransport::HandleAckArrival(SlotHandle pending_slot,
     return;
   }
   // Unambiguous round-trip sample: this ACK answers transmission tx_index.
-  rto_.OnSample(pending->link,
-                network_.scheduler().now() -
-                    pending->tx_times[static_cast<std::size_t>(tx_index)]);
+  const SimDuration rtt =
+      network_.scheduler().now() -
+      pending->tx_times[static_cast<std::size_t>(tx_index)];
+  rto_.OnSample(pending->link, rtt);
+  if (config_.rtt_histogram != nullptr) {
+    config_.rtt_histogram->Record(rtt.micros());
+  }
+  if (config_.recorder != nullptr) {
+    config_.recorder->Record(
+        TraceEventKind::kAck, pending->packet.message().id.value, copy_id,
+        pending->from,
+        network_.graph().edge(pending->link).OtherEnd(pending->from),
+        pending->link, 0, static_cast<std::uint16_t>(tx_index));
+  }
   // Every transmission after tx_index happened although the hop was alive
   // and this ACK was already on its way — those were spurious.
   if (pending->transmissions_made - 1 > tx_index) {

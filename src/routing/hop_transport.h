@@ -55,10 +55,19 @@
 
 namespace dcrd {
 
+class FlightRecorder;
+class LogLinearHistogram;
+
 struct HopTransportConfig {
   bool adaptive_rto = false;
   RtoConfig rto;
   TransportObserver* observer = nullptr;
+  // Optional flight recorder receiving enqueue/send/retransmit/ACK/
+  // dedup/budget-exhausted lifecycle events. Must outlive the transport.
+  FlightRecorder* recorder = nullptr;
+  // Optional histogram fed one sample per unambiguous hop ACK round trip
+  // (microseconds). Must outlive the transport.
+  LogLinearHistogram* rtt_histogram = nullptr;
 };
 
 // Cumulative counters, readable at any time (pending_copies is the live

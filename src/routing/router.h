@@ -37,6 +37,11 @@ struct RouterContext {
   RtoConfig rto;
   // Hooked through to every HopTransport; used by the invariant checker.
   TransportObserver* transport_observer = nullptr;
+  // Optional observability hooks, forwarded to every HopTransport (and used
+  // directly by routers for protocol-level events like reroutes). Both must
+  // outlive the router.
+  FlightRecorder* recorder = nullptr;
+  LogLinearHistogram* hop_rtt_histogram = nullptr;
 
   // Timeout to arm after transmitting over a link with (estimated) one-way
   // delay `alpha`: data takes alpha, the ACK takes alpha times the
@@ -51,7 +56,8 @@ struct RouterContext {
 
   // The transport configuration every router passes to its HopTransport.
   [[nodiscard]] HopTransportConfig MakeTransportConfig() const {
-    return HopTransportConfig{adaptive_rto, rto, transport_observer};
+    return HopTransportConfig{adaptive_rto, rto, transport_observer, recorder,
+                              hop_rtt_histogram};
   }
 };
 

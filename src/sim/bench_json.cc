@@ -6,6 +6,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "common/logging.h"
+
 namespace dcrd {
 
 namespace {
@@ -96,8 +98,8 @@ bool AppendBenchRecord(const std::string& path, const BenchRecord& record) {
   std::string prefix;
   if (closing == std::string::npos) {
     if (existing.find_first_not_of(" \t\r\n") != std::string::npos) {
-      std::cerr << "warning: " << path
-                << " is not a JSON array; bench record not written\n";
+      DCRD_LOG(kWarn) << path
+                      << " is not a JSON array; bench record not written";
       return false;
     }
     prefix = "[\n  ";
@@ -118,7 +120,7 @@ bool AppendBenchRecord(const std::string& path, const BenchRecord& record) {
 
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
-    std::cerr << "warning: cannot write " << path << "\n";
+    DCRD_LOG(kWarn) << "cannot write " << path;
     return false;
   }
   out << prefix;

@@ -1,6 +1,8 @@
 #include "sim/engine.h"
 
+#include <exception>
 #include <fstream>
+#include <iostream>
 #include <vector>
 
 #include "dcrd/dcrd_router.h"
@@ -9,6 +11,8 @@
 #include "graph/topology.h"
 #include "net/link_monitor.h"
 #include "net/overlay_network.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics_registry.h"
 #include "pubsub/publisher.h"
 #include "routing/multipath_router.h"
 #include "routing/oracle_router.h"
@@ -46,6 +50,122 @@ std::unique_ptr<Router> MakeRouter(const ScenarioConfig& config,
   DCRD_CHECK(false) << "unknown router kind";
   return nullptr;
 }
+
+namespace {
+
+// Delivery-sink shim: records a kDeliver trace event and the end-to-end
+// delay histogram sample, then forwards to the real sink (the invariant
+// checker or the metrics collector). Pure read-side — it cannot change what
+// the wrapped sink observes.
+class ObservedSink final : public DeliverySink {
+ public:
+  ObservedSink(DeliverySink& next, FlightRecorder* recorder,
+               LogLinearHistogram* delay_histogram)
+      : next_(next), recorder_(recorder), delay_histogram_(delay_histogram) {}
+
+  void OnDelivered(const Message& message, NodeId subscriber,
+                   SimTime arrival) override {
+    if (recorder_ != nullptr) {
+      recorder_->Record(TraceEventKind::kDeliver, message.id.value, 0,
+                        subscriber, message.publisher, LinkId());
+    }
+    if (delay_histogram_ != nullptr) {
+      delay_histogram_->Record((arrival - message.publish_time).micros());
+    }
+    next_.OnDelivered(message, subscriber, arrival);
+  }
+
+ private:
+  DeliverySink& next_;
+  FlightRecorder* recorder_;
+  LogLinearHistogram* delay_histogram_;
+};
+
+// Samples every link's up/gray state at failure-epoch cadence and records
+// the *transitions* as trace events. The failure and gray processes are
+// counter-based pure functions of (seed, entity, epoch) — sampling them is
+// free of side effects, so the traced run stays bit-identical to the
+// untraced one. Chain-scheduled with a [this] capture (8 bytes, well inside
+// the scheduler's inline budget).
+class LinkStateSampler {
+ public:
+  LinkStateSampler(const OverlayNetwork& network, Scheduler& scheduler,
+                   FlightRecorder& recorder, SimDuration epoch, SimTime end)
+      : network_(network),
+        scheduler_(scheduler),
+        recorder_(recorder),
+        epoch_(epoch),
+        end_(end),
+        link_up_(network.graph().edge_count(), true),
+        link_gray_(network.graph().edge_count(), false) {
+    Sample();  // t = 0 baseline; records nothing unless a link starts down
+    ScheduleNext();
+  }
+
+ private:
+  void Sample() {
+    const SimTime now = scheduler_.now();
+    const Graph& graph = network_.graph();
+    for (std::size_t i = 0; i < graph.edge_count(); ++i) {
+      const LinkId link(static_cast<LinkId::underlying_type>(i));
+      const EdgeSpec& edge = graph.edge(link);
+      const bool up = network_.failures().IsUp(link, now);
+      if (up != link_up_[i]) {
+        link_up_[i] = up;
+        recorder_.Record(up ? TraceEventKind::kLinkUp
+                            : TraceEventKind::kLinkDown,
+                         TraceRecord::kNoPacket, 0, edge.a, edge.b, link);
+      }
+      const bool gray = network_.gray().Active(link, now);
+      if (gray != link_gray_[i]) {
+        link_gray_[i] = gray;
+        recorder_.Record(gray ? TraceEventKind::kGrayStart
+                              : TraceEventKind::kGrayEnd,
+                         TraceRecord::kNoPacket, 0, edge.a, edge.b, link);
+      }
+    }
+  }
+
+  void ScheduleNext() {
+    if (scheduler_.now() + epoch_ > end_) return;
+    scheduler_.ScheduleAfter(epoch_, [this] {
+      Sample();
+      ScheduleNext();
+    });
+  }
+
+  const OverlayNetwork& network_;
+  Scheduler& scheduler_;
+  FlightRecorder& recorder_;
+  const SimDuration epoch_;
+  const SimTime end_;
+  std::vector<bool> link_up_;
+  std::vector<bool> link_gray_;
+};
+
+// Registers the network's per-class TrafficCounters fields under
+// "net.<class>.<field>" names. By const pointer: the network stays the
+// single source of truth, the registry only reads at snapshot time.
+void RegisterNetworkCounters(MetricsRegistry& registry,
+                             const OverlayNetwork& network) {
+  static constexpr std::string_view kClassNames[] = {"data", "ack",
+                                                     "control"};
+  for (std::size_t c = 0; c < 3; ++c) {
+    const TrafficCounters& counters =
+        network.counters(static_cast<TrafficClass>(c));
+    const std::string prefix = "net." + std::string(kClassNames[c]) + ".";
+    registry.RegisterCounter(prefix + "attempted", &counters.attempted);
+    registry.RegisterCounter(prefix + "delivered", &counters.delivered);
+    registry.RegisterCounter(prefix + "dropped_link_failure",
+                             &counters.dropped_failure);
+    registry.RegisterCounter(prefix + "dropped_node_failure",
+                             &counters.dropped_node_failure);
+    registry.RegisterCounter(prefix + "dropped_loss", &counters.dropped_loss);
+    registry.RegisterCounter(prefix + "dropped_gray", &counters.dropped_gray);
+  }
+}
+
+}  // namespace
 
 RunSummary RunScenario(const ScenarioConfig& config) {
   const Rng root(config.seed);
@@ -102,6 +222,36 @@ RunSummary RunScenario(const ScenarioConfig& config) {
   OverlayNetwork network(graph, scheduler, failures, network_config,
                          root.Fork("loss"), node_failures, gray);
 
+  // --- observability (read-only; see the ScenarioConfig block comment) ----
+  const bool tracing = config.trace || !config.trace_out.empty();
+  std::unique_ptr<FlightRecorder> recorder;
+  std::ofstream trace_file;
+  if (tracing) {
+    FlightRecorder::Config recorder_config;
+    recorder_config.ring_capacity = config.trace_ring_capacity;
+    recorder = std::make_unique<FlightRecorder>(scheduler, recorder_config);
+    recorder->set_enabled(true);
+    if (!config.trace_out.empty()) {
+      trace_file.open(config.trace_out, std::ios::trunc);
+      if (trace_file) {
+        recorder->set_sink(&trace_file);
+      } else {
+        DCRD_LOG(kWarn) << "cannot write trace to " << config.trace_out
+                        << "; tracing to the in-memory ring only";
+      }
+    }
+    network.set_flight_recorder(recorder.get());
+  }
+  std::unique_ptr<MetricsRegistry> registry;
+  LogLinearHistogram* delay_histogram = nullptr;
+  LogLinearHistogram* rtt_histogram = nullptr;
+  if (!config.metrics_json.empty()) {
+    registry = std::make_unique<MetricsRegistry>();
+    RegisterNetworkCounters(*registry, network);
+    delay_histogram = registry->AddHistogram("delivery.delay_us");
+    rtt_histogram = registry->AddHistogram("transport.rtt_us");
+  }
+
   LinkMonitorConfig monitor_config;
   monitor_config.interval = config.monitor_interval;
   monitor_config.probe_count = config.monitor_probes;
@@ -117,17 +267,38 @@ RunSummary RunScenario(const ScenarioConfig& config) {
     checker_config.guarantee_window = config.guarantee_window;
     checker = std::make_unique<SimInvariantChecker>(network, subscriptions,
                                                     metrics, checker_config);
+    checker->set_flight_recorder(recorder.get());
   }
+  DeliverySink& protocol_sink =
+      checker ? static_cast<DeliverySink&>(*checker) : metrics;
+  ObservedSink observed_sink(protocol_sink, recorder.get(), delay_histogram);
+  const bool observing = recorder != nullptr || registry != nullptr;
 
   RouterContext context;
   context.network = &network;
   context.subscriptions = &subscriptions;
-  context.sink = checker ? static_cast<DeliverySink*>(checker.get()) : &metrics;
+  context.sink = observing ? static_cast<DeliverySink*>(&observed_sink)
+                           : &protocol_sink;
   context.max_transmissions = config.max_transmissions;
   context.ack_slack = config.ack_slack;
   context.adaptive_rto = config.adaptive_rto;
   context.transport_observer = checker.get();
+  context.recorder = recorder.get();
+  context.hop_rtt_histogram = rtt_histogram;
   const std::unique_ptr<Router> router = MakeRouter(config, context);
+
+  if (registry != nullptr) {
+    // Gauges sample live engine state; registered after the router exists.
+    registry->RegisterGauge("scheduler.pending_events", [&scheduler] {
+      return static_cast<std::uint64_t>(scheduler.pending_count());
+    });
+    registry->RegisterGauge("router.open_episodes", [r = router.get()] {
+      return static_cast<std::uint64_t>(r->open_episodes());
+    });
+    registry->RegisterGauge("transport.pending_copies", [r = router.get()] {
+      return static_cast<std::uint64_t>(r->transport_stats().pending_copies);
+    });
+  }
 
   // Bootstrap measurement + epoch rebuilds for the whole run. Churn, when
   // enabled, mutates the subscription table immediately before the rebuild
@@ -151,6 +322,35 @@ RunSummary RunScenario(const ScenarioConfig& config) {
       router->Rebuild(monitor.view());
     });
   }
+  if (observing) {
+    // Observability epochs ride their own events rather than widening the
+    // capture of the rebuild lambda above (which is at the scheduler's
+    // inline-capture budget). Scheduled after the rebuild loop, so at each
+    // epoch instant they run *after* the rebuild (same time, later seq) and
+    // the kRebuild record / snapshot reflects the post-rebuild state.
+    if (recorder != nullptr) {
+      recorder->Record(TraceEventKind::kRebuild, TraceRecord::kNoPacket, 0,
+                       NodeId(), NodeId(), LinkId());
+    }
+    if (registry != nullptr) registry->SnapshotEpoch(SimTime::Zero());
+    FlightRecorder* rec = recorder.get();
+    MetricsRegistry* reg = registry.get();
+    for (SimTime epoch = SimTime::Zero() + config.monitor_interval;
+         epoch <= end; epoch += config.monitor_interval) {
+      scheduler.ScheduleAt(epoch, [rec, reg, &scheduler] {
+        if (rec != nullptr) {
+          rec->Record(TraceEventKind::kRebuild, TraceRecord::kNoPacket, 0,
+                      NodeId(), NodeId(), LinkId());
+        }
+        if (reg != nullptr) reg->SnapshotEpoch(scheduler.now());
+      });
+    }
+  }
+  std::unique_ptr<LinkStateSampler> link_sampler;
+  if (recorder != nullptr) {
+    link_sampler = std::make_unique<LinkStateSampler>(
+        network, scheduler, *recorder, config.failure_epoch, end);
+  }
 
   // Publishers: one per topic, phase-jittered within the first interval.
   Rng phase_rng = root.Fork("phases");
@@ -158,9 +358,15 @@ RunSummary RunScenario(const ScenarioConfig& config) {
   std::vector<std::unique_ptr<Publisher>> publishers;
   for (std::size_t t = 0; t < subscriptions.topic_count(); ++t) {
     const TopicId topic(static_cast<TopicId::underlying_type>(t));
+    FlightRecorder* rec = recorder.get();
     publishers.push_back(std::make_unique<Publisher>(
         topic, subscriptions.publisher(topic), config.publish_interval,
-        scheduler, [&metrics, &router, &checker](const Message& message) {
+        scheduler,
+        [&metrics, &router, &checker, rec](const Message& message) {
+          if (rec != nullptr) {
+            rec->Record(TraceEventKind::kPublish, message.id.value, 0,
+                        message.publisher, NodeId(), LinkId());
+          }
           metrics.OnPublished(message);
           if (checker) checker->OnPublished(message);
           router->Publish(message);
@@ -171,10 +377,31 @@ RunSummary RunScenario(const ScenarioConfig& config) {
         end, next_message_id);
   }
 
-  scheduler.RunUntil(end);
-  // Drain in-flight deliveries, timers and reroutes published before `end`.
-  scheduler.Run();
-  if (checker) checker->CheckEndOfRun(*router, scheduler.now());
+  try {
+    scheduler.RunUntil(end);
+    // Drain in-flight deliveries, timers and reroutes published before
+    // `end`.
+    scheduler.Run();
+    if (checker) checker->CheckEndOfRun(*router, scheduler.now());
+  } catch (...) {
+    // A throwing cell is exactly when the last events matter most; dump the
+    // ring before the exception unwinds the engine state it describes.
+    if (recorder != nullptr) {
+      recorder->DumpPostmortem(std::cerr, 256, "exception during run");
+    }
+    throw;
+  }
+
+  if (registry != nullptr) {
+    registry->SnapshotEpoch(scheduler.now());
+    std::ofstream metrics_file(config.metrics_json, std::ios::trunc);
+    if (metrics_file) {
+      registry->WriteJson(metrics_file);
+    } else {
+      DCRD_LOG(kWarn) << "cannot write metrics to " << config.metrics_json;
+    }
+  }
+  if (recorder != nullptr) recorder->Flush();
 
   RunSummary summary = metrics.Summarize(
       network.counters(TrafficClass::kData).attempted,

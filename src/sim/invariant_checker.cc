@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <deque>
+#include <iostream>
 #include <sstream>
 
+#include "obs/flight_recorder.h"
 #include "pubsub/packet.h"
 
 namespace dcrd {
@@ -30,6 +32,11 @@ void SimInvariantChecker::Record(std::string message) {
   ++violation_count_;
   if (violations_.size() < config_.max_recorded) {
     violations_.push_back(std::move(message));
+  }
+  // Dump on the first violation only: the ring still holds the events that
+  // led up to it, and one postmortem per run is enough to debug from.
+  if (violation_count_ == 1 && recorder_ != nullptr) {
+    recorder_->DumpPostmortem(std::cerr, 256, violations_.back());
   }
 }
 

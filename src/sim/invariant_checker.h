@@ -97,6 +97,11 @@ class SimInvariantChecker final : public DeliverySink,
     return copies_observed_;
   }
 
+  // When set, the FIRST violation of a run triggers an immediate
+  // flight-recorder postmortem to stderr — the events leading up to the bug,
+  // captured before further simulation scrolls them out of the ring.
+  void set_flight_recorder(FlightRecorder* recorder) { recorder_ = recorder; }
+
  private:
   struct PublishedPair {
     NodeId publisher;
@@ -127,6 +132,7 @@ class SimInvariantChecker final : public DeliverySink,
   std::vector<std::string> violations_;
   std::uint64_t violation_count_ = 0;
   std::uint64_t copies_observed_ = 0;
+  FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace dcrd

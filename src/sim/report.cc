@@ -4,6 +4,8 @@
 #include <fstream>
 #include <iostream>
 
+#include "common/logging.h"
+
 namespace dcrd {
 
 namespace {
@@ -55,7 +57,7 @@ std::string SaveSweepCsv(const std::string& directory,
       std::filesystem::path(directory) / (stem + ".csv");
   std::ofstream file(path);
   if (!file) {
-    std::cerr << "warning: cannot write " << path << "\n";
+    DCRD_LOG(kWarn) << "cannot write " << path;
     return {};
   }
   WriteSweepCsv(file, sweep);

@@ -114,6 +114,23 @@ struct ScenarioConfig {
   bool check_delivery_guarantee = false;
   SimDuration guarantee_window = SimDuration::Seconds(5);
 
+  // --- observability ------------------------------------------------------
+  // None of these fields affect simulation results: the flight recorder and
+  // metrics registry only *read* state and write to stderr/files, never to
+  // stdout and never to an RNG stream. Deliberately excluded from
+  // Describe() — two configs differing only here are the same experiment.
+  //
+  // Keep the in-memory flight recorder on (postmortem dumps on invariant
+  // violations / engine exceptions; full traces when trace_out is set).
+  bool trace = false;
+  std::size_t trace_ring_capacity = std::size_t{1} << 16;
+  // When non-empty, stream the full trace to this file as JSONL (implies
+  // tracing). Readable by tools/dcrd_trace.
+  std::string trace_out;
+  // When non-empty, write the metrics registry (per-epoch counter/gauge
+  // series + histograms) to this file as JSON at end of run.
+  std::string metrics_json;
+
   [[nodiscard]] std::string Describe() const;
 };
 

@@ -11,9 +11,15 @@ namespace dcrd {
 double Quantile(std::vector<double> samples, double q) {
   DCRD_CHECK(q >= 0.0 && q <= 1.0);
   if (samples.empty()) return 0.0;
-  const std::size_t rank = std::min(
-      samples.size() - 1,
-      static_cast<std::size_t>(q * static_cast<double>(samples.size())));
+  // Nearest-rank: the smallest sample with cumulative frequency >= q, i.e.
+  // 0-based rank ceil(q*n) - 1. The previous floor(q*n) overshot by one
+  // whenever q*n was integral (p99 of 100 samples returned the maximum, not
+  // sample #99). The epsilon guards against ceil rounding up when floating-
+  // point puts q*n a hair above an integer.
+  const double h = q * static_cast<double>(samples.size());
+  std::size_t rank =
+      h <= 1.0 ? 0 : static_cast<std::size_t>(std::ceil(h - 1e-9)) - 1;
+  if (rank >= samples.size()) rank = samples.size() - 1;
   std::nth_element(samples.begin(),
                    samples.begin() + static_cast<std::ptrdiff_t>(rank),
                    samples.end());

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "event/scheduler.h"
+
 namespace dcrd {
 namespace {
 
@@ -35,13 +37,32 @@ TEST(LoggingTest, DebugLevelShowsEverything) {
   EXPECT_NE(captured.find("now-visible"), std::string::npos);
 }
 
-TEST(LoggingTest, MessagesCarryFileAndLevelTag) {
+TEST(LoggingTest, MessagesCarryComponentFileAndLevelTag) {
   LogLevelGuard guard;
   GlobalLogLevel() = LogLevel::kInfo;
   ::testing::internal::CaptureStderr();
   DCRD_LOG(kInfo) << "tagged";
   const std::string captured = ::testing::internal::GetCapturedStderr();
-  EXPECT_NE(captured.find("[I logging_test.cc:"), std::string::npos);
+  // Outside a scheduler run the sim-time field is "-".
+  EXPECT_NE(captured.find("[I - common/logging_test.cc:"), std::string::npos);
+}
+
+TEST(LoggingTest, MessagesInsideSchedulerRunCarrySimTime) {
+  LogLevelGuard guard;
+  GlobalLogLevel() = LogLevel::kInfo;
+  Scheduler scheduler;
+  scheduler.ScheduleAt(SimTime::FromMicros(5000),
+                       [] { DCRD_LOG(kInfo) << "timed"; });
+  ::testing::internal::CaptureStderr();
+  scheduler.Run();
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("[I 5000us common/logging_test.cc:"),
+            std::string::npos);
+}
+
+TEST(LoggingTest, ComponentPathKeepsLastTwoSegments) {
+  EXPECT_EQ(internal::ComponentPath("/a/b/sim/engine.cc"), "sim/engine.cc");
+  EXPECT_EQ(internal::ComponentPath("engine.cc"), "engine.cc");
 }
 
 TEST(LoggingDeathTest, CheckFailureAbortsWithExpression) {

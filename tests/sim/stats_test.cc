@@ -23,6 +23,26 @@ TEST(QuantileTest, SingleSample) {
   EXPECT_DOUBLE_EQ(Quantile({7.0}, 0.99), 7.0);
 }
 
+TEST(QuantileTest, NearestRankPinnedOnOneToHundred) {
+  // Nearest-rank regression: p99 of 1..100 is sample #99 (rank ceil(99)-1),
+  // NOT the maximum — the old floor(q*n) rule overshot whenever q*n was
+  // integral. Pinned here and mirrored by LogLinearHistogram's quantiles.
+  std::vector<double> samples;
+  for (int v = 1; v <= 100; ++v) samples.push_back(v);
+  EXPECT_DOUBLE_EQ(Quantile(samples, 0.99), 99.0);
+  EXPECT_DOUBLE_EQ(Quantile(samples, 0.5), 50.0);
+  EXPECT_DOUBLE_EQ(Quantile(samples, 0.01), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(samples, 0.999), 100.0);
+  EXPECT_DOUBLE_EQ(Quantile(samples, 1.0), 100.0);
+}
+
+TEST(QuantileTest, DuplicatesAndTinyInputs) {
+  EXPECT_DOUBLE_EQ(Quantile({4.0, 4.0, 4.0, 4.0}, 0.75), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 2.0}, 0.5), 1.0);   // rank ceil(1)-1 = 0
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 2.0}, 0.51), 2.0);  // rank ceil(1.02)-1
+  EXPECT_DOUBLE_EQ(Quantile({9.0}, 0.5), 9.0);
+}
+
 TEST(QuantileTest, UniformSamplesMatchTheory) {
   Rng rng(5);
   std::vector<double> samples;

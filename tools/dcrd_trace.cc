@@ -1,0 +1,96 @@
+// dcrd_trace — query tool for flight-recorder JSONL traces.
+//
+// Usage:
+//   dcrd_trace [--packet ID | --chrome OUT.json | --summary] TRACE.jsonl...
+//
+// Traces come from any figure/example binary run with --trace_out (one file
+// per sweep cell). Multiple files are concatenated before querying, which is
+// how a packet that crosses a run boundary would be reassembled — though in
+// practice you point it at one cell's file.
+//
+//   --summary        per-kind event counts, time span, distinct
+//                    packets/brokers (default when no mode is given)
+//   --packet ID      full hop timeline of message ID: publish, per-hop
+//                    sends/ACKs/retransmits, upstream reroutes, budget
+//                    exhaustion, dedup suppressions, delivery or drop
+//   --chrome PATH    write a Chrome trace_event JSON file (open in Perfetto
+//                    or chrome://tracing; one track per broker)
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "obs/trace_export.h"
+#include "obs/trace_record.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: dcrd_trace [--packet ID | --chrome OUT.json | "
+               "--summary] TRACE.jsonl...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dcrd::Flags flags = dcrd::Flags::Parse(argc, argv);
+  const bool summary = flags.GetBool("summary", false);
+  const bool has_packet = flags.Has("packet");
+  const std::int64_t packet = flags.GetInt("packet", -1);
+  const std::string chrome_out = flags.GetString("chrome", "");
+  flags.ExitOnUnqueried();
+
+  const std::vector<std::string>& files = flags.passthrough();
+  if (files.empty()) return Usage();
+  if (has_packet && packet < 0) {
+    std::cerr << "--packet needs a non-negative message id\n";
+    return 2;
+  }
+
+  std::vector<dcrd::TraceRecord> records;
+  std::size_t dropped = 0;
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cannot open " << path << "\n";
+      return 1;
+    }
+    std::size_t dropped_here = 0;
+    std::vector<dcrd::TraceRecord> batch =
+        dcrd::ReadTraceJsonl(in, &dropped_here);
+    dropped += dropped_here;
+    records.insert(records.end(), batch.begin(), batch.end());
+  }
+  if (dropped > 0) {
+    std::cerr << dropped << " unparseable line(s) skipped\n";
+  }
+
+  if (!chrome_out.empty()) {
+    std::ofstream out(chrome_out);
+    if (!out) {
+      std::cerr << "cannot write " << chrome_out << "\n";
+      return 1;
+    }
+    dcrd::WriteChromeTrace(out, records);
+    std::cerr << "wrote " << chrome_out << " (" << records.size()
+              << " records)\n";
+    return 0;
+  }
+
+  if (has_packet) {
+    const std::size_t printed = dcrd::PrintPacketTimeline(
+        std::cout, records, static_cast<std::uint64_t>(packet));
+    if (printed == 0) {
+      std::cerr << "no events for packet " << packet << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  // Default (and explicit --summary): the overview.
+  (void)summary;
+  dcrd::PrintTraceSummary(std::cout, records);
+  return 0;
+}
