@@ -18,6 +18,12 @@
 //                    tools/dcrd_trace
 //   --metrics_json P write each cell's metrics registry to
 //                    P.<stem>.<cell>.json
+//   --delay_audit P  delay-provenance capture: per cell, stream the full
+//                    trace to P.trace.<stem>.<cell>.jsonl and the Theorem-1
+//                    model rows to P.model.<stem>.<cell>.jsonl (DCRD cells
+//                    only — other routers have no <d,r> model and note that
+//                    on stderr). Decompose/audit offline with
+//                    tools/dcrd_trace --decompose --audit
 //
 // Observability never touches stdout or any RNG stream, so the figure
 // tables stay byte-identical with or without it (determinism_check.sh
@@ -59,6 +65,7 @@ struct FigureScale {
   bool trace = false;       // --trace: in-memory flight recorder per cell
   std::string trace_out;    // --trace_out: JSONL trace file prefix
   std::string metrics_json;  // --metrics_json: metrics file prefix
+  std::string delay_audit;   // --delay_audit: trace+model file prefix
 };
 
 inline std::vector<RouterKind> ParseRouters(const std::string& csv) {
@@ -97,13 +104,14 @@ inline FigureScale ParseScale(const Flags& flags) {
   scale.trace = flags.GetBool("trace", false);
   scale.trace_out = flags.GetString("trace_out", "");
   scale.metrics_json = flags.GetString("metrics_json", "");
+  scale.delay_audit = flags.GetString("delay_audit", "");
   return scale;
 }
 
 // True when any observability output was requested on the command line.
 inline bool ObservabilityRequested(const FigureScale& scale) {
   return scale.trace || !scale.trace_out.empty() ||
-         !scale.metrics_json.empty();
+         !scale.metrics_json.empty() || !scale.delay_audit.empty();
 }
 
 // Applies the scale's observability options to one cell's config. `cell`
@@ -113,13 +121,23 @@ inline void ApplyObservability(const FigureScale& scale,
                                const std::string& stem,
                                const std::string& cell,
                                ScenarioConfig& config) {
-  config.trace = scale.trace || !scale.trace_out.empty();
+  config.trace =
+      scale.trace || !scale.trace_out.empty() || !scale.delay_audit.empty();
   if (!scale.trace_out.empty()) {
     config.trace_out = scale.trace_out + "." + stem + "." + cell + ".jsonl";
   }
   if (!scale.metrics_json.empty()) {
     config.metrics_json =
         scale.metrics_json + "." + stem + "." + cell + ".json";
+  }
+  if (!scale.delay_audit.empty()) {
+    // The audit needs the trace (observed side) and the model rows
+    // (expected side) from the same cell; emit both under one prefix so
+    // the dcrd_trace join is a two-argument affair.
+    config.trace_out =
+        scale.delay_audit + ".trace." + stem + "." + cell + ".jsonl";
+    config.delay_audit_out =
+        scale.delay_audit + ".model." + stem + "." + cell + ".jsonl";
   }
 }
 

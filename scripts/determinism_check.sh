@@ -101,6 +101,45 @@ else
   echo "determinism_check: $binary not found; skipping trace phase" >&2
 fi
 
+# Same bar for the delay-provenance capture: --delay_audit redirects the
+# trace and adds the Theorem-1 model rows, so stdout and CSVs must stay
+# byte-identical to the unaudited runs above — serial and parallel alike.
+echo "=== determinism check: unaudited vs --delay_audit ==="
+for binary_name in $binaries; do
+  binary="$build_dir/bench/$binary_name"
+  audited="$workdir/$binary_name.audited"
+  serial="$workdir/$binary_name.serial"
+  parallel="$workdir/$binary_name.parallel"
+
+  "$binary" --reps "$reps" --seconds "$sim_seconds" --jobs 1 \
+    --csv "$audited.j1" --delay_audit "$workdir/aud_j1.$binary_name" \
+    > "$audited.j1.out" 2> /dev/null
+  "$binary" --reps "$reps" --seconds "$sim_seconds" --jobs "$jobs" \
+    --csv "$audited.jN" --delay_audit "$workdir/aud_jN.$binary_name" \
+    > "$audited.jN.out" 2> /dev/null
+
+  for pair in "j1 $serial" "jN $parallel"; do
+    tag="${pair%% *}"
+    baseline="${pair#* }"
+    if ! diff -u "$baseline.out" "$audited.$tag.out"; then
+      echo "determinism_check: $binary_name stdout differs with --delay_audit ($tag)" >&2
+      fail=1
+    fi
+    while IFS= read -r csv; do
+      if ! cmp -s "$baseline/$csv" "$audited.$tag/$csv"; then
+        echo "determinism_check: $binary_name CSV $csv differs with --delay_audit ($tag)" >&2
+        diff -u "$baseline/$csv" "$audited.$tag/$csv" || true
+        fail=1
+      fi
+    done < "$baseline.files"
+  done
+
+  if ! ls "$workdir/aud_jN.$binary_name".model.*.jsonl > /dev/null 2>&1; then
+    echo "determinism_check: $binary_name --delay_audit produced no model rows" >&2
+    fail=1
+  fi
+done
+
 if [[ "$fail" != 0 ]]; then
   echo "=== determinism check FAILED ===" >&2
   exit 1

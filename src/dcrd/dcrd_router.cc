@@ -1,6 +1,9 @@
 #include "dcrd/dcrd_router.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
 
 #include "obs/flight_recorder.h"
 
@@ -138,6 +141,59 @@ const DestinationTables& DcrdRouter::TablesFor(TopicId topic,
   DCRD_CHECK(tables != nullptr)
       << subscriber << " not subscribed to " << topic;
   return *tables;
+}
+
+namespace {
+
+// Shortest round-trippable form of a double (%.17g): the auditor recomputes
+// d from the list entries and must see exactly the values routing used.
+void WriteAuditDouble(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void DcrdRouter::WriteAuditSnapshot(std::ostream& os, SimTime now) const {
+  const SubscriptionTable& subs = *context_.subscriptions;
+  for (std::size_t t = 0; t < subs.topic_count(); ++t) {
+    const TopicId topic(static_cast<TopicId::underlying_type>(t));
+    const NodeId publisher = subs.publisher(topic);
+    for (const Subscription& sub : subs.subscriptions(topic)) {
+      const NodeTables* tables =
+          GetNodeTables(topic, sub.subscriber, publisher);
+      if (tables == nullptr) continue;
+      // Self-subscriptions deliver instantly at the publisher and
+      // unreachable destinations produce no deliveries to audit; both would
+      // only add meaningless rows.
+      if (sub.subscriber == publisher) continue;
+      if (!tables->dr.reachable() || !std::isfinite(tables->dr.d_us)) {
+        continue;
+      }
+      os << "{\"t\":" << now.micros() << ",\"topic\":" << t
+         << ",\"pub\":" << publisher.underlying()
+         << ",\"sub\":" << sub.subscriber.underlying()
+         << ",\"deadline_us\":" << sub.deadline.micros() << ",\"d_us\":";
+      WriteAuditDouble(os, tables->dr.d_us);
+      os << ",\"r\":";
+      WriteAuditDouble(os, tables->dr.r);
+      os << ",\"list\":[";
+      bool first = true;
+      for (const ViaEntry& entry : tables->primary) {
+        if (!std::isfinite(entry.d_via_us) || entry.r_via <= 0.0) continue;
+        if (!first) os << ",";
+        first = false;
+        os << "[" << entry.neighbor.underlying() << ","
+           << entry.link.underlying() << ",";
+        WriteAuditDouble(os, entry.d_via_us);
+        os << ",";
+        WriteAuditDouble(os, entry.r_via);
+        os << "]";
+      }
+      os << "]}\n";
+    }
+  }
 }
 
 void DcrdRouter::Publish(const Message& message) {

@@ -24,6 +24,7 @@
 //    still delivered (the paper's delivery-ratio metric counts them).
 #pragma once
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <set>
@@ -86,6 +87,14 @@ class DcrdRouter final : public Router {
   // this to assert sending-list structure.
   [[nodiscard]] const DestinationTables& TablesFor(TopicId topic,
                                                    NodeId subscriber) const;
+
+  // Writes the model state the delay auditor needs, one JSONL row per
+  // currently reachable (topic, subscriber) pair: the publisher node's
+  // expected <d, r> and its primary (Theorem-1) sending list, stamped with
+  // `now` (the epoch the rows belong to). Works in both solver and
+  // distributed modes — the row reflects whatever tables routing actually
+  // uses at this instant. Read-only; never touches an RNG stream.
+  void WriteAuditSnapshot(std::ostream& os, SimTime now) const;
   [[nodiscard]] std::uint64_t dropped_undeliverable() const {
     return dropped_undeliverable_;
   }

@@ -1,0 +1,202 @@
+// Causal delay decomposition over flight-recorder traces.
+//
+// The analyzer consumes TraceRecords (streamed or in-memory) and, for every
+// delivered (packet, subscriber) pair, reconstructs the causal chain of
+// copy-hops from the publisher to the subscriber and splits the end-to-end
+// delay into components that sum *exactly* (int64 microseconds, no drift)
+// to `deliver_t - publish_t`:
+//
+//   propagation     — per-hop clear-weather wire time: the minimum flight
+//                     observed on that (link, direction, gray-state) across
+//                     the whole trace. Gray episodes get their own baseline,
+//                     so gray delay inflation counts as propagation of the
+//                     degraded link rather than queueing.
+//   queueing        — wire time above the propagation baseline
+//                     (serialization queues, jitter excess).
+//   retransmit_wait — time spent waiting on ACK timers: the span from a
+//                     causal copy's first transmission to the transmission
+//                     that went through, plus — at each holding broker — the
+//                     union of the [enqueue, budget-exhausted] windows of
+//                     sibling copies that failed before the causal copy was
+//                     launched. Union-of-intervals is the attribution rule
+//                     at ambiguity points: overlapping timers never double-
+//                     count a microsecond.
+//   reroute_detour  — wire time of hops whose enqueue coincides with a
+//                     kReroute record (the upstream hand-back); their timer
+//                     waits still count as retransmit_wait.
+//   residual        — everything the chain cannot attribute: dedup and
+//                     processing slack, reroute-retry gaps, and — when the
+//                     causal chain cannot be completed from the evidence in
+//                     the trace (e.g. a lossy ring capture) — the whole
+//                     unexplained head of the delay.
+//
+// The walk is evidence-anchored: a broker's hand-up instant equals the
+// timestamp of its next action on the packet (enqueue/reroute/deliver all
+// happen in the same scheduler instant as the arrival), and the copy that
+// caused it is identified by its ACK timestamp (exact under the paper's
+// out-of-band ACK model, ack_delay_factor = 0). Where an ACK was lost the
+// walk falls back to transmission-time plausibility and the residual
+// absorbs any unattributed span — the exact-sum invariant never breaks.
+//
+// Everything here is offline/post-hoc: the analyzer never touches the
+// simulator, its RNG streams, or stdout.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace_record.h"
+
+namespace dcrd {
+
+struct DelayComponents {
+  std::int64_t propagation_us = 0;
+  std::int64_t queueing_us = 0;
+  std::int64_t retransmit_wait_us = 0;
+  std::int64_t reroute_detour_us = 0;
+  std::int64_t residual_us = 0;
+
+  [[nodiscard]] std::int64_t Sum() const {
+    return propagation_us + queueing_us + retransmit_wait_us +
+           reroute_detour_us + residual_us;
+  }
+};
+
+inline constexpr int kDelayComponentCount = 5;
+std::string_view DelayComponentName(int component);
+std::int64_t DelayComponentValue(const DelayComponents& components,
+                                 int component);
+
+// One delivered (packet, subscriber) pair, decomposed. Only the first
+// arrival of a pair is decomposed (matching the metrics collector's
+// delivery accounting); duplicates are counted but not re-walked.
+struct DeliveryDecomposition {
+  std::uint64_t packet = 0;
+  std::uint32_t subscriber = TraceRecord::kNoId;
+  std::uint32_t publisher = TraceRecord::kNoId;
+  std::uint16_t topic = 0;
+  std::int64_t publish_t_us = 0;
+  std::int64_t deliver_t_us = 0;
+  std::int64_t total_us = 0;  // deliver - publish; components sum to this
+  int epoch = 0;              // index of the last kRebuild <= publish time
+  int hops = 0;               // causal chain length (0 = self-delivery)
+  int timeouts = 0;           // retransmission timers fired on the chain
+  bool rerouted = false;      // chain includes an upstream reroute hop
+  bool chain_complete = false;  // walked back to the publisher
+  DelayComponents components;
+};
+
+// Per-epoch component sums: one stacked-area slice of the report.
+struct EpochDelayStats {
+  int epoch = 0;
+  std::int64_t start_t_us = 0;
+  std::uint64_t deliveries = 0;
+  std::array<std::int64_t, kDelayComponentCount> component_sums_us{};
+};
+
+// Per-link wire accounting across all causal hops that crossed the link.
+struct LinkDelayStats {
+  std::uint32_t link = TraceRecord::kNoId;
+  std::uint64_t hops = 0;
+  std::int64_t wire_us = 0;      // total flight time attributed to the link
+  std::int64_t queueing_us = 0;  // portion above the propagation baseline
+  std::int64_t baseline_us = -1;  // min clear-weather flight; -1 = unknown
+};
+
+// Per-broker hold accounting: timer waits attributed at the broker that
+// was holding the packet while its copies timed out.
+struct BrokerDelayStats {
+  std::uint32_t node = TraceRecord::kNoId;
+  std::uint64_t wait_segments = 0;
+  std::int64_t wait_us = 0;
+};
+
+struct DecompositionResult {
+  std::vector<DeliveryDecomposition> deliveries;
+  std::vector<EpochDelayStats> epochs;    // ascending epoch index
+  std::vector<LinkDelayStats> links;      // ascending link id
+  std::vector<BrokerDelayStats> brokers;  // ascending node id
+  // Rebuild instants seen in the trace; epoch i starts at epoch_starts[i].
+  std::vector<std::int64_t> epoch_starts_us;
+  // Whole-trace distributions, one histogram per component plus the total,
+  // for CDF plots and quantile tables.
+  LogLinearHistogram total_histogram;
+  std::array<LogLinearHistogram, kDelayComponentCount> component_histograms;
+  // Deliveries whose packet has no kPublish record (lossy/clipped trace):
+  // their delay is unknowable, so they are skipped — loudly, not silently.
+  std::uint64_t skipped_no_publish = 0;
+  // Chains the evidence could not walk back to the publisher; their
+  // unexplained head landed in residual_us.
+  std::uint64_t incomplete_chains = 0;
+  std::uint64_t duplicate_deliveries = 0;
+  // kTimerArmed consistency: retransmission gaps that disagree with the
+  // armed timeout recorded when the timer was started. Expected 0; non-zero
+  // means the trace is internally inconsistent (or lossy).
+  std::uint64_t timer_accounting_mismatches = 0;
+};
+
+// Feed records in any order, then call Decompose() once. Holds the trace's
+// per-packet/per-copy indices in memory (bounded by trace size, not by a
+// second full copy of the record vector).
+class TraceAnalyzer {
+ public:
+  void Add(const TraceRecord& record);
+  void AddAll(const std::vector<TraceRecord>& records);
+
+  // Runs the decomposition over everything added so far. Call once, after
+  // the last Add.
+  [[nodiscard]] DecompositionResult Decompose() const;
+
+ private:
+  struct CopyEvents {
+    std::uint64_t packet = TraceRecord::kNoPacket;
+    std::uint32_t from = TraceRecord::kNoId;
+    std::uint32_t to = TraceRecord::kNoId;
+    std::uint32_t link = TraceRecord::kNoId;
+    std::int64_t enqueue_t_us = -1;
+    std::int64_t budget_exhausted_t_us = -1;
+    std::int64_t ack_t_us = -1;
+    int ack_tx = -1;
+    std::vector<std::int64_t> tx_times_us;        // indexed by tx index
+    std::vector<std::int64_t> armed_timeouts_us;  // indexed by tx index
+    std::vector<std::int64_t> dedup_times_us;
+  };
+  struct DeliverEvent {
+    std::int64_t t_us = 0;
+    std::uint32_t subscriber = TraceRecord::kNoId;
+  };
+  struct RerouteEvent {
+    std::int64_t t_us = 0;
+    std::uint32_t node = TraceRecord::kNoId;
+    std::uint32_t peer = TraceRecord::kNoId;
+  };
+  struct PacketEvents {
+    bool has_publish = false;
+    std::int64_t publish_t_us = 0;
+    std::uint32_t publisher = TraceRecord::kNoId;
+    std::uint16_t topic = 0;
+    std::vector<std::uint64_t> copies;  // copy ids, in arrival order
+    std::vector<DeliverEvent> delivers;
+    std::vector<RerouteEvent> reroutes;
+  };
+
+  CopyEvents& CopyFor(std::uint64_t copy_id, std::uint64_t packet);
+
+  std::unordered_map<std::uint64_t, PacketEvents> packets_;
+  std::unordered_map<std::uint64_t, CopyEvents> copies_;
+  std::vector<std::int64_t> rebuild_times_us_;
+  // Per-link gray episodes as [start, end) intervals; open episodes extend
+  // to the end of the trace.
+  std::unordered_map<std::uint32_t,
+                     std::vector<std::pair<std::int64_t, std::int64_t>>>
+      gray_intervals_;
+  std::unordered_map<std::uint32_t, std::int64_t> gray_open_;
+  std::int64_t max_t_us_ = 0;
+};
+
+}  // namespace dcrd

@@ -1,0 +1,27 @@
+// Self-contained HTML delay-provenance report.
+//
+// One file, inline CSS/JS/SVG, zero external dependencies — it opens from a
+// CI artifact or an scp'd laptop file identically. The C++ side precomputes
+// plot-ready series (per-epoch stacked means, per-component CDF points,
+// audit cells) and embeds them as one JSON blob; the inline script only
+// draws. Charts follow the repo's dataviz conventions: five categorical
+// component colors in fixed order (validated for adjacent-pair CVD
+// separation in light and dark modes), hairline grid, crosshair + tooltip
+// hover on the area/line charts, a legend plus table views so identity and
+// values are never carried by color alone, and a dark mode that uses
+// per-mode color steps rather than an automatic flip.
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "obs/analysis/delay_decomposition.h"
+#include "obs/analysis/model_audit.h"
+
+namespace dcrd {
+
+// `audit` may be null: the report then omits the model-audit section.
+void WriteHtmlReport(std::ostream& os, const DecompositionResult& result,
+                     const AuditReport* audit, std::string_view title);
+
+}  // namespace dcrd

@@ -1,0 +1,267 @@
+#include "obs/analysis/model_audit.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+#include <limits>
+
+namespace dcrd {
+
+namespace {
+
+// Minimal field extraction matched to WriteAuditSnapshot's output: flat
+// object of numeric fields plus one "list" array of [n, l, d, r] tuples.
+// Key lookup by `"key":` substring is unambiguous because every key is
+// distinct and values are numbers (no nested quotes).
+bool FindValue(std::string_view line, std::string_view key,
+               std::string_view* value) {
+  std::string needle;
+  needle.reserve(key.size() + 3);
+  needle.push_back('"');
+  needle.append(key);
+  needle.append("\":");
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string_view::npos) return false;
+  *value = line.substr(pos + needle.size());
+  return true;
+}
+
+bool ParseI64(std::string_view text, std::int64_t* out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr != begin;
+}
+
+bool ParseU32(std::string_view text, std::uint32_t* out) {
+  std::int64_t v = 0;
+  if (!ParseI64(text, &v) || v < 0 ||
+      v > std::numeric_limits<std::uint32_t>::max()) {
+    return false;
+  }
+  *out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+// std::from_chars<double> is present in the toolchain, but strtod keeps the
+// parser tolerant of the exact "%.17g" spellings (inf, exponents) without
+// locale surprises — the writer never emits locale-dependent text.
+bool ParseF64(std::string_view text, double* out, std::size_t* consumed) {
+  std::string buffer(text.substr(0, 64));
+  char* end = nullptr;
+  const double v = std::strtod(buffer.c_str(), &end);
+  if (end == buffer.c_str()) return false;
+  *out = v;
+  if (consumed != nullptr) {
+    *consumed = static_cast<std::size_t>(end - buffer.c_str());
+  }
+  return true;
+}
+
+template <typename T, bool (*Parse)(std::string_view, T*)>
+bool Field(std::string_view line, std::string_view key, T* out) {
+  std::string_view value;
+  return FindValue(line, key, &value) && Parse(value, out);
+}
+
+bool FieldF64(std::string_view line, std::string_view key, double* out) {
+  std::string_view value;
+  return FindValue(line, key, &value) && ParseF64(value, out, nullptr);
+}
+
+}  // namespace
+
+bool ParseModelRow(std::string_view line, ModelRow* out,
+                   std::string* error) {
+  *out = ModelRow{};
+  const auto fail = [error](const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  if (!Field<std::int64_t, ParseI64>(line, "t", &out->t_us)) {
+    return fail("missing or malformed \"t\"");
+  }
+  if (!Field<std::uint32_t, ParseU32>(line, "topic", &out->topic)) {
+    return fail("missing or malformed \"topic\"");
+  }
+  if (!Field<std::uint32_t, ParseU32>(line, "pub", &out->pub)) {
+    return fail("missing or malformed \"pub\"");
+  }
+  if (!Field<std::uint32_t, ParseU32>(line, "sub", &out->sub)) {
+    return fail("missing or malformed \"sub\"");
+  }
+  if (!Field<std::int64_t, ParseI64>(line, "deadline_us",
+                                     &out->deadline_us)) {
+    return fail("missing or malformed \"deadline_us\"");
+  }
+  if (!FieldF64(line, "d_us", &out->d_us)) {
+    return fail("missing or malformed \"d_us\"");
+  }
+  if (!FieldF64(line, "r", &out->r)) {
+    return fail("missing or malformed \"r\"");
+  }
+  std::string_view list;
+  if (!FindValue(line, "list", &list) || list.empty() || list[0] != '[') {
+    return fail("missing or malformed \"list\"");
+  }
+  list.remove_prefix(1);  // outer '['
+  while (true) {
+    while (!list.empty() && (list[0] == ',' || list[0] == ' ')) {
+      list.remove_prefix(1);
+    }
+    if (list.empty()) return fail("unterminated \"list\"");
+    if (list[0] == ']') break;
+    if (list[0] != '[') return fail("malformed \"list\" entry");
+    list.remove_prefix(1);
+    ViaEntry entry;
+    std::uint32_t neighbor = 0;
+    std::uint32_t link = 0;
+    const auto take_number = [&list](auto parse) {
+      const std::size_t stop = list.find_first_of(",]");
+      if (stop == std::string_view::npos) return false;
+      if (!parse(list.substr(0, stop))) return false;
+      list.remove_prefix(stop + 1);  // swallow the delimiter
+      return true;
+    };
+    if (!take_number([&](std::string_view t) {
+          return ParseU32(t, &neighbor);
+        }) ||
+        !take_number([&](std::string_view t) { return ParseU32(t, &link); }) ||
+        !take_number([&](std::string_view t) {
+          return ParseF64(t, &entry.d_via_us, nullptr);
+        }) ||
+        !take_number([&](std::string_view t) {
+          return ParseF64(t, &entry.r_via, nullptr);
+        })) {
+      return fail("malformed \"list\" entry");
+    }
+    entry.neighbor = NodeId(neighbor);
+    entry.link = LinkId(link);
+    out->list.push_back(entry);
+  }
+  return true;
+}
+
+bool ForEachModelRow(std::istream& in,
+                     const std::function<void(const ModelRow&)>& fn,
+                     std::size_t* bad_line, std::string* bad_text) {
+  std::string line;
+  std::size_t line_number = 0;
+  ModelRow row;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::string error;
+    if (!ParseModelRow(line, &row, &error)) {
+      if (bad_line != nullptr) *bad_line = line_number;
+      if (bad_text != nullptr) {
+        *bad_text = error + ": " + line.substr(0, 120);
+      }
+      return false;
+    }
+    fn(row);
+  }
+  return true;
+}
+
+void ModelAuditor::AddModelRow(const ModelRow& row) {
+  const std::size_t index = cells_.size();
+  CellAccumulator& cell = cells_.emplace_back();
+  cell.row = row;
+  std::vector<std::size_t>& slot = index_[Key{row.topic, row.sub}];
+  // Rows arrive in epoch order from the engine; keep the slot sorted even
+  // if a merged file interleaves epochs.
+  slot.push_back(index);
+  std::size_t i = slot.size();
+  while (i > 1 && cells_[slot[i - 2]].row.t_us > cells_[slot[i - 1]].row.t_us) {
+    std::swap(slot[i - 2], slot[i - 1]);
+    --i;
+  }
+}
+
+void ModelAuditor::Observe(std::uint32_t topic, std::uint32_t sub,
+                           std::int64_t publish_t_us,
+                           std::int64_t delay_us) {
+  ++observed_;
+  const auto it = index_.find(Key{topic, sub});
+  if (it == index_.end()) {
+    ++unmatched_;
+    return;
+  }
+  // Latest epoch at or before the publish instant: the tables that were
+  // active when the packet was sent.
+  CellAccumulator* cell = nullptr;
+  for (const std::size_t index : it->second) {
+    if (cells_[index].row.t_us > publish_t_us) break;
+    cell = &cells_[index];
+  }
+  if (cell == nullptr) {
+    ++unmatched_;
+    return;
+  }
+  ++cell->n;
+  const double x = static_cast<double>(delay_us);
+  const double delta = x - cell->mean;
+  cell->mean += delta / static_cast<double>(cell->n);
+  cell->m2 += delta * (x - cell->mean);
+}
+
+AuditReport ModelAuditor::Finish(const AuditConfig& config) const {
+  AuditReport report;
+  report.observed = observed_;
+  report.unmatched = unmatched_;
+  report.matched = observed_ - unmatched_;
+  report.cells.reserve(cells_.size());
+  for (const CellAccumulator& acc : cells_) {
+    AuditCell cell;
+    cell.epoch_t_us = acc.row.t_us;
+    cell.topic = acc.row.topic;
+    cell.pub = acc.row.pub;
+    cell.sub = acc.row.sub;
+    cell.deadline_us = acc.row.deadline_us;
+    cell.expected_d_us = acc.row.d_us;
+    cell.expected_r = acc.row.r;
+    cell.list_length = acc.row.list.size();
+    cell.recombined_d_us = CombineOrdered(acc.row.list).d_us;
+    const double recombine_error =
+        std::abs(cell.recombined_d_us - cell.expected_d_us);
+    if (std::isfinite(recombine_error)) {
+      report.max_recombine_error_us =
+          std::max(report.max_recombine_error_us, recombine_error);
+      if (recombine_error > config.recombine_tolerance_us) {
+        ++report.recombine_failures;
+      }
+    } else {
+      ++report.recombine_failures;
+    }
+    cell.n = acc.n;
+    cell.mean_us = acc.mean;
+    cell.stddev_us =
+        acc.n > 1 ? std::sqrt(acc.m2 / static_cast<double>(acc.n - 1)) : 0.0;
+    cell.error_us = cell.mean_us - cell.expected_d_us;
+    if (acc.n > 0) {
+      ++report.populated_cells;
+      const double standard_error =
+          cell.stddev_us / std::sqrt(static_cast<double>(acc.n));
+      cell.flagged =
+          std::abs(cell.error_us) >
+          config.abs_slack_us + config.z_threshold * standard_error;
+      if (cell.flagged) ++report.flagged_cells;
+    }
+    report.cells.push_back(cell);
+  }
+  std::sort(report.cells.begin(), report.cells.end(),
+            [](const AuditCell& a, const AuditCell& b) {
+              if (a.epoch_t_us != b.epoch_t_us) {
+                return a.epoch_t_us < b.epoch_t_us;
+              }
+              if (a.topic != b.topic) return a.topic < b.topic;
+              return a.sub < b.sub;
+            });
+  return report;
+}
+
+}  // namespace dcrd

@@ -49,6 +49,11 @@ void FlightRecorder::DumpPostmortem(std::ostream& os, std::size_t last_n,
      << ring_.size();
   if (overwritten_ > 0) os << " (" << overwritten_ << " overwritten)";
   os << "; last " << shown << " shown\n";
+  if (overwritten_ > 0) {
+    os << "warning: this dump is LOSSY — " << overwritten_
+       << " older record(s) were overwritten in the ring; rerun with a "
+          "trace sink (trace_out) or a larger ring for full history\n";
+  }
   char line[kMaxTraceLineBytes];
   for (std::size_t i = size_ - shown; i < size_; ++i) {
     const int n = FormatTraceHuman(at(i), line, sizeof(line));

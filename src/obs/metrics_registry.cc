@@ -55,6 +55,48 @@ std::uint64_t LogLinearHistogram::ValueAtQuantile(double q) const {
   return max_;
 }
 
+void LogLinearHistogram::MergeFrom(const LogLinearHistogram& other) {
+  for (int i = 0; i < kBucketCount; ++i) {
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+}
+
+HistogramSnapshot LogLinearHistogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.count = count_;
+  snapshot.sum = sum_;
+  snapshot.min = min_;
+  snapshot.max = max_;
+  for (int i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = buckets_[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    snapshot.buckets.push_back({BucketLo(i), BucketHi(i), n});
+  }
+  return snapshot;
+}
+
+void LogLinearHistogram::AbsorbSnapshot(const HistogramSnapshot& snapshot) {
+  for (const HistogramSnapshot::Bucket& bucket : snapshot.buckets) {
+    // A bucket's lo value lands in that same bucket, so BucketIndex(lo)
+    // recovers the index exactly.
+    buckets_[static_cast<std::size_t>(BucketIndex(bucket.lo))] +=
+        bucket.count;
+  }
+  count_ += snapshot.count;
+  sum_ += snapshot.sum;
+  if (snapshot.count > 0) {
+    if (snapshot.min < min_) min_ = snapshot.min;
+    if (snapshot.max > max_) max_ = snapshot.max;
+  }
+}
+
 void LogLinearHistogram::Clear() {
   buckets_.fill(0);
   count_ = 0;

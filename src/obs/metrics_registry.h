@@ -33,6 +33,24 @@
 
 namespace dcrd {
 
+// Raw-bucket view of a LogLinearHistogram: exactly the state WriteJson
+// exports per histogram ([lo, hi, count] triples plus the scalar summary).
+// A snapshot round-trips losslessly — AbsorbSnapshot rebuilds identical
+// bucket contents — so per-cell histograms from separate sweep reps can be
+// merged offline into whole-run distributions without re-running anything.
+struct HistogramSnapshot {
+  struct Bucket {
+    std::uint64_t lo = 0;   // BucketLo of the source bucket (its identity)
+    std::uint64_t hi = 0;   // BucketHi, carried for readers/validation
+    std::uint64_t count = 0;
+  };
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max = 0;
+  std::vector<Bucket> buckets;  // non-empty buckets, ascending lo
+};
+
 // Log-linear ("HDR-style") histogram over non-negative integer values.
 //
 // Values below 32 get exact unit-width buckets; above that, each power-of-
@@ -80,6 +98,17 @@ class LogLinearHistogram {
   // midpoint clamped into [min(), max()], so exact-width buckets report
   // exact values and wide buckets err by at most half a bucket (~1.6%).
   [[nodiscard]] std::uint64_t ValueAtQuantile(double q) const;
+
+  // Adds `other`'s contents into this histogram. Exact: bucket counts, sum
+  // and count add; min/max combine — merging per-rep histograms yields the
+  // same quantiles as recording every sample into one histogram.
+  void MergeFrom(const LogLinearHistogram& other);
+
+  // Raw-bucket export/import (see HistogramSnapshot). AbsorbSnapshot maps
+  // each bucket back by its lo value and adds its count; snapshots produced
+  // by Snapshot()/WriteJson merge exactly.
+  [[nodiscard]] HistogramSnapshot Snapshot() const;
+  void AbsorbSnapshot(const HistogramSnapshot& snapshot);
 
   void Clear();
 

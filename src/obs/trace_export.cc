@@ -114,6 +114,25 @@ bool ParseTraceJsonl(std::string_view line, TraceRecord* out) {
   return true;
 }
 
+bool ForEachTraceJsonl(std::istream& in,
+                       const std::function<void(const TraceRecord&)>& fn,
+                       std::size_t* bad_line, std::string* bad_text) {
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    TraceRecord record;
+    if (!ParseTraceJsonl(line, &record)) {
+      if (bad_line != nullptr) *bad_line = line_no;
+      if (bad_text != nullptr) *bad_text = line.substr(0, 120);
+      return false;
+    }
+    fn(record);
+  }
+  return true;
+}
+
 std::vector<TraceRecord> ReadTraceJsonl(std::istream& in,
                                         std::size_t* dropped_lines) {
   std::vector<TraceRecord> records;
@@ -232,6 +251,16 @@ int FormatTraceHuman(const TraceRecord& r, char* buf, std::size_t cap) {
                         "@%" PRId64 "us rebuild (sending lists recomputed)",
                         r.t_us);
       break;
+    case TraceEventKind::kTimerArmed:
+      // `peer` carries the armed timeout in microseconds (see
+      // trace_record.h), not a broker id.
+      n = std::snprintf(buf, cap,
+                        "@%" PRId64 "us timer-armed %s copy=%llu tx=%u "
+                        "n%lld l%lld timeout=%lldus%s",
+                        r.t_us, pkt, copy, static_cast<unsigned>(r.aux16),
+                        IdField(r.node), IdField(r.link), IdField(r.peer),
+                        r.aux8 != 0 ? " (adaptive)" : "");
+      break;
   }
   DCRD_CHECK(n > 0 && static_cast<std::size_t>(n) < cap);
   return n;
@@ -250,7 +279,12 @@ void WriteChromeTrace(std::ostream& os,
   std::set<std::uint32_t> brokers;
   for (const TraceRecord& r : records) {
     if (r.node != TraceRecord::kNoId) brokers.insert(r.node);
-    if (r.peer != TraceRecord::kNoId) brokers.insert(r.peer);
+    // kTimerArmed repurposes `peer` for the timeout value — it must not
+    // spawn a phantom broker track.
+    if (r.kind != TraceEventKind::kTimerArmed &&
+        r.peer != TraceRecord::kNoId) {
+      brokers.insert(r.peer);
+    }
   }
 
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
@@ -357,35 +391,55 @@ std::size_t PrintPacketTimeline(std::ostream& os,
   return matching.size();
 }
 
-void PrintTraceSummary(std::ostream& os,
-                       const std::vector<TraceRecord>& records) {
-  std::array<std::uint64_t, kTraceEventKindCount> counts{};
-  std::set<std::uint64_t> packets;
-  std::set<std::uint32_t> brokers;
-  std::int64_t t_min = 0, t_max = 0;
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const TraceRecord& r = records[i];
-    ++counts[static_cast<std::size_t>(r.kind)];
-    if (r.packet != TraceRecord::kNoPacket) packets.insert(r.packet);
-    if (r.node != TraceRecord::kNoId) brokers.insert(r.node);
-    if (i == 0) {
-      t_min = t_max = r.t_us;
-    } else {
-      t_min = std::min(t_min, r.t_us);
-      t_max = std::max(t_max, r.t_us);
-    }
+void TraceSummaryAccumulator::Add(const TraceRecord& r) {
+  ++counts_[static_cast<std::size_t>(r.kind)];
+  if (r.packet != TraceRecord::kNoPacket) {
+    packets_.insert(r.packet);
+    if (r.kind == TraceEventKind::kPublish) published_.insert(r.packet);
+    if (r.kind == TraceEventKind::kDeliver) delivered_.insert(r.packet);
   }
-  os << records.size() << " events";
-  if (!records.empty()) {
-    os << " spanning @" << t_min << "us .. @" << t_max << "us";
+  if (r.node != TraceRecord::kNoId) brokers_.insert(r.node);
+  if (total_ == 0) {
+    t_min_ = t_max_ = r.t_us;
+  } else {
+    t_min_ = std::min(t_min_, r.t_us);
+    t_max_ = std::max(t_max_, r.t_us);
   }
-  os << "; " << packets.size() << " packets, " << brokers.size()
+  ++total_;
+}
+
+std::size_t TraceSummaryAccumulator::orphan_delivery_packets() const {
+  std::size_t orphans = 0;
+  for (const std::uint64_t packet : delivered_) {
+    if (!published_.contains(packet)) ++orphans;
+  }
+  return orphans;
+}
+
+void TraceSummaryAccumulator::Print(std::ostream& os) const {
+  os << total_ << " events";
+  if (total_ > 0) {
+    os << " spanning @" << t_min_ << "us .. @" << t_max_ << "us";
+  }
+  os << "; " << packets_.size() << " packets, " << brokers_.size()
      << " brokers\n";
   for (int k = 0; k < kTraceEventKindCount; ++k) {
-    if (counts[static_cast<std::size_t>(k)] == 0) continue;
+    if (counts_[static_cast<std::size_t>(k)] == 0) continue;
     os << "  " << TraceEventName(static_cast<TraceEventKind>(k)) << ": "
-       << counts[static_cast<std::size_t>(k)] << "\n";
+       << counts_[static_cast<std::size_t>(k)] << "\n";
   }
+  if (const std::size_t orphans = orphan_delivery_packets(); orphans > 0) {
+    os << "warning: " << orphans << " packet(s) were delivered but have no "
+       << "publish record — the trace looks lossy (overwritten ring or "
+       << "truncated capture)\n";
+  }
+}
+
+void PrintTraceSummary(std::ostream& os,
+                       const std::vector<TraceRecord>& records) {
+  TraceSummaryAccumulator accumulator;
+  for (const TraceRecord& record : records) accumulator.Add(record);
+  accumulator.Print(os);
 }
 
 }  // namespace dcrd

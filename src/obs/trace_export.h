@@ -13,8 +13,12 @@
 //    dcrd_trace packet-timeline view.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <set>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -45,6 +49,17 @@ bool ParseTraceJsonl(std::string_view line, TraceRecord* out);
 std::vector<TraceRecord> ReadTraceJsonl(std::istream& in,
                                         std::size_t* dropped_lines = nullptr);
 
+// Streaming reader: parses the JSONL stream one line at a time (bounded
+// memory — the whole trace is never materialised) and invokes `fn` per
+// record. Blank lines are skipped. Stops at the first malformed line,
+// returning false with the 1-based line number in *bad_line and the
+// offending text (truncated) in *bad_text when given. Returns true when the
+// whole stream parsed.
+bool ForEachTraceJsonl(std::istream& in,
+                       const std::function<void(const TraceRecord&)>& fn,
+                       std::size_t* bad_line = nullptr,
+                       std::string* bad_text = nullptr);
+
 // Writes the records as a Chrome trace_event JSON document ("traceEvents"
 // array). Records need not be sorted; the export sorts by time internally.
 void WriteChromeTrace(std::ostream& os,
@@ -61,5 +76,28 @@ std::size_t PrintPacketTimeline(std::ostream& os,
 // counts — dcrd_trace's default view.
 void PrintTraceSummary(std::ostream& os,
                        const std::vector<TraceRecord>& records);
+
+// Incremental form of PrintTraceSummary for streaming input: feed records
+// one at a time, print at the end. Also watches for evidence that the trace
+// is incomplete (a delivery whose publish record is missing — the signature
+// of a ring-overwritten / truncated capture) so lossy dumps are called out
+// instead of silently summarised.
+class TraceSummaryAccumulator {
+ public:
+  void Add(const TraceRecord& record);
+  // Packets seen with a kDeliver but no kPublish record.
+  [[nodiscard]] std::size_t orphan_delivery_packets() const;
+  void Print(std::ostream& os) const;
+
+ private:
+  std::array<std::uint64_t, kTraceEventKindCount> counts_{};
+  std::set<std::uint64_t> packets_;
+  std::set<std::uint64_t> published_;
+  std::set<std::uint64_t> delivered_;
+  std::set<std::uint32_t> brokers_;
+  std::uint64_t total_ = 0;
+  std::int64_t t_min_ = 0;
+  std::int64_t t_max_ = 0;
+};
 
 }  // namespace dcrd

@@ -34,9 +34,14 @@ enum class TraceEventKind : std::uint8_t {
   kGrayStart,         // gray episode began on a link
   kGrayEnd,           // gray episode ended
   kRebuild,           // routers recomputed sending lists (monitoring epoch)
+  kTimerArmed,        // retransmission timer armed after a transmission.
+                      // `peer` is repurposed to carry the armed timeout in
+                      // microseconds (the real peer is derivable from
+                      // node+link); aux16 = transmission index, aux8 = 1
+                      // when the adaptive RTO chose the timeout.
 };
 
-inline constexpr int kTraceEventKindCount = 15;
+inline constexpr int kTraceEventKindCount = 16;
 
 // Why a kDrop happened; stored in TraceRecord::aux8.
 enum class TraceDropReason : std::uint8_t {
@@ -65,6 +70,7 @@ constexpr std::string_view TraceEventName(TraceEventKind kind) {
     case TraceEventKind::kGrayStart: return "gray-start";
     case TraceEventKind::kGrayEnd: return "gray-end";
     case TraceEventKind::kRebuild: return "rebuild";
+    case TraceEventKind::kTimerArmed: return "timer-armed";
   }
   return "unknown";
 }

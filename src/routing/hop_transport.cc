@@ -84,6 +84,21 @@ void HopTransport::TransmitOnce(SlotHandle pending_slot) {
       config_.adaptive_rto
           ? rto_.TimeoutFor(link, pending->ack_timeout, tx_index, copy_id)
           : pending->ack_timeout;
+  if (config_.recorder != nullptr) {
+    // kTimerArmed repurposes `peer` to carry the armed timeout in
+    // microseconds (the real peer is derivable from node+link). Clamp below
+    // the kNoId sentinel; sim timeouts are far under 71 minutes in practice.
+    const std::int64_t timeout_us = timeout.micros();
+    const std::uint32_t timeout_field =
+        timeout_us < 0 ? 0u
+        : timeout_us >= static_cast<std::int64_t>(TraceRecord::kNoId)
+            ? TraceRecord::kNoId - 1
+            : static_cast<std::uint32_t>(timeout_us);
+    config_.recorder->Record(TraceEventKind::kTimerArmed, packet_id, copy_id,
+                             from, NodeId(timeout_field), link,
+                             config_.adaptive_rto ? 1 : 0,
+                             static_cast<std::uint16_t>(tx_index));
+  }
   pending->timer = network_.scheduler().ScheduleAfter(
       timeout, [this, pending_slot] { HandleTimeout(pending_slot); });
 }

@@ -242,6 +242,14 @@ RunSummary RunScenario(const ScenarioConfig& config) {
     }
     network.set_flight_recorder(recorder.get());
   }
+  std::ofstream audit_file;
+  if (!config.delay_audit_out.empty()) {
+    audit_file.open(config.delay_audit_out, std::ios::trunc);
+    if (!audit_file) {
+      DCRD_LOG(kWarn) << "cannot write delay-audit model rows to "
+                      << config.delay_audit_out;
+    }
+  }
   std::unique_ptr<MetricsRegistry> registry;
   LogLinearHistogram* delay_histogram = nullptr;
   LogLinearHistogram* rtt_histogram = nullptr;
@@ -286,6 +294,18 @@ RunSummary RunScenario(const ScenarioConfig& config) {
   context.recorder = recorder.get();
   context.hop_rtt_histogram = rtt_histogram;
   const std::unique_ptr<Router> router = MakeRouter(config, context);
+  // The delay auditor needs the model's sending lists, which only the DCRD
+  // router materialises. Pure read-side: snapshots go to the audit file
+  // only, after each rebuild, so routing never observes the auditor.
+  const DcrdRouter* audit_router = nullptr;
+  if (audit_file.is_open()) {
+    audit_router = dynamic_cast<const DcrdRouter*>(router.get());
+    if (audit_router == nullptr) {
+      DCRD_LOG(kWarn) << "delay_audit_out requested but router "
+                      << router->name()
+                      << " has no Theorem-1 model; no rows written";
+    }
+  }
 
   if (registry != nullptr) {
     // Gauges sample live engine state; registered after the router exists.
@@ -322,27 +342,36 @@ RunSummary RunScenario(const ScenarioConfig& config) {
       router->Rebuild(monitor.view());
     });
   }
-  if (observing) {
+  if (observing || audit_router != nullptr) {
     // Observability epochs ride their own events rather than widening the
     // capture of the rebuild lambda above (which is at the scheduler's
     // inline-capture budget). Scheduled after the rebuild loop, so at each
     // epoch instant they run *after* the rebuild (same time, later seq) and
-    // the kRebuild record / snapshot reflects the post-rebuild state.
+    // the kRebuild record / snapshot / audit rows reflect the post-rebuild
+    // state.
     if (recorder != nullptr) {
       recorder->Record(TraceEventKind::kRebuild, TraceRecord::kNoPacket, 0,
                        NodeId(), NodeId(), LinkId());
     }
     if (registry != nullptr) registry->SnapshotEpoch(SimTime::Zero());
+    if (audit_router != nullptr) {
+      audit_router->WriteAuditSnapshot(audit_file, SimTime::Zero());
+    }
     FlightRecorder* rec = recorder.get();
     MetricsRegistry* reg = registry.get();
+    std::ostream* audit_out = audit_router != nullptr ? &audit_file : nullptr;
     for (SimTime epoch = SimTime::Zero() + config.monitor_interval;
          epoch <= end; epoch += config.monitor_interval) {
-      scheduler.ScheduleAt(epoch, [rec, reg, &scheduler] {
+      scheduler.ScheduleAt(epoch,
+                           [rec, reg, &scheduler, audit_router, audit_out] {
         if (rec != nullptr) {
           rec->Record(TraceEventKind::kRebuild, TraceRecord::kNoPacket, 0,
                       NodeId(), NodeId(), LinkId());
         }
         if (reg != nullptr) reg->SnapshotEpoch(scheduler.now());
+        if (audit_out != nullptr) {
+          audit_router->WriteAuditSnapshot(*audit_out, scheduler.now());
+        }
       });
     }
   }
@@ -364,8 +393,12 @@ RunSummary RunScenario(const ScenarioConfig& config) {
         scheduler,
         [&metrics, &router, &checker, rec](const Message& message) {
           if (rec != nullptr) {
+            // aux16 carries the topic id so offline analysis can join a
+            // packet to its (topic, subscriber) model row.
             rec->Record(TraceEventKind::kPublish, message.id.value, 0,
-                        message.publisher, NodeId(), LinkId());
+                        message.publisher, NodeId(), LinkId(), 0,
+                        static_cast<std::uint16_t>(
+                            message.topic.underlying()));
           }
           metrics.OnPublished(message);
           if (checker) checker->OnPublished(message);
@@ -411,6 +444,16 @@ RunSummary RunScenario(const ScenarioConfig& config) {
   summary.retransmissions = transport.retransmissions;
   summary.spurious_retransmissions = transport.spurious_retransmissions;
   summary.rtt_samples = transport.rtt_samples;
+  if (recorder != nullptr) {
+    summary.trace_records_overwritten = recorder->overwritten();
+    if (recorder->overwritten() > 0 && !config.trace_out.empty()) {
+      // A sink-mode trace should be lossless; overwrites here mean the sink
+      // failed to open and the capture silently degraded to the ring.
+      DCRD_LOG(kWarn) << "flight recorder overwrote "
+                      << recorder->overwritten()
+                      << " record(s); the captured trace is lossy";
+    }
+  }
   if (checker) {
     summary.invariant_violation_count = checker->violation_count();
     summary.invariant_violations = checker->violations();

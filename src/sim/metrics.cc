@@ -14,6 +14,7 @@ void RunSummary::Absorb(const RunSummary& other) {
   retransmissions += other.retransmissions;
   spurious_retransmissions += other.spurious_retransmissions;
   rtt_samples += other.rtt_samples;
+  trace_records_overwritten += other.trace_records_overwritten;
   invariant_violation_count += other.invariant_violation_count;
   invariant_violations.insert(invariant_violations.end(),
                               other.invariant_violations.begin(),

@@ -42,6 +42,11 @@ struct RunSummary {
   std::uint64_t retransmissions = 0;
   std::uint64_t spurious_retransmissions = 0;
   std::uint64_t rtt_samples = 0;
+  // Flight-recorder records lost to ring overwrite (postmortem mode only;
+  // 0 with a JSONL sink attached). Non-zero means any postmortem dump from
+  // this run is missing history. Never printed to stdout — observability
+  // must stay result-neutral — but summed across reps for stderr warnings.
+  std::uint64_t trace_records_overwritten = 0;
   // Invariant-checker output (empty when the checker is disabled or clean).
   // `invariant_violation_count` is the true total; the message list is
   // truncated at InvariantCheckerConfig::max_recorded.

@@ -130,6 +130,14 @@ struct ScenarioConfig {
   // When non-empty, write the metrics registry (per-epoch counter/gauge
   // series + histograms) to this file as JSON at end of run.
   std::string metrics_json;
+  // When non-empty and the router is DCRD, write the model's view — per
+  // (topic, subscriber) expected <d, r> and the publisher's Theorem-1
+  // sending list, one JSONL row per destination per monitoring epoch — to
+  // this file. tools/dcrd_trace --audit joins it against a trace to compare
+  // observed delays with the closed-form expectation. Read-only like the
+  // other observability knobs; ignored (with a stderr note) for non-DCRD
+  // routers.
+  std::string delay_audit_out;
 
   [[nodiscard]] std::string Describe() const;
 };
