@@ -9,6 +9,7 @@
 //   ./dcrdsim --router DCRD --pf 0.1 --outage_epochs 10 --persistence
 //   ./dcrdsim --all --load overlay.txt        # topology_tool edge list
 //   ./dcrdsim --router DCRD --distributed     # live <d,r> gossip control plane
+//   ./dcrdsim --router DCRD --broker_mtbf 60 --peer_death --check_invariants
 #include <iomanip>
 #include <iostream>
 
@@ -29,6 +30,7 @@ const std::vector<std::string> kKnownFlags = {
     "churn",       "load",          "distributed",
     "gray",        "gray_loss",     "gray_delay_factor", "gray_asymmetry",
     "adaptive_rto", "check_invariants",
+    "broker_mtbf", "broker_mttr",   "peer_death",  "peer_death_threshold",
 };
 
 dcrd::RouterKind ParseRouter(const std::string& name) {
@@ -119,6 +121,15 @@ int main(int argc, char** argv) {
   config.gray_delay_factor = flags.GetDouble("gray_delay_factor", 3.0);
   config.gray_asymmetry = flags.GetDouble("gray_asymmetry", 0.5);
   config.adaptive_rto = flags.GetBool("adaptive_rto", false);
+  // Crash–recovery: --broker_mtbf S turns the fail-stop process on (mean up
+  // seconds between crashes); --peer_death arms ACK-silence detection.
+  config.broker_mtbf =
+      dcrd::SimDuration::Seconds(flags.GetInt("broker_mtbf", 0));
+  config.broker_mttr =
+      dcrd::SimDuration::Seconds(flags.GetInt("broker_mttr", 5));
+  config.peer_death_detection = flags.GetBool("peer_death", false);
+  config.peer_death_threshold =
+      static_cast<int>(flags.GetInt("peer_death_threshold", 2));
   config.enable_invariant_checker = flags.GetBool("check_invariants", false);
   config.topology_file = flags.GetString("load", "");
   config.dcrd_distributed = flags.GetBool("distributed", false);

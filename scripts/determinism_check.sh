@@ -8,7 +8,7 @@
 # Environment overrides:
 #   DCRD_DET_BINARY   single figure binary (overrides the default set)
 #   DCRD_DET_BINARIES space-separated list
-#                     (default "fig5_network_size fig2_full_mesh ext7_gray_failures")
+#                     (default "fig5_network_size fig2_full_mesh ext7_gray_failures ext8_broker_churn")
 #   DCRD_DET_REPS     repetitions          (default 2)
 #   DCRD_DET_SECONDS  simulated seconds    (default 120)
 #   DCRD_DET_JOBS     parallel job count   (default 8)
@@ -17,7 +17,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 build_dir="${1:-build}"
-binaries="${DCRD_DET_BINARIES:-fig5_network_size fig2_full_mesh ext7_gray_failures}"
+binaries="${DCRD_DET_BINARIES:-fig5_network_size fig2_full_mesh ext7_gray_failures ext8_broker_churn}"
 if [[ -n "${DCRD_DET_BINARY:-}" ]]; then
   binaries="$DCRD_DET_BINARY"
 fi

@@ -101,6 +101,22 @@ class SlotMap {
     return const_cast<SlotMap*>(this)->Get(handle);
   }
 
+  // Visits the handle of every live slot in slot order. The callback must
+  // not Acquire or Release on this map — callers that need to mutate
+  // (fail-fast sweeps) collect the handles first and act afterwards, when
+  // a handle gone stale in the meantime is rejected by Get as usual.
+  template <typename Fn>
+  void ForEachLiveHandle(Fn&& fn) const {
+    std::size_t remaining = live_;
+    for (std::uint32_t slot = 0;
+         remaining > 0 && slot < static_cast<std::uint32_t>(meta_.size());
+         ++slot) {
+      if (!meta_[slot].live) continue;
+      --remaining;
+      fn(SlotHandle{slot, meta_[slot].generation});
+    }
+  }
+
   // Releases a live handle's slot back to the free list, bumping the
   // generation so every outstanding handle to it goes stale. Returns false
   // (and does nothing) when the handle is already stale. The value is kept

@@ -24,6 +24,8 @@ DcrdRouter::DcrdRouter(RouterContext context, DcrdConfig config)
   config_.distributed.max_transmissions = context_.max_transmissions;
   config_.distributed.ordering = config_.computation.ordering;
   processed_.resize(context_.network->graph().node_count());
+  resync_until_.assign(context_.network->graph().node_count(), SimTime());
+  resync_round_.assign(context_.network->graph().node_count(), 0);
 }
 
 void DcrdRouter::Rebuild(const MonitoredView& view) {
@@ -33,6 +35,9 @@ void DcrdRouter::Rebuild(const MonitoredView& view) {
   // Retry budgets reset with the epoch; anything still parked gets a fresh
   // chance against the newly measured topology.
   persisted_.clear();
+  // Freshly rebuilt tables supersede any in-progress crash resync — the
+  // restarted broker's state is now exactly as good as everyone else's.
+  std::fill(resync_until_.begin(), resync_until_.end(), SimTime());
 
   const Graph& graph = context_.network->graph();
   const SubscriptionTable& subs = *context_.subscriptions;
@@ -264,24 +269,41 @@ NodeId DcrdRouter::SelectNextHop(const Episode& episode,
   // The subscriber left (churn) while this packet was in flight: nowhere
   // to send — the caller drops the responsibility.
   if (tables_ptr == nullptr) return NodeId();
-  const NodeTables& node_tables = *tables_ptr;
   const auto tried_it = episode.tried.find(subscriber);
   const auto is_tried = [&](NodeId candidate) {
     return tried_it != episode.tried.end() && tried_it->second.contains(candidate);
   };
 
-  const auto scan = [&](const std::vector<ViaEntry>& list) {
-    for (const ViaEntry& entry : list) {
-      if (episode.base.OnRoutingPath(entry.neighbor)) continue;
-      if (is_tried(entry.neighbor)) continue;
-      return entry.neighbor;
+  NodeId choice;
+  if (ResyncActive(episode.node)) {
+    // Post-restart best-effort forwarding: this broker's <d,r> tables died
+    // with its crash and gossip has not reconverged, so instead of a
+    // sending list it walks its physical adjacency — any neighbour not on
+    // the routing path, not tried this episode and not known-dead — with
+    // the usual upstream backstop below. Delivery never waits for resync.
+    for (const Neighbor& n :
+         context_.network->graph().neighbors(episode.node)) {
+      if (episode.base.OnRoutingPath(n.peer)) continue;
+      if (is_tried(n.peer)) continue;
+      if (!transport_.PeerAlive(episode.node, n.link)) continue;
+      choice = n.peer;
+      break;
     }
-    return NodeId();
-  };
+  } else {
+    const NodeTables& node_tables = *tables_ptr;
+    const auto scan = [&](const std::vector<ViaEntry>& list) {
+      for (const ViaEntry& entry : list) {
+        if (episode.base.OnRoutingPath(entry.neighbor)) continue;
+        if (is_tried(entry.neighbor)) continue;
+        return entry.neighbor;
+      }
+      return NodeId();
+    };
 
-  NodeId choice = scan(node_tables.primary);
-  if (!choice.valid() && config_.best_effort_fallback) {
-    choice = scan(node_tables.fallback);
+    choice = scan(node_tables.primary);
+    if (!choice.valid() && config_.best_effort_fallback) {
+      choice = scan(node_tables.fallback);
+    }
   }
   if (choice.valid()) return choice;
 
@@ -356,7 +378,15 @@ void DcrdRouter::ProcessEpisode(std::uint64_t episode_id) {
 void DcrdRouter::OnCopyResolved(std::uint64_t episode_id, NodeId next_hop,
                                 std::vector<NodeId> subscribers, bool acked) {
   auto it = episodes_.find(episode_id);
-  DCRD_CHECK(it != episodes_.end());
+  if (it == episodes_.end()) {
+    // Only a broker crash erases an episode with copies still unresolved
+    // (the crash kills the broker's own pendings without resolving them,
+    // but a straggler resolution scheduled before the crash can still
+    // land). Without crashes a vanished episode is a bookkeeping bug.
+    DCRD_CHECK(context_.network->crashes().enabled())
+        << "copy resolved for vanished episode " << episode_id;
+    return;
+  }
   Episode& episode = it->second;
   --episode.in_flight;
 
@@ -405,6 +435,21 @@ void DcrdRouter::HandleUndeliverable(NodeId node, const Packet& base,
   context_.network->scheduler().ScheduleAfter(
       config_.persistence_retry_interval,
       [this, node, message, subscriber, generation] {
+        // Parked packets are volatile state: if the broker crashed at any
+        // point while this one waited, it died with the broker.
+        const BrokerCrashSchedule& crashes = context_.network->crashes();
+        const SimTime now = context_.network->scheduler().now();
+        const SimTime parked_at = SimTime::FromMicros(
+            now.micros() - config_.persistence_retry_interval.micros());
+        if (crashes.enabled() && crashes.DownDuring(node, parked_at, now)) {
+          ++dropped_undeliverable_;
+          if (context_.recorder != nullptr) {
+            context_.recorder->Record(
+                TraceEventKind::kDrop, message.id.value, 0, node, subscriber,
+                LinkId(), static_cast<std::uint8_t>(TraceDropReason::kCrash));
+          }
+          return;
+        }
         ++persistence_retries_;
         // Fresh attempt: empty routing path so the whole overlay is
         // explorable again, and a new persistence generation so the
@@ -414,6 +459,97 @@ void DcrdRouter::HandleUndeliverable(NodeId node, const Packet& base,
         retry.set_flow_label(static_cast<std::uint8_t>(generation));
         processed_[node.underlying()][ProcessedKey(retry)].insert(subscriber);
         StartEpisode(node, std::move(retry));
+      });
+}
+
+std::size_t DcrdRouter::OnBrokerCrash(NodeId node) {
+  // Transport first: pendings at `node` are killed without resolution and
+  // its dedup windows cleared, so nothing below ever hears from them again.
+  const std::size_t killed = transport_.OnBrokerCrash(node);
+  // Open processing episodes at the broker die with it.
+  std::erase_if(episodes_,
+                [&](const auto& kv) { return kv.second.node == node; });
+  processed_[node.underlying()].clear();
+  // Persistency-mode parked packets were volatile state too. (The armed
+  // retry timers re-check the crash schedule when they fire.)
+  std::erase_if(persisted_, [&](const auto& kv) {
+    return std::get<0>(kv.first) == node;
+  });
+  // A crash inside a resync window voids the resync; the next restart
+  // opens a fresh one and the old completion timer goes stale.
+  resync_until_[node.underlying()] = SimTime();
+  ++resync_round_[node.underlying()];
+  return killed;
+}
+
+SimDuration DcrdRouter::ResyncWindow(NodeId node) const {
+  SimDuration slowest = SimDuration::Zero();
+  for (const Neighbor& n : context_.network->graph().neighbors(node)) {
+    const SimDuration alpha = view_ != nullptr
+                                  ? view_->alpha(n.link)
+                                  : context_.network->graph().edge(n.link).delay;
+    slowest = std::max(slowest, context_.AckTimeout(alpha));
+  }
+  return std::max(SimDuration::Micros(3 * 2 * slowest.micros()),
+                  SimDuration::Millis(1));
+}
+
+void DcrdRouter::OnBrokerRestart(NodeId node) {
+  const SimTime started = context_.network->scheduler().now();
+  const SimDuration window = ResyncWindow(node);
+  resync_until_[node.underlying()] = started + window;
+  const std::uint32_t round = ++resync_round_[node.underlying()];
+  ++resync_stats_.resyncs_started;
+
+  if (config_.use_distributed_computation) {
+    // Reset the broker's slot in every gossip instance: its pre-crash
+    // <d,r> contributions are forgotten, a fresh generation is announced,
+    // and neighbours are re-solicited — stale stragglers from before the
+    // crash carry the old generation and are dropped on arrival.
+    for (auto& topic_gossip : gossip_) {
+      for (GossipTables& gossip : topic_gossip) {
+        if (gossip.constrained) gossip.constrained->OnNodeRestart(node);
+        if (gossip.unconstrained) gossip.unconstrained->OnNodeRestart(node);
+      }
+    }
+  } else {
+    // Solver mode keeps the tables centrally, so model the state re-fetch
+    // as one control round trip per neighbour (request up, snapshot back).
+    for (const Neighbor& n : context_.network->graph().neighbors(node)) {
+      const NodeId peer = n.peer;
+      const LinkId link = n.link;
+      context_.network->Transmit(
+          node, link, TrafficClass::kControl,
+          [net = context_.network, peer, link] {
+            net->Transmit(peer, link, TrafficClass::kControl, [] {});
+          });
+    }
+  }
+
+  if (context_.recorder != nullptr) {
+    context_.recorder->Record(
+        TraceEventKind::kResyncStart, 0, 0, node, NodeId(), LinkId(), 0,
+        static_cast<std::uint16_t>(
+            context_.network->graph().degree(node)));
+  }
+  context_.network->scheduler().ScheduleAfter(
+      window, [this, node, round, started] {
+        // Stale if the broker crashed again inside the window.
+        if (resync_round_[node.underlying()] != round) return;
+        resync_until_[node.underlying()] = SimTime();
+        const SimDuration took =
+            context_.network->scheduler().now() - started;
+        ++resync_stats_.resyncs_completed;
+        resync_stats_.total_resync_time += took;
+        resync_stats_.max_resync_time =
+            std::max(resync_stats_.max_resync_time, took);
+        if (context_.recorder != nullptr) {
+          // The copy field carries the resync duration in microseconds.
+          context_.recorder->Record(
+              TraceEventKind::kResyncDone, 0,
+              static_cast<std::uint64_t>(took.micros()), node, NodeId(),
+              LinkId());
+        }
       });
 }
 

@@ -111,6 +111,21 @@ class DcrdRouter final : public Router {
     return episodes_.size();
   }
 
+  // Fail-stop crash–recovery (see net/broker_lifecycle.h). A crash destroys
+  // every piece of the broker's volatile state: transport pendings and
+  // dedup windows, open processing episodes, the per-node processed map and
+  // any packets parked by persistency mode. A restart opens a gossip-resync
+  // window: in distributed mode the broker's <d,r> protocol state is reset
+  // and re-announced with a fresh generation; in solver mode one control
+  // round trip per neighbour models the table re-fetch. Until the window
+  // closes the broker forwards best-effort along its physical adjacency —
+  // delivery never waits for convergence.
+  std::size_t OnBrokerCrash(NodeId node) override;
+  void OnBrokerRestart(NodeId node) override;
+  [[nodiscard]] ResyncStats resync_stats() const override {
+    return resync_stats_;
+  }
+
  private:
   struct Episode {
     std::uint64_t id = 0;
@@ -158,6 +173,15 @@ class DcrdRouter final : public Router {
                                                 NodeId node) const;
   [[nodiscard]] NodeId UpstreamOf(const Episode& episode) const;
   void FinishEpisodeIfIdle(std::uint64_t episode_id);
+  // True while `node` is inside its post-restart resync window.
+  [[nodiscard]] bool ResyncActive(NodeId node) const {
+    return context_.network->scheduler().now() <
+           resync_until_[node.underlying()];
+  }
+  // How long a restarted broker distrusts its tables: three request/reply
+  // exchanges with its slowest neighbour (solicitation round trip plus two
+  // gossip rounds of slack), floored at 1 ms.
+  [[nodiscard]] SimDuration ResyncWindow(NodeId node) const;
 
   RouterContext context_;
   DcrdConfig config_;
@@ -200,6 +224,13 @@ class DcrdRouter final : public Router {
   std::uint64_t dropped_undeliverable_ = 0;
   std::uint64_t persisted_packets_ = 0;
   std::uint64_t persistence_retries_ = 0;
+  // Crash–recovery resync state, one slot per broker. `resync_until_` is
+  // the end of the node's current best-effort window (SimTime() = none);
+  // `resync_round_` guards the completion timer against the ABA of a
+  // second crash landing inside the first window.
+  std::vector<SimTime> resync_until_;
+  std::vector<std::uint32_t> resync_round_;
+  ResyncStats resync_stats_;
 };
 
 }  // namespace dcrd

@@ -15,6 +15,7 @@ DistributedDrComputation::DistributedDrComputation(
   const Graph& graph = network_.graph();
   DCRD_CHECK(budget_us_.size() == graph.node_count());
   states_.resize(graph.node_count());
+  generation_.assign(graph.node_count(), 0);
   for (std::size_t v = 0; v < graph.node_count(); ++v) {
     states_[v].heard.assign(
         graph.neighbors(NodeId(static_cast<NodeId::underlying_type>(v)))
@@ -81,13 +82,14 @@ void DistributedDrComputation::Broadcast(NodeId node) {
   // The callback holds shared ownership: a protocol retired mid-flight
   // stays alive until its last update lands (and is then ignored).
   auto self = shared_from_this();
+  const std::uint32_t generation = generation_[node.underlying()];
   for (const Neighbor& nb : graph.neighbors(node)) {
     ++updates_sent_;
     const NodeId peer = nb.peer;
     network_.Transmit(node, nb.link, TrafficClass::kControl,
-                      [self, peer, node, value] {
+                      [self, peer, node, value, generation] {
                         if (self->stopped_) return;
-                        self->HandleUpdate(peer, node, value);
+                        self->HandleUpdate(peer, node, value, generation);
                       });
   }
 }
@@ -120,8 +122,48 @@ void DistributedDrComputation::RebroadcastTick(NodeId node) {
   }
 }
 
+void DistributedDrComputation::OnNodeRestart(NodeId node) {
+  if (stopped_) return;
+  NodeState& state = states_[node.underlying()];
+  ++generation_[node.underlying()];
+  state.heard.assign(state.heard.size(), DR{});
+  state.self = node == subscriber_ ? DR{0.0, 1.0} : DR{};
+  state.pending_rebroadcasts = 0;
+  ++version_;
+  last_change_ = network_.scheduler().now();
+  // Re-announce the reset value (fresh generation) and solicit every
+  // neighbour: the request pays one hop, the peer answers with whatever it
+  // holds when the request lands.
+  Broadcast(node);
+  ScheduleRebroadcasts(node);
+  auto self = shared_from_this();
+  for (const Neighbor& nb : network_.graph().neighbors(node)) {
+    const NodeId peer = nb.peer;
+    const LinkId link = nb.link;
+    network_.Transmit(
+        node, link, TrafficClass::kControl, [self, peer, link, node] {
+          if (self->stopped_) return;
+          const DR value = self->states_[peer.underlying()].self;
+          const std::uint32_t generation =
+              self->generation_[peer.underlying()];
+          ++self->updates_sent_;
+          self->network_.Transmit(peer, link, TrafficClass::kControl,
+                                  [self, node, peer, value, generation] {
+                                    if (self->stopped_) return;
+                                    self->HandleUpdate(node, peer, value,
+                                                       generation);
+                                  });
+        });
+  }
+}
+
 void DistributedDrComputation::HandleUpdate(NodeId at, NodeId from,
-                                            const DR& value) {
+                                            const DR& value,
+                                            std::uint32_t generation) {
+  // A pre-crash straggler: the sender restarted (and bumped its
+  // generation) after launching this update — its payload describes state
+  // the crash destroyed, so it must not overwrite fresher announcements.
+  if (generation != generation_[from.underlying()]) return;
   ++updates_received_;
   const Graph& graph = network_.graph();
   const auto& neighbors = graph.neighbors(at);

@@ -65,6 +65,14 @@ class DistributedDrComputation
   // arrival and no further messages are sent.
   void Stop() { stopped_ = true; }
 
+  // Fail-stop recovery: `node` restarted with empty volatile state. Its
+  // slot is reset (self and every heard value forgotten), its announcement
+  // generation bumps — updates it sent before the crash are dropped on
+  // arrival instead of resurrecting pre-crash state — and it re-announces
+  // itself and solicits every neighbour's current value, so its <d,r>
+  // reconverges without waiting for the next natural change wave.
+  void OnNodeRestart(NodeId node);
+
   // Current (possibly still converging) per-node state. per_node[i].primary
   // is the sending list Algorithm 1 would install at node i.
   [[nodiscard]] std::vector<NodeTables> Snapshot() const;
@@ -94,7 +102,10 @@ class DistributedDrComputation
   void Broadcast(NodeId node);
   void ScheduleRebroadcasts(NodeId node);
   void RebroadcastTick(NodeId node);
-  void HandleUpdate(NodeId at, NodeId from, const DR& value);
+  // `generation` is the sender's announcement generation at send time; a
+  // mismatch with its current generation marks a pre-crash straggler.
+  void HandleUpdate(NodeId at, NodeId from, const DR& value,
+                    std::uint32_t generation);
   [[nodiscard]] std::vector<ViaEntry> EligibleEntries(NodeId node) const;
 
   OverlayNetwork& network_;
@@ -103,6 +114,8 @@ class DistributedDrComputation
   std::vector<double> budget_us_;
   DistributedDrConfig config_;
   std::vector<NodeState> states_;
+  // Per-node announcement generation; bumped by OnNodeRestart.
+  std::vector<std::uint32_t> generation_;
   std::uint64_t updates_sent_ = 0;
   std::uint64_t updates_received_ = 0;
   std::uint64_t version_ = 0;

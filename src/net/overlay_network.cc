@@ -39,6 +39,16 @@ bool OverlayNetwork::Transmit(NodeId from, LinkId link, TrafficClass cls,
                cls);
     return false;
   }
+  // Fail-stop crash at entry: a crashed sender transmits nothing, a crashed
+  // receiver's inbound queue is void. Counter-based — no RNG draw, so the
+  // loss/gray sample paths are untouched when the schedule is disabled.
+  if (crashes_.enabled() &&
+      (!crashes_.Up(from, now) || !crashes_.Up(to, now))) {
+    ++counter.dropped_crash;
+    RecordDrop(recorder_, trace, TraceDropReason::kCrash, from, to, link,
+               cls);
+    return false;
+  }
   if (!failures_.IsUp(link, now)) {
     ++counter.dropped_failure;
     RecordDrop(recorder_, trace, TraceDropReason::kLinkDown, from, to, link,
@@ -58,7 +68,6 @@ bool OverlayNetwork::Transmit(NodeId from, LinkId link, TrafficClass cls,
     RecordDrop(recorder_, trace, TraceDropReason::kGray, from, to, link, cls);
     return false;
   }
-  ++counter.delivered;
 
   SimTime departure = now;
   if (config_.serialization > SimDuration::Zero() &&
@@ -84,6 +93,18 @@ bool OverlayNetwork::Transmit(NodeId from, LinkId link, TrafficClass cls,
   // ack_delay_factor 0 stays instantaneous — the paper's out-of-band model).
   propagation = SimDuration::FromMillisF(
       propagation.millis() * gray_.DelayFactor(link, direction, now));
+  // Fail-stop drops in-flight traffic: the receiver must stay up for the
+  // whole queuing + propagation window or the packet dies with the crash.
+  // Checked after the delay math (arrival time is needed) but before the
+  // delivered count so every attempt still lands in exactly one bucket.
+  if (crashes_.enabled() &&
+      !crashes_.UpThroughout(to, now, departure + propagation)) {
+    ++counter.dropped_crash;
+    RecordDrop(recorder_, trace, TraceDropReason::kCrash, from, to, link,
+               cls);
+    return false;
+  }
+  ++counter.delivered;
   scheduler_.ScheduleAt(departure + propagation, std::move(on_delivered));
   return true;
 }

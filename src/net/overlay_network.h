@@ -30,6 +30,7 @@
 #include "common/rng.h"
 #include "event/scheduler.h"
 #include "graph/graph.h"
+#include "net/broker_lifecycle.h"
 #include "net/failure_schedule.h"
 #include "net/gray_failure.h"
 #include "obs/trace_record.h"
@@ -46,13 +47,15 @@ struct TrafficCounters {
   std::uint64_t dropped_failure = 0;       // link down at entry
   std::uint64_t dropped_node_failure = 0;  // an endpoint broker down
   std::uint64_t dropped_loss = 0;
-  std::uint64_t dropped_gray = 0;  // gray episode's extra loss
+  std::uint64_t dropped_gray = 0;   // gray episode's extra loss
+  std::uint64_t dropped_crash = 0;  // a crashed broker killed it (at entry
+                                    // or mid-flight — fail-stop semantics)
 
   // Every attempt is either delivered or lands in exactly one drop bucket;
   // the invariant checker asserts this every monitoring epoch.
   [[nodiscard]] std::uint64_t accounted() const {
     return delivered + dropped_failure + dropped_node_failure + dropped_loss +
-           dropped_gray;
+           dropped_gray + dropped_crash;
   }
 };
 
@@ -76,12 +79,14 @@ class OverlayNetwork {
                  FailureSchedule failures, OverlayNetworkConfig config,
                  Rng loss_rng,
                  NodeFailureSchedule node_failures = NodeFailureSchedule(),
-                 GrayFailureSchedule gray = GrayFailureSchedule())
+                 GrayFailureSchedule gray = GrayFailureSchedule(),
+                 BrokerCrashSchedule crashes = BrokerCrashSchedule())
       : graph_(graph),
         scheduler_(scheduler),
         failures_(failures),
         node_failures_(node_failures),
         gray_(gray),
+        crashes_(crashes),
         config_(config),
         loss_rng_(loss_rng),
         // Gray extra-loss draws use a forked substream so enabling the gray
@@ -120,7 +125,8 @@ class OverlayNetwork {
 
   // True when `node` can currently send and receive.
   [[nodiscard]] bool NodeUp(NodeId node) const {
-    return node_failures_.IsUp(node, scheduler_.now());
+    const SimTime now = scheduler_.now();
+    return node_failures_.IsUp(node, now) && crashes_.Up(node, now);
   }
 
   [[nodiscard]] const Graph& graph() const { return graph_; }
@@ -129,7 +135,9 @@ class OverlayNetwork {
     return node_failures_;
   }
   [[nodiscard]] const GrayFailureSchedule& gray() const { return gray_; }
+  [[nodiscard]] const BrokerCrashSchedule& crashes() const { return crashes_; }
   [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] const Scheduler& scheduler() const { return scheduler_; }
   [[nodiscard]] const TrafficCounters& counters(TrafficClass cls) const {
     return counters_[static_cast<std::size_t>(cls)];
   }
@@ -144,6 +152,7 @@ class OverlayNetwork {
   FailureSchedule failures_;
   NodeFailureSchedule node_failures_;
   GrayFailureSchedule gray_;
+  BrokerCrashSchedule crashes_;
   OverlayNetworkConfig config_;
   Rng loss_rng_;
   Rng gray_rng_;

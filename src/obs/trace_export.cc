@@ -261,6 +261,46 @@ int FormatTraceHuman(const TraceRecord& r, char* buf, std::size_t cap) {
                         IdField(r.node), IdField(r.link), IdField(r.peer),
                         r.aux8 != 0 ? " (adaptive)" : "");
       break;
+    case TraceEventKind::kBrokerDown:
+      n = std::snprintf(buf, cap,
+                        "@%" PRId64 "us broker-down n%lld (%u pending "
+                        "copies killed, volatile state lost)",
+                        r.t_us, IdField(r.node),
+                        static_cast<unsigned>(r.aux16));
+      break;
+    case TraceEventKind::kBrokerUp:
+      n = std::snprintf(buf, cap,
+                        "@%" PRId64 "us broker-up n%lld (restarted empty)",
+                        r.t_us, IdField(r.node));
+      break;
+    case TraceEventKind::kPeerDead:
+      n = std::snprintf(buf, cap,
+                        "@%" PRId64 "us peer-dead n%lld->n%lld l%lld (%u "
+                        "pending failed fast)",
+                        r.t_us, IdField(r.node), IdField(r.peer),
+                        IdField(r.link), static_cast<unsigned>(r.aux16));
+      break;
+    case TraceEventKind::kPeerAlive:
+      n = std::snprintf(buf, cap,
+                        "@%" PRId64 "us peer-alive n%lld->n%lld l%lld "
+                        "(after %u probes)",
+                        r.t_us, IdField(r.node), IdField(r.peer),
+                        IdField(r.link), static_cast<unsigned>(r.aux16));
+      break;
+    case TraceEventKind::kResyncStart:
+      n = std::snprintf(buf, cap,
+                        "@%" PRId64 "us resync-start n%lld (soliciting %u "
+                        "neighbours)",
+                        r.t_us, IdField(r.node),
+                        static_cast<unsigned>(r.aux16));
+      break;
+    case TraceEventKind::kResyncDone:
+      // `copy` carries the resync duration in microseconds (see
+      // trace_record.h), not a copy id.
+      n = std::snprintf(buf, cap,
+                        "@%" PRId64 "us resync-done n%lld took=%lluus",
+                        r.t_us, IdField(r.node), copy);
+      break;
   }
   DCRD_CHECK(n > 0 && static_cast<std::size_t>(n) < cap);
   return n;
@@ -380,6 +420,36 @@ std::size_t PrintPacketTimeline(std::ostream& os,
                      return records[a].t_us < records[b].t_us;
                    });
   os << "packet m" << packet_id << " — " << matching.size() << " event"
+     << (matching.size() == 1 ? "" : "s") << "\n";
+  char line[kMaxTraceLineBytes];
+  for (const std::size_t i : matching) {
+    const int n = FormatTraceHuman(records[i], line, sizeof(line));
+    os << "  ";
+    os.write(line, n);
+    os << "\n";
+  }
+  return matching.size();
+}
+
+std::size_t PrintBrokerTimeline(std::ostream& os,
+                                const std::vector<TraceRecord>& records,
+                                std::uint32_t broker_id) {
+  // A record involves the broker when it is the acting node or the
+  // counterpart peer. kTimerArmed repurposes `peer` to carry the timeout in
+  // microseconds, so only its `node` field identifies a broker.
+  const auto involves = [broker_id](const TraceRecord& r) {
+    if (r.node == broker_id) return true;
+    return r.kind != TraceEventKind::kTimerArmed && r.peer == broker_id;
+  };
+  std::vector<std::size_t> matching;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (involves(records[i])) matching.push_back(i);
+  }
+  std::stable_sort(matching.begin(), matching.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return records[a].t_us < records[b].t_us;
+                   });
+  os << "broker n" << broker_id << " — " << matching.size() << " event"
      << (matching.size() == 1 ? "" : "s") << "\n";
   char line[kMaxTraceLineBytes];
   for (const std::size_t i : matching) {

@@ -72,6 +72,14 @@ std::size_t PrintPacketTimeline(std::ostream& os,
                                 const std::vector<TraceRecord>& records,
                                 std::uint64_t packet_id);
 
+// Prints every event involving broker `broker_id` (as acting node or peer)
+// in time order — the broker lifeline: crashes, restarts, resyncs, peer
+// verdicts about it, and the traffic it handled. Returns the number of
+// events printed.
+std::size_t PrintBrokerTimeline(std::ostream& os,
+                                const std::vector<TraceRecord>& records,
+                                std::uint32_t broker_id);
+
 // Prints per-kind event counts, the time span, and distinct packet/broker
 // counts — dcrd_trace's default view.
 void PrintTraceSummary(std::ostream& os,

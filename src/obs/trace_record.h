@@ -39,9 +39,20 @@ enum class TraceEventKind : std::uint8_t {
                       // microseconds (the real peer is derivable from
                       // node+link); aux16 = transmission index, aux8 = 1
                       // when the adaptive RTO chose the timeout.
+  kBrokerDown,        // broker crashed at a failure epoch (volatile state
+                      // lost); aux16 = number of pending copies killed
+  kBrokerUp,          // broker restarted with empty volatile state
+  kPeerDead,          // transport declared a peer dead (ACK silence);
+                      // aux16 = pending copies failed fast on the link
+  kPeerAlive,         // a probe answered: peer declared alive again;
+                      // aux16 = probe attempts it took
+  kResyncStart,       // restarted broker began gossip resync of <d,r> state
+  kResyncDone,        // resync converged; sending lists trustworthy again.
+                      // `copy` is repurposed to carry the resync duration
+                      // in microseconds
 };
 
-inline constexpr int kTraceEventKindCount = 16;
+inline constexpr int kTraceEventKindCount = 22;
 
 // Why a kDrop happened; stored in TraceRecord::aux8.
 enum class TraceDropReason : std::uint8_t {
@@ -51,6 +62,8 @@ enum class TraceDropReason : std::uint8_t {
   kLoss,           // background Bernoulli(Pl) loss
   kGray,           // gray episode's extra loss draw
   kUndeliverable,  // router gave up a responsibility (no next hop left)
+  kCrash,          // a crashed broker dropped the transmission (at entry
+                   // or mid-flight — fail-stop drops queued traffic too)
 };
 
 constexpr std::string_view TraceEventName(TraceEventKind kind) {
@@ -71,6 +84,12 @@ constexpr std::string_view TraceEventName(TraceEventKind kind) {
     case TraceEventKind::kGrayEnd: return "gray-end";
     case TraceEventKind::kRebuild: return "rebuild";
     case TraceEventKind::kTimerArmed: return "timer-armed";
+    case TraceEventKind::kBrokerDown: return "broker-down";
+    case TraceEventKind::kBrokerUp: return "broker-up";
+    case TraceEventKind::kPeerDead: return "peer-dead";
+    case TraceEventKind::kPeerAlive: return "peer-alive";
+    case TraceEventKind::kResyncStart: return "resync-start";
+    case TraceEventKind::kResyncDone: return "resync-done";
   }
   return "unknown";
 }
@@ -96,6 +115,7 @@ constexpr std::string_view TraceDropReasonName(TraceDropReason reason) {
     case TraceDropReason::kLoss: return "loss";
     case TraceDropReason::kGray: return "gray";
     case TraceDropReason::kUndeliverable: return "undeliverable";
+    case TraceDropReason::kCrash: return "crash";
   }
   return "unknown";
 }

@@ -34,6 +34,16 @@ void HopTransport::SendReliable(NodeId from, LinkId link, Packet packet,
                              network_.graph().edge(link).OtherEnd(from), link,
                              0, static_cast<std::uint16_t>(max_tx));
   }
+  if (!PeerAlive(from, link)) {
+    // The far end is known dead: fail without burning a single
+    // transmission so the protocol reroutes immediately. Routed through
+    // the ordinary budget-exhaustion path (zero transmissions made) so
+    // done() still fires from a scheduler event, never re-entrantly.
+    pending.transmissions_left = 0;
+    pending.timer = network_.scheduler().ScheduleAfter(
+        SimDuration::Zero(), [this, slot] { HandleTimeout(slot); });
+    return;
+  }
   TransmitOnce(slot);
 }
 
@@ -126,10 +136,19 @@ void HopTransport::HandleTimeout(SlotHandle pending_slot) {
         pending->link, 0,
         static_cast<std::uint16_t>(pending->transmissions_made));
   }
+  const NodeId from = pending->from;
+  const LinkId link = pending->link;
+  const SimDuration seed = pending->ack_timeout;
+  const int made = pending->transmissions_made;
   DoneCallback done = std::move(pending->done);
   // Release before invoking: `done` may start further sends that reuse the
   // slot or grow the slab.
   pending_.Release(pending_slot);
+  // Count the silent budget toward peer-death detection *before* invoking
+  // done, so a reroute triggered by this give-up already sees the link
+  // marked dead. Fast-failed copies (zero transmissions) are not new
+  // evidence of silence.
+  if (config_.peer_death && made > 0) NoteHopFailure(from, link, seed);
   if (done) done(false);
 }
 
@@ -163,8 +182,9 @@ void HopTransport::HandleDataArrival(SlotHandle wire_slot) {
   // current generation even when the previous one already knows the copy,
   // so repeat stragglers keep their suppression entry alive across
   // rotations.
-  const bool in_prev = prev_seen_copies_.Contains(copy_id);
-  const bool handed_up = seen_copies_.Insert(copy_id) && !in_prev;
+  const bool in_prev = prev_seen_copies_[at.underlying()].Contains(copy_id);
+  const bool handed_up =
+      seen_copies_[at.underlying()].Insert(copy_id) && !in_prev;
   if (config_.observer != nullptr) {
     config_.observer->OnCopyArrival(copy_id, at, from, packet, handed_up);
   }
@@ -233,9 +253,194 @@ void HopTransport::HandleAckArrival(SlotHandle pending_slot,
         pending->transmissions_made - 1 - tx_index);
   }
   network_.scheduler().Cancel(pending->timer);
+  const NodeId from = pending->from;
+  const LinkId link = pending->link;
   DoneCallback done = std::move(pending->done);
   pending_.Release(pending_slot);
+  if (config_.peer_death) NoteHopSuccess(from, link);
   if (done) done(true);
+}
+
+std::size_t HopTransport::OnBrokerCrash(NodeId node) {
+  // 1. The crashed broker's retransmission state dies: release its pending
+  // copies without invoking done — the protocol layer drops the matching
+  // episodes in the same instant, so nothing waits on these. Timers are
+  // cancelled; a handle that somehow fired anyway goes stale on Release.
+  sweep_scratch_.clear();
+  pending_.ForEachLiveHandle([&](SlotHandle handle) {
+    const Pending* pending = pending_.Get(handle);
+    if (pending != nullptr && pending->from == node) {
+      sweep_scratch_.push_back(handle);
+    }
+  });
+  std::size_t killed = 0;
+  for (const SlotHandle handle : sweep_scratch_) {
+    Pending* pending = pending_.Get(handle);
+    if (pending == nullptr) continue;
+    network_.scheduler().Cancel(pending->timer);
+    pending->done = DoneCallback();  // drop, never invoke
+    pending_.Release(handle);
+    ++killed;
+  }
+  stats_.crash_copies_killed += killed;
+  // 2. Duplicate-suppression memory is volatile: void exactly this
+  // broker's generations. A retransmission of a copy it ACKed pre-crash
+  // will be handed up a second time after restart — legal, and budgeted
+  // for by the crash-aware invariant checker. (Its ACK tombstones become
+  // unreachable — copy ids are never reused — and age out with the next
+  // epoch rotation.)
+  seen_copies_[node.underlying()].clear();
+  prev_seen_copies_[node.underlying()].clear();
+  // 3. Its own peer-liveness beliefs and probe loops are volatile too.
+  if (!peer_.empty()) {
+    for (const Neighbor& neighbor : network_.graph().neighbors(node)) {
+      PeerState& state = peer_[DirectedIndex(node, neighbor.link)];
+      network_.scheduler().Cancel(state.probe_timer);
+      state.probe_timer = EventHandle{};
+      state.dead = false;
+      state.consecutive_failures = 0;
+      state.probe_attempts = 0;
+      ++state.round;
+    }
+  }
+  return killed;
+}
+
+void HopTransport::NoteHopFailure(NodeId from, LinkId link,
+                                  SimDuration seed) {
+  PeerState& state = peer_[DirectedIndex(from, link)];
+  if (state.dead) return;  // probes own recovery from here
+  if (++state.consecutive_failures < config_.peer_death_threshold) return;
+  DeclarePeerDead(from, link, seed);
+}
+
+void HopTransport::NoteHopSuccess(NodeId from, LinkId link) {
+  PeerState& state = peer_[DirectedIndex(from, link)];
+  state.consecutive_failures = 0;
+  if (!state.dead) return;
+  // An answer (data-path ACK or probe reply) revives the link.
+  state.dead = false;
+  ++state.round;  // stale probe timers for the dead period go inert
+  network_.scheduler().Cancel(state.probe_timer);
+  state.probe_timer = EventHandle{};
+  ++stats_.peer_revivals;
+  if (config_.recorder != nullptr) {
+    config_.recorder->Record(
+        TraceEventKind::kPeerAlive, TraceRecord::kNoPacket, 0, from,
+        network_.graph().edge(link).OtherEnd(from), link, 0,
+        static_cast<std::uint16_t>(state.probe_attempts));
+  }
+  state.probe_attempts = 0;
+}
+
+void HopTransport::DeclarePeerDead(NodeId from, LinkId link,
+                                   SimDuration seed) {
+  PeerState& state = peer_[DirectedIndex(from, link)];
+  state.dead = true;
+  state.probe_attempts = 0;
+  ++state.round;
+  // Probe cadence grows from the link's own RTO estimate (adaptive) or the
+  // protocol's ACK timeout (fixed) — the same silence window that tripped
+  // the detection.
+  state.probe_base = config_.adaptive_rto ? rto_.Rto(link, seed) : seed;
+  if (state.probe_base <= SimDuration::Zero()) {
+    state.probe_base = SimDuration::Millis(1);
+  }
+  ++stats_.peer_deaths;
+  const std::size_t failed = FailFastPending(from, link);
+  if (config_.recorder != nullptr) {
+    config_.recorder->Record(
+        TraceEventKind::kPeerDead, TraceRecord::kNoPacket, 0, from,
+        network_.graph().edge(link).OtherEnd(from), link, 0,
+        static_cast<std::uint16_t>(failed));
+  }
+  ScheduleProbe(from, link);
+}
+
+std::size_t HopTransport::FailFastPending(NodeId from, LinkId link) {
+  sweep_scratch_.clear();
+  pending_.ForEachLiveHandle([&](SlotHandle handle) {
+    const Pending* pending = pending_.Get(handle);
+    if (pending != nullptr && pending->from == from &&
+        pending->link == link) {
+      sweep_scratch_.push_back(handle);
+    }
+  });
+  // A done() below may re-enter SendReliable (reroute) and mutate the slot
+  // map; handles collected above that get recycled meanwhile go stale and
+  // are skipped. The re-entrant send sees the link already dead, so it
+  // takes the zero-transmission fast-fail path, never this sweep again.
+  std::size_t failed = 0;
+  for (const SlotHandle handle : sweep_scratch_) {
+    Pending* pending = pending_.Get(handle);
+    if (pending == nullptr) continue;
+    network_.scheduler().Cancel(pending->timer);
+    if (config_.recorder != nullptr) {
+      config_.recorder->Record(
+          TraceEventKind::kBudgetExhausted,
+          pending->packet.message().id.value, pending->copy_id,
+          pending->from, network_.graph().edge(link).OtherEnd(from), link, 1,
+          static_cast<std::uint16_t>(pending->transmissions_made));
+    }
+    DoneCallback done = std::move(pending->done);
+    pending_.Release(handle);
+    ++failed;
+    if (done) done(false);
+  }
+  return failed;
+}
+
+void HopTransport::ScheduleProbe(NodeId from, LinkId link) {
+  const std::size_t didx = DirectedIndex(from, link);
+  PeerState& state = peer_[didx];
+  const std::uint32_t round = state.round;
+  state.probe_timer = network_.scheduler().ScheduleAfter(
+      ProbeInterval(didx, state),
+      [this, from, link, round] { SendProbe(from, link, round); });
+}
+
+void HopTransport::SendProbe(NodeId from, LinkId link, std::uint32_t round) {
+  PeerState& state = peer_[DirectedIndex(from, link)];
+  // ABA guard: a revive, crash reset, or newer death bumped the round and
+  // this timer is stale.
+  if (!state.dead || state.round != round) return;
+  ++state.probe_attempts;
+  ++stats_.peer_probes;
+  const NodeId to = network_.graph().edge(link).OtherEnd(from);
+  // Control-class echo: the probe reaching the peer triggers a reply; the
+  // reply reaching the prober revives the link. Either leg dying in a
+  // crashed/failed hop simply leaves the timer loop running.
+  network_.Transmit(from, link, TrafficClass::kControl,
+                    [this, from, to, link, round] {
+                      network_.Transmit(to, link, TrafficClass::kControl,
+                                        [this, from, link, round] {
+                                          PeerState& s =
+                                              peer_[DirectedIndex(from, link)];
+                                          if (s.dead && s.round == round) {
+                                            NoteHopSuccess(from, link);
+                                          }
+                                        });
+                    });
+  ScheduleProbe(from, link);
+}
+
+SimDuration HopTransport::ProbeInterval(std::size_t didx,
+                                        const PeerState& state) const {
+  const int shift = state.probe_attempts < 6 ? state.probe_attempts : 6;
+  double us = static_cast<double>(state.probe_base.micros()) *
+              static_cast<double>(1 << shift);
+  const double cap = static_cast<double>(config_.probe_max_interval.micros());
+  if (us > cap) us = cap;
+  // Deterministic jitter keyed on (directed link, attempt): reproducible,
+  // yet concurrent probers never fire in lock-step.
+  std::uint64_t s = (didx + 1) * 0x9E3779B97F4A7C15ULL;
+  s ^= 0xC2B2AE3D27D4EB4FULL *
+       (static_cast<std::uint64_t>(state.probe_attempts) + 1);
+  const double unit =
+      static_cast<double>(SplitMix64(s) >> 11) * 0x1.0p-53;  // [0, 1)
+  us *= 1.0 + config_.probe_jitter * (2.0 * unit - 1.0);
+  if (us < 1.0) us = 1.0;
+  return SimDuration::Micros(static_cast<std::int64_t>(us));
 }
 
 }  // namespace dcrd

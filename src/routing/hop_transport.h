@@ -61,6 +61,23 @@ class LogLinearHistogram;
 struct HopTransportConfig {
   bool adaptive_rto = false;
   RtoConfig rto;
+  // Peer-death detection (off by default). After `peer_death_threshold`
+  // consecutive copy give-ups on a directed link with no intervening ACK,
+  // the sender declares the peer dead: every copy still pending on that
+  // link fails fast (done(false), so the protocol reroutes immediately per
+  // Algorithm 2), new sends on it fail without burning transmissions, and
+  // a control-class probe loop with exponential backoff + deterministic
+  // jitter runs until the peer answers, which revives the link. The
+  // silence window is the Jacobson/Karels RTO state's own m-timeout
+  // budget — no second timer hierarchy.
+  bool peer_death = false;
+  int peer_death_threshold = 2;
+  // Probe backoff: first probe after the link RTO, doubling per unanswered
+  // attempt (capped at 6 doublings), clamped to `probe_max_interval`, with
+  // a ±`probe_jitter` spread keyed on (directed link, attempt) so probers
+  // never synchronize.
+  SimDuration probe_max_interval = SimDuration::Seconds(10);
+  double probe_jitter = 0.25;
   TransportObserver* observer = nullptr;
   // Optional flight recorder receiving enqueue/send/retransmit/ACK/
   // dedup/budget-exhausted lifecycle events. Must outlive the transport.
@@ -78,6 +95,11 @@ struct TransportStats {
   std::uint64_t spurious_retransmissions = 0;
   std::uint64_t rtt_samples = 0;
   std::size_t pending_copies = 0;
+  // Crash–recovery bookkeeping (all 0 unless the knobs are on).
+  std::uint64_t peer_deaths = 0;     // directed links declared dead
+  std::uint64_t peer_probes = 0;     // probe transmissions sent
+  std::uint64_t peer_revivals = 0;   // dead links revived by an answer
+  std::uint64_t crash_copies_killed = 0;  // pendings killed by own crash
 };
 
 class HopTransport {
@@ -101,7 +123,13 @@ class HopTransport {
       : network_(network),
         on_arrival_(std::move(on_arrival)),
         config_(config),
-        rto_(config.rto) {}
+        rto_(config.rto),
+        seen_copies_(network.graph().node_count()),
+        prev_seen_copies_(network.graph().node_count()) {
+    if (config_.peer_death) {
+      peer_.resize(network.graph().edge_count() * 2);
+    }
+  }
 
   HopTransport(const HopTransport&) = delete;
   HopTransport& operator=(const HopTransport&) = delete;
@@ -122,12 +150,33 @@ class HopTransport {
   // without an arrival — far longer than any transmission stays airborne.
   void ClearDedupState() {
     // Swap instead of move: both tables keep their steady-state capacity,
-    // so the rotation itself allocates nothing.
-    swap(prev_seen_copies_, seen_copies_);
-    seen_copies_.clear();
+    // so the rotation itself allocates nothing. Dedup state is kept per
+    // receiving broker so a crash can void exactly one broker's memory.
+    for (std::size_t node = 0; node < seen_copies_.size(); ++node) {
+      swap(prev_seen_copies_[node], seen_copies_[node]);
+      seen_copies_[node].clear();
+    }
     // Ack-tombstones follow the same bound: an ACK more than an epoch late
     // is not worth accounting for.
     expired_.clear();
+  }
+
+  // Fail-stop crash of `node`: every copy it was retransmitting dies
+  // without a done() (the sender's state died with it — the protocol layer
+  // drops its episodes in the same instant), its duplicate-suppression
+  // memory is voided (a post-restart retransmission will be handed up
+  // again — the crash-aware invariant checker budgets for exactly this),
+  // and its own peer-death bookkeeping resets. Returns the number of
+  // pending copies killed, for the kBrokerDown trace record.
+  std::size_t OnBrokerCrash(NodeId node);
+
+  // True when the sender `from` currently believes the far end of `link`
+  // is alive (always true with peer-death detection off). Routers consult
+  // this in next-hop selection so known-dead peers are skipped instead of
+  // burning a full m-transmission budget.
+  [[nodiscard]] bool PeerAlive(NodeId from, LinkId link) const {
+    if (peer_.empty()) return true;
+    return !peer_[DirectedIndex(from, link)].dead;
   }
 
   [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
@@ -176,11 +225,40 @@ class HopTransport {
     SlotHandle sender;  // the sending side's pending slot
   };
 
+  // Sender-side liveness belief about the far end of one directed link.
+  // `round` is the ABA guard: every revive or crash-reset bumps it, and a
+  // probe timer that captured an older round is a no-op when it fires, so
+  // a stale timer can never probe (or revive) on behalf of a newer death.
+  struct PeerState {
+    int consecutive_failures = 0;
+    int probe_attempts = 0;
+    bool dead = false;
+    std::uint32_t round = 0;
+    SimDuration probe_base;
+    EventHandle probe_timer;
+  };
+
   void TransmitOnce(SlotHandle pending_slot);
   void HandleTimeout(SlotHandle pending_slot);
   void HandleDataArrival(SlotHandle wire_slot);
   void HandleAckArrival(SlotHandle pending_slot, std::uint64_t copy_id,
                         int tx_index);
+
+  [[nodiscard]] std::size_t DirectedIndex(NodeId from, LinkId link) const {
+    const EdgeSpec& edge = network_.graph().edge(link);
+    return link.underlying() * 2 + (from == edge.a ? 0 : 1);
+  }
+  // A copy on (from, link) exhausted its budget / was acknowledged.
+  void NoteHopFailure(NodeId from, LinkId link, SimDuration seed);
+  void NoteHopSuccess(NodeId from, LinkId link);
+  void DeclarePeerDead(NodeId from, LinkId link, SimDuration seed);
+  // Fails every pending copy on (from, link) fast: done(false) each, so
+  // the protocol reroutes now instead of after m timeouts.
+  std::size_t FailFastPending(NodeId from, LinkId link);
+  void ScheduleProbe(NodeId from, LinkId link);
+  void SendProbe(NodeId from, LinkId link, std::uint32_t round);
+  [[nodiscard]] SimDuration ProbeInterval(std::size_t didx,
+                                          const PeerState& state) const;
 
   OverlayNetwork& network_;
   ArrivalHandler on_arrival_;
@@ -195,8 +273,17 @@ class HopTransport {
   // the scratch and the slab — no allocation either way.
   Packet arrival_scratch_;
   DenseIdMap<Expired> expired_;
-  DenseIdSet seen_copies_;
-  DenseIdSet prev_seen_copies_;
+  // Receiver-side dedup, one generation pair per broker: a broker crash
+  // clears that broker's entries alone. Copy ids are globally unique and
+  // target exactly one receiver, so partitioning by receiver is
+  // behaviour-preserving when no one ever crashes.
+  std::vector<DenseIdSet> seen_copies_;
+  std::vector<DenseIdSet> prev_seen_copies_;
+  // Directed-link peer liveness (sized only when peer_death is on).
+  std::vector<PeerState> peer_;
+  // Scratch for fail-fast sweeps (collect-then-act over the slot map);
+  // capacity persists across sweeps.
+  std::vector<SlotHandle> sweep_scratch_;
   std::uint64_t next_copy_id_ = 1;
 };
 

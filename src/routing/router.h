@@ -35,6 +35,12 @@ struct RouterContext {
   // figure parity.
   bool adaptive_rto = false;
   RtoConfig rto;
+  // Peer-death detection knobs, forwarded to every HopTransport (see
+  // hop_transport.h). Off by default for figure parity.
+  bool peer_death = false;
+  int peer_death_threshold = 2;
+  SimDuration probe_max_interval = SimDuration::Seconds(10);
+  double probe_jitter = 0.25;
   // Hooked through to every HopTransport; used by the invariant checker.
   TransportObserver* transport_observer = nullptr;
   // Optional observability hooks, forwarded to every HopTransport (and used
@@ -56,9 +62,27 @@ struct RouterContext {
 
   // The transport configuration every router passes to its HopTransport.
   [[nodiscard]] HopTransportConfig MakeTransportConfig() const {
-    return HopTransportConfig{adaptive_rto, rto, transport_observer, recorder,
-                              hop_rtt_histogram};
+    HopTransportConfig config;
+    config.adaptive_rto = adaptive_rto;
+    config.rto = rto;
+    config.peer_death = peer_death;
+    config.peer_death_threshold = peer_death_threshold;
+    config.probe_max_interval = probe_max_interval;
+    config.probe_jitter = probe_jitter;
+    config.observer = transport_observer;
+    config.recorder = recorder;
+    config.rtt_histogram = hop_rtt_histogram;
+    return config;
   }
+};
+
+// Gossip-resync bookkeeping for restarted brokers (all zero for routers
+// with no rederivable routing state; DCRD fills it in).
+struct ResyncStats {
+  std::uint64_t resyncs_started = 0;
+  std::uint64_t resyncs_completed = 0;
+  SimDuration total_resync_time = SimDuration::Zero();
+  SimDuration max_resync_time = SimDuration::Zero();
 };
 
 class Router {
@@ -84,6 +108,20 @@ class Router {
   // Protocol-level work still open (e.g. DCRD processing episodes); must be
   // 0 after the scheduler drains — the invariant checker asserts it.
   [[nodiscard]] virtual std::size_t open_episodes() const { return 0; }
+
+  // Broker lifecycle (fail-stop crash–recovery; see net/broker_lifecycle.h).
+  // OnBrokerCrash: `node` fail-stopped — drop every piece of volatile state
+  // it held (transport pendings and dedup, open episodes, caches); returns
+  // the number of in-flight copies killed, for the kBrokerDown trace
+  // record. OnBrokerRestart: it came back empty — trigger whatever resync
+  // the protocol needs before its routing state is trustworthy again.
+  // Defaults are no-ops for routers with no per-broker volatile state.
+  virtual std::size_t OnBrokerCrash(NodeId node) {
+    (void)node;
+    return 0;
+  }
+  virtual void OnBrokerRestart(NodeId node) { (void)node; }
+  [[nodiscard]] virtual ResyncStats resync_stats() const { return {}; }
 };
 
 }  // namespace dcrd

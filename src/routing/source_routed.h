@@ -32,6 +32,12 @@ class SourceRoutedRouter : public Router {
   [[nodiscard]] TransportStats transport_stats() const final {
     return transport_.stats();
   }
+  // The baselines keep no per-broker routing state beyond the transport
+  // (routes ride in the packets), so a crash only voids transport state; a
+  // restarted broker needs no resync.
+  std::size_t OnBrokerCrash(NodeId node) final {
+    return transport_.OnBrokerCrash(node);
+  }
 
  protected:
   struct Route {

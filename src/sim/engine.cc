@@ -162,8 +162,85 @@ void RegisterNetworkCounters(MetricsRegistry& registry,
                              &counters.dropped_node_failure);
     registry.RegisterCounter(prefix + "dropped_loss", &counters.dropped_loss);
     registry.RegisterCounter(prefix + "dropped_gray", &counters.dropped_gray);
+    registry.RegisterCounter(prefix + "dropped_crash",
+                             &counters.dropped_crash);
   }
 }
+
+// Samples every broker's crash-schedule state at failure-epoch cadence and
+// drives the router's lifecycle hooks on transitions: up->down kills the
+// broker's volatile state (OnBrokerCrash), down->up triggers resync
+// (OnBrokerRestart). Unlike LinkStateSampler this is NOT observability —
+// the hooks mutate protocol state — so it runs whenever the crash process
+// is enabled, recorder or not. The schedule itself is a counter-based pure
+// function, so the sampler adds no RNG draws.
+class BrokerLifecycleSampler {
+ public:
+  BrokerLifecycleSampler(const OverlayNetwork& network, Scheduler& scheduler,
+                         Router& router, FlightRecorder* recorder,
+                         SimDuration epoch, SimTime end)
+      : network_(network),
+        scheduler_(scheduler),
+        router_(router),
+        recorder_(recorder),
+        epoch_(epoch),
+        end_(end),
+        up_(network.graph().node_count(), true) {
+    Sample();  // t = 0 baseline; fires hooks for brokers that start down
+    ScheduleNext();
+  }
+
+  [[nodiscard]] std::uint64_t crashes() const { return crashes_; }
+  [[nodiscard]] std::uint64_t restarts() const { return restarts_; }
+
+ private:
+  void Sample() {
+    const SimTime now = scheduler_.now();
+    const BrokerCrashSchedule& schedule = network_.crashes();
+    for (std::size_t i = 0; i < up_.size(); ++i) {
+      const NodeId node(static_cast<NodeId::underlying_type>(i));
+      const bool up = schedule.Up(node, now);
+      if (up == up_[i]) continue;
+      up_[i] = up;
+      if (!up) {
+        ++crashes_;
+        const std::size_t killed = router_.OnBrokerCrash(node);
+        if (recorder_ != nullptr) {
+          recorder_->Record(TraceEventKind::kBrokerDown,
+                            TraceRecord::kNoPacket, 0, node, NodeId(),
+                            LinkId(), 0,
+                            static_cast<std::uint16_t>(
+                                killed > 0xFFFF ? 0xFFFF : killed));
+        }
+      } else {
+        ++restarts_;
+        router_.OnBrokerRestart(node);
+        if (recorder_ != nullptr) {
+          recorder_->Record(TraceEventKind::kBrokerUp, TraceRecord::kNoPacket,
+                            0, node, NodeId(), LinkId());
+        }
+      }
+    }
+  }
+
+  void ScheduleNext() {
+    if (scheduler_.now() + epoch_ > end_) return;
+    scheduler_.ScheduleAfter(epoch_, [this] {
+      Sample();
+      ScheduleNext();
+    });
+  }
+
+  const OverlayNetwork& network_;
+  Scheduler& scheduler_;
+  Router& router_;
+  FlightRecorder* recorder_;
+  const SimDuration epoch_;
+  const SimTime end_;
+  std::vector<bool> up_;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t restarts_ = 0;
+};
 
 }  // namespace
 
@@ -219,8 +296,13 @@ RunSummary RunScenario(const ScenarioConfig& config) {
   gray_config.asymmetry = config.gray_asymmetry;
   gray_config.epoch = config.failure_epoch;
   const GrayFailureSchedule gray(root.Fork("gray")(), gray_config);
+  // Crash schedule on its own substream: enabling it never perturbs the
+  // failure/loss/gray sample paths (and vice versa).
+  const BrokerCrashSchedule crashes(root.Fork("broker-crashes")(),
+                                    config.broker_mtbf, config.broker_mttr,
+                                    config.failure_epoch);
   OverlayNetwork network(graph, scheduler, failures, network_config,
-                         root.Fork("loss"), node_failures, gray);
+                         root.Fork("loss"), node_failures, gray, crashes);
 
   // --- observability (read-only; see the ScenarioConfig block comment) ----
   const bool tracing = config.trace || !config.trace_out.empty();
@@ -290,6 +372,8 @@ RunSummary RunScenario(const ScenarioConfig& config) {
   context.max_transmissions = config.max_transmissions;
   context.ack_slack = config.ack_slack;
   context.adaptive_rto = config.adaptive_rto;
+  context.peer_death = config.peer_death_detection;
+  context.peer_death_threshold = config.peer_death_threshold;
   context.transport_observer = checker.get();
   context.recorder = recorder.get();
   context.hop_rtt_histogram = rtt_histogram;
@@ -380,6 +464,12 @@ RunSummary RunScenario(const ScenarioConfig& config) {
     link_sampler = std::make_unique<LinkStateSampler>(
         network, scheduler, *recorder, config.failure_epoch, end);
   }
+  std::unique_ptr<BrokerLifecycleSampler> lifecycle_sampler;
+  if (network.crashes().enabled()) {
+    lifecycle_sampler = std::make_unique<BrokerLifecycleSampler>(
+        network, scheduler, *router, recorder.get(), config.failure_epoch,
+        end);
+  }
 
   // Publishers: one per topic, phase-jittered within the first interval.
   Rng phase_rng = root.Fork("phases");
@@ -391,7 +481,16 @@ RunSummary RunScenario(const ScenarioConfig& config) {
     publishers.push_back(std::make_unique<Publisher>(
         topic, subscriptions.publisher(topic), config.publish_interval,
         scheduler,
-        [&metrics, &router, &checker, rec](const Message& message) {
+        [&metrics, &router, &checker, rec, &network](const Message& message) {
+          // A crashed broker cannot publish; its producer pauses and the
+          // message never enters the system (not counted as an expected
+          // pair). No-op — and byte-identical — when the crash process is
+          // off.
+          if (network.crashes().enabled() &&
+              !network.crashes().Up(message.publisher,
+                                    network.scheduler().now())) {
+            return;
+          }
           if (rec != nullptr) {
             // aux16 carries the topic id so offline analysis can join a
             // packet to its (topic, subscriber) model row.
@@ -444,6 +543,25 @@ RunSummary RunScenario(const ScenarioConfig& config) {
   summary.retransmissions = transport.retransmissions;
   summary.spurious_retransmissions = transport.spurious_retransmissions;
   summary.rtt_samples = transport.rtt_samples;
+  summary.peer_deaths = transport.peer_deaths;
+  summary.peer_probes = transport.peer_probes;
+  summary.peer_revivals = transport.peer_revivals;
+  summary.crash_copies_killed = transport.crash_copies_killed;
+  summary.dropped_crash =
+      network.counters(TrafficClass::kData).dropped_crash +
+      network.counters(TrafficClass::kAck).dropped_crash +
+      network.counters(TrafficClass::kControl).dropped_crash;
+  if (lifecycle_sampler != nullptr) {
+    summary.broker_crashes = lifecycle_sampler->crashes();
+    summary.broker_restarts = lifecycle_sampler->restarts();
+  }
+  const ResyncStats resync = router->resync_stats();
+  summary.resyncs_started = resync.resyncs_started;
+  summary.resyncs_completed = resync.resyncs_completed;
+  summary.total_resync_time_us =
+      static_cast<std::uint64_t>(resync.total_resync_time.micros());
+  summary.max_resync_time_us =
+      static_cast<std::uint64_t>(resync.max_resync_time.micros());
   if (recorder != nullptr) {
     summary.trace_records_overwritten = recorder->overwritten();
     if (recorder->overwritten() > 0 && !config.trace_out.empty()) {
@@ -457,6 +575,7 @@ RunSummary RunScenario(const ScenarioConfig& config) {
   if (checker) {
     summary.invariant_violation_count = checker->violation_count();
     summary.invariant_violations = checker->violations();
+    summary.crash_excused_duplicates = checker->crash_excused_duplicates();
   }
   return summary;
 }

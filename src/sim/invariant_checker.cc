@@ -41,6 +41,9 @@ void SimInvariantChecker::Record(std::string message) {
 }
 
 void SimInvariantChecker::OnPublished(const Message& message) {
+  if (config_.check_delivery_guarantee) {
+    touched_[message.id.value].insert(message.publisher.underlying());
+  }
   for (const Subscription& sub :
        subscriptions_.subscriptions(message.topic)) {
     PublishedPair pair;
@@ -72,13 +75,34 @@ void SimInvariantChecker::OnCopyArrival(std::uint64_t copy_id, NodeId at,
        << ", which is on its routing path but is not the sender's upstream";
     Record(os.str());
   }
+  if (config_.check_delivery_guarantee) {
+    auto& touched = touched_[packet.message().id.value];
+    touched.insert(at.underlying());
+    touched.insert(from.underlying());
+  }
   // 2. Exactly-once hand-up per copy id, across epoch-boundary dedup
-  // clears.
-  if (handed_up && !handed_up_.insert(copy_id).second) {
-    std::ostringstream os;
-    os << "copy " << copy_id << " of message " << packet.message().id
-       << " handed up twice (at " << at << ")";
-    Record(os.str());
+  // clears. Crash-aware: a restart wipes the receiver's dedup window, so a
+  // repeat hand-up at the *same* node is legal iff the node was down at
+  // some point between the two hand-ups; everything else is a hard
+  // violation.
+  if (handed_up) {
+    const SimTime now = network_.scheduler().now();
+    const auto [it, inserted] = handed_up_.try_emplace(copy_id, HandUp{at, now});
+    if (!inserted) {
+      const BrokerCrashSchedule& crashes = network_.crashes();
+      const bool excused = crashes.enabled() && at == it->second.node &&
+                           crashes.DownDuring(at, it->second.time, now);
+      if (excused) {
+        ++crash_excused_duplicates_;
+      } else {
+        std::ostringstream os;
+        os << "copy " << copy_id << " of message " << packet.message().id
+           << " handed up twice (at " << at
+           << ") with no broker crash to explain it";
+        Record(os.str());
+      }
+      it->second = HandUp{at, now};
+    }
   }
 }
 
@@ -118,9 +142,11 @@ bool SimInvariantChecker::LinkClean(LinkId link, SimTime t0,
 bool SimInvariantChecker::NodeClean(NodeId node, SimTime t0,
                                     SimTime t1) const {
   const NodeFailureSchedule& nodes = network_.node_failures();
+  const BrokerCrashSchedule& crashes = network_.crashes();
   const SimDuration epoch = network_.failures().epoch();
   for (SimTime t = t0; t <= t1;) {
     if (!nodes.IsUp(node, t)) return false;
+    if (!crashes.Up(node, t)) return false;
     const std::int64_t next_epoch =
         (t.micros() / epoch.micros() + 1) * epoch.micros();
     if (SimTime::FromMicros(next_epoch) > t1) break;
@@ -173,8 +199,29 @@ void SimInvariantChecker::CheckEndOfRun(const Router& router, SimTime end) {
   }
   // 4. Delivery guarantee.
   if (!config_.check_delivery_guarantee) return;
+  const BrokerCrashSchedule& crashes = network_.crashes();
   for (const auto& [key, pair] : pairs_) {
     if (pair.delivered || pair.subscriber == pair.publisher) continue;
+    // Touched-broker precondition: a crash at any broker that held this
+    // packet destroys it regardless of path cleanliness elsewhere, so
+    // non-delivery is expected and the oracle stays silent.
+    if (crashes.enabled()) {
+      const SimTime t1 =
+          std::min(pair.publish_time + config_.guarantee_window, end);
+      const auto touched_it = touched_.find(key >> 16);
+      bool holder_crashed = false;
+      if (touched_it != touched_.end()) {
+        for (const std::uint32_t broker : touched_it->second) {
+          if (crashes.DownDuring(NodeId(static_cast<NodeId::underlying_type>(
+                                     broker)),
+                                 pair.publish_time, t1)) {
+            holder_crashed = true;
+            break;
+          }
+        }
+      }
+      if (holder_crashed) continue;
+    }
     if (CleanPathExists(pair.publisher, pair.subscriber, pair.publish_time,
                         end)) {
       std::ostringstream os;

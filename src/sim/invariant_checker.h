@@ -14,15 +14,25 @@
 //     transport's own dedup set is cleared at monitoring epochs to bound
 //     memory, so a straggler duplicate crossing an epoch boundary would
 //     slip through it; the checker keeps the full set and would catch that.
+//     Crash-aware: a broker restart legitimately loses the receiver's dedup
+//     window, so a repeat hand-up at a node is *excused* iff that node was
+//     down at some point between the two hand-ups (counted in
+//     crash_excused_duplicates()); any duplicate not attributable to a
+//     crash window stays a hard violation.
 //  3. Conservation: every attempted transmission is either delivered or in
 //     exactly one drop bucket, per traffic class, checked every epoch.
 //  4. Delivery guarantee (optional; sound only for reroute-capable routers
 //     with zero background loss): a (message, subscriber) pair is a
 //     violation if it was never delivered although some publisher->
 //     subscriber path was continuously clean — links up, not gray in either
-//     direction, endpoint brokers up — for `guarantee_window` after
-//     publication. On such a path every hop transmission succeeds
-//     deterministically, so DCRD's retry/reroute machinery must deliver.
+//     direction, endpoint brokers up (neither failed nor crashed) — for
+//     `guarantee_window` after publication. On such a path every hop
+//     transmission succeeds deterministically, so DCRD's retry/reroute
+//     machinery must deliver. Under broker crashes the oracle additionally
+//     requires that no broker which *touched* the packet (publisher or any
+//     copy endpoint) crashed inside the window — a crash at a holding
+//     broker destroys the packet no matter how clean the rest of the
+//     overlay is, so non-delivery is then expected, not a violation.
 //  5. Quiescence: after the scheduler drains, no pending transport copies,
 //     no open router episodes, no leftover scheduled events.
 //
@@ -96,6 +106,11 @@ class SimInvariantChecker final : public DeliverySink,
   [[nodiscard]] std::uint64_t copies_observed() const {
     return copies_observed_;
   }
+  // Duplicate hand-ups legally attributable to a broker-restart dedup loss
+  // (check 2); always 0 when the crash process is disabled.
+  [[nodiscard]] std::uint64_t crash_excused_duplicates() const {
+    return crash_excused_duplicates_;
+  }
 
   // When set, the FIRST violation of a run triggers an immediate
   // flight-recorder postmortem to stderr — the events leading up to the bug,
@@ -125,13 +140,25 @@ class SimInvariantChecker final : public DeliverySink,
   DeliverySink& next_;
   InvariantCheckerConfig config_;
 
-  std::unordered_set<std::uint64_t> handed_up_;  // copy ids, never cleared
+  // Last hand-up of each copy id, never cleared. A repeat is either a
+  // crash-excused duplicate (node down in between) or a violation.
+  struct HandUp {
+    NodeId node;
+    SimTime time;
+  };
+  std::unordered_map<std::uint64_t, HandUp> handed_up_;
   // (message id << 16 | subscriber) -> pair record. Subscriber ids are
   // dense and << 2^16 in every scenario; checked at insert.
   std::unordered_map<std::uint64_t, PublishedPair> pairs_;
+  // message id -> brokers that held the packet (publisher + every copy
+  // endpoint); feeds the guarantee oracle's touched-broker precondition.
+  // Only populated when check_delivery_guarantee is on.
+  std::unordered_map<std::uint64_t, std::unordered_set<std::uint32_t>>
+      touched_;
   std::vector<std::string> violations_;
   std::uint64_t violation_count_ = 0;
   std::uint64_t copies_observed_ = 0;
+  std::uint64_t crash_excused_duplicates_ = 0;
   FlightRecorder* recorder_ = nullptr;
 };
 

@@ -1,5 +1,7 @@
 #include "sim/metrics.h"
 
+#include <algorithm>
+
 namespace dcrd {
 
 void RunSummary::Absorb(const RunSummary& other) {
@@ -14,6 +16,18 @@ void RunSummary::Absorb(const RunSummary& other) {
   retransmissions += other.retransmissions;
   spurious_retransmissions += other.spurious_retransmissions;
   rtt_samples += other.rtt_samples;
+  broker_crashes += other.broker_crashes;
+  broker_restarts += other.broker_restarts;
+  dropped_crash += other.dropped_crash;
+  crash_copies_killed += other.crash_copies_killed;
+  peer_deaths += other.peer_deaths;
+  peer_probes += other.peer_probes;
+  peer_revivals += other.peer_revivals;
+  resyncs_started += other.resyncs_started;
+  resyncs_completed += other.resyncs_completed;
+  total_resync_time_us += other.total_resync_time_us;
+  max_resync_time_us = std::max(max_resync_time_us, other.max_resync_time_us);
+  crash_excused_duplicates += other.crash_excused_duplicates;
   trace_records_overwritten += other.trace_records_overwritten;
   invariant_violation_count += other.invariant_violation_count;
   invariant_violations.insert(invariant_violations.end(),

@@ -42,6 +42,24 @@ struct RunSummary {
   std::uint64_t retransmissions = 0;
   std::uint64_t spurious_retransmissions = 0;
   std::uint64_t rtt_samples = 0;
+  // Broker crash–recovery (all 0 unless the crash / peer-death knobs are
+  // on). broker_crashes counts up->down transitions the run observed;
+  // dropped_crash is the network counter of transmissions a crashed broker
+  // killed; the peer_* fields mirror TransportStats; the resync fields
+  // mirror ResyncStats (durations in microseconds so Absorb can sum);
+  // crash_excused_duplicates comes from the invariant checker.
+  std::uint64_t broker_crashes = 0;
+  std::uint64_t broker_restarts = 0;
+  std::uint64_t dropped_crash = 0;
+  std::uint64_t crash_copies_killed = 0;
+  std::uint64_t peer_deaths = 0;
+  std::uint64_t peer_probes = 0;
+  std::uint64_t peer_revivals = 0;
+  std::uint64_t resyncs_started = 0;
+  std::uint64_t resyncs_completed = 0;
+  std::uint64_t total_resync_time_us = 0;
+  std::uint64_t max_resync_time_us = 0;
+  std::uint64_t crash_excused_duplicates = 0;
   // Flight-recorder records lost to ring overwrite (postmortem mode only;
   // 0 with a JSONL sink attached). Non-zero means any postmortem dump from
   // this run is missing history. Never printed to stdout — observability
@@ -69,6 +87,18 @@ struct RunSummary {
     return expected_pairs == 0
                ? 0.0
                : static_cast<double>(data_transmissions) / expected_pairs;
+  }
+  [[nodiscard]] double duplicate_rate() const {
+    return expected_pairs == 0
+               ? 0.0
+               : static_cast<double>(duplicate_deliveries) / expected_pairs;
+  }
+  // Mean time a restarted broker spent reconverging (ms); 0 when no resync
+  // completed.
+  [[nodiscard]] double mean_resync_ms() const {
+    return resyncs_completed == 0 ? 0.0
+                                  : static_cast<double>(total_resync_time_us) /
+                                        (1000.0 * resyncs_completed);
   }
 
   // Pools counts (and lateness samples) across repetitions so ratios are

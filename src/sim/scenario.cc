@@ -24,6 +24,13 @@ std::string ScenarioConfig::Describe() const {
      << " Pf=" << failure_probability << " Pl=" << loss_rate
      << " m=" << max_transmissions << " qos=" << qos_factor
      << " T=" << sim_time.seconds() << "s seed=" << seed;
+  // Appended only when enabled so descriptions of existing experiments
+  // stay byte-identical.
+  if (broker_mtbf > SimDuration::Zero()) {
+    os << " mtbf=" << broker_mtbf.seconds() << "s mttr="
+       << broker_mttr.seconds() << "s";
+  }
+  if (peer_death_detection) os << " peer-death";
   return os.str();
 }
 

@@ -46,6 +46,14 @@ struct ScenarioConfig {
   // broker can neither send nor receive.
   double node_failure_probability = 0.0;
   int node_outage_epochs = 1;
+  // Broker crash–recovery process (net/broker_lifecycle.h): fail-stop
+  // restarts with volatile-state loss. Distinct from
+  // node_failure_probability — a *failed* broker pauses with its state
+  // intact, a *crashed* broker comes back empty and must resync. The mean
+  // up time between crashes; Zero disables the process entirely.
+  SimDuration broker_mtbf = SimDuration::Zero();
+  // Mean (and, with the counter-based schedule, exact) outage length.
+  SimDuration broker_mttr = SimDuration::Seconds(5);
   double loss_rate = 1e-4;            // Pl, per transmission
   // Gray-failure (partial-degradation) process; see net/gray_failure.h.
   // Probability 0 disables it and leaves every sample path untouched.
@@ -66,6 +74,10 @@ struct ScenarioConfig {
   // exponential backoff) instead of the paper's fixed 2*alpha_hat + slack
   // timer. Off by default: the paper's figures assume the fixed timer.
   bool adaptive_rto = false;
+  // ACK-silence peer-death detection + probing in every HopTransport (see
+  // hop_transport.h). Off by default for figure parity.
+  bool peer_death_detection = false;
+  int peer_death_threshold = 2;
   // ACK propagation as a fraction of the link delay. 0 = the paper's
   // "senders immediately know the reception status" out-of-band model;
   // 1 = physical in-band round trip (ablation).

@@ -1,0 +1,178 @@
+// Peer-death detection, probing, and the ABA round guard (see PeerState in
+// hop_transport.h). The probe timers ride the same slot-map scheduler as
+// retransmission timers, so these tests also exercise stale-handle firing:
+// a timer armed for one death round must be inert after a revive or a
+// crash reset recycled the state.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "graph/topology.h"
+#include "routing/hop_transport.h"
+
+namespace dcrd {
+namespace {
+
+Message TestMessage(std::uint64_t id = 1) {
+  Message message;
+  message.id = MessageId(id);
+  message.topic = TopicId(0);
+  message.publisher = NodeId(0);
+  message.publish_time = SimTime::Zero();
+  return message;
+}
+
+HopTransportConfig PeerDeathConfig() {
+  HopTransportConfig config;
+  config.peer_death = true;
+  config.peer_death_threshold = 2;
+  config.probe_max_interval = SimDuration::Seconds(1);
+  return config;
+}
+
+struct Fixture {
+  Graph graph = Line(2, SimDuration::Millis(10));
+  Scheduler scheduler;
+  LinkId link = *graph.FindEdge(NodeId(0), NodeId(1));
+};
+
+TEST(PeerDeathTest, ThresholdGiveUpsDeclareDeathAndNewSendsFailFast) {
+  Fixture f;
+  OverlayNetwork network(f.graph, f.scheduler, FailureSchedule(1, 1.0), 0.0,
+                         Rng(1));  // link permanently down
+  HopTransport transport(network, [](NodeId, const Packet&, NodeId) {},
+                         PeerDeathConfig());
+  int failures = 0;
+  for (std::uint64_t id = 1; id <= 2; ++id) {
+    transport.SendReliable(NodeId(0), f.link,
+                           Packet(TestMessage(id), {NodeId(1)}), 1,
+                           SimDuration::Millis(21),
+                           [&](bool ok) { failures += ok ? 0 : 1; });
+  }
+  f.scheduler.RunUntil(SimTime::FromMicros(500'000));
+  EXPECT_EQ(failures, 2);
+  EXPECT_EQ(transport.stats().peer_deaths, 1U);
+  EXPECT_FALSE(transport.PeerAlive(NodeId(0), f.link));
+  // The probe loop is running (and going unanswered).
+  EXPECT_GE(transport.stats().peer_probes, 2U);
+  EXPECT_EQ(transport.stats().peer_revivals, 0U);
+
+  // A send on the known-dead link fails without burning a transmission.
+  const std::uint64_t tx_before = transport.stats().transmissions;
+  bool done3 = true;
+  transport.SendReliable(NodeId(0), f.link,
+                         Packet(TestMessage(3), {NodeId(1)}), 3,
+                         SimDuration::Millis(21),
+                         [&](bool ok) { done3 = ok; });
+  f.scheduler.RunUntil(SimTime::FromMicros(600'000));
+  EXPECT_FALSE(done3);
+  EXPECT_EQ(transport.stats().transmissions, tx_before);
+  EXPECT_EQ(transport.pending_count(), 0U);
+}
+
+// Finds a seed whose schedule keeps `link` down for epochs [0, 3) and up
+// for epochs [3, 10) — a controllable outage for the revival test.
+std::uint64_t FindOutageSeed(LinkId link) {
+  for (std::uint64_t seed = 1; seed < 50'000; ++seed) {
+    const FailureSchedule schedule(seed, 0.4);
+    bool ok = true;
+    for (std::int64_t e = 0; e < 10 && ok; ++e) {
+      const bool up =
+          schedule.IsUp(link, SimTime::FromMicros(e * 1'000'000 + 500'000));
+      ok = (e < 3) ? !up : up;
+    }
+    if (ok) return seed;
+  }
+  return 0;
+}
+
+TEST(PeerDeathTest, ProbeRevivesPeerWhenLinkReturns) {
+  Fixture f;
+  const std::uint64_t seed = FindOutageSeed(f.link);
+  ASSERT_NE(seed, 0U);
+  OverlayNetwork network(f.graph, f.scheduler, FailureSchedule(seed, 0.4),
+                         0.0, Rng(1));
+  int arrivals = 0;
+  HopTransport transport(network,
+                         [&](NodeId, const Packet&, NodeId) { ++arrivals; },
+                         PeerDeathConfig());
+  for (std::uint64_t id = 1; id <= 2; ++id) {
+    transport.SendReliable(NodeId(0), f.link,
+                           Packet(TestMessage(id), {NodeId(1)}), 1,
+                           SimDuration::Millis(21), [](bool) {});
+  }
+  // Death by ~42ms; probes back off (21ms base, 1s cap) and keep firing
+  // into the up window that opens at t=3s, so the revival is certain well
+  // before t=9s.
+  f.scheduler.RunUntil(SimTime::FromMicros(9'000'000));
+  EXPECT_EQ(transport.stats().peer_deaths, 1U);
+  EXPECT_EQ(transport.stats().peer_revivals, 1U);
+  EXPECT_TRUE(transport.PeerAlive(NodeId(0), f.link));
+
+  // The revived link carries traffic again (epoch 9 is up).
+  bool delivered = false;
+  transport.SendReliable(NodeId(0), f.link,
+                         Packet(TestMessage(3), {NodeId(1)}), 1,
+                         SimDuration::Millis(21),
+                         [&](bool ok) { delivered = ok; });
+  f.scheduler.RunUntil(SimTime::FromMicros(9'500'000));
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(arrivals, 1);
+}
+
+TEST(PeerDeathTest, CrashResetsLivenessAndStaleProbeTimersGoInert) {
+  Fixture f;
+  OverlayNetwork network(f.graph, f.scheduler, FailureSchedule(1, 1.0), 0.0,
+                         Rng(1));
+  HopTransport transport(network, [](NodeId, const Packet&, NodeId) {},
+                         PeerDeathConfig());
+  for (std::uint64_t id = 1; id <= 2; ++id) {
+    transport.SendReliable(NodeId(0), f.link,
+                           Packet(TestMessage(id), {NodeId(1)}), 1,
+                           SimDuration::Millis(21), [](bool) {});
+  }
+  f.scheduler.RunUntil(SimTime::FromMicros(100'000));
+  ASSERT_FALSE(transport.PeerAlive(NodeId(0), f.link));
+
+  // The crash voids the liveness belief and bumps the ABA round; the probe
+  // timer armed for the old round must do nothing when (if) it fires.
+  transport.OnBrokerCrash(NodeId(0));
+  EXPECT_TRUE(transport.PeerAlive(NodeId(0), f.link));
+  const std::uint64_t probes_at_reset = transport.stats().peer_probes;
+  f.scheduler.RunUntil(SimTime::FromMicros(3'000'000));
+  EXPECT_EQ(transport.stats().peer_probes, probes_at_reset);
+  EXPECT_EQ(transport.stats().peer_revivals, 0U);
+
+  // A fresh post-restart death round starts from scratch: two new give-ups
+  // are needed, and probing resumes under the new round.
+  for (std::uint64_t id = 3; id <= 4; ++id) {
+    transport.SendReliable(NodeId(0), f.link,
+                           Packet(TestMessage(id), {NodeId(1)}), 1,
+                           SimDuration::Millis(21), [](bool) {});
+  }
+  f.scheduler.RunUntil(SimTime::FromMicros(4'000'000));
+  EXPECT_EQ(transport.stats().peer_deaths, 2U);
+  EXPECT_GT(transport.stats().peer_probes, probes_at_reset);
+}
+
+TEST(PeerDeathTest, CrashKillsPendingCopiesWithoutInvokingDone) {
+  Fixture f;
+  OverlayNetwork network(f.graph, f.scheduler, FailureSchedule(1, 0.0), 0.0,
+                         Rng(1));
+  HopTransport transport(network, [](NodeId, const Packet&, NodeId) {},
+                         PeerDeathConfig());
+  bool done_invoked = false;
+  transport.SendReliable(NodeId(0), f.link,
+                         Packet(TestMessage(), {NodeId(1)}), 3,
+                         SimDuration::Millis(21),
+                         [&](bool) { done_invoked = true; });
+  ASSERT_EQ(transport.pending_count(), 1U);
+  EXPECT_EQ(transport.OnBrokerCrash(NodeId(0)), 1U);
+  EXPECT_EQ(transport.pending_count(), 0U);
+  EXPECT_EQ(transport.stats().crash_copies_killed, 1U);
+  f.scheduler.Run();
+  EXPECT_FALSE(done_invoked);
+}
+
+}  // namespace
+}  // namespace dcrd

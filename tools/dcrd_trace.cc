@@ -13,6 +13,9 @@
 //   --packet ID      full hop timeline of message ID: publish, per-hop
 //                    sends/ACKs/retransmits, upstream reroutes, budget
 //                    exhaustion, dedup suppressions, delivery or drop
+//   --broker ID      lifeline of broker ID: crashes, restarts, resync
+//                    start/done, peer-death verdicts about it, and every
+//                    traffic event it took part in
 //   --chrome PATH    write a Chrome trace_event JSON file (open in Perfetto
 //                    or chrome://tracing; one track per broker)
 //   --decompose      causal delay decomposition: per-component totals,
@@ -40,9 +43,9 @@
 namespace {
 
 int Usage() {
-  std::cerr << "usage: dcrd_trace [--summary | --packet ID | --chrome OUT | "
-               "--decompose | --audit MODEL.jsonl | --report OUT.html] "
-               "TRACE.jsonl...\n";
+  std::cerr << "usage: dcrd_trace [--summary | --packet ID | --broker ID | "
+               "--chrome OUT | --decompose | --audit MODEL.jsonl | "
+               "--report OUT.html] TRACE.jsonl...\n";
   return 2;
 }
 
@@ -165,6 +168,8 @@ int main(int argc, char** argv) {
   const bool decompose = BoolMode(flags, "decompose", files);
   const bool has_packet = flags.Has("packet");
   const std::int64_t packet = flags.GetInt("packet", -1);
+  const bool has_broker = flags.Has("broker");
+  const std::int64_t broker = flags.GetInt("broker", -1);
   const std::string chrome_out = flags.GetString("chrome", "");
   const std::string audit_model = flags.GetString("audit", "");
   const std::string report_out = flags.GetString("report", "");
@@ -177,10 +182,14 @@ int main(int argc, char** argv) {
     std::cerr << "--packet needs a non-negative message id\n";
     return 2;
   }
+  if (has_broker && broker < 0) {
+    std::cerr << "--broker needs a non-negative broker id\n";
+    return 2;
+  }
 
   // The timeline and Chrome exports need the records in memory; every other
   // mode streams.
-  const bool need_records = has_packet || !chrome_out.empty();
+  const bool need_records = has_packet || has_broker || !chrome_out.empty();
   const bool need_analysis =
       decompose || !audit_model.empty() || !report_out.empty();
 
@@ -212,6 +221,15 @@ int main(int argc, char** argv) {
         std::cout, records, static_cast<std::uint64_t>(packet));
     if (printed == 0) {
       std::cerr << "no events for packet " << packet << "\n";
+      return 1;
+    }
+  }
+
+  if (has_broker) {
+    const std::size_t printed = dcrd::PrintBrokerTimeline(
+        std::cout, records, static_cast<std::uint32_t>(broker));
+    if (printed == 0) {
+      std::cerr << "no events for broker " << broker << "\n";
       return 1;
     }
   }
