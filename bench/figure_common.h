@@ -18,6 +18,9 @@
 //                    tools/dcrd_trace
 //   --metrics_json P write each cell's metrics registry to
 //                    P.<stem>.<cell>.json
+//   --no_timer_wheel run every scheduler on the legacy binary-heap backend
+//                    (determinism_check.sh byte-diffs this against the
+//                    default timer-wheel path)
 //   --delay_audit P  delay-provenance capture: per cell, stream the full
 //                    trace to P.trace.<stem>.<cell>.jsonl and the Theorem-1
 //                    model rows to P.model.<stem>.<cell>.jsonl (DCRD cells
@@ -100,6 +103,14 @@ inline FigureScale ParseScale(const Flags& flags) {
   }
   scale.csv_dir = flags.GetString("csv", "");
   scale.jobs = ResolveJobCount(static_cast<int>(flags.GetInt("jobs", 0)));
+  if (flags.GetBool("no_timer_wheel", false)) {
+    // Debug escape hatch for scripts/determinism_check.sh: run every
+    // scheduler on the legacy binary-heap backend so the wheel and heap
+    // paths can be byte-diffed against each other. Set here, before the
+    // sweep pool spawns worker threads (the default is process-wide).
+    Scheduler::SetProcessDefaultBackend(SchedulerBackend::kBinaryHeap);
+    std::cerr << "timer wheel disabled: binary-heap scheduler backend\n";
+  }
   scale.bench_json = flags.GetString("bench_json", "");
   scale.trace = flags.GetBool("trace", false);
   scale.trace_out = flags.GetString("trace_out", "");

@@ -1,13 +1,21 @@
 // Shared main() for the google-benchmark micro-benches (replaces
 // benchmark_main) so they speak the repo's flag dialect: --bench_json PATH
-// appends a wall-clock record (benchmark count, seconds, git describe) to
-// the JSON perf-trajectory file, --benchmark_* flags pass through to the
-// benchmark library untouched, and unknown --flags abort like every other
-// binary.
+// appends a wall-clock record (benchmark count, seconds, git describe,
+// per-benchmark items/s rates) to the JSON perf-trajectory file,
+// --benchmark_* flags pass through to the benchmark library untouched, and
+// unknown --flags abort like every other binary.
+//
+// Every micro binary also carries BM_CalibrationSpin: a fixed pure-ALU
+// workload whose rate depends on the machine and its load, never on the
+// repo's code. scripts/bench_gate.py divides candidate rates by the
+// calibration ratio before comparing against the committed baseline, so a
+// slow or noisy CI machine doesn't read as a code regression.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/flags.h"
@@ -20,6 +28,48 @@ std::string Basename(const std::string& path) {
   const auto pos = path.find_last_of('/');
   return pos == std::string::npos ? path : path.substr(pos + 1);
 }
+
+void BM_CalibrationSpin(benchmark::State& state) {
+  // xorshift64 over a fixed chunk: integer ALU + a data dependency chain,
+  // no memory traffic, no repo code. The absolute rate is meaningless; the
+  // baseline/candidate *ratio* estimates how fast this machine is running
+  // relative to when the baseline was recorded.
+  std::uint64_t x = 0x9E3779B97F4A7C15ULL;
+  for (auto _ : state) {
+    for (int i = 0; i < 4096; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+    }
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_CalibrationSpin);
+
+// Console output exactly as stock google-benchmark, plus a capture of each
+// per-iteration run's items/s for the --bench_json record.
+class RateCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const auto it = run.counters.find("items_per_second");
+      if (it == run.counters.end()) continue;
+      rates_.emplace_back(run.benchmark_name(),
+                          static_cast<double>(it->second));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& rates()
+      const {
+    return rates_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> rates_;
+};
 
 }  // namespace
 
@@ -42,8 +92,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  RateCapturingReporter reporter;
   const auto start = std::chrono::steady_clock::now();
-  const std::size_t benchmarks_run = benchmark::RunSpecifiedBenchmarks();
+  const std::size_t benchmarks_run =
+      benchmark::RunSpecifiedBenchmarks(&reporter);
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -53,8 +105,10 @@ int main(int argc, char** argv) {
     stats.jobs = 1;
     stats.cells = benchmarks_run;
     stats.wall_seconds = wall_seconds;
-    dcrd::AppendBenchRecord(
-        bench_json, dcrd::MakeBenchRecord(Basename(argv[0]), stats));
+    dcrd::BenchRecord record =
+        dcrd::MakeBenchRecord(Basename(argv[0]), stats);
+    record.rates = reporter.rates();
+    dcrd::AppendBenchRecord(bench_json, record);
   }
   benchmark::Shutdown();
   return 0;

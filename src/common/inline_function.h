@@ -57,6 +57,32 @@ class InlineFunction<R(Args...), Capacity> {
     vtable_ = &kVTable<Fn>;
   }
 
+  // Constructs a callable directly in the inline buffer, replacing any
+  // previous one. Equivalent to `*this = InlineFunction(std::forward<F>(f))`
+  // minus the temporary's relocate — the scheduler's hot path assigns
+  // millions of callbacks per figure run into recycled slab slots, where
+  // the extra indirect relocate call showed up in the event-queue bench.
+  template <typename F>
+  void Assign(F&& f) {
+    if constexpr (std::is_same_v<std::decay_t<F>, InlineFunction>) {
+      *this = std::forward<F>(f);
+    } else {
+      using Fn = std::decay_t<F>;
+      static_assert(std::is_invocable_r_v<R, Fn&, Args...>,
+                    "callable signature mismatch");
+      static_assert(sizeof(Fn) <= Capacity,
+                    "capture exceeds the inline budget — shrink the capture "
+                    "or move bulk state into a pooled slab (slot_map.h)");
+      static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                    "over-aligned capture");
+      static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                    "capture must be nothrow-movable (slab growth relocates)");
+      Reset();
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      vtable_ = &kVTable<Fn>;
+    }
+  }
+
   InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
   InlineFunction& operator=(InlineFunction&& other) noexcept {
     if (this != &other) {
@@ -86,6 +112,10 @@ class InlineFunction<R(Args...), Capacity> {
     R (*invoke)(void*, Args&&...);
     // Move-constructs dst from src, then destroys src's object.
     void (*relocate)(void* dst, void* src) noexcept;
+    // nullptr for trivially destructible callables — the overwhelmingly
+    // common capture shape (ids and pointers) — so the per-event Reset in
+    // the scheduler's dispatch loop is a load and a predicted branch, not
+    // an indirect call to an empty function.
     void (*destroy)(void*) noexcept;
   };
 
@@ -100,7 +130,11 @@ class InlineFunction<R(Args...), Capacity> {
         ::new (dst) Fn(std::move(*from));
         from->~Fn();
       },
-      [](void* s) noexcept { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+      std::is_trivially_destructible_v<Fn>
+          ? nullptr
+          : +[](void* s) noexcept {
+              std::launder(reinterpret_cast<Fn*>(s))->~Fn();
+            },
   };
 
   void MoveFrom(InlineFunction& other) noexcept {
@@ -112,7 +146,7 @@ class InlineFunction<R(Args...), Capacity> {
 
   void Reset() noexcept {
     if (vtable_ != nullptr) {
-      vtable_->destroy(storage_);
+      if (vtable_->destroy != nullptr) vtable_->destroy(storage_);
       vtable_ = nullptr;
     }
   }

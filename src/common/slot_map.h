@@ -26,8 +26,10 @@
 // slot's Release, because a re-acquire overwrites the value in place.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <utility>
 #include <vector>
 
@@ -54,6 +56,16 @@ class SlotMap {
   SlotMap() = default;
   SlotMap(const SlotMap&) = delete;
   SlotMap& operator=(const SlotMap&) = delete;
+  // Chunks are raw storage; values are placement-constructed the first
+  // time their slot is acquired (not when the chunk is allocated — a
+  // simulation that churns schedulers would otherwise pay a full-slab
+  // default-construction sweep per instance) and destroyed here, where
+  // every slot below the high-water mark holds a constructed value.
+  ~SlotMap() {
+    for (std::size_t slot = 0; slot < meta_.size(); ++slot) {
+      Value(slot)->~T();
+    }
+  }
 
   // Number of live (acquired) slots.
   [[nodiscard]] std::size_t size() const { return live_; }
@@ -65,6 +77,16 @@ class SlotMap {
     meta_.reserve(n);
     chunks_.reserve((n + kChunkSize - 1) >> kChunkShift);
   }
+
+ private:
+  // The value living in `slot` (which must have been acquired at least
+  // once, so its T is constructed).
+  [[nodiscard]] T* Value(std::size_t slot) {
+    return reinterpret_cast<T*>(chunks_[slot >> kChunkShift].get()) +
+           (slot & kChunkMask);
+  }
+
+ public:
 
   // Acquires a slot and returns its handle. The value is recycled from the
   // slot's previous tenant (or default-constructed on first use); the
@@ -78,9 +100,11 @@ class SlotMap {
       slot = static_cast<std::uint32_t>(meta_.size());
       DCRD_CHECK(slot != SlotHandle::kInvalidSlot) << "slot map exhausted";
       if ((slot >> kChunkShift) == chunks_.size()) {
-        chunks_.push_back(std::make_unique<T[]>(kChunkSize));
+        chunks_.push_back(std::make_unique_for_overwrite<std::byte[]>(
+            kChunkSize * sizeof(T)));
       }
       meta_.push_back(Meta{1, SlotHandle::kInvalidSlot, false});
+      ::new (static_cast<void*>(Value(slot))) T();
     }
     Meta& meta = meta_[slot];
     DCRD_CHECK(!meta.live);
@@ -89,13 +113,31 @@ class SlotMap {
     return SlotHandle{slot, meta.generation};
   }
 
+  // Acquire + Get fused: also hands back the value pointer, skipping the
+  // revalidation a separate Get would repeat. The scheduler's schedule path
+  // runs this once per event.
+  SlotHandle Acquire(T** value) {
+    const SlotHandle handle = Acquire();
+    *value = Value(handle.slot);
+    return handle;
+  }
+
+  // Hints the prefetcher at a handle's metadata and value lines: callers
+  // that stage a handle for imminent dispatch overlap the (often cold)
+  // loads with their staging bookkeeping.
+  void Prefetch(SlotHandle handle) {
+    if (handle.slot >= meta_.size()) return;
+    __builtin_prefetch(&meta_[handle.slot]);
+    __builtin_prefetch(Value(handle.slot));
+  }
+
   // The value for a live handle; nullptr when the handle is stale (its slot
   // was released, possibly re-acquired by a newer tenant) or empty.
   [[nodiscard]] T* Get(SlotHandle handle) {
     if (handle.slot >= meta_.size()) return nullptr;
     const Meta& meta = meta_[handle.slot];
     if (!meta.live || meta.generation != handle.generation) return nullptr;
-    return &chunks_[handle.slot >> kChunkShift][handle.slot & kChunkMask];
+    return Value(handle.slot);
   }
   [[nodiscard]] const T* Get(SlotHandle handle) const {
     return const_cast<SlotMap*>(this)->Get(handle);
@@ -117,20 +159,59 @@ class SlotMap {
     }
   }
 
+  // Bumps a live handle's generation in place: every outstanding handle to
+  // the slot goes stale, but the slot stays live and its value is untouched
+  // — no free-list round trip, no value move. This is the cheap re-arm
+  // primitive: the scheduler renews a timer's slot instead of releasing and
+  // re-acquiring it when the same callback is armed again. Dies on a stale
+  // handle.
+  SlotHandle Renew(SlotHandle handle) {
+    DCRD_CHECK(Get(handle) != nullptr) << "renewing a stale handle";
+    Meta& meta = meta_[handle.slot];
+    ++meta.generation;
+    return SlotHandle{handle.slot, meta.generation};
+  }
+
+  // Renew + Get fused into one metadata access: stales every outstanding
+  // handle, stores the renewed handle in *renewed, and returns the value
+  // pointer. The scheduler's dispatch loop runs this once per event, where
+  // the separate Renew-then-Get round trips showed up in the event-queue
+  // bench. Dies on a stale handle.
+  T* BeginDispatch(SlotHandle handle, SlotHandle* renewed) {
+    DCRD_CHECK(handle.slot < meta_.size()) << "dispatching a null handle";
+    Meta& meta = meta_[handle.slot];
+    DCRD_CHECK(meta.live && meta.generation == handle.generation)
+        << "dispatching a stale handle";
+    ++meta.generation;
+    *renewed = SlotHandle{handle.slot, meta.generation};
+    return Value(handle.slot);
+  }
+
   // Releases a live handle's slot back to the free list, bumping the
   // generation so every outstanding handle to it goes stale. Returns false
   // (and does nothing) when the handle is already stale. The value is kept
   // constructed for recycling — see the header comment.
   bool Release(SlotHandle handle) {
     if (Get(handle) == nullptr) return false;
+    ReleaseLive(handle);
+    return true;
+  }
+
+  // Release for a handle the caller has already proven live (e.g. the
+  // renewed handle from BeginDispatch, which no one else can have released
+  // in the meantime): skips the staleness probe, dies if the claim is
+  // wrong.
+  void ReleaseLive(SlotHandle handle) {
+    DCRD_CHECK(handle.slot < meta_.size());
     Meta& meta = meta_[handle.slot];
+    DCRD_CHECK(meta.live && meta.generation == handle.generation)
+        << "releasing a stale handle";
     meta.live = false;
     ++meta.generation;
     meta.next_free = free_head_;
     free_head_ = handle.slot;
     DCRD_CHECK(live_ > 0);
     --live_;
-    return true;
   }
 
  private:
@@ -146,7 +227,7 @@ class SlotMap {
   static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
   static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
 
-  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
   std::vector<Meta> meta_;
   std::uint32_t free_head_ = SlotHandle::kInvalidSlot;
   std::size_t live_ = 0;

@@ -4,23 +4,45 @@
 
 namespace dcrd {
 
-EventHandle Scheduler::ScheduleAt(SimTime at, Action action) {
-  DCRD_CHECK(at >= now_) << "scheduling into the past: " << at << " < " << now_;
-  const SlotHandle slot = actions_.Acquire();
-  *actions_.Get(slot) = std::move(action);
-  heap_.push_back(Entry{at, next_seq_++, slot});
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
-  return EventHandle(slot);
+namespace {
+
+// Process-wide default, set once at startup before worker threads exist.
+SchedulerBackend g_default_backend = SchedulerBackend::kTimerWheel;
+
+}  // namespace
+
+void Scheduler::SetProcessDefaultBackend(SchedulerBackend backend) {
+  g_default_backend = backend;
+}
+
+SchedulerBackend Scheduler::ProcessDefaultBackend() {
+  return g_default_backend;
+}
+
+EventHandle Scheduler::RearmCurrentAt(SimTime at) {
+  DCRD_CHECK(in_dispatch_) << "RearmCurrent outside an event callback";
+  DCRD_CHECK(!rearmed_) << "event re-armed twice in one dispatch";
+  DCRD_CHECK(at >= now_) << "re-arming into the past: " << at << " < " << now_;
+  rearmed_ = true;
+  ++live_;
+  Enqueue(at, next_seq_++, running_slot_);
+  return EventHandle(running_slot_);
 }
 
 bool Scheduler::Cancel(EventHandle handle) {
   Action* action = actions_.Get(handle.handle_);
   if (action == nullptr) return false;  // ran, already cancelled, or empty
   // Drop the capture now (it may own resources); the slab slot is recycled.
+  // The queue entry (wheel bucket or heap) goes stale in place and is
+  // skipped at dispatch/migration.
   *action = nullptr;
-  actions_.Release(handle.handle_);
-  ++tombstones_;
-  CompactIfStale();
+  actions_.ReleaseLive(handle.handle_);
+  DCRD_CHECK(live_ > 0);
+  --live_;
+  if (!use_wheel_) {
+    ++tombstones_;
+    CompactIfStale();
+  }
   return true;
 }
 
@@ -52,27 +74,143 @@ void Scheduler::SkipCancelled() {
   while (!heap_.empty() && actions_.Get(heap_.front().slot) == nullptr) {
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
     heap_.pop_back();
-    DCRD_CHECK(tombstones_ > 0);
-    --tombstones_;
+    if (!use_wheel_) {
+      DCRD_CHECK(tombstones_ > 0);
+      --tombstones_;
+    }
   }
 }
 
-bool Scheduler::Step() {
+void Scheduler::MigrateHeap() {
+  // Heap entries whose time has come inside the wheel horizon move down a
+  // tier; heap pop order is (at, seq), so same-tick migrants append to
+  // their bucket in seq order, keeping the wheel's FIFO contract.
+  while (!heap_.empty()) {
+    const Entry& top = heap_.front();
+    if (actions_.Get(top.slot) == nullptr) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+      heap_.pop_back();
+      continue;  // stale: drop instead of migrating
+    }
+    if (!wheel_.Accepts(top.at.micros())) break;
+    wheel_.Insert(top.at.micros(), top.seq, top.slot);
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    heap_.pop_back();
+  }
+}
+
+const Scheduler::WheelEntry* Scheduler::PrepareNext() {
+  for (;;) {
+    // A bypass entry (stranded heap tier) always precedes the staged wheel
+    // entry — it was staged precisely because its time is earlier.
+    if (bypass_valid_) {
+      if (actions_.Get(bypass_.payload) != nullptr) return &bypass_;
+      bypass_valid_ = false;  // cancelled between peeks
+    }
+    if (staged_valid_) {
+      if (actions_.Get(staged_.payload) == nullptr) {
+        staged_valid_ = false;  // cancelled: skip and restage
+        continue;
+      }
+      // A stranded heap entry may precede the staged wheel entry (never at
+      // the same tick: same-tick inserts are always wheel-accepted).
+      if (!heap_.empty()) {
+        SkipCancelled();
+        if (!heap_.empty() && heap_.front().at.micros() < staged_.at) {
+          const Entry top = heap_.front();
+          std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+          heap_.pop_back();
+          bypass_ = WheelEntry{top.at.micros(), top.seq, top.slot};
+          bypass_valid_ = true;
+          return &bypass_;
+        }
+      }
+      return &staged_;
+    }
+    // Restage: migrate heap entries that entered the horizon, then pull the
+    // earliest wheel entry.
+    MigrateHeap();
+    if (wheel_.PopNext(&staged_)) {
+      staged_valid_ = true;
+      // Warm the action's cache lines under the staging bookkeeping; the
+      // loop's staleness probe (cancelled entries go stale in place and are
+      // filtered right here) then hits warm metadata.
+      actions_.Prefetch(staged_.payload);
+      continue;  // loop validates liveness and orders against the heap
+    }
+    SkipCancelled();
+    if (heap_.empty()) return nullptr;
+    const Entry top = heap_.front();
+    if (top.at.micros() >= wheel_.current()) {
+      // Beyond the horizon with nothing nearer: jump the (empty) wheel to
+      // the heap front's block and let migration move it in.
+      wheel_.JumpTo(top.at.micros());
+      continue;
+    }
+    // Stranded behind the wheel clock (scheduled after a RunUntil stopped
+    // the sim clock short of a tick the wheel had already advanced to):
+    // dispatch straight off the heap until the wheel is reachable again.
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    heap_.pop_back();
+    bypass_ = WheelEntry{top.at.micros(), top.seq, top.slot};
+    bypass_valid_ = true;
+    return &bypass_;
+  }
+}
+
+void Scheduler::Execute(SimTime at, SlotHandle slot) {
+  DCRD_CHECK(at >= now_);
+  // Renew before running: every outstanding handle (including the event's
+  // own) goes stale, so a re-entrant Cancel cannot destroy the executing
+  // callback, and RearmCurrentAt can relink the very same slot. The action
+  // runs in place — chunked slab storage never relocates.
+  Action* action = actions_.BeginDispatch(slot, &running_slot_);
+  in_dispatch_ = true;
+  rearmed_ = false;
+  now_ = at;
+  ++events_executed_;
+  DCRD_CHECK(live_ > 0);
+  --live_;
+  (*action)();
+  in_dispatch_ = false;
+  if (!rearmed_) {
+    // Drop the capture (it may own resources); the slab slot is recycled.
+    *action = nullptr;
+    actions_.ReleaseLive(running_slot_);
+  }
+}
+
+bool Scheduler::StepHeap() {
   SkipCancelled();
   if (heap_.empty()) return false;
   const Entry entry = heap_.front();
   std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
   heap_.pop_back();
-  Action* stored = actions_.Get(entry.slot);
-  DCRD_CHECK(stored != nullptr);
-  // Move the action out before running it: it may reschedule (growing the
-  // slab) or cancel other events re-entrantly.
-  Action action = std::move(*stored);
-  actions_.Release(entry.slot);
-  now_ = entry.at;
-  ++events_executed_;
-  action();
+  Execute(entry.at, entry.slot);
   return true;
+}
+
+bool Scheduler::Step() {
+  if (!use_wheel_) return StepHeap();
+  const WheelEntry* next = PrepareNext();
+  if (next == nullptr) return false;
+  const WheelEntry entry = *next;
+  ConsumeStaged();
+  Execute(SimTime::FromMicros(entry.at), entry.payload);
+  return true;
+}
+
+// The wheel-only regime: no staged peek left over, no stranded bypass, an
+// empty overflow tier, and a wheel clock that hasn't run ahead of the sim
+// clock. Under it Run/RunUntil pop-and-execute straight off the wheel,
+// skipping the staging round trip PrepareNext pays for peek semantics —
+// and the regime is closed under dispatch: a callback's far-future insert
+// lands in the heap with a strictly larger horizon prefix (later than the
+// whole wheel), and during the drain the wheel clock equals the sim clock
+// at every callback, so nothing can strand behind it.
+bool Scheduler::WheelOnlyRegime() const {
+  return !staged_valid_ && !bypass_valid_ && heap_.empty() &&
+         wheel_.current() <= now_.micros();
 }
 
 std::uint64_t Scheduler::Run() {
@@ -80,6 +218,26 @@ std::uint64_t Scheduler::Run() {
   // thread-local store per event would show up in the event-queue bench.
   internal::ScopedSimClock clock_guard(&now_);
   std::uint64_t count = 0;
+  if (use_wheel_) {
+    for (;;) {
+      if (WheelOnlyRegime()) {
+        WheelEntry e;
+        while (wheel_.PopNext(&e)) {
+          actions_.Prefetch(e.payload);
+          if (actions_.Get(e.payload) == nullptr) continue;  // cancelled
+          Execute(SimTime::FromMicros(e.at), e.payload);
+          ++count;
+        }
+        if (heap_.empty()) return count;  // fully drained
+      }
+      const WheelEntry* next = PrepareNext();
+      if (next == nullptr) return count;
+      const WheelEntry entry = *next;
+      ConsumeStaged();
+      Execute(SimTime::FromMicros(entry.at), entry.payload);
+      ++count;
+    }
+  }
   while (Step()) ++count;
   return count;
 }
@@ -87,11 +245,41 @@ std::uint64_t Scheduler::Run() {
 std::uint64_t Scheduler::RunUntil(SimTime deadline) {
   internal::ScopedSimClock clock_guard(&now_);
   std::uint64_t count = 0;
-  while (true) {
-    SkipCancelled();
-    if (heap_.empty() || heap_.front().at > deadline) break;
-    Step();
-    ++count;
+  if (use_wheel_) {
+    bool done = false;
+    while (!done) {
+      if (WheelOnlyRegime()) {
+        WheelEntry e;
+        while (wheel_.PopNext(&e)) {
+          if (e.at > deadline.micros()) {
+            // Popped past the deadline: park it in the staging slot, where
+            // the next Run/RunUntil picks it up (possibly stale by then).
+            staged_ = e;
+            staged_valid_ = true;
+            done = true;
+            break;
+          }
+          actions_.Prefetch(e.payload);
+          if (actions_.Get(e.payload) == nullptr) continue;  // cancelled
+          Execute(SimTime::FromMicros(e.at), e.payload);
+          ++count;
+        }
+        if (done || heap_.empty()) break;  // deadline or fully drained
+      }
+      const WheelEntry* next = PrepareNext();
+      if (next == nullptr || next->at > deadline.micros()) break;
+      const WheelEntry entry = *next;
+      ConsumeStaged();
+      Execute(SimTime::FromMicros(entry.at), entry.payload);
+      ++count;
+    }
+  } else {
+    while (true) {
+      SkipCancelled();
+      if (heap_.empty() || heap_.front().at > deadline) break;
+      StepHeap();
+      ++count;
+    }
   }
   if (now_ < deadline) now_ = deadline;
   return count;

@@ -1,28 +1,42 @@
 // Deterministic discrete-event scheduler.
 //
-// The scheduler owns the simulated clock and a priority queue of pending
-// events. Events firing at the same instant are delivered in scheduling
-// order (a monotonically increasing sequence number breaks ties), which is
-// what makes whole-simulation runs bit-reproducible.
+// The scheduler owns the simulated clock and two tiers of pending events.
+// Events firing at the same instant are delivered in scheduling order (a
+// monotonically increasing sequence number breaks ties), which is what
+// makes whole-simulation runs bit-reproducible.
 //
-// Storage layout (the hot part): actions live in a generation-checked slot
-// map — a dense slab recycled through a free list — and are InlineAction
-// callbacks with fixed inline capture storage, so ScheduleAt/Cancel/Step
-// perform zero heap allocations once the slab and heap have grown to the
-// simulation's high-water mark. An EventHandle is {slot, generation}:
-// cancelling is two array reads and a compare, and a stale handle (the
-// event already ran, was cancelled, or its slot now belongs to a newer
-// event) is rejected by the generation mismatch — no hash lookup anywhere.
+// Tier layout (the hot part): events inside the timer wheel's horizon —
+// ~2.4 simulated hours, which covers every RTO retransmit timer,
+// peer-death probe and epoch tick the protocols arm — live in a three-level
+// hierarchical timer wheel (common/timer_wheel.h): O(1) insert, O(1)
+// cancel, and dispatch that walks same-tick bucket lists in place instead
+// of paying one O(log n) heap pop per event. The binary
+// heap remains as the far-future overflow tier; its entries migrate into
+// the wheel as the clock advances. The legacy heap-only backend is kept
+// behind SchedulerBackend::kBinaryHeap so scripts/determinism_check.sh can
+// byte-diff the two paths (--no_timer_wheel on the figure binaries).
 //
-// Timers (ACK timeouts, monitoring epochs, failure-schedule ticks) are
-// scheduled events that can be cancelled; cancellation is O(1) — the heap
-// entry goes stale and is skipped on pop. When stale entries outnumber
-// live ones the heap is compacted in place (amortized O(1) per cancel), so
-// timer-heavy workloads where most timers are cancelled — the hop ACK
-// pattern — never sift dead weight through O(log n) pops.
+// Actions live in a generation-checked slot map — a dense slab recycled
+// through a free list — and are InlineAction callbacks with fixed inline
+// capture storage, so ScheduleAt/Cancel/Step perform zero heap allocations
+// once the slab, wheel pool and heap have grown to the simulation's
+// high-water mark. An EventHandle is {slot, generation}: cancelling is two
+// array reads and a compare, and a stale handle (the event already ran,
+// was cancelled, or its slot now belongs to a newer event) is rejected by
+// the generation mismatch — no hash lookup anywhere. Cancelled entries go
+// stale in place (wheel bucket or heap) and are skipped at dispatch.
+//
+// Re-arm path: a periodic-style timer — the RTO retransmit chain, the
+// peer-death probe loop — may call RearmCurrentAfter/At from inside its own
+// callback. The action is left in place in the slab (no move, no
+// release/acquire round trip); its slot's generation is bumped so every
+// older handle goes stale, and a fresh queue entry is linked. This is the
+// wheel idiom HopTransport's per-pending timer bookkeeping rides on.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -30,6 +44,7 @@
 #include "common/logging.h"
 #include "common/sim_time.h"
 #include "common/slot_map.h"
+#include "common/timer_wheel.h"
 
 namespace dcrd {
 
@@ -46,32 +61,77 @@ class EventHandle {
   SlotHandle handle_;
 };
 
+// Storage backend for the pending-event queue. kTimerWheel is the default;
+// kBinaryHeap is the pre-wheel path, kept alive so the determinism gate can
+// prove the two produce byte-identical simulations.
+enum class SchedulerBackend { kTimerWheel, kBinaryHeap };
+
 class Scheduler {
  public:
   // Non-allocating callback: captures beyond the inline budget are compile
   // errors, keeping the event loop heap-free (see inline_function.h).
   using Action = InlineFunction<void()>;
 
-  Scheduler() = default;
+  explicit Scheduler(SchedulerBackend backend = ProcessDefaultBackend())
+      : use_wheel_(backend == SchedulerBackend::kTimerWheel) {}
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  [[nodiscard]] SimTime now() const { return now_; }
-  [[nodiscard]] std::size_t pending_count() const {
-    return heap_.size() - tombstones_;
+  // Process-wide default backend, read by every subsequently constructed
+  // Scheduler. Set once at startup (figure binaries: --no_timer_wheel),
+  // before any worker thread starts — the sweep purity contract (DESIGN §7)
+  // forbids flipping it mid-run.
+  static void SetProcessDefaultBackend(SchedulerBackend backend);
+  static SchedulerBackend ProcessDefaultBackend();
+
+  // Pre-grows every tier to hold `n` simultaneously pending events,
+  // front-loading slab/pool growth that would otherwise interleave with the
+  // first simulated seconds.
+  void Reserve(std::size_t n) {
+    actions_.Reserve(n);
+    wheel_.Reserve(n);
+    heap_.reserve(use_wheel_ ? n / 8 + 8 : n);
   }
-  [[nodiscard]] bool empty() const { return pending_count() == 0; }
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::size_t pending_count() const { return live_; }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] std::uint64_t events_executed() const {
     return events_executed_;
   }
 
   // Schedules `action` to run at absolute time `at` (must not be in the
-  // past). Returns a handle usable with Cancel().
-  EventHandle ScheduleAt(SimTime at, Action action);
+  // past). Returns a handle usable with Cancel(). Templated so the callable
+  // is constructed directly in its slab slot (InlineFunction::Assign)
+  // instead of riding through a temporary Action's relocate.
+  template <typename F>
+  EventHandle ScheduleAt(SimTime at, F&& action) {
+    DCRD_CHECK(at >= now_) << "scheduling into the past: " << at << " < "
+                           << now_;
+    Action* value;
+    const SlotHandle slot = actions_.Acquire(&value);
+    value->Assign(std::forward<F>(action));
+    ++live_;
+    Enqueue(at, next_seq_++, slot);
+    return EventHandle(slot);
+  }
 
   // Schedules `action` to run `delay` after the current time.
-  EventHandle ScheduleAfter(SimDuration delay, Action action) {
-    return ScheduleAt(now_ + delay, std::move(action));
+  template <typename F>
+  EventHandle ScheduleAfter(SimDuration delay, F&& action) {
+    return ScheduleAt(now_ + delay, std::forward<F>(action));
+  }
+
+  // Re-arms the currently executing event's action without touching it:
+  // only legal from inside an event callback, at most once per dispatch.
+  // The action stays in its slab slot (the handle returned by the original
+  // ScheduleAt is already stale — the event fired); the returned handle
+  // cancels or re-arms the new arming. Equivalent to ScheduleAt(at, <same
+  // action>) for ordering purposes: the new entry takes the next sequence
+  // number at the point of the call.
+  EventHandle RearmCurrentAt(SimTime at);
+  EventHandle RearmCurrentAfter(SimDuration delay) {
+    return RearmCurrentAt(now_ + delay);
   }
 
   // Cancels a pending event. Returns true if the event was still pending;
@@ -101,24 +161,81 @@ class Scheduler {
     }
   };
 
-  // Pops stale (cancelled) entries off the heap top.
+  using WheelEntry = TimerWheel<SlotHandle>::Entry;
+
+  // Links one pending entry into the owning tier. Inline: this sits inside
+  // every ScheduleAt instantiation.
+  void Enqueue(SimTime at, std::uint64_t seq, SlotHandle slot) {
+    if (use_wheel_ && wheel_.TryInsert(at.micros(), seq, slot)) return;
+    // Far-future (beyond the wheel horizon), behind a wheel clock that ran
+    // ahead of a RunUntil deadline, or the heap backend: the binary heap.
+    heap_.push_back(Entry{at, seq, slot});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+  }
+  // Runs `entry` (whose action must be live): advances the clock, renews
+  // the slot so outstanding handles go stale, invokes the action in place,
+  // and releases the slot unless the action re-armed itself.
+  void Execute(SimTime at, SlotHandle slot);
+
+  // Wheel backend: stages the next live event (wheel tier, or a stranded
+  // heap entry that must bypass it) and returns a pointer to it; nullptr
+  // when nothing is pending. Performs heap->wheel migration and wheel
+  // cascades, but never executes anything — callers consume the staged
+  // entry with ConsumeStaged() before dispatching it.
+  const WheelEntry* PrepareNext();
+  // True when Run/RunUntil may pop-and-execute straight off the wheel,
+  // bypassing the staging slots (see scheduler.cc).
+  [[nodiscard]] bool WheelOnlyRegime() const;
+  void ConsumeStaged() {
+    if (bypass_valid_) {
+      bypass_valid_ = false;
+    } else {
+      staged_valid_ = false;
+    }
+  }
+  // Moves heap-tier entries whose time entered the wheel horizon into the
+  // wheel (dropping stale ones), preserving (at, seq) order.
+  void MigrateHeap();
+
+  // Heap backend (and overflow-tier) helpers.
   void SkipCancelled();
-  // Rebuilds the heap without stale entries once they outnumber live ones.
-  // Pop order is untouched: entries are strictly ordered by unique
-  // (at, seq), and only entries every pop would skip are removed.
   void CompactIfStale();
+  bool StepHeap();
 
   SimTime now_ = SimTime::Zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_executed_ = 0;
-  std::size_t tombstones_ = 0;
-  // Min-heap on (at, seq) maintained with std::push_heap/pop_heap; a raw
-  // vector so compaction can filter it in place, capacity retained.
+  std::size_t live_ = 0;        // pending (scheduled, not run/cancelled)
+  std::size_t tombstones_ = 0;  // stale entries still linked in the heap
+  const bool use_wheel_;
+
+  // Near-horizon tier (wheel backend only) plus the staging slots backing
+  // PrepareNext's peek semantics: staged_ holds the next wheel-tier entry,
+  // bypass_ a stranded heap entry (scheduled behind the wheel clock after
+  // a RunUntil stopped short) that must dispatch first. Staged entries are
+  // re-validated against the slot map on every PrepareNext call, so a
+  // Cancel landing between peeks is honored.
+  TimerWheel<SlotHandle> wheel_;
+  WheelEntry staged_;
+  WheelEntry bypass_;
+  bool staged_valid_ = false;
+  bool bypass_valid_ = false;
+
+  // Far-future tier (and the entire queue for the heap backend): min-heap
+  // on (at, seq) maintained with std::push_heap/pop_heap; a raw vector so
+  // compaction can filter it in place, capacity retained.
   std::vector<Entry> heap_;
+
   // Action storage. A slot goes back on the free list the moment its event
-  // runs or is cancelled; the generation bump makes outstanding EventHandles
-  // to it stale.
+  // runs or is cancelled (unless re-armed); the generation bump makes
+  // outstanding EventHandles to it stale.
   SlotMap<Action> actions_;
+
+  // Dispatch state for RearmCurrentAt: the renewed handle of the running
+  // event's slot, and whether the callback re-armed it.
+  SlotHandle running_slot_;
+  bool in_dispatch_ = false;
+  bool rearmed_ = false;
 };
 
 }  // namespace dcrd

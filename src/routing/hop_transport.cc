@@ -44,10 +44,10 @@ void HopTransport::SendReliable(NodeId from, LinkId link, Packet packet,
         SimDuration::Zero(), [this, slot] { HandleTimeout(slot); });
     return;
   }
-  TransmitOnce(slot);
+  TransmitOnce(slot, /*in_timer_event=*/false);
 }
 
-void HopTransport::TransmitOnce(SlotHandle pending_slot) {
+void HopTransport::TransmitOnce(SlotHandle pending_slot, bool in_timer_event) {
   Pending* pending = pending_.Get(pending_slot);
   DCRD_CHECK(pending != nullptr);
   DCRD_CHECK(pending->transmissions_left > 0);
@@ -109,15 +109,21 @@ void HopTransport::TransmitOnce(SlotHandle pending_slot) {
                              config_.adaptive_rto ? 1 : 0,
                              static_cast<std::uint16_t>(tx_index));
   }
-  pending->timer = network_.scheduler().ScheduleAfter(
-      timeout, [this, pending_slot] { HandleTimeout(pending_slot); });
+  // Retransmissions ride the scheduler's re-arm path: the timeout action
+  // stays in its slab slot for the whole m-transmission chain.
+  pending->timer =
+      in_timer_event
+          ? network_.scheduler().RearmCurrentAfter(timeout)
+          : network_.scheduler().ScheduleAfter(timeout, [this, pending_slot] {
+              HandleTimeout(pending_slot);
+            });
 }
 
 void HopTransport::HandleTimeout(SlotHandle pending_slot) {
   Pending* pending = pending_.Get(pending_slot);
   if (pending == nullptr) return;  // ACK won the race
   if (pending->transmissions_left > 0) {
-    TransmitOnce(pending_slot);
+    TransmitOnce(pending_slot, /*in_timer_event=*/true);
     return;
   }
   // Budget exhausted. A badly late ACK may still straggle home — leave a
@@ -354,7 +360,7 @@ void HopTransport::DeclarePeerDead(NodeId from, LinkId link,
         network_.graph().edge(link).OtherEnd(from), link, 0,
         static_cast<std::uint16_t>(failed));
   }
-  ScheduleProbe(from, link);
+  ScheduleProbe(from, link, /*rearm=*/false);
 }
 
 std::size_t HopTransport::FailFastPending(NodeId from, LinkId link) {
@@ -390,13 +396,17 @@ std::size_t HopTransport::FailFastPending(NodeId from, LinkId link) {
   return failed;
 }
 
-void HopTransport::ScheduleProbe(NodeId from, LinkId link) {
+void HopTransport::ScheduleProbe(NodeId from, LinkId link, bool rearm) {
   const std::size_t didx = DirectedIndex(from, link);
   PeerState& state = peer_[didx];
   const std::uint32_t round = state.round;
-  state.probe_timer = network_.scheduler().ScheduleAfter(
-      ProbeInterval(didx, state),
-      [this, from, link, round] { SendProbe(from, link, round); });
+  // Whole dead periods re-arm one probe action in place; a fresh slot is
+  // only taken when a new death starts a chain.
+  state.probe_timer =
+      rearm ? network_.scheduler().RearmCurrentAfter(ProbeInterval(didx, state))
+            : network_.scheduler().ScheduleAfter(
+                  ProbeInterval(didx, state),
+                  [this, from, link, round] { SendProbe(from, link, round); });
 }
 
 void HopTransport::SendProbe(NodeId from, LinkId link, std::uint32_t round) {
@@ -421,7 +431,7 @@ void HopTransport::SendProbe(NodeId from, LinkId link, std::uint32_t round) {
                                           }
                                         });
                     });
-  ScheduleProbe(from, link);
+  ScheduleProbe(from, link, /*rearm=*/true);
 }
 
 SimDuration HopTransport::ProbeInterval(std::size_t didx,

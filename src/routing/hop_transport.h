@@ -238,7 +238,12 @@ class HopTransport {
     EventHandle probe_timer;
   };
 
-  void TransmitOnce(SlotHandle pending_slot);
+  // `in_timer_event` == the call is running inside the copy's own timeout
+  // dispatch: the retransmission timer is then re-armed in place
+  // (RearmCurrentAfter) instead of released and re-scheduled — the capture
+  // is identical across the whole m-transmission chain, so the callback
+  // slot, not just its contents, is reused.
+  void TransmitOnce(SlotHandle pending_slot, bool in_timer_event);
   void HandleTimeout(SlotHandle pending_slot);
   void HandleDataArrival(SlotHandle wire_slot);
   void HandleAckArrival(SlotHandle pending_slot, std::uint64_t copy_id,
@@ -255,7 +260,11 @@ class HopTransport {
   // Fails every pending copy on (from, link) fast: done(false) each, so
   // the protocol reroutes now instead of after m timeouts.
   std::size_t FailFastPending(NodeId from, LinkId link);
-  void ScheduleProbe(NodeId from, LinkId link);
+  // `rearm` == running inside the probe timer's own dispatch; the probe
+  // chain then re-arms its slot in place. The reused capture's `round` is
+  // still current: SendProbe only reaches ScheduleProbe after checking
+  // round == state.round, and nothing bumps the round in between.
+  void ScheduleProbe(NodeId from, LinkId link, bool rearm);
   void SendProbe(NodeId from, LinkId link, std::uint32_t round);
   [[nodiscard]] SimDuration ProbeInterval(std::size_t didx,
                                           const PeerState& state) const;

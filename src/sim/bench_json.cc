@@ -80,6 +80,15 @@ void WriteBenchRecordJson(std::ostream& os, const BenchRecord& record) {
     }
     os << "]";
   }
+  if (!record.rates.empty()) {
+    os << ", \"rates\": {";
+    for (std::size_t i = 0; i < record.rates.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << "\"" << JsonEscape(record.rates[i].first)
+         << "\": " << record.rates[i].second;
+    }
+    os << "}";
+  }
   os << "}";
 }
 

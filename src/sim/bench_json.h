@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/sweep_runner.h"
@@ -26,6 +27,9 @@ struct BenchRecord {
   double wall_seconds = 0.0;
   double cells_per_second = 0.0;
   std::vector<double> cell_seconds;  // per-cell detail; empty = omitted
+  // Per-benchmark items/s (micro-bench binaries only; empty = omitted).
+  // This is what scripts/bench_gate.py compares against its baseline.
+  std::vector<std::pair<std::string, double>> rates;
 };
 
 // `git describe --always --dirty` of the working directory's repository;

@@ -1,0 +1,160 @@
+#include "common/timer_wheel.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dcrd {
+namespace {
+
+using Wheel = TimerWheel<int>;
+
+// Drains the wheel, returning (at, seq) in pop order.
+std::vector<std::pair<std::int64_t, std::uint64_t>> Drain(Wheel& wheel) {
+  std::vector<std::pair<std::int64_t, std::uint64_t>> out;
+  Wheel::Entry entry;
+  while (wheel.PopNext(&entry)) out.emplace_back(entry.at, entry.seq);
+  return out;
+}
+
+TEST(TimerWheelTest, StartsEmptyAtTickZero) {
+  Wheel wheel;
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_EQ(wheel.current(), 0);
+  Wheel::Entry entry;
+  EXPECT_FALSE(wheel.PopNext(&entry));
+}
+
+TEST(TimerWheelTest, PopsInTickThenSeqOrder) {
+  Wheel wheel;
+  // Shuffled ticks spanning all three levels: level 0 (< 2^11), level 1
+  // (< 2^22), level 2 (< 2^33).
+  const std::int64_t ticks[] = {7, 5'000'000, 3000, 1, 40'000'000'0, 2047,
+                                2048, 4'194'304};
+  std::uint64_t seq = 1;
+  for (const std::int64_t at : ticks) wheel.Insert(at, seq++, 0);
+
+  const auto popped = Drain(wheel);
+  ASSERT_EQ(popped.size(), std::size(ticks));
+  EXPECT_TRUE(std::is_sorted(popped.begin(), popped.end()));
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelTest, SameTickYieldsFifo) {
+  Wheel wheel;
+  for (std::uint64_t seq = 1; seq <= 100; ++seq) wheel.Insert(500, seq, 0);
+  const auto popped = Drain(wheel);
+  ASSERT_EQ(popped.size(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(popped[i], (std::pair<std::int64_t, std::uint64_t>{500, i + 1}));
+  }
+}
+
+TEST(TimerWheelTest, CascadePreservesOrderWithinBlock) {
+  Wheel wheel;
+  // All in level 1's first rotation block [2048, 4096): they cascade down
+  // together when the clock enters the block, and must still pop by tick.
+  wheel.Insert(4000, 1, 0);
+  wheel.Insert(2100, 2, 0);
+  wheel.Insert(3000, 3, 0);
+  wheel.Insert(2100, 4, 0);  // same tick as seq 2: FIFO after it
+  const auto popped = Drain(wheel);
+  const std::vector<std::pair<std::int64_t, std::uint64_t>> want = {
+      {2100, 2}, {2100, 4}, {3000, 3}, {4000, 1}};
+  EXPECT_EQ(popped, want);
+}
+
+TEST(TimerWheelTest, RejectsTicksBeyondHorizon) {
+  Wheel wheel;
+  const std::int64_t horizon = std::int64_t{1} << Wheel::kHorizonBits;
+  EXPECT_FALSE(wheel.Accepts(horizon));
+  EXPECT_FALSE(wheel.TryInsert(horizon, 1, 0));
+  EXPECT_TRUE(wheel.Accepts(horizon - 1));
+  EXPECT_TRUE(wheel.TryInsert(horizon - 1, 1, 0));
+  EXPECT_EQ(wheel.size(), 1u);
+}
+
+TEST(TimerWheelTest, RejectsTicksBehindTheClock) {
+  Wheel wheel;
+  wheel.Insert(100, 1, 0);
+  Wheel::Entry entry;
+  ASSERT_TRUE(wheel.PopNext(&entry));
+  EXPECT_EQ(wheel.current(), 100);
+  EXPECT_FALSE(wheel.TryInsert(99, 2, 0));
+  EXPECT_TRUE(wheel.TryInsert(100, 2, 0));  // the current tick stays legal
+}
+
+TEST(TimerWheelTest, HorizonIsPrefixNotDistance) {
+  // The horizon is "same bit prefix above kHorizonBits", not "within 2^33
+  // ticks": just before a block boundary the acceptable window shrinks.
+  Wheel wheel;
+  const std::int64_t block = std::int64_t{1} << Wheel::kHorizonBits;
+  wheel.JumpTo(block - 1);
+  EXPECT_TRUE(wheel.Accepts(block - 1));
+  EXPECT_FALSE(wheel.Accepts(block));  // 1 tick ahead, different prefix
+}
+
+TEST(TimerWheelTest, JumpToSkipsAheadWhileEmpty) {
+  Wheel wheel;
+  const std::int64_t far = (std::int64_t{7} << Wheel::kHorizonBits) + 12345;
+  wheel.JumpTo(far);
+  EXPECT_EQ(wheel.current(), far);
+  wheel.Insert(far + 500, 1, 42);
+  Wheel::Entry entry;
+  ASSERT_TRUE(wheel.PopNext(&entry));
+  EXPECT_EQ(entry.at, far + 500);
+  EXPECT_EQ(entry.payload, 42);
+  EXPECT_EQ(wheel.current(), far + 500);
+}
+
+TEST(TimerWheelTest, SameTickReinsertDuringDrainYieldsAfterDetachedRun) {
+  // The re-arm idiom: while PopNext is yielding tick T's bucket, the caller
+  // re-inserts at T with a fresh seq. The new entry must come out after the
+  // already-detached run — exactly its seq order.
+  Wheel wheel;
+  wheel.Insert(50, 1, 1);
+  wheel.Insert(50, 2, 2);
+  Wheel::Entry entry;
+  ASSERT_TRUE(wheel.PopNext(&entry));
+  EXPECT_EQ(entry.seq, 1u);
+  wheel.Insert(50, 3, 3);  // same tick, mid-drain
+  ASSERT_TRUE(wheel.PopNext(&entry));
+  EXPECT_EQ(entry.seq, 2u);
+  ASSERT_TRUE(wheel.PopNext(&entry));
+  EXPECT_EQ(entry.seq, 3u);
+  EXPECT_FALSE(wheel.PopNext(&entry));
+}
+
+TEST(TimerWheelTest, PoolRecyclesNodesAcrossGenerations) {
+  // Steady-state churn far beyond one slab's 1024 nodes: the free list must
+  // recycle, keeping the population bounded by the high-water mark.
+  Wheel wheel;
+  std::uint64_t seq = 1;
+  std::int64_t at = 1;
+  for (int round = 0; round < 5000; ++round) {
+    wheel.Insert(at, seq++, 0);
+    Wheel::Entry entry;
+    ASSERT_TRUE(wheel.PopNext(&entry));
+    EXPECT_EQ(entry.at, at);
+    ++at;
+  }
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelDeathTest, InsertOutsideHorizonAborts) {
+  Wheel wheel;
+  EXPECT_DEATH(wheel.Insert(std::int64_t{1} << Wheel::kHorizonBits, 1, 0),
+               "outside wheel horizon");
+}
+
+TEST(TimerWheelDeathTest, JumpToOverLiveEntriesAborts) {
+  Wheel wheel;
+  wheel.Insert(10, 1, 0);
+  EXPECT_DEATH(wheel.JumpTo(1000), "JumpTo over");
+}
+
+}  // namespace
+}  // namespace dcrd

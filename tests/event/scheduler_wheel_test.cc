@@ -1,0 +1,197 @@
+// Edge cases of the scheduler's two-tier (timer wheel + overflow heap)
+// event queue: cancels landing after a cascade, same-tick re-arms,
+// far-future entries migrating down from the heap tier, handle ABA across
+// wheel slot reuse, and wheel-vs-heap backend parity on a mixed workload.
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "event/scheduler.h"
+
+namespace dcrd {
+namespace {
+
+// One level-0 rotation of the wheel is 2048 us; delays beyond that insert
+// into level >= 1 and cascade down as the clock advances.
+constexpr std::int64_t kRotation = 2048;
+
+TEST(SchedulerWheelTest, CancelAfterCascadePreventsExecution) {
+  // The target is inserted into wheel level 1 (beyond one rotation). The
+  // canceller fires inside the same level-1 block, i.e. *after* the block
+  // has cascaded down to level 0 — so the cancel marks an entry that
+  // already moved buckets. It must still be honored.
+  Scheduler scheduler;
+  bool target_ran = false;
+  bool sentinel_ran = false;
+  const EventHandle target = scheduler.ScheduleAt(
+      SimTime::FromMicros(kRotation + 452), [&] { target_ran = true; });
+  scheduler.ScheduleAt(SimTime::FromMicros(kRotation + 52),
+                       [&] { EXPECT_TRUE(scheduler.Cancel(target)); });
+  scheduler.ScheduleAt(SimTime::FromMicros(2 * kRotation + 7),
+                       [&] { sentinel_ran = true; });
+  scheduler.Run();
+  EXPECT_FALSE(target_ran);
+  EXPECT_TRUE(sentinel_ran);
+  EXPECT_EQ(scheduler.now(), SimTime::FromMicros(2 * kRotation + 7));
+}
+
+TEST(SchedulerWheelTest, RearmIntoCurrentBucketFiresSameTick) {
+  // A zero-delay re-arm lands in the level-0 bucket PopNext is currently
+  // draining; it must fire in the same simulated instant, after everything
+  // scheduled before it.
+  Scheduler scheduler;
+  std::vector<int> order;
+  scheduler.ScheduleAt(SimTime::FromMicros(10), [&] {
+    order.push_back(1);
+    if (order.size() == 1) {
+      scheduler.RearmCurrentAfter(SimDuration::Micros(0));
+    }
+  });
+  scheduler.ScheduleAt(SimTime::FromMicros(10), [&] { order.push_back(2); });
+  scheduler.Run();
+  // The re-armed copy takes a fresh seq at re-arm time, so it follows the
+  // same-tick event scheduled earlier.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1}));
+  EXPECT_EQ(scheduler.now(), SimTime::FromMicros(10));
+}
+
+TEST(SchedulerWheelTest, RearmAcrossRotationSurvivesCascade) {
+  // The RTO-chain shape: each firing re-arms beyond one rotation, so every
+  // arming inserts into level 1 and cascades before firing.
+  Scheduler scheduler;
+  int fired = 0;
+  scheduler.ScheduleAfter(SimDuration::Micros(kRotation + 100), [&] {
+    if (++fired < 5) {
+      scheduler.RearmCurrentAfter(SimDuration::Micros(kRotation + 100));
+    }
+  });
+  scheduler.Run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(scheduler.now(), SimTime::FromMicros(5 * (kRotation + 100)));
+}
+
+TEST(SchedulerWheelTest, FarFutureEventsOverflowToHeapAndMigrateBack) {
+  // Beyond the wheel's ~2.4 h horizon events sit in the binary-heap tier
+  // and migrate into the wheel once the clock's horizon block reaches them.
+  Scheduler scheduler;
+  constexpr std::int64_t kHorizon = std::int64_t{1} << 33;
+  std::vector<int> order;
+  scheduler.ScheduleAt(SimTime::FromMicros(3 * kHorizon + 5),
+                       [&] { order.push_back(3); });
+  scheduler.ScheduleAt(SimTime::FromMicros(kHorizon + 77),
+                       [&] { order.push_back(2); });
+  scheduler.ScheduleAt(SimTime::FromMicros(12), [&] { order.push_back(1); });
+  EXPECT_EQ(scheduler.pending_count(), 3u);
+  scheduler.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(scheduler.now(), SimTime::FromMicros(3 * kHorizon + 5));
+}
+
+TEST(SchedulerWheelTest, CancelledFarFutureEventNeverMigrates) {
+  Scheduler scheduler;
+  constexpr std::int64_t kHorizon = std::int64_t{1} << 33;
+  bool far_ran = false;
+  bool near_ran = false;
+  const EventHandle far = scheduler.ScheduleAt(
+      SimTime::FromMicros(kHorizon + 1), [&] { far_ran = true; });
+  scheduler.ScheduleAt(SimTime::FromMicros(kHorizon + 2),
+                       [&] { near_ran = true; });
+  EXPECT_TRUE(scheduler.Cancel(far));
+  scheduler.Run();
+  EXPECT_FALSE(far_ran);
+  EXPECT_TRUE(near_ran);
+}
+
+TEST(SchedulerWheelTest, AbaAcrossWheelSlotReuse) {
+  // Cancelling leaves the wheel node stale in place but frees the action
+  // slot; the very next schedule reuses that slot with a bumped generation.
+  // At dispatch the stale wheel entry is popped first and must be filtered
+  // by the generation probe — not fire the slot's new occupant early or
+  // twice.
+  Scheduler scheduler;
+  int fired = 0;
+  const EventHandle stale =
+      scheduler.ScheduleAt(SimTime::FromMicros(100), [&] { fired += 100; });
+  ASSERT_TRUE(scheduler.Cancel(stale));
+  // Same tick, reused slot: the stale entry and the live one collide in the
+  // same level-0 bucket.
+  scheduler.ScheduleAt(SimTime::FromMicros(100), [&] { fired += 1; });
+  EXPECT_FALSE(scheduler.Cancel(stale));
+  scheduler.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SchedulerWheelTest, RunUntilMidRotationThenResume) {
+  // RunUntil parks the first over-deadline popped entry; resuming must
+  // neither lose nor reorder it.
+  Scheduler scheduler;
+  std::vector<int> order;
+  scheduler.ScheduleAt(SimTime::FromMicros(100), [&] { order.push_back(1); });
+  scheduler.ScheduleAt(SimTime::FromMicros(300), [&] { order.push_back(2); });
+  scheduler.ScheduleAt(SimTime::FromMicros(kRotation + 9),
+                       [&] { order.push_back(3); });
+  scheduler.RunUntil(SimTime::FromMicros(200));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(scheduler.now(), SimTime::FromMicros(200));
+  // Scheduling behind the parked entry still dispatches in time order.
+  scheduler.ScheduleAt(SimTime::FromMicros(250), [&] { order.push_back(4); });
+  scheduler.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 4, 2, 3}));
+}
+
+TEST(SchedulerWheelTest, ReservePreGrowsWithoutChangingBehavior) {
+  Scheduler scheduler;
+  scheduler.Reserve(4096);
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 4096; ++i) {
+    scheduler.ScheduleAfter(SimDuration::Micros(1 + i % 977),
+                            [&fired] { ++fired; });
+  }
+  EXPECT_EQ(scheduler.Run(), 4096u);
+  EXPECT_EQ(fired, 4096u);
+}
+
+TEST(SchedulerWheelTest, BackendsAgreeOnMixedWorkload) {
+  // The determinism contract in miniature: an identical schedule/cancel/
+  // re-arm workload must produce the identical firing sequence on the wheel
+  // and on the legacy heap backend.
+  const auto run = [](SchedulerBackend backend) {
+    Scheduler scheduler(backend);
+    std::vector<std::pair<std::int64_t, int>> fired;
+    std::vector<EventHandle> handles;
+    std::uint64_t state = 0x2545F4914F6CDD1Dull;
+    const auto next = [&state] {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      return state;
+    };
+    for (int i = 0; i < 500; ++i) {
+      const auto delay =
+          static_cast<std::int64_t>(next() % (std::uint64_t{1} << 34));
+      handles.push_back(scheduler.ScheduleAfter(
+          SimDuration::Micros(delay), [&fired, &scheduler, i] {
+            fired.emplace_back(scheduler.now().micros(), i);
+          }));
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 3) {
+      scheduler.Cancel(handles[i]);
+    }
+    int periodic = 0;
+    scheduler.ScheduleAfter(SimDuration::Micros(10), [&] {
+      fired.emplace_back(scheduler.now().micros(), -1);
+      if (++periodic < 20) {
+        scheduler.RearmCurrentAfter(SimDuration::Micros(5000));
+      }
+    });
+    scheduler.Run();
+    return fired;
+  };
+  EXPECT_EQ(run(SchedulerBackend::kTimerWheel),
+            run(SchedulerBackend::kBinaryHeap));
+}
+
+}  // namespace
+}  // namespace dcrd

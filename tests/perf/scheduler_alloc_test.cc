@@ -64,6 +64,60 @@ TEST(SchedulerAllocTest, ScheduleCancelCycleIsAllocationFreeAfterWarmup) {
       << "schedule/cancel cycle allocated " << delta.bytes << " bytes";
 }
 
+TEST(SchedulerAllocTest, WheelSteadyStateWithCascadesIsAllocationFree) {
+  // Delays spread across all three wheel levels: every round exercises
+  // level-1/2 inserts and the cascades that bring them down. Cascading
+  // relinks pooled nodes — it must never touch the allocator.
+  Scheduler scheduler;
+  std::uint64_t fired = 0;
+  const auto schedule_spread = [&] {
+    for (int i = 0; i < 256; ++i) {
+      const std::int64_t delay = 1 + (static_cast<std::int64_t>(i) * 131) %
+                                         5'000'000;  // up to level 2
+      scheduler.ScheduleAfter(SimDuration::Micros(delay),
+                              [&fired] { ++fired; });
+    }
+  };
+  schedule_spread();
+  scheduler.Run();
+
+  AllocProbe probe;
+  for (int round = 0; round < 100; ++round) {
+    schedule_spread();
+    scheduler.Run();
+  }
+  const auto delta = probe.delta();
+  EXPECT_EQ(delta.allocations, 0u)
+      << "cascading schedule/run cycle allocated " << delta.bytes << " bytes";
+  EXPECT_EQ(fired, 256u * 101u);
+}
+
+TEST(SchedulerAllocTest, RearmChainIsAllocationFreeAfterWarmup) {
+  // The HopTransport timer idiom: RearmCurrentAfter reuses the action slot
+  // and a recycled wheel node, so a periodic timer never allocates after
+  // its first arming.
+  Scheduler scheduler;
+  int fired = 0;
+  scheduler.ScheduleAfter(SimDuration::Micros(100), [&] {
+    if (++fired < 3) scheduler.RearmCurrentAfter(SimDuration::Micros(3000));
+  });
+  scheduler.Run();  // warm-up: slab slot + wheel node exist now
+  ASSERT_EQ(fired, 3);
+
+  AllocProbe probe;
+  fired = 0;
+  scheduler.ScheduleAfter(SimDuration::Micros(100), [&] {
+    if (++fired < 1000) {
+      scheduler.RearmCurrentAfter(SimDuration::Micros(3000));
+    }
+  });
+  scheduler.Run();
+  const auto delta = probe.delta();
+  EXPECT_EQ(delta.allocations, 0u)
+      << "re-arm chain allocated " << delta.bytes << " bytes";
+  EXPECT_EQ(fired, 1000);
+}
+
 TEST(SchedulerAllocTest, CaptureAtInlineBudgetStaysInline) {
   // A capture of exactly the inline capacity must not fall back to the
   // heap (there is no fallback — this guards the budget constant itself).
