@@ -1,0 +1,53 @@
+// Microbenchmark: whole-engine throughput on a large topology, single- and
+// multi-shard. This is the perf-gate record for the sharded-engine work:
+// the Sim refactor (sim/engine.cc) moved the classic engine's state behind
+// the shard coordinator, and this benchmark pins its end-to-end cost so a
+// regression on the 400-broker path cannot land silently. Items = data +
+// ACK transmissions resolved, a direct proxy for events executed.
+//
+// The scenario is fig5-style (sparse random overlay, retries on) but
+// smaller than bench_sharded_engine's scaling runs so the gate's
+// interleaved rounds stay in CI budget.
+#include <benchmark/benchmark.h>
+
+#include "sim/engine.h"
+
+namespace {
+
+dcrd::ScenarioConfig LargeTopologyConfig(int shards) {
+  dcrd::ScenarioConfig config;
+  config.router = dcrd::RouterKind::kDcrd;
+  config.node_count = 400;
+  config.topology = dcrd::TopologyKind::kRandomDegree;
+  config.degree = 4;
+  config.topic_count = 6;
+  config.failure_probability = 0.05;
+  config.loss_rate = 1e-3;
+  config.max_transmissions = 2;
+  config.publish_interval = dcrd::SimDuration::Millis(500);
+  config.monitor_interval = dcrd::SimDuration::Seconds(10);
+  config.sim_time = dcrd::SimDuration::Seconds(10);
+  config.seed = 1;
+  config.shards = shards;
+  return config;
+}
+
+void BM_LargeTopologyEngine(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const dcrd::ScenarioConfig config = LargeTopologyConfig(shards);
+  std::uint64_t items = 0;
+  for (auto _ : state) {
+    const dcrd::RunSummary summary = dcrd::RunScenario(config);
+    items += summary.data_transmissions + summary.ack_transmissions;
+    benchmark::DoNotOptimize(summary.delivered_pairs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(items));
+}
+// shards=1 is the gate record proper (machine-independent of core count);
+// shards=4 tracks the sharded path's trajectory on multi-core runners.
+// UseRealTime: shard work runs on worker threads, so the default
+// main-thread CPU clock would misreport the multi-shard rate entirely.
+BENCHMARK(BM_LargeTopologyEngine)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace

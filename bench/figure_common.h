@@ -9,6 +9,10 @@
 //   --jobs N         worker threads for the sweep pool (default: all cores;
 //                    1 = the historical serial path). Output is
 //                    bit-identical for any job count.
+//   --shards N       engine shards *per scenario* (default 1 = classic
+//                    single-thread engine; see DESIGN.md §12). Output is
+//                    bit-identical for any shard count; jobs x shards is
+//                    capped at hardware concurrency (note on stderr).
 //   --bench_json P   append wall-clock/throughput records to the JSON
 //                    array at P (see sim/bench_json.h)
 //   --trace          keep an in-memory flight recorder per cell (postmortem
@@ -42,6 +46,7 @@
 // scripts/determinism_check.sh diffs byte-for-byte across job counts.
 #pragma once
 
+#include <algorithm>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -64,6 +69,7 @@ struct FigureScale {
                                      RouterKind::kMultipath};
   std::string csv_dir;  // when set (--csv DIR), sweeps also land as CSV
   int jobs = 1;         // resolved by ParseScale; 1 only until then
+  int shards = 1;       // engine shards per cell (--shards)
   std::string bench_json;  // when set (--bench_json PATH), append records
   bool trace = false;       // --trace: in-memory flight recorder per cell
   std::string trace_out;    // --trace_out: JSONL trace file prefix
@@ -102,7 +108,13 @@ inline FigureScale ParseScale(const Flags& flags) {
     scale.routers = ParseRouters(flags.GetString("routers", ""));
   }
   scale.csv_dir = flags.GetString("csv", "");
-  scale.jobs = ResolveJobCount(static_cast<int>(flags.GetInt("jobs", 0)));
+  scale.shards =
+      std::max(1, static_cast<int>(flags.GetInt("shards", 1)));
+  // Compose the two parallelism layers: sweep cells x engine shards must
+  // not oversubscribe the machine (CapJobsForShards warns on stderr only).
+  scale.jobs = CapJobsForShards(
+      ResolveJobCount(static_cast<int>(flags.GetInt("jobs", 0))),
+      scale.shards);
   if (flags.GetBool("no_timer_wheel", false)) {
     // Debug escape hatch for scripts/determinism_check.sh: run every
     // scheduler on the legacy binary-heap backend so the wheel and heap
@@ -224,6 +236,7 @@ inline RunSummary RunFigureReps(
 inline void ApplyScale(const FigureScale& scale, ScenarioConfig& config) {
   config.sim_time = scale.sim_time;
   config.seed = scale.seed;
+  config.shards = scale.shards;
 }
 
 inline void PrintHeader(const std::string& figure,
@@ -232,8 +245,9 @@ inline void PrintHeader(const std::string& figure,
             << "repetitions=" << scale.repetitions
             << " simulated=" << scale.sim_time.seconds() << "s"
             << " (use --paper for the 10x7200s paper scale)\n";
-  // stderr: stdout must stay byte-identical across --jobs values.
-  std::cerr << "jobs=" << scale.jobs << "\n";
+  // stderr: stdout must stay byte-identical across --jobs and --shards
+  // values.
+  std::cerr << "jobs=" << scale.jobs << " shards=" << scale.shards << "\n";
 }
 
 }  // namespace dcrd::figures

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Determinism gate: the parallel sweep pool must be bit-identical to the
-# serial path. Runs each figure binary twice — --jobs 1 and --jobs N — and
-# byte-diffs stdout plus every CSV artifact.
+# Determinism gate: the parallel sweep pool AND the sharded engine must be
+# bit-identical to the serial path. Runs each figure binary at --jobs 1,
+# --jobs N and --shards N and byte-diffs stdout plus every CSV artifact.
 #
 #   scripts/determinism_check.sh [build-dir]
 #
@@ -12,6 +12,7 @@
 #   DCRD_DET_REPS     repetitions          (default 2)
 #   DCRD_DET_SECONDS  simulated seconds    (default 120)
 #   DCRD_DET_JOBS     parallel job count   (default 8)
+#   DCRD_DET_SHARDS   engine shard count   (default 8)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,6 +25,7 @@ fi
 reps="${DCRD_DET_REPS:-2}"
 sim_seconds="${DCRD_DET_SECONDS:-120}"
 jobs="${DCRD_DET_JOBS:-8}"
+shards="${DCRD_DET_SHARDS:-8}"
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
@@ -61,6 +63,38 @@ for binary_name in $binaries; do
     if ! cmp -s "$serial/$csv" "$parallel/$csv"; then
       echo "determinism_check: $binary_name CSV $csv differs" >&2
       diff -u "$serial/$csv" "$parallel/$csv" || true
+      fail=1
+    fi
+  done < "$serial.files"
+done
+
+# Sharded engine: running one scenario across N engine shards with
+# conservative lookahead windows (--shards N, DESIGN.md §12) must not
+# change a single output byte relative to the classic single-thread
+# engine. The --jobs 1 captures from the loop above are the baseline;
+# --jobs 1 --shards N isolates the sharding layer from the sweep pool.
+echo "=== determinism check: --shards 1 vs --shards $shards ==="
+for binary_name in $binaries; do
+  binary="$build_dir/bench/$binary_name"
+  serial="$workdir/$binary_name.serial"
+  sharded="$workdir/$binary_name.sharded"
+
+  "$binary" --reps "$reps" --seconds "$sim_seconds" --jobs 1 \
+    --shards "$shards" --csv "$sharded" > "$sharded.out" 2> /dev/null
+
+  if ! diff -u "$serial.out" "$sharded.out"; then
+    echo "determinism_check: $binary_name stdout differs between --shards 1 and --shards $shards" >&2
+    fail=1
+  fi
+  (cd "$sharded" && ls -1 | LC_ALL=C sort) > "$sharded.files"
+  if ! diff -u "$serial.files" "$sharded.files"; then
+    echo "determinism_check: $binary_name CSV file sets differ with --shards $shards" >&2
+    fail=1
+  fi
+  while IFS= read -r csv; do
+    if ! cmp -s "$serial/$csv" "$sharded/$csv"; then
+      echo "determinism_check: $binary_name CSV $csv differs with --shards $shards" >&2
+      diff -u "$serial/$csv" "$sharded/$csv" || true
       fail=1
     fi
   done < "$serial.files"
@@ -176,4 +210,4 @@ if [[ "$fail" != 0 ]]; then
   echo "=== determinism check FAILED ===" >&2
   exit 1
 fi
-echo "=== determinism check passed: output bit-identical across job counts ==="
+echo "=== determinism check passed: output bit-identical across job and shard counts ==="

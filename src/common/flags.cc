@@ -39,6 +39,10 @@ Flags Flags::Parse(int argc, char** argv) {
 }
 
 void Flags::RecordQuery(const std::string& name) const {
+  DCRD_CHECK(!sealed_)
+      << "flag --" << name
+      << " queried after Seal(); read the whole configuration before shard "
+         "or worker threads start";
   const std::thread::id self = std::this_thread::get_id();
   if (query_thread_ == std::thread::id{}) query_thread_ = self;
   DCRD_CHECK(query_thread_ == self)
@@ -89,7 +93,12 @@ std::vector<std::string> Flags::UnqueriedFlags() const {
 
 void Flags::ExitOnUnqueried() const {
   const std::vector<std::string> unqueried = UnqueriedFlags();
-  if (unqueried.empty()) return;
+  if (unqueried.empty()) {
+    // Configuration is complete and clean: seal, so a stray flag read
+    // after worker/shard threads exist aborts instead of racing.
+    Seal();
+    return;
+  }
   for (const std::string& name : unqueried) {
     DCRD_LOG(kError) << "unknown flag --" << name;
   }

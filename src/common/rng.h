@@ -26,6 +26,36 @@ constexpr std::uint64_t SplitMix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+// Stateless splitmix64 finalizer: a bijective avalanche mix of one word.
+// Building block for the keyed (counter-addressed) draws below.
+constexpr std::uint64_t MixU64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Keyed uniform draw in [0, 1): a pure function of (seed, a, b, salt) with
+// no stream state. The sharded engine addresses every loss/gray/jitter draw
+// by content (directed link + per-link counter, or copy id + transmission
+// index) instead of consuming a shared sequential stream, so the value of a
+// draw cannot depend on the global interleaving of *other* transmissions —
+// which is what makes the sample path independent of the shard partition.
+// Chained splitmix finalizers give full avalanche across all four words.
+constexpr double KeyedUnit(std::uint64_t seed, std::uint64_t a,
+                           std::uint64_t b, std::uint64_t salt) {
+  const std::uint64_t h = MixU64(seed ^ MixU64(a ^ MixU64(b ^ MixU64(salt))));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Keyed Bernoulli trial; same purity contract as KeyedUnit.
+constexpr bool KeyedBernoulli(double p, std::uint64_t seed, std::uint64_t a,
+                              std::uint64_t b, std::uint64_t salt) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return KeyedUnit(seed, a, b, salt) < p;
+}
+
 // FNV-1a over a label, mixed through splitmix64; maps component names to
 // substream offsets.
 constexpr std::uint64_t HashLabel(std::string_view label) {

@@ -18,17 +18,23 @@
 // the horizon advances).
 //
 // Determinism contract (load-bearing — the figure byte-identity gate sits
-// on it): entries are appended FIFO per bucket, and a bucket only ever
-// receives entries in monotonically increasing `seq` order. That holds
-// because (a) fresh inserts carry a globally increasing seq, (b) a level's
-// bucket can only receive direct inserts after the clock has entered the
-// enclosing block, which is also the single instant the parent level
-// cascades into it — so cascaded (older-seq) entries always land before any
-// direct (newer-seq) insert. Walking a level-0 bucket therefore yields
-// entries of one exact tick in seq order, which is precisely the binary
-// heap's (at, seq) pop order. PopNext enforces the invariant with a
-// two-compare check per yield — a violated contract fails loudly rather
-// than silently reordering a figure run.
+// on it): every entry carries a canonical ordering key (k1, k2) that is a
+// pure function of the event's content, not of insertion order (see
+// event/scheduler.h). Entries of one exact tick must be yielded in
+// ascending key order. Buckets are appended FIFO, which keeps the common
+// case — keys arriving already ordered, because local scheduling assigns
+// monotone keys — free; PopNext sorts the detached level-0 run only when a
+// cross-shard injection landed out of order (same-tick runs are one to a
+// handful of entries, so the occasional sort is a few compares on a scratch
+// index vector with retained capacity). PopNext enforces strict (tick, k1,
+// k2) monotonicity per yield — a violated contract fails loudly rather than
+// silently reordering a figure run.
+//
+// Horizon-bounded draining: PopNextBefore(limit) refuses to detach a
+// level-0 bucket or cascade into a block at or past `limit`. The sharded
+// engine's window loop uses this so the wheel clock never runs ahead of a
+// synchronization horizon — a bucket whose tick is still reachable by a
+// cross-shard injection is never mid-yield when the injection arrives.
 //
 // Memory: nodes live in fixed-size pooled slabs recycled through a free
 // list — slab growth never relocates live nodes (no vector-doubling copy),
@@ -37,6 +43,7 @@
 // simulation's in-flight high-water mark (enforced by alloc_test).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -56,7 +63,8 @@ class TimerWheel {
 
   struct Entry {
     std::int64_t at = 0;
-    std::uint64_t seq = 0;
+    std::uint64_t k1 = 0;  // canonical ordering key, major word
+    std::uint64_t k2 = 0;  // canonical ordering key, minor word
     Payload payload{};
   };
 
@@ -86,19 +94,19 @@ class TimerWheel {
            at >= current_;
   }
 
-  // Inserts an entry expiring at tick `at` (must satisfy Accepts). `seq`
-  // must exceed every seq previously inserted — the caller's globally
-  // monotone scheduling sequence — which is what keeps buckets FIFO-sorted.
-  void Insert(std::int64_t at, std::uint64_t seq, const Payload& payload) {
+  // Inserts an entry expiring at tick `at` (must satisfy Accepts), carrying
+  // its canonical ordering key (k1, k2).
+  void Insert(std::int64_t at, std::uint64_t k1, std::uint64_t k2,
+              const Payload& payload) {
     DCRD_CHECK(Accepts(at)) << "tick " << at << " outside wheel horizon @"
                             << current_;
-    (void)TryInsert(at, seq, payload);
+    (void)TryInsert(at, k1, k2, payload);
   }
 
   // Insert iff `at` is inside the horizon; the horizon test and the level
   // selection share one xor, which is why the scheduler's enqueue fast
   // path calls this instead of Accepts-then-Insert.
-  bool TryInsert(std::int64_t at, std::uint64_t seq,
+  bool TryInsert(std::int64_t at, std::uint64_t k1, std::uint64_t k2,
                  const Payload& payload) {
     const std::uint64_t diff = static_cast<std::uint64_t>(at ^ current_);
     if ((diff >> kHorizonBits) != 0 || at < current_) return false;
@@ -107,7 +115,8 @@ class TimerWheel {
     const std::uint32_t node = AcquireNode();
     Node& n = NodeAt(node);
     n.at = at;
-    n.seq = seq;
+    n.k1 = k1;
+    n.k2 = k2;
     n.payload = payload;
     n.next = kNil;
     Link(level, SlotOf(at, level), node);
@@ -123,17 +132,26 @@ class TimerWheel {
     current_ = tick;
   }
 
-  // Yields the next pending entry in (tick, seq) order, advancing the
+  // Yields the next pending entry in (tick, k1, k2) order, advancing the
   // clock — cascading higher-level buckets down as rotation boundaries are
   // crossed — as needed. Returns false when the wheel is empty. The common
   // case (the level-0 bucket detached by the previous call still has
-  // entries, or the very next slot is occupied) is a handful of loads: no
-  // vector staging, no comparison sort. The node is freed before
-  // returning, so a same-tick re-insert made by the caller reuses it
-  // without growing the pool; such re-inserts land in the (already
-  // detached) current slot's bucket and are yielded after the detached
-  // run, which is exactly their seq order.
-  bool PopNext(Entry* out) {
+  // entries, or the very next slot is occupied) is a handful of loads. The
+  // node is freed before returning, so a same-tick re-insert made by the
+  // caller reuses it without growing the pool; such re-inserts land in the
+  // (already detached) current slot's bucket and are yielded after the
+  // detached run — correct, because an event created during the tick's own
+  // dispatch carries a key that sorts after every pending entry of that
+  // tick (its scheduling time IS the tick; see event/scheduler.h).
+  bool PopNext(Entry* out) { return PopNextBefore(INT64_MAX, out); }
+
+  // PopNext, refusing to advance into ticks >= `limit`: no bucket at or
+  // past the limit is detached and no cascade enters a block starting at or
+  // past it, so entries there stay insertable-next-to (the sharded engine's
+  // cross-shard injections land at ticks >= the window horizon). Returns
+  // false when nothing strictly before `limit` is pending — the clock then
+  // rests strictly below `limit`.
+  bool PopNextBefore(std::int64_t limit, Entry* out) {
     while (cursor_ == kNil) {
       if (size_ == 0) return false;
       // Level 0: the slot holding current() is still eligible (same-tick
@@ -142,9 +160,12 @@ class TimerWheel {
       const int slot0 = FindOccupied(0, static_cast<std::uint32_t>(
                                             current_ & (kSlots - 1)));
       if (slot0 >= 0) {
-        current_ =
+        const std::int64_t tick =
             (current_ & ~static_cast<std::int64_t>(kSlots - 1)) | slot0;
+        if (tick >= limit) return false;
+        current_ = tick;
         cursor_ = Detach(0, static_cast<std::uint32_t>(slot0));
+        SortCursorRun();
         break;
       }
       bool cascaded = false;
@@ -157,8 +178,11 @@ class TimerWheel {
         const std::int64_t block =
             ~((static_cast<std::int64_t>(1) << (kSlotBits * (level + 1))) -
               1);
-        current_ = (current_ & block) |
-                   (static_cast<std::int64_t>(next) << (kSlotBits * level));
+        const std::int64_t block_start =
+            (current_ & block) |
+            (static_cast<std::int64_t>(next) << (kSlotBits * level));
+        if (block_start >= limit) return false;
+        current_ = block_start;
         Cascade(level, static_cast<std::uint32_t>(next));
         cascaded = true;
         break;
@@ -168,21 +192,63 @@ class TimerWheel {
     const std::uint32_t node = cursor_;
     Node& n = NodeAt(node);
     out->at = n.at;
-    out->seq = n.seq;
+    out->k1 = n.k1;
+    out->k2 = n.k2;
     out->payload = n.payload;
     cursor_ = n.next;
     n.next = free_head_;
     free_head_ = node;
     DCRD_CHECK(size_ > 0);
     --size_;
-    // The determinism contract, enforced instead of assumed: same-tick
-    // entries must come out in scheduling order. Fails loudly rather than
-    // silently reordering a figure run.
-    DCRD_CHECK(out->at > last_at_ || out->seq > last_seq_)
-        << "intra-tick FIFO violated at tick " << out->at;
+    // The determinism contract, enforced instead of assumed: entries must
+    // come out in strictly ascending (tick, k1, k2) order. Fails loudly
+    // rather than silently reordering a figure run.
+    DCRD_CHECK(out->at > last_at_ ||
+               (out->at == last_at_ &&
+                (out->k1 > last_k1_ ||
+                 (out->k1 == last_k1_ && out->k2 > last_k2_))))
+        << "intra-tick key order violated at tick " << out->at;
     last_at_ = out->at;
-    last_seq_ = out->seq;
+    last_k1_ = out->k1;
+    last_k2_ = out->k2;
     return true;
+  }
+
+  // Earliest linked tick without mutating anything: no detach, no cascade,
+  // no clock movement. Stale (cancelled) entries are indistinguishable from
+  // live ones here, so the result is a conservative lower bound on the next
+  // live expiry — exactly what the sharded engine's window computation
+  // needs. Returns false when the wheel is empty.
+  bool PeekNextAt(std::int64_t* out) const {
+    if (size_ == 0) return false;
+    if (cursor_ != kNil) {
+      *out = NodeAt(cursor_).at;
+      return true;
+    }
+    const int slot0 = FindOccupied(0, static_cast<std::uint32_t>(
+                                          current_ & (kSlots - 1)));
+    if (slot0 >= 0) {
+      *out = (current_ & ~static_cast<std::int64_t>(kSlots - 1)) | slot0;
+      return true;
+    }
+    for (int level = 1; level < kLevels; ++level) {
+      const std::uint32_t slot = SlotOf(current_, level);
+      const int next = FindOccupied(level, slot + 1);
+      if (next < 0) continue;
+      // The earliest occupied bucket of the lowest non-empty level bounds
+      // every later bucket; the exact minimum still needs a walk because
+      // entries within a wide bucket are unordered.
+      std::int64_t best = INT64_MAX;
+      for (std::uint32_t node =
+               buckets_[level][static_cast<std::uint32_t>(next)].head;
+           node != kNil; node = NodeAt(node).next) {
+        if (NodeAt(node).at < best) best = NodeAt(node).at;
+      }
+      *out = best;
+      return true;
+    }
+    DCRD_CHECK(false) << "non-empty wheel with no reachable bucket";
+    return false;
   }
 
  private:
@@ -190,7 +256,8 @@ class TimerWheel {
 
   struct Node {
     std::int64_t at;
-    std::uint64_t seq;
+    std::uint64_t k1;
+    std::uint64_t k2;
     Payload payload;
     std::uint32_t next;
   };
@@ -222,6 +289,50 @@ class TimerWheel {
 
   [[nodiscard]] Node& NodeAt(std::uint32_t node) {
     return pool_[node >> kPoolChunkShift][node & (kPoolChunkSize - 1)];
+  }
+
+  [[nodiscard]] const Node& NodeAt(std::uint32_t node) const {
+    return pool_[node >> kPoolChunkShift][node & (kPoolChunkSize - 1)];
+  }
+
+  // Restores ascending (k1, k2) order over the just-detached level-0 run.
+  // Local scheduling appends monotone keys, so the single ordered-check
+  // pass almost always exits without sorting; only a cross-shard injection
+  // that landed between lower-keyed local entries pays the sort. Sorting
+  // an index vector (retained capacity) and relinking keeps the node pool
+  // untouched. Keys are unique — (k1, k2) encodes the event's origin and a
+  // per-origin counter — so plain sort suffices.
+  void SortCursorRun() {
+    bool ordered = true;
+    for (std::uint32_t node = cursor_; node != kNil;) {
+      const std::uint32_t next = NodeAt(node).next;
+      if (next != kNil) {
+        const Node& a = NodeAt(node);
+        const Node& b = NodeAt(next);
+        if (a.k1 > b.k1 || (a.k1 == b.k1 && a.k2 > b.k2)) {
+          ordered = false;
+          break;
+        }
+      }
+      node = next;
+    }
+    if (ordered) return;
+    sort_scratch_.clear();
+    for (std::uint32_t node = cursor_; node != kNil;
+         node = NodeAt(node).next) {
+      sort_scratch_.push_back(node);
+    }
+    std::sort(sort_scratch_.begin(), sort_scratch_.end(),
+              [this](std::uint32_t x, std::uint32_t y) {
+                const Node& a = NodeAt(x);
+                const Node& b = NodeAt(y);
+                return a.k1 < b.k1 || (a.k1 == b.k1 && a.k2 < b.k2);
+              });
+    for (std::size_t i = 0; i + 1 < sort_scratch_.size(); ++i) {
+      NodeAt(sort_scratch_[i]).next = sort_scratch_[i + 1];
+    }
+    NodeAt(sort_scratch_.back()).next = kNil;
+    cursor_ = sort_scratch_.front();
   }
 
   std::uint32_t AcquireNode() {
@@ -285,7 +396,8 @@ class TimerWheel {
 
   // Relinks every entry of a level>=1 bucket into its new (lower) level.
   // Walking head->tail preserves FIFO order in every target bucket, which
-  // preserves seq order (see the header's determinism contract).
+  // preserves the common already-key-ordered case (see the header's
+  // determinism contract); SortCursorRun repairs the rest at detach.
   void Cascade(int level, std::uint32_t slot) {
     std::uint32_t node = Detach(level, slot);
     while (node != kNil) {
@@ -315,9 +427,12 @@ class TimerWheel {
   std::uint32_t cursor_ = kNil;
   std::size_t size_ = 0;
   std::int64_t current_ = 0;
-  // Last yielded (tick, seq): backs the intra-tick FIFO check in PopNext.
+  // Last yielded (tick, k1, k2): backs the strict-order check in PopNext.
   std::int64_t last_at_ = -1;
-  std::uint64_t last_seq_ = 0;
+  std::uint64_t last_k1_ = 0;
+  std::uint64_t last_k2_ = 0;
+  // Index scratch for SortCursorRun; capacity retained across sorts.
+  std::vector<std::uint32_t> sort_scratch_;
 };
 
 }  // namespace dcrd

@@ -514,15 +514,12 @@ void DcrdRouter::OnBrokerRestart(NodeId node) {
     }
   } else {
     // Solver mode keeps the tables centrally, so model the state re-fetch
-    // as one control round trip per neighbour (request up, snapshot back).
+    // as one control round trip per neighbour (request up, snapshot back):
+    // a fire-and-forget echo — the completion window below is timed
+    // separately. The echo is shard-safe; a neighbour on another shard
+    // resolves the snapshot leg on its own side.
     for (const Neighbor& n : context_.network->graph().neighbors(node)) {
-      const NodeId peer = n.peer;
-      const LinkId link = n.link;
-      context_.network->Transmit(
-          node, link, TrafficClass::kControl,
-          [net = context_.network, peer, link] {
-            net->Transmit(peer, link, TrafficClass::kControl, [] {});
-          });
+      context_.network->TransmitEcho(node, n.link, {});
     }
   }
 

@@ -25,7 +25,8 @@ EventHandle Scheduler::RearmCurrentAt(SimTime at) {
   DCRD_CHECK(at >= now_) << "re-arming into the past: " << at << " < " << now_;
   rearmed_ = true;
   ++live_;
-  Enqueue(at, next_seq_++, running_slot_);
+  Enqueue(at, PackK1(now_.micros(), kEngineOrigin), next_seq_++,
+          running_slot_);
   return EventHandle(running_slot_);
 }
 
@@ -83,8 +84,8 @@ void Scheduler::SkipCancelled() {
 
 void Scheduler::MigrateHeap() {
   // Heap entries whose time has come inside the wheel horizon move down a
-  // tier; heap pop order is (at, seq), so same-tick migrants append to
-  // their bucket in seq order, keeping the wheel's FIFO contract.
+  // tier; heap pop order is (at, k1, k2), so same-tick migrants append to
+  // their bucket already key-ordered.
   while (!heap_.empty()) {
     const Entry& top = heap_.front();
     if (actions_.Get(top.slot) == nullptr) {
@@ -93,16 +94,16 @@ void Scheduler::MigrateHeap() {
       continue;  // stale: drop instead of migrating
     }
     if (!wheel_.Accepts(top.at.micros())) break;
-    wheel_.Insert(top.at.micros(), top.seq, top.slot);
+    wheel_.Insert(top.at.micros(), top.k1, top.k2, top.slot);
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
     heap_.pop_back();
   }
 }
 
-const Scheduler::WheelEntry* Scheduler::PrepareNext() {
+const Scheduler::WheelEntry* Scheduler::PrepareNext(std::int64_t limit) {
   for (;;) {
     // A bypass entry (stranded heap tier) always precedes the staged wheel
-    // entry — it was staged precisely because its time is earlier.
+    // entry — it was staged precisely because its key is smaller.
     if (bypass_valid_) {
       if (actions_.Get(bypass_.payload) != nullptr) return &bypass_;
       bypass_valid_ = false;  // cancelled between peeks
@@ -112,25 +113,34 @@ const Scheduler::WheelEntry* Scheduler::PrepareNext() {
         staged_valid_ = false;  // cancelled: skip and restage
         continue;
       }
-      // A stranded heap entry may precede the staged wheel entry (never at
-      // the same tick: same-tick inserts are always wheel-accepted).
+      // A stranded heap entry may precede the staged wheel entry; compare
+      // the full (at, k1, k2) key — a cross-shard injection can strand at
+      // the staged entry's own tick.
       if (!heap_.empty()) {
         SkipCancelled();
-        if (!heap_.empty() && heap_.front().at.micros() < staged_.at) {
-          const Entry top = heap_.front();
-          std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
-          heap_.pop_back();
-          bypass_ = WheelEntry{top.at.micros(), top.seq, top.slot};
-          bypass_valid_ = true;
-          return &bypass_;
+        if (!heap_.empty()) {
+          const Entry& front = heap_.front();
+          const bool precedes =
+              front.at.micros() != staged_.at
+                  ? front.at.micros() < staged_.at
+                  : front.k1 != staged_.k1 ? front.k1 < staged_.k1
+                                           : front.k2 < staged_.k2;
+          if (precedes) {
+            const Entry top = heap_.front();
+            std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+            heap_.pop_back();
+            bypass_ = WheelEntry{top.at.micros(), top.k1, top.k2, top.slot};
+            bypass_valid_ = true;
+            return &bypass_;
+          }
         }
       }
       return &staged_;
     }
     // Restage: migrate heap entries that entered the horizon, then pull the
-    // earliest wheel entry.
+    // earliest wheel entry reachable without crossing `limit`.
     MigrateHeap();
-    if (wheel_.PopNext(&staged_)) {
+    if (wheel_.PopNextBefore(limit, &staged_)) {
       staged_valid_ = true;
       // Warm the action's cache lines under the staging bookkeeping; the
       // loop's staleness probe (cancelled entries go stale in place and are
@@ -141,9 +151,11 @@ const Scheduler::WheelEntry* Scheduler::PrepareNext() {
     SkipCancelled();
     if (heap_.empty()) return nullptr;
     const Entry top = heap_.front();
+    if (top.at.micros() >= limit) return nullptr;  // horizon: leave in place
     if (top.at.micros() >= wheel_.current()) {
       // Beyond the horizon with nothing nearer: jump the (empty) wheel to
-      // the heap front's block and let migration move it in.
+      // the heap front's block and let migration move it in. Legal under a
+      // finite limit because the target tick was just checked against it.
       wheel_.JumpTo(top.at.micros());
       continue;
     }
@@ -152,7 +164,7 @@ const Scheduler::WheelEntry* Scheduler::PrepareNext() {
     // dispatch straight off the heap until the wheel is reachable again.
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
     heap_.pop_back();
-    bypass_ = WheelEntry{top.at.micros(), top.seq, top.slot};
+    bypass_ = WheelEntry{top.at.micros(), top.k1, top.k2, top.slot};
     bypass_valid_ = true;
     return &bypass_;
   }
@@ -283,6 +295,52 @@ std::uint64_t Scheduler::RunUntil(SimTime deadline) {
   }
   if (now_ < deadline) now_ = deadline;
   return count;
+}
+
+std::uint64_t Scheduler::RunBefore(SimTime horizon) {
+  internal::ScopedSimClock clock_guard(&now_);
+  const std::int64_t limit = horizon.micros();
+  std::uint64_t count = 0;
+  if (use_wheel_) {
+    for (;;) {
+      if (WheelOnlyRegime()) {
+        WheelEntry e;
+        while (wheel_.PopNextBefore(limit, &e)) {
+          actions_.Prefetch(e.payload);
+          if (actions_.Get(e.payload) == nullptr) continue;  // cancelled
+          Execute(SimTime::FromMicros(e.at), e.payload);
+          ++count;
+        }
+        if (heap_.empty()) return count;
+      }
+      const WheelEntry* next = PrepareNext(limit);
+      if (next == nullptr) return count;
+      DCRD_CHECK(next->at < limit);  // PrepareNext's horizon contract
+      const WheelEntry entry = *next;
+      ConsumeStaged();
+      Execute(SimTime::FromMicros(entry.at), entry.payload);
+      ++count;
+    }
+  }
+  while (true) {
+    SkipCancelled();
+    if (heap_.empty() || heap_.front().at >= horizon) break;
+    StepHeap();
+    ++count;
+  }
+  return count;
+}
+
+SimTime Scheduler::NextEventTime() const {
+  std::int64_t best = INT64_MAX;
+  if (bypass_valid_) best = std::min(best, bypass_.at);
+  if (staged_valid_) best = std::min(best, staged_.at);
+  std::int64_t wheel_at = 0;
+  if (use_wheel_ && wheel_.PeekNextAt(&wheel_at)) {
+    best = std::min(best, wheel_at);
+  }
+  if (!heap_.empty()) best = std::min(best, heap_.front().at.micros());
+  return best == INT64_MAX ? SimTime::Max() : SimTime::FromMicros(best);
 }
 
 }  // namespace dcrd

@@ -1,9 +1,18 @@
 // Deterministic discrete-event scheduler.
 //
 // The scheduler owns the simulated clock and two tiers of pending events.
-// Events firing at the same instant are delivered in scheduling order (a
-// monotonically increasing sequence number breaks ties), which is what
-// makes whole-simulation runs bit-reproducible.
+// Events firing at the same instant are delivered in ascending canonical
+// key order. The key (k1, k2) is a pure function of the event's content:
+//   k1 = (scheduling-time micros << 20) | origin
+//   k2 = a per-origin monotone counter
+// where `origin` identifies the entity that created the event (a broker id
+// for network arrivals; kEngineOrigin — the maximal value, sorting last —
+// for everything scheduled through the plain ScheduleAt/ScheduleAfter
+// path). Locally created events therefore keep their scheduling order, as
+// before; but because the key does not depend on *global* insertion order,
+// an event injected from another engine shard sorts identically whether it
+// was created locally (1-shard run) or handed across a shard boundary —
+// the property the sharded engine's byte-identity gate rests on.
 //
 // Tier layout (the hot part): events inside the timer wheel's horizon —
 // ~2.4 simulated hours, which covers every RTO retransmit timer,
@@ -77,6 +86,23 @@ class Scheduler {
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
+  // Origin field of k1 for events created through the plain ScheduleAt
+  // path: the maximal 20-bit value, so same-instant engine housekeeping
+  // sorts after every keyed network arrival of the same scheduling tick.
+  static constexpr std::uint64_t kEngineOrigin = (1u << 20) - 1;
+
+  // Packs the canonical-key major word. 44 bits of scheduling-time micros
+  // (runs past ~278 simulated years would overflow — checked), 20 bits of
+  // origin id.
+  static std::uint64_t PackK1(std::int64_t sched_micros,
+                              std::uint64_t origin) {
+    DCRD_CHECK(sched_micros >= 0 &&
+               sched_micros < (std::int64_t{1} << 43))
+        << "scheduling time overflows the canonical key: " << sched_micros;
+    DCRD_CHECK(origin <= kEngineOrigin) << "origin overflows 20 bits";
+    return (static_cast<std::uint64_t>(sched_micros) << 20) | origin;
+  }
+
   // Process-wide default backend, read by every subsequently constructed
   // Scheduler. Set once at startup (figure binaries: --no_timer_wheel),
   // before any worker thread starts — the sweep purity contract (DESIGN §7)
@@ -101,19 +127,34 @@ class Scheduler {
   }
 
   // Schedules `action` to run at absolute time `at` (must not be in the
-  // past). Returns a handle usable with Cancel(). Templated so the callable
-  // is constructed directly in its slab slot (InlineFunction::Assign)
-  // instead of riding through a temporary Action's relocate.
+  // past) under an explicit canonical key (see the header comment). The
+  // sharded engine's network layer computes keys from event content so
+  // cross-shard injections sort identically to their 1-shard counterparts.
+  // Keys must be unique per (at, k1, k2) — dispatch enforces strict order.
+  // Templated so the callable is constructed directly in its slab slot
+  // (InlineFunction::Assign) instead of riding through a temporary Action's
+  // relocate.
   template <typename F>
-  EventHandle ScheduleAt(SimTime at, F&& action) {
+  EventHandle ScheduleKeyed(SimTime at, std::uint64_t k1, std::uint64_t k2,
+                            F&& action) {
     DCRD_CHECK(at >= now_) << "scheduling into the past: " << at << " < "
                            << now_;
     Action* value;
     const SlotHandle slot = actions_.Acquire(&value);
     value->Assign(std::forward<F>(action));
     ++live_;
-    Enqueue(at, next_seq_++, slot);
+    Enqueue(at, k1, k2, slot);
     return EventHandle(slot);
+  }
+
+  // Schedules `action` to run at absolute time `at` (must not be in the
+  // past). Returns a handle usable with Cancel(). Key: engine origin at the
+  // current scheduling time, tie-broken by this scheduler's own counter —
+  // locally created events keep their scheduling order.
+  template <typename F>
+  EventHandle ScheduleAt(SimTime at, F&& action) {
+    return ScheduleKeyed(at, PackK1(now_.micros(), kEngineOrigin),
+                         next_seq_++, std::forward<F>(action));
   }
 
   // Schedules `action` to run `delay` after the current time.
@@ -146,30 +187,50 @@ class Scheduler {
   // consistent end-of-simulation time). Returns the number executed.
   std::uint64_t RunUntil(SimTime deadline);
 
+  // Runs events with timestamp strictly < `horizon`, leaving the clock at
+  // the last executed event (NOT advanced to the horizon) and — on the
+  // wheel backend — never letting the wheel's internal clock reach the
+  // horizon either. The sharded engine's window loop depends on both
+  // halves: events injected afterwards at times >= horizon must land in
+  // still-intact buckets and sort purely by their canonical keys. Returns
+  // the number executed.
+  std::uint64_t RunBefore(SimTime horizon);
+
+  // Earliest pending timestamp, or SimTime::Max() when nothing is pending.
+  // Cancelled entries that went stale in place are indistinguishable here,
+  // so the result is a conservative lower bound on the next live event —
+  // sufficient for the sharded engine's window computation (a stale
+  // minimum just yields one conservative window; dispatch skips it and the
+  // bound then advances).
+  [[nodiscard]] SimTime NextEventTime() const;
+
   // Executes at most one event. Returns false if the queue is empty.
   bool Step();
 
  private:
   struct Entry {
     SimTime at;
-    std::uint64_t seq;  // tie-breaker; scheduling order at equal times
-    SlotHandle slot;    // action storage; stale once run or cancelled
-    // Ordered as a min-heap on (at, seq) via operator> in the comparator.
+    std::uint64_t k1;  // canonical key, major word (see header comment)
+    std::uint64_t k2;  // canonical key, minor word
+    SlotHandle slot;   // action storage; stale once run or cancelled
+    // Ordered as a min-heap on (at, k1, k2) via operator> in the comparator.
     friend bool operator>(const Entry& a, const Entry& b) {
       if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+      if (a.k1 != b.k1) return a.k1 > b.k1;
+      return a.k2 > b.k2;
     }
   };
 
   using WheelEntry = TimerWheel<SlotHandle>::Entry;
 
   // Links one pending entry into the owning tier. Inline: this sits inside
-  // every ScheduleAt instantiation.
-  void Enqueue(SimTime at, std::uint64_t seq, SlotHandle slot) {
-    if (use_wheel_ && wheel_.TryInsert(at.micros(), seq, slot)) return;
+  // every ScheduleAt/ScheduleKeyed instantiation.
+  void Enqueue(SimTime at, std::uint64_t k1, std::uint64_t k2,
+               SlotHandle slot) {
+    if (use_wheel_ && wheel_.TryInsert(at.micros(), k1, k2, slot)) return;
     // Far-future (beyond the wheel horizon), behind a wheel clock that ran
     // ahead of a RunUntil deadline, or the heap backend: the binary heap.
-    heap_.push_back(Entry{at, seq, slot});
+    heap_.push_back(Entry{at, k1, k2, slot});
     std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
   }
   // Runs `entry` (whose action must be live): advances the clock, renews
@@ -179,10 +240,12 @@ class Scheduler {
 
   // Wheel backend: stages the next live event (wheel tier, or a stranded
   // heap entry that must bypass it) and returns a pointer to it; nullptr
-  // when nothing is pending. Performs heap->wheel migration and wheel
-  // cascades, but never executes anything — callers consume the staged
-  // entry with ConsumeStaged() before dispatching it.
-  const WheelEntry* PrepareNext();
+  // when nothing is pending — or, with a finite `limit`, when nothing
+  // strictly before `limit` is reachable without moving the wheel clock to
+  // or past it (RunBefore's horizon contract). Performs heap->wheel
+  // migration and wheel cascades, but never executes anything — callers
+  // consume the staged entry with ConsumeStaged() before dispatching it.
+  const WheelEntry* PrepareNext(std::int64_t limit = INT64_MAX);
   // True when Run/RunUntil may pop-and-execute straight off the wheel,
   // bypassing the staging slots (see scheduler.cc).
   [[nodiscard]] bool WheelOnlyRegime() const;
@@ -194,7 +257,7 @@ class Scheduler {
     }
   }
   // Moves heap-tier entries whose time entered the wheel horizon into the
-  // wheel (dropping stale ones), preserving (at, seq) order.
+  // wheel (dropping stale ones), preserving (at, k1, k2) order.
   void MigrateHeap();
 
   // Heap backend (and overflow-tier) helpers.
@@ -203,7 +266,7 @@ class Scheduler {
   bool StepHeap();
 
   SimTime now_ = SimTime::Zero();
-  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_seq_ = 1;  // k2 counter for the engine origin
   std::uint64_t events_executed_ = 0;
   std::size_t live_ = 0;        // pending (scheduled, not run/cancelled)
   std::size_t tombstones_ = 0;  // stale entries still linked in the heap
@@ -222,8 +285,8 @@ class Scheduler {
   bool bypass_valid_ = false;
 
   // Far-future tier (and the entire queue for the heap backend): min-heap
-  // on (at, seq) maintained with std::push_heap/pop_heap; a raw vector so
-  // compaction can filter it in place, capacity retained.
+  // on (at, k1, k2) maintained with std::push_heap/pop_heap; a raw vector
+  // so compaction can filter it in place, capacity retained.
   std::vector<Entry> heap_;
 
   // Action storage. A slot goes back on the free list the moment its event

@@ -1,0 +1,91 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+namespace dcrd {
+
+std::vector<int> BfsContiguousPartition(const Graph& graph, int shard_count) {
+  const std::size_t n = graph.node_count();
+  DCRD_CHECK(shard_count >= 1);
+  const std::size_t shards =
+      std::min<std::size_t>(static_cast<std::size_t>(shard_count), n);
+
+  // Deterministic BFS layout: adjacency lists are in insertion order (a
+  // topology-generator guarantee), unvisited components start from the
+  // lowest unvisited id.
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::deque<NodeId> frontier;
+  for (std::size_t root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    visited[root] = true;
+    frontier.push_back(NodeId(static_cast<NodeId::underlying_type>(root)));
+    while (!frontier.empty()) {
+      const NodeId node = frontier.front();
+      frontier.pop_front();
+      order.push_back(node);
+      for (const Neighbor& neighbor : graph.neighbors(node)) {
+        if (visited[neighbor.peer.underlying()]) continue;
+        visited[neighbor.peer.underlying()] = true;
+        frontier.push_back(neighbor.peer);
+      }
+    }
+  }
+
+  // Cut the layout into `shards` contiguous blocks, sizes n/shards rounded
+  // so the first (n % shards) blocks take one extra node.
+  std::vector<int> owner(n, 0);
+  const std::size_t base = n / shards;
+  const std::size_t extra = n % shards;
+  std::size_t cursor = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t size = base + (s < extra ? 1 : 0);
+    for (std::size_t i = 0; i < size; ++i) {
+      owner[order[cursor++].underlying()] = static_cast<int>(s);
+    }
+  }
+  DCRD_CHECK(cursor == n);
+  return owner;
+}
+
+std::vector<int> RoundRobinPartition(std::size_t node_count, int shard_count) {
+  DCRD_CHECK(shard_count >= 1);
+  std::vector<int> owner(node_count, 0);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    owner[i] = static_cast<int>(i % static_cast<std::size_t>(shard_count));
+  }
+  return owner;
+}
+
+std::int64_t MinCrossShardDelayMicros(const Graph& graph,
+                                      const std::vector<int>& owner,
+                                      double delay_jitter,
+                                      double gray_delay_factor,
+                                      double gray_probability) {
+  DCRD_CHECK(owner.size() == graph.node_count());
+  std::int64_t min_micros = std::numeric_limits<std::int64_t>::max();
+  for (const EdgeSpec& edge : graph.edges()) {
+    if (owner[edge.a.underlying()] == owner[edge.b.underlying()]) continue;
+    min_micros = std::min(min_micros, edge.delay.micros());
+  }
+  if (min_micros == std::numeric_limits<std::int64_t>::max()) {
+    return min_micros;
+  }
+  // Worst-case shrink the delay processes can apply to a propagation time:
+  // jitter's low side, and — when gray episodes are possible — a delay
+  // factor below 1 (the default 3.0 only stretches, so it never shrinks the
+  // bound).
+  double scale = 1.0 - delay_jitter;
+  if (gray_probability > 0.0 && gray_delay_factor < 1.0) {
+    scale *= gray_delay_factor;
+  }
+  scale = std::max(scale, 0.0);
+  return static_cast<std::int64_t>(
+      std::floor(static_cast<double>(min_micros) * scale));
+}
+
+}  // namespace dcrd

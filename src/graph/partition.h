@@ -1,0 +1,56 @@
+// Deterministic static partitioning of the overlay graph across engine
+// shards.
+//
+// The sharded engine (sim/engine.cc, DESIGN.md §12) assigns every broker to
+// exactly one shard; a shard simulates its brokers' events and hands
+// cross-shard transmissions through exchange queues. Two properties matter:
+//
+//  * Determinism: the assignment must be a pure function of the topology —
+//    never of thread timing or shard count-dependent RNG draws — because the
+//    byte-identity gate compares runs across shard counts, and because every
+//    shard independently recomputes the same map.
+//  * Locality: conservative synchronization pays one barrier round per
+//    lookahead window, so the fewer edges cross shards (and the longer the
+//    delays on those that do), the larger the windows and the cheaper the
+//    sync. A BFS layout keeps topological neighbourhoods together, which is
+//    as close to min-cut as a linear-time heuristic gets on the paper's
+//    random-degree overlays.
+//
+// The partition *choice* can never change simulation results — only wall
+// clock. RoundRobinPartition deliberately maximises the cut so tests can
+// prove that (adversarial-partition bit-identity).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dcrd {
+
+// Owner shard per node (index = node id), balanced to within one node:
+// nodes are laid out in deterministic BFS order from node 0 (unvisited
+// components appended by ascending id) and the order is cut into
+// `shard_count` contiguous blocks. shard_count must be >= 1; it is clamped
+// to node_count so no shard is empty.
+[[nodiscard]] std::vector<int> BfsContiguousPartition(const Graph& graph,
+                                                      int shard_count);
+
+// Adversarial layout: node i -> shard i % shard_count, putting essentially
+// every edge across a shard boundary. Exists for tests proving that the
+// partition choice cannot perturb results.
+[[nodiscard]] std::vector<int> RoundRobinPartition(std::size_t node_count,
+                                                   int shard_count);
+
+// Conservative lookahead for a partition: the minimum propagation delay in
+// microseconds over edges whose endpoints live on different shards, scaled
+// by the worst-case delay shrink the scenario can apply (jitter low side,
+// gray delay factors below 1). Returns INT64_MAX when no edge crosses a
+// shard boundary. The sharded engine refuses lookaheads below 1us (it
+// falls back to one shard) because a zero-width window cannot make
+// progress.
+[[nodiscard]] std::int64_t MinCrossShardDelayMicros(
+    const Graph& graph, const std::vector<int>& owner, double delay_jitter,
+    double gray_delay_factor, double gray_probability);
+
+}  // namespace dcrd

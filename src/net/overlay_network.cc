@@ -1,6 +1,7 @@
 #include "net/overlay_network.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "obs/flight_recorder.h"
 
@@ -22,9 +23,10 @@ inline void RecordDrop(FlightRecorder* recorder, const TraceContext& trace,
 
 }  // namespace
 
-bool OverlayNetwork::Transmit(NodeId from, LinkId link, TrafficClass cls,
-                              Scheduler::Action on_delivered,
-                              TraceContext trace) {
+Resolution OverlayNetwork::ResolveAt(NodeId from, LinkId link,
+                                     TrafficClass cls, SimTime when,
+                                     std::uint64_t draw_key,
+                                     const TraceContext& trace) {
   const EdgeSpec& edge = graph_.edge(link);
   DCRD_CHECK(from == edge.a || from == edge.b)
       << from << " is not an endpoint of " << link;
@@ -32,58 +34,64 @@ bool OverlayNetwork::Transmit(NodeId from, LinkId link, TrafficClass cls,
   ++counter.attempted;
 
   const NodeId to = edge.OtherEnd(from);
-  const SimTime now = scheduler_.now();
-  if (!node_failures_.IsUp(from, now) || !node_failures_.IsUp(to, now)) {
+  if (!node_failures_.IsUp(from, when) || !node_failures_.IsUp(to, when)) {
     ++counter.dropped_node_failure;
     RecordDrop(recorder_, trace, TraceDropReason::kNodeDown, from, to, link,
                cls);
-    return false;
+    return {};
   }
   // Fail-stop crash at entry: a crashed sender transmits nothing, a crashed
-  // receiver's inbound queue is void. Counter-based — no RNG draw, so the
+  // receiver's inbound queue is void. Counter-based — no draw, so the
   // loss/gray sample paths are untouched when the schedule is disabled.
   if (crashes_.enabled() &&
-      (!crashes_.Up(from, now) || !crashes_.Up(to, now))) {
+      (!crashes_.Up(from, when) || !crashes_.Up(to, when))) {
     ++counter.dropped_crash;
     RecordDrop(recorder_, trace, TraceDropReason::kCrash, from, to, link,
                cls);
-    return false;
+    return {};
   }
-  if (!failures_.IsUp(link, now)) {
+  if (!failures_.IsUp(link, when)) {
     ++counter.dropped_failure;
     RecordDrop(recorder_, trace, TraceDropReason::kLinkDown, from, to, link,
                cls);
-    return false;
+    return {};
   }
-  if (config_.loss_rate > 0.0 && loss_rng_.NextBernoulli(config_.loss_rate)) {
+  // Keyed draws: the (directed link, class) pair is the major address word,
+  // `draw_key` the minor one; the salt separates loss / gray / jitter so
+  // enabling one process never perturbs another's sample path.
+  const bool from_is_a = from == edge.a;
+  const std::size_t didx = link.underlying() * 2 + (from_is_a ? 0 : 1);
+  const std::uint64_t draw_a = (static_cast<std::uint64_t>(didx) << 2) |
+                               static_cast<std::uint64_t>(cls);
+  if (config_.loss_rate > 0.0 &&
+      KeyedBernoulli(config_.loss_rate, seed_, draw_a, draw_key, 0)) {
     ++counter.dropped_loss;
     RecordDrop(recorder_, trace, TraceDropReason::kLoss, from, to, link, cls);
-    return false;
+    return {};
   }
   const LinkDirection direction =
-      from == edge.a ? LinkDirection::kAToB : LinkDirection::kBToA;
-  const double gray_loss = gray_.ExtraLoss(link, direction, now);
-  if (gray_loss > 0.0 && gray_rng_.NextBernoulli(gray_loss)) {
+      from_is_a ? LinkDirection::kAToB : LinkDirection::kBToA;
+  const double gray_loss = gray_.ExtraLoss(link, direction, when);
+  if (gray_loss > 0.0 &&
+      KeyedBernoulli(gray_loss, seed_, draw_a, draw_key, 1)) {
     ++counter.dropped_gray;
     RecordDrop(recorder_, trace, TraceDropReason::kGray, from, to, link, cls);
-    return false;
+    return {};
   }
 
-  SimTime departure = now;
+  SimTime departure = when;
   if (config_.serialization > SimDuration::Zero() &&
       cls != TrafficClass::kAck) {
     // FIFO per directed link: wait out the packets ahead of us.
-    const std::size_t slot =
-        link.underlying() * 2 + (from == edge.a ? 0 : 1);
-    departure = std::max(now, link_free_[slot]);
-    link_free_[slot] = departure + config_.serialization;
+    departure = std::max(when, link_free_[didx]);
+    link_free_[didx] = departure + config_.serialization;
   }
   SimDuration propagation = edge.delay;
   if (config_.delay_jitter > 0.0 && cls != TrafficClass::kAck) {
+    const double unit = KeyedUnit(seed_, draw_a, draw_key, 2);
     propagation = SimDuration::FromMillisF(
         edge.delay.millis() *
-        (1.0 + loss_rng_.NextDoubleInRange(-config_.delay_jitter,
-                                           config_.delay_jitter)));
+        (1.0 - config_.delay_jitter + 2.0 * config_.delay_jitter * unit));
   }
   if (cls == TrafficClass::kAck) {
     propagation = SimDuration::FromMillisF(edge.delay.millis() *
@@ -92,21 +100,186 @@ bool OverlayNetwork::Transmit(NodeId from, LinkId link, TrafficClass cls,
   // Delay inflation applies to data and ACK alike (an ACK direction with
   // ack_delay_factor 0 stays instantaneous — the paper's out-of-band model).
   propagation = SimDuration::FromMillisF(
-      propagation.millis() * gray_.DelayFactor(link, direction, now));
+      propagation.millis() * gray_.DelayFactor(link, direction, when));
   // Fail-stop drops in-flight traffic: the receiver must stay up for the
   // whole queuing + propagation window or the packet dies with the crash.
   // Checked after the delay math (arrival time is needed) but before the
   // delivered count so every attempt still lands in exactly one bucket.
   if (crashes_.enabled() &&
-      !crashes_.UpThroughout(to, now, departure + propagation)) {
+      !crashes_.UpThroughout(to, when, departure + propagation)) {
     ++counter.dropped_crash;
     RecordDrop(recorder_, trace, TraceDropReason::kCrash, from, to, link,
                cls);
-    return false;
+    return {};
   }
   ++counter.delivered;
-  scheduler_.ScheduleAt(departure + propagation, std::move(on_delivered));
+  Resolution res;
+  res.delivered = true;
+  res.at = departure + propagation;
+  return res;
+}
+
+Resolution OverlayNetwork::ResolveSend(NodeId from, LinkId link,
+                                       TrafficClass cls, TraceContext trace) {
+  // Counters and draw addresses for a send belong to the sender's shard;
+  // a resolution for a foreign node would double-tally them.
+  DCRD_CHECK(IsLocalNode(from))
+      << "ResolveSend from " << from << " on a shard that does not own it";
+  const EdgeSpec& edge = graph_.edge(link);
+  const std::size_t didx =
+      link.underlying() * 2 + (from == edge.a ? 0 : 1);
+  // The attempt counter advances once per resolution whether or not any
+  // draw branch is reached: it is an address, not a stream position, so
+  // skipping it on early drops would buy nothing and cost a branch.
+  const std::uint64_t draw_key =
+      draw_seq_[didx * 3 + static_cast<std::size_t>(cls)]++;
+  Resolution res =
+      ResolveAt(from, link, cls, scheduler_.now(), draw_key, trace);
+  if (res.delivered) {
+    res.k1 = Scheduler::PackK1(scheduler_.now().micros(), from.underlying());
+    res.k2 = arrival_seq_[from.underlying()]++;
+  }
+  return res;
+}
+
+Resolution OverlayNetwork::ResolveAckAt(NodeId acker, LinkId link, SimTime t1,
+                                        std::uint64_t ack_key,
+                                        TraceContext trace) {
+  Resolution res =
+      ResolveAt(acker, link, TrafficClass::kAck, t1, ack_key, trace);
+  if (res.delivered) {
+    res.k1 = Scheduler::PackK1(t1.micros(), acker.underlying());
+    res.k2 = ack_key;
+  }
+  return res;
+}
+
+bool OverlayNetwork::Transmit(NodeId from, LinkId link, TrafficClass cls,
+                              Scheduler::Action on_delivered,
+                              TraceContext trace) {
+  // Replicated callers (broker-lifecycle hooks run on every shard) invoke
+  // this for nodes they do not own; the owning shard performs the send.
+  if (!IsLocalNode(from)) return false;
+  const Resolution res = ResolveSend(from, link, cls, trace);
+  if (!res.delivered) return false;
+  DCRD_CHECK(IsLocalNode(graph_.edge(link).OtherEnd(from)))
+      << "Transmit cannot cross shards — use the Resolution API";
+  scheduler_.ScheduleKeyed(res.at, res.k1, res.k2, std::move(on_delivered));
   return true;
+}
+
+bool OverlayNetwork::TransmitEcho(NodeId from, LinkId link,
+                                  Scheduler::Action on_echo,
+                                  TraceContext trace) {
+  // Same ownership gate as Transmit: resync hooks replay on every shard,
+  // but only the owner of `from` sends (and tallies) the probe.
+  if (!IsLocalNode(from)) return false;
+  const Resolution req = ResolveSend(from, link, TrafficClass::kControl,
+                                     trace);
+  if (!req.delivered) return false;
+  SlotHandle slot;  // stays invalid for fire-and-forget round trips
+  if (on_echo) {
+    Scheduler::Action* value;
+    slot = echo_slots_.Acquire(&value);
+    *value = std::move(on_echo);
+  }
+  const NodeId to = graph_.edge(link).OtherEnd(from);
+  if (IsLocalNode(to)) {
+    scheduler_.ScheduleKeyed(req.at, req.k1, req.k2,
+                             [this, to, from, link, slot] {
+                               HandleEchoRequest(to, from, link, slot);
+                             });
+  } else {
+    XMsg& msg = ExportTo(to);
+    msg.kind = XMsgKind::kEchoRequest;
+    msg.at = req.at.micros();
+    msg.k1 = req.k1;
+    msg.k2 = req.k2;
+    msg.to = to;
+    msg.from = from;
+    msg.link = link;
+    msg.echo_slot = slot;
+  }
+  return true;
+}
+
+void OverlayNetwork::HandleEchoRequest(NodeId at_node, NodeId origin,
+                                       LinkId link, SlotHandle origin_slot) {
+  // The reply is ordinary control traffic resolved with the receiver's own
+  // counters at the moment the request lands — receiver-local state, so
+  // the outcome is identical whether the request arrived locally or over
+  // the exchange.
+  const Resolution reply =
+      ResolveSend(at_node, link, TrafficClass::kControl, {});
+  if (reply.delivered) {
+    if (IsLocalNode(origin)) {
+      scheduler_.ScheduleKeyed(
+          reply.at, reply.k1, reply.k2,
+          [this, origin_slot] { RunEcho(origin_slot); });
+    } else {
+      XMsg& msg = ExportTo(origin);
+      msg.kind = XMsgKind::kEchoReply;
+      msg.at = reply.at.micros();
+      msg.k1 = reply.k1;
+      msg.k2 = reply.k2;
+      msg.to = origin;
+      msg.from = at_node;
+      msg.link = link;
+      msg.echo_slot = origin_slot;
+    }
+    return;
+  }
+  if (!origin_slot.valid()) return;
+  // Reply dropped: the completion never runs. Its slot lives in the origin
+  // network — release it there (directly, or via a barrier-time drop
+  // message; slot lifetimes are unobservable to the simulation).
+  if (IsLocalNode(origin)) {
+    DCRD_CHECK(echo_slots_.Release(origin_slot));
+  } else {
+    XMsg& msg = ExportTo(origin);
+    msg.kind = XMsgKind::kEchoDrop;
+    msg.to = origin;
+    msg.from = at_node;
+    msg.link = link;
+    msg.echo_slot = origin_slot;
+  }
+}
+
+void OverlayNetwork::RunEcho(SlotHandle slot) {
+  if (!slot.valid()) return;  // fire-and-forget round trip completed
+  Scheduler::Action* action = echo_slots_.Get(slot);
+  DCRD_CHECK(action != nullptr) << "echo completion slot went stale";
+  // Run in place (slab addresses are stable even if the callback arms new
+  // echoes), then release; the callback's own round/generation guards
+  // decide whether its effect is still wanted.
+  (*action)();
+  echo_slots_.Release(slot);
+}
+
+void OverlayNetwork::AcceptRemote(XMsg& msg) {
+  switch (msg.kind) {
+    case XMsgKind::kData:
+      DCRD_CHECK(remote_data_sink_) << "no remote data sink registered";
+      remote_data_sink_(msg);
+      return;
+    case XMsgKind::kEchoRequest:
+      scheduler_.ScheduleKeyed(SimTime::FromMicros(msg.at), msg.k1, msg.k2,
+                               [this, to = msg.to, from = msg.from,
+                                link = msg.link, slot = msg.echo_slot] {
+                                 HandleEchoRequest(to, from, link, slot);
+                               });
+      return;
+    case XMsgKind::kEchoReply:
+      scheduler_.ScheduleKeyed(SimTime::FromMicros(msg.at), msg.k1, msg.k2,
+                               [this, slot = msg.echo_slot] {
+                                 RunEcho(slot);
+                               });
+      return;
+    case XMsgKind::kEchoDrop:
+      DCRD_CHECK(echo_slots_.Release(msg.echo_slot));
+      return;
+  }
+  DCRD_CHECK(false) << "unknown exchange message kind";
 }
 
 }  // namespace dcrd

@@ -10,6 +10,18 @@
 // reliable delivery is built *above* this service from hop-by-hop ACKs,
 // exactly as in the paper.
 //
+// Randomness is *keyed*, not streamed: every loss/gray/jitter draw is a
+// pure function of (network seed, directed link + traffic class, a
+// per-(directed link, class) attempt counter — or, for ACK legs, the
+// copy's content key) via KeyedUnit/KeyedBernoulli (common/rng.h). No draw
+// depends on the global interleaving of other transmissions, so the sample
+// path — and with it every figure — is independent of how the sharded
+// engine partitions brokers across threads. For the same reason delivery
+// produces a *Resolution* (arrival time plus the canonical event key of
+// the arrival, see event/scheduler.h): callers schedule the arrival
+// locally or hand it across a shard boundary (shard_exchange.h), and the
+// receiving scheduler sorts it identically either way.
+//
 // Optional per-link queuing: when `serialization` is non-zero every data
 // packet occupies its directed link for that long, so bursts build a FIFO
 // queue and the queuing delay counts against the deadline — the
@@ -28,11 +40,13 @@
 
 #include "common/ids.h"
 #include "common/rng.h"
+#include "common/slot_map.h"
 #include "event/scheduler.h"
 #include "graph/graph.h"
 #include "net/broker_lifecycle.h"
 #include "net/failure_schedule.h"
 #include "net/gray_failure.h"
+#include "net/shard_exchange.h"
 #include "obs/trace_record.h"
 
 namespace dcrd {
@@ -57,6 +71,17 @@ struct TrafficCounters {
     return delivered + dropped_failure + dropped_node_failure + dropped_loss +
            dropped_gray + dropped_crash;
   }
+
+  // Accumulates another shard's tally (the merged-summary path).
+  void Add(const TrafficCounters& other) {
+    attempted += other.attempted;
+    delivered += other.delivered;
+    dropped_failure += other.dropped_failure;
+    dropped_node_failure += other.dropped_node_failure;
+    dropped_loss += other.dropped_loss;
+    dropped_gray += other.dropped_gray;
+    dropped_crash += other.dropped_crash;
+  }
 };
 
 struct OverlayNetworkConfig {
@@ -71,6 +96,18 @@ struct OverlayNetworkConfig {
   // 0 = the paper's fixed delays. Jitter makes the monitored alpha an
   // *estimate* rather than the truth and can trip ACK timers spuriously.
   double delay_jitter = 0.0;
+};
+
+// Outcome of one resolved transmission. When `delivered` is true, `at` is
+// the arrival instant and (k1, k2) the canonical key the arrival event
+// must be scheduled under — on this shard's scheduler or, after crossing
+// the exchange, on the receiver's. When false the attempt landed in a
+// drop bucket and the other fields are meaningless.
+struct Resolution {
+  bool delivered = false;
+  SimTime at;
+  std::uint64_t k1 = 0;
+  std::uint64_t k2 = 0;
 };
 
 class OverlayNetwork {
@@ -88,12 +125,16 @@ class OverlayNetwork {
         gray_(gray),
         crashes_(crashes),
         config_(config),
-        loss_rng_(loss_rng),
-        // Gray extra-loss draws use a forked substream so enabling the gray
-        // process never perturbs the background loss sample path.
-        gray_rng_(loss_rng.Fork("gray-loss")),
+        // All keyed draws hash through one forked seed; the fork keeps the
+        // substream independent of every other consumer of the scenario rng.
+        seed_(loss_rng.Fork("keyed")()),
         // One busy-until slot per directed link: index 2*link + direction.
-        link_free_(graph.edge_count() * 2, SimTime::Zero()) {}
+        link_free_(graph.edge_count() * 2, SimTime::Zero()),
+        // One attempt counter per (directed link, traffic class).
+        draw_seq_(graph.edge_count() * 2 * 3, 0),
+        // One arrival-sequence counter per sending broker (the k2 minor
+        // word of every data/control arrival it originates).
+        arrival_seq_(graph.node_count(), 0) {}
 
   // Legacy convenience constructor used widely in tests.
   OverlayNetwork(const Graph& graph, Scheduler& scheduler,
@@ -107,17 +148,93 @@ class OverlayNetwork {
   OverlayNetwork(const OverlayNetwork&) = delete;
   OverlayNetwork& operator=(const OverlayNetwork&) = delete;
 
-  // Attempts one transmission from `from` over `link`. Precondition: `from`
-  // is an endpoint of `link`. On success `on_delivered` runs at the
-  // opposite endpoint after queuing + propagation; on failure nothing
-  // happens (the sender's own timeout machinery reacts). The return value
-  // (false = dropped, callback destroyed unrun) exists ONLY so callers can
-  // recycle resources referenced by the callback; protocols must never
-  // branch on it — the paper's senders learn outcomes through ACKs alone.
-  // `trace` names the packet/copy for the flight recorder's drop records;
-  // leave defaulted for traffic with no packet identity (probes, gossip).
+  // Resolves one transmission from `from` over `link` entered now: runs
+  // the drop gauntlet (link/node/crash state, keyed loss + gray draws),
+  // the queuing/jitter delay math, and the counters. Pure bookkeeping —
+  // nothing is scheduled; the caller dispatches the arrival under the
+  // returned key. Precondition: `from` is an endpoint of `link`. `trace`
+  // names the packet/copy for the flight recorder's drop records.
+  Resolution ResolveSend(NodeId from, LinkId link, TrafficClass cls,
+                         TraceContext trace = {});
+
+  // Resolves the ACK a data copy's receiver emits the instant the copy
+  // lands: every schedule lookup (link/node/crash/gray state) is evaluated
+  // at the future arrival instant `t1`, and the loss/gray draws are keyed
+  // by `ack_key` — the copy's content key — instead of an attempt counter.
+  // Both make the resolution computable at *send* time by the data
+  // sender's shard, which is what lets an ACK be precomputed locally and
+  // never cross a shard boundary (DESIGN.md §12). Counters tally on this
+  // (the data sender's) network. The returned key is (PackK1(t1, acker),
+  // ack_key).
+  Resolution ResolveAckAt(NodeId acker, LinkId link, SimTime t1,
+                          std::uint64_t ack_key, TraceContext trace = {});
+
+  // Attempts one transmission from `from` over `link` and, on success,
+  // schedules `on_delivered` on THIS shard's scheduler at the opposite
+  // endpoint's arrival instant — so the receiver must be shard-local
+  // (checked). ResolveSend + ScheduleKeyed fused: the right call for
+  // tests and for traffic that only runs single-shard (gossip). The
+  // return value (false = dropped, callback destroyed unrun) exists ONLY
+  // so callers can recycle resources referenced by the callback;
+  // protocols must never branch on it — the paper's senders learn
+  // outcomes through ACKs alone.
   bool Transmit(NodeId from, LinkId link, TrafficClass cls,
                 Scheduler::Action on_delivered, TraceContext trace = {});
+
+  // Control-plane round trip: a request leg to `link`'s other endpoint
+  // and, resolved *at the receiver* when the request lands, a reply leg
+  // back. `on_echo` runs at the sender when the reply lands; if either
+  // leg drops, it is destroyed unrun (the usual silent-network contract).
+  // Pass an empty callback for fire-and-forget round trips that only
+  // exist to exercise the control channel (crash-recovery resync). Both
+  // the peer-death probe and the resync ping ride this; unlike Transmit
+  // it is shard-safe — either leg crosses the exchange when the peer is
+  // remote. Returns false when the request leg dropped at the sender.
+  bool TransmitEcho(NodeId from, LinkId link, Scheduler::Action on_echo,
+                    TraceContext trace = {});
+
+  // --- Sharded execution plumbing (sim/engine.cc §sharded execution) ---
+
+  // Attaches this network to shard `shard` of a sharded run. `map` and
+  // `exchange` must outlive the network; both nullptr (the default state)
+  // means an unsharded run where every node is local.
+  void ConfigureSharding(const ShardMap* map, int shard,
+                         ShardExchange* exchange) {
+    shard_map_ = map;
+    shard_ = shard;
+    exchange_ = exchange;
+  }
+
+  // True when `node` is simulated on this shard (always true unsharded).
+  [[nodiscard]] bool IsLocalNode(NodeId node) const {
+    return shard_map_ == nullptr || shard_map_->OwnerOf(node) == shard_;
+  }
+
+  // Shard wiring introspection for the engine's drain loop; exchange() is
+  // nullptr on unsharded runs.
+  [[nodiscard]] ShardExchange* exchange() { return exchange_; }
+  [[nodiscard]] int shard() const { return shard_; }
+
+  // A fresh exchange message bound for `to`'s owning shard. Caller fills
+  // it; the receiving shard drains it at the next window barrier.
+  [[nodiscard]] XMsg& ExportTo(NodeId to) {
+    DCRD_CHECK(exchange_ != nullptr && !IsLocalNode(to));
+    return exchange_->Append(shard_, shard_map_->OwnerOf(to));
+  }
+
+  // Receives the transport's handler for kData exchange messages (the
+  // network owns the echo kinds itself). Must be set before any remote
+  // data message is accepted.
+  using RemoteDataSink = InlineFunction<void(XMsg&)>;
+  void SetRemoteDataSink(RemoteDataSink sink) {
+    remote_data_sink_ = std::move(sink);
+  }
+
+  // Injects one drained exchange message: schedules the carried arrival
+  // under its canonical key (kData via the remote data sink), or releases
+  // a dropped reply's completion slot. Called only at window barriers,
+  // from this shard's thread.
+  void AcceptRemote(XMsg& msg);
 
   // Attaches the flight recorder that receives link-level drop events.
   // nullptr (the default) detaches. Must outlive the network.
@@ -147,6 +264,22 @@ class OverlayNetwork {
   [[nodiscard]] const OverlayNetworkConfig& config() const { return config_; }
 
  private:
+  // Shared resolution core; `when` is the instant every schedule lookup
+  // and the delay math use (now for data/control, the data arrival
+  // instant for precomputed ACKs), `draw_key` the keyed-draw minor word.
+  Resolution ResolveAt(NodeId from, LinkId link, TrafficClass cls,
+                       SimTime when, std::uint64_t draw_key,
+                       const TraceContext& trace);
+
+  // Request leg landed at `at_node`: resolve the reply leg back to
+  // `origin` and dispatch it (locally or across the exchange).
+  // `origin_slot` is the completion's slot in the ORIGIN network's
+  // echo_slots_ (invalid for fire-and-forget echoes).
+  void HandleEchoRequest(NodeId at_node, NodeId origin, LinkId link,
+                         SlotHandle origin_slot);
+  // Reply leg landed back at the origin: run and release the completion.
+  void RunEcho(SlotHandle slot);
+
   const Graph& graph_;
   Scheduler& scheduler_;
   FailureSchedule failures_;
@@ -154,11 +287,19 @@ class OverlayNetwork {
   GrayFailureSchedule gray_;
   BrokerCrashSchedule crashes_;
   OverlayNetworkConfig config_;
-  Rng loss_rng_;
-  Rng gray_rng_;
+  const std::uint64_t seed_;  // keyed-draw seed (see header comment)
   std::vector<SimTime> link_free_;
+  std::vector<std::uint64_t> draw_seq_;     // [didx * 3 + class]
+  std::vector<std::uint64_t> arrival_seq_;  // [sending broker]
   std::array<TrafficCounters, 3> counters_{};
+  // Completion callbacks for in-flight echo round trips (probes, resync).
+  SlotMap<Scheduler::Action> echo_slots_;
   FlightRecorder* recorder_ = nullptr;
+  // Shard wiring; all-null for unsharded runs.
+  const ShardMap* shard_map_ = nullptr;
+  int shard_ = 0;
+  ShardExchange* exchange_ = nullptr;
+  RemoteDataSink remote_data_sink_;
 };
 
 }  // namespace dcrd

@@ -25,7 +25,7 @@ void HopTransport::SendReliable(NodeId from, LinkId link, Packet packet,
   pending.ack_timeout = ack_timeout;
   pending.done = std::move(done);
   pending.timer = EventHandle{};
-  pending.copy_id = next_copy_id_++;
+  pending.copy_id = MakeCopyId(from);
   pending.transmissions_made = 0;
   if (config_.recorder != nullptr) {
     config_.recorder->Record(TraceEventKind::kEnqueue,
@@ -69,30 +69,59 @@ void HopTransport::TransmitOnce(SlotHandle pending_slot, bool in_timer_event) {
                              packet_id, copy_id, from, to, link, 0,
                              static_cast<std::uint16_t>(tx_index));
   }
-  // The copy sent on the wire is snapshotted into the wire slab; the slab
-  // owns it so a later SendReliable cannot mutate a packet already in
-  // flight, and the callback capture stays two words.
-  const SlotHandle wire_slot = wire_.Acquire();
-  WireCopy& wire = *wire_.Get(wire_slot);
-  wire.packet = pending->packet;  // copy-assign: reuses slab buffer capacity
-  wire.copy_id = copy_id;
-  wire.tx_index = tx_index;
-  wire.to = to;
-  wire.from = from;
-  wire.link = link;
-  wire.sender = pending_slot;
-  const bool delivered = network_.Transmit(
-      from, link, TrafficClass::kData,
-      [this, wire_slot] { HandleDataArrival(wire_slot); },
-      TraceContext{packet_id, copy_id});
-  if (!delivered) {
-    // Dropped at the link: nothing will ever consume the snapshot. Recycle
-    // the slot now (the sender's own timeout machinery reacts to the loss).
-    wire_.Release(wire_slot);
+  const TraceContext trace{packet_id, copy_id};
+  const Resolution res =
+      network_.ResolveSend(from, link, TrafficClass::kData, trace);
+  if (res.delivered) {
+    if (network_.IsLocalNode(to)) {
+      // The copy sent on the wire is snapshotted into the wire slab; the
+      // slab owns it so a later SendReliable cannot mutate a packet already
+      // in flight, and the callback capture stays two words.
+      const SlotHandle wire_slot = wire_.Acquire();
+      WireCopy& wire = *wire_.Get(wire_slot);
+      wire.packet = pending->packet;  // copy-assign: reuses buffer capacity
+      wire.copy_id = copy_id;
+      wire.tx_index = tx_index;
+      wire.to = to;
+      wire.from = from;
+      wire.link = link;
+      network_.scheduler().ScheduleKeyed(
+          res.at, res.k1, res.k2,
+          [this, wire_slot] { HandleDataArrival(wire_slot); });
+    } else {
+      // Receiver owned by another shard: the snapshot travels as an
+      // exchange message instead of a wire slot.
+      XMsg& msg = network_.ExportTo(to);
+      msg.kind = XMsgKind::kData;
+      msg.at = res.at.micros();
+      msg.k1 = res.k1;
+      msg.k2 = res.k2;
+      msg.to = to;
+      msg.from = from;
+      msg.link = link;
+      msg.copy_id = copy_id;
+      msg.tx_index = tx_index;
+      msg.packet = pending->packet;  // copy-assign into pooled storage
+    }
+    // The receiver will ACK the copy the instant it lands; that ACK's fate
+    // is already decidable here (pure schedules + the copy's content key),
+    // so resolve it now and schedule HandleAckArrival locally — the whole
+    // round trip without anything crossing back over the exchange.
+    const std::uint64_t ack_key =
+        (copy_id << 4) | static_cast<std::uint64_t>(tx_index);
+    const Resolution ack =
+        network_.ResolveAckAt(to, link, res.at, ack_key, trace);
+    if (ack.delivered) {
+      network_.scheduler().ScheduleKeyed(
+          ack.at, ack.k1, ack.k2, [this, pending_slot, copy_id, tx_index] {
+            HandleAckArrival(pending_slot, copy_id, tx_index);
+          });
+    }
   }
   const SimDuration timeout =
       config_.adaptive_rto
-          ? rto_.TimeoutFor(link, pending->ack_timeout, tx_index, copy_id)
+          ? rto_.TimeoutFor(DirectedIndex(from, link), pending->ack_timeout,
+                            tx_index, copy_id)
           : pending->ack_timeout;
   if (config_.recorder != nullptr) {
     // kTimerArmed repurposes `peer` to carry the armed timeout in
@@ -131,6 +160,7 @@ void HopTransport::HandleTimeout(SlotHandle pending_slot) {
   // retransmissions classified as spurious instead of silently dropping
   // the accounting on the floor.
   Expired& expired = *expired_.TryEmplace(pending->copy_id).first;
+  expired.from = pending->from;
   expired.link = pending->link;
   expired.transmissions_made = pending->transmissions_made;
   expired.tx_times = pending->tx_times;
@@ -162,11 +192,9 @@ void HopTransport::HandleDataArrival(SlotHandle wire_slot) {
   WireCopy* wire = wire_.Get(wire_slot);
   DCRD_CHECK(wire != nullptr);
   const std::uint64_t copy_id = wire->copy_id;
-  const int tx_index = wire->tx_index;
   const NodeId at = wire->to;
   const NodeId from = wire->from;
   const LinkId link = wire->link;
-  const SlotHandle sender = wire->sender;
   // Park the payload in the scratch slot and recycle the wire slot before
   // any handler runs: the arrival handler may send onward, and slab growth
   // would invalidate `wire`. Swapping circulates buffer capacity between
@@ -175,15 +203,11 @@ void HopTransport::HandleDataArrival(SlotHandle wire_slot) {
   wire_.Release(wire_slot);
   const Packet& packet = arrival_scratch_;
 
-  // Always ACK — the sender may have missed an earlier ACK. The ACK names
-  // the transmission it answers, which disambiguates RTT samples and lets
-  // the sender recognise spurious retransmissions.
-  network_.Transmit(
-      at, link, TrafficClass::kAck,
-      [this, sender, copy_id, tx_index] {
-        HandleAckArrival(sender, copy_id, tx_index);
-      },
-      TraceContext{packet.message().id.value, copy_id});
+  // The receiver's unconditional ACK — "always ACK, the sender may have
+  // missed an earlier one" — was already resolved and scheduled by the
+  // sender at transmission time (see TransmitOnce): its outcome depends
+  // only on schedules and the copy's content key, never on receiver state,
+  // so nothing needs to be emitted here.
   // Hand to the protocol only on first sight of this copy. Insert into the
   // current generation even when the previous one already knows the copy,
   // so repeat stragglers keep their suppression entry alive across
@@ -219,7 +243,7 @@ void HopTransport::HandleAckArrival(SlotHandle pending_slot,
     const SimDuration rtt =
         network_.scheduler().now() -
         expired->tx_times[static_cast<std::size_t>(tx_index)];
-    rto_.OnSample(expired->link, rtt);
+    rto_.OnSample(DirectedIndex(expired->from, expired->link), rtt);
     if (config_.rtt_histogram != nullptr) {
       config_.rtt_histogram->Record(rtt.micros());
     }
@@ -241,7 +265,7 @@ void HopTransport::HandleAckArrival(SlotHandle pending_slot,
   const SimDuration rtt =
       network_.scheduler().now() -
       pending->tx_times[static_cast<std::size_t>(tx_index)];
-  rto_.OnSample(pending->link, rtt);
+  rto_.OnSample(DirectedIndex(pending->from, pending->link), rtt);
   if (config_.rtt_histogram != nullptr) {
     config_.rtt_histogram->Record(rtt.micros());
   }
@@ -265,6 +289,24 @@ void HopTransport::HandleAckArrival(SlotHandle pending_slot,
   pending_.Release(pending_slot);
   if (config_.peer_death) NoteHopSuccess(from, link);
   if (done) done(true);
+}
+
+void HopTransport::AcceptRemoteData(XMsg& msg) {
+  // Same staging as a local send's snapshot, minus the sender-side state
+  // (that stayed on the origin shard, where the precomputed ACK will find
+  // it). Copy-assignment circulates buffer capacity between the exchange
+  // slot and the wire slab — no allocation in steady state.
+  const SlotHandle wire_slot = wire_.Acquire();
+  WireCopy& wire = *wire_.Get(wire_slot);
+  wire.packet = msg.packet;
+  wire.copy_id = msg.copy_id;
+  wire.tx_index = msg.tx_index;
+  wire.to = msg.to;
+  wire.from = msg.from;
+  wire.link = msg.link;
+  network_.scheduler().ScheduleKeyed(
+      SimTime::FromMicros(msg.at), msg.k1, msg.k2,
+      [this, wire_slot] { HandleDataArrival(wire_slot); });
 }
 
 std::size_t HopTransport::OnBrokerCrash(NodeId node) {
@@ -348,7 +390,8 @@ void HopTransport::DeclarePeerDead(NodeId from, LinkId link,
   // Probe cadence grows from the link's own RTO estimate (adaptive) or the
   // protocol's ACK timeout (fixed) — the same silence window that tripped
   // the detection.
-  state.probe_base = config_.adaptive_rto ? rto_.Rto(link, seed) : seed;
+  state.probe_base =
+      config_.adaptive_rto ? rto_.Rto(DirectedIndex(from, link), seed) : seed;
   if (state.probe_base <= SimDuration::Zero()) {
     state.probe_base = SimDuration::Millis(1);
   }
@@ -416,21 +459,14 @@ void HopTransport::SendProbe(NodeId from, LinkId link, std::uint32_t round) {
   if (!state.dead || state.round != round) return;
   ++state.probe_attempts;
   ++stats_.peer_probes;
-  const NodeId to = network_.graph().edge(link).OtherEnd(from);
   // Control-class echo: the probe reaching the peer triggers a reply; the
   // reply reaching the prober revives the link. Either leg dying in a
-  // crashed/failed hop simply leaves the timer loop running.
-  network_.Transmit(from, link, TrafficClass::kControl,
-                    [this, from, to, link, round] {
-                      network_.Transmit(to, link, TrafficClass::kControl,
-                                        [this, from, link, round] {
-                                          PeerState& s =
-                                              peer_[DirectedIndex(from, link)];
-                                          if (s.dead && s.round == round) {
-                                            NoteHopSuccess(from, link);
-                                          }
-                                        });
-                    });
+  // crashed/failed hop simply leaves the timer loop running. The echo
+  // round trip is shard-safe — the peer may live on another shard.
+  network_.TransmitEcho(from, link, [this, from, link, round] {
+    PeerState& s = peer_[DirectedIndex(from, link)];
+    if (s.dead && s.round == round) NoteHopSuccess(from, link);
+  });
   ScheduleProbe(from, link, /*rearm=*/true);
 }
 

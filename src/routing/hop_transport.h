@@ -9,9 +9,18 @@
 //
 // Semantics:
 //  * Each SendReliable call allocates a copy id carried by every
-//    retransmission of that copy.
+//    retransmission of that copy. Copy ids are allocated per sending
+//    broker ((broker+1) << 40 | broker-local counter) so the id a copy
+//    gets is independent of how sends from *other* brokers interleave —
+//    a shard-partition invariance the sharded engine requires.
 //  * The receiving side ACKs every arrival (including duplicates) but hands
 //    the packet to the protocol's arrival handler only once per copy id.
+//    The ACK leg itself is resolved at *send* time on the sender's shard
+//    (OverlayNetwork::ResolveAckAt): its outcome is a pure function of
+//    schedules and the copy's content key, so the sender can precompute
+//    the HandleAckArrival instant locally and ACKs never cross a shard
+//    boundary. Data arrivals destined to a remote shard travel as kData
+//    exchange messages and re-enter through AcceptRemoteData.
 //  * `done(acked)` fires exactly once: true as soon as the ACK returns,
 //    false after the m-th transmission's timeout expires. A data copy can
 //    have been delivered even when done(false) fires (ACK lost) — protocols
@@ -125,10 +134,13 @@ class HopTransport {
         config_(config),
         rto_(config.rto),
         seen_copies_(network.graph().node_count()),
-        prev_seen_copies_(network.graph().node_count()) {
+        prev_seen_copies_(network.graph().node_count()),
+        next_copy_seq_(network.graph().node_count(), 0) {
     if (config_.peer_death) {
       peer_.resize(network.graph().edge_count() * 2);
     }
+    network_.SetRemoteDataSink(
+        [this](XMsg& msg) { AcceptRemoteData(msg); });
   }
 
   HopTransport(const HopTransport&) = delete;
@@ -205,14 +217,16 @@ class HopTransport {
   };
 
   // Accounting stub left behind when a copy's send budget expires before
-  // its ACK returns; lets the straggling ACK still be classified.
+  // its ACK returns; lets the straggling ACK still be classified. `from`
+  // is kept because the RTO estimator is keyed per directed link.
   struct Expired {
+    NodeId from;
     LinkId link;
     int transmissions_made = 0;
     std::array<SimTime, kMaxTransmissionBudget> tx_times{};
   };
 
-  // Payload of one in-flight data transmission. Pooled so the network
+  // Payload of one in-flight data transmission. Pooled so the arrival
   // callback captures only {this, handle}; the packet snapshot is recycled
   // slab storage, not a heap-owning lambda capture.
   struct WireCopy {
@@ -222,7 +236,6 @@ class HopTransport {
     NodeId to;
     NodeId from;
     LinkId link;
-    SlotHandle sender;  // the sending side's pending slot
   };
 
   // Sender-side liveness belief about the far end of one directed link.
@@ -248,6 +261,19 @@ class HopTransport {
   void HandleDataArrival(SlotHandle wire_slot);
   void HandleAckArrival(SlotHandle pending_slot, std::uint64_t copy_id,
                         int tx_index);
+  // Re-enters a data copy that crossed the exchange from another shard:
+  // snapshots the payload into the wire slab and schedules the arrival
+  // under the canonical key the sending shard computed.
+  void AcceptRemoteData(XMsg& msg);
+
+  // Globally unique, partition-invariant copy id for a copy sent by
+  // `from`: broker id in the top bits, broker-local counter below.
+  [[nodiscard]] std::uint64_t MakeCopyId(NodeId from) {
+    std::uint64_t& seq = next_copy_seq_[from.underlying()];
+    DCRD_CHECK(seq < (std::uint64_t{1} << 40))
+        << "per-broker copy counter overflow";
+    return (static_cast<std::uint64_t>(from.underlying()) + 1) << 40 | seq++;
+  }
 
   [[nodiscard]] std::size_t DirectedIndex(NodeId from, LinkId link) const {
     const EdgeSpec& edge = network_.graph().edge(link);
@@ -293,7 +319,8 @@ class HopTransport {
   // Scratch for fail-fast sweeps (collect-then-act over the slot map);
   // capacity persists across sweeps.
   std::vector<SlotHandle> sweep_scratch_;
-  std::uint64_t next_copy_id_ = 1;
+  // Per-sending-broker copy-id counters (see MakeCopyId).
+  std::vector<std::uint64_t> next_copy_seq_;
 };
 
 }  // namespace dcrd

@@ -5,9 +5,9 @@
 
 namespace dcrd {
 
-void RtoEstimator::OnSample(LinkId link, SimDuration rtt) {
+void RtoEstimator::OnSample(std::size_t directed, SimDuration rtt) {
   const double sample_us = static_cast<double>(rtt.micros());
-  const auto [slot, inserted] = state_.TryEmplace(link.underlying());
+  const auto [slot, inserted] = state_.TryEmplace(directed);
   State& state = *slot;
   if (inserted) {
     // RFC 6298 initialisation: SRTT = R, RTTVAR = R/2.
@@ -26,8 +26,8 @@ SimDuration RtoEstimator::Clamp(SimDuration rto) const {
   return std::clamp(rto, config_.min_rto, config_.max_rto);
 }
 
-SimDuration RtoEstimator::Rto(LinkId link, SimDuration seed) const {
-  const State* state = state_.Find(link.underlying());
+SimDuration RtoEstimator::Rto(std::size_t directed, SimDuration seed) const {
+  const State* state = state_.Find(directed);
   if (state == nullptr) return Clamp(seed);
   const double var_term =
       std::max(static_cast<double>(config_.granularity.micros()),
@@ -36,10 +36,10 @@ SimDuration RtoEstimator::Rto(LinkId link, SimDuration seed) const {
       static_cast<std::int64_t>(state->srtt_us + var_term + 0.5)));
 }
 
-SimDuration RtoEstimator::TimeoutFor(LinkId link, SimDuration seed,
+SimDuration RtoEstimator::TimeoutFor(std::size_t directed, SimDuration seed,
                                      int attempt,
                                      std::uint64_t copy_id) const {
-  const SimDuration base = Rto(link, seed);
+  const SimDuration base = Rto(directed, seed);
   // Exponential backoff, saturating well before the shift overflows.
   const int shift = std::min(attempt, 16);
   double timeout_us =

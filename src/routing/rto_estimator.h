@@ -43,25 +43,33 @@ struct RtoConfig {
   double rttvar_gain = 1.0 / 4.0;
 };
 
+// Estimator state is kept per *directed* link — the transport's directed
+// index (2*link + direction). The two directions of one physical link are
+// driven by different senders, and under sharded execution by different
+// threads' replicas; directed state keeps each sender's estimate a pure
+// function of its own sample stream, which the shard-count byte-identity
+// gate requires (an undirected estimator would interleave the two
+// directions' samples in scheduler order).
 class RtoEstimator {
  public:
   explicit RtoEstimator(RtoConfig config = {}) : config_(config) {}
 
-  // Folds one observed ACK round-trip on `link` into the estimate.
-  void OnSample(LinkId link, SimDuration rtt);
+  // Folds one observed ACK round-trip on directed link `directed` into the
+  // estimate.
+  void OnSample(std::size_t directed, SimDuration rtt);
 
-  // Current RTO for `link`; `seed` (the alpha_hat-derived fixed timeout) is
-  // used until the first sample arrives.
-  [[nodiscard]] SimDuration Rto(LinkId link, SimDuration seed) const;
+  // Current RTO for `directed`; `seed` (the alpha_hat-derived fixed
+  // timeout) is used until the first sample arrives.
+  [[nodiscard]] SimDuration Rto(std::size_t directed, SimDuration seed) const;
 
   // Timeout to arm for transmission `attempt` (0-based) of `copy_id`:
-  // Rto(link, seed) << attempt, jittered and clamped.
-  [[nodiscard]] SimDuration TimeoutFor(LinkId link, SimDuration seed,
+  // Rto(directed, seed) << attempt, jittered and clamped.
+  [[nodiscard]] SimDuration TimeoutFor(std::size_t directed, SimDuration seed,
                                        int attempt,
                                        std::uint64_t copy_id) const;
 
-  [[nodiscard]] bool HasSample(LinkId link) const {
-    return state_.Contains(link.underlying());
+  [[nodiscard]] bool HasSample(std::size_t directed) const {
+    return state_.Contains(directed);
   }
   [[nodiscard]] std::uint64_t sample_count() const { return sample_count_; }
   [[nodiscard]] const RtoConfig& config() const { return config_; }
@@ -75,8 +83,8 @@ class RtoEstimator {
   [[nodiscard]] SimDuration Clamp(SimDuration rto) const;
 
   RtoConfig config_;
-  // Link ids are dense small integers, so per-link state is a flat array
-  // indexed directly — no hashing on the per-ACK sample path.
+  // Directed indices are dense small integers, so per-direction state is a
+  // flat array indexed directly — no hashing on the per-ACK sample path.
   DenseIndexMap<State> state_;
   std::uint64_t sample_count_ = 0;
 };

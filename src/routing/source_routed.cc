@@ -23,7 +23,8 @@ void SourceRoutedRouter::Rebuild(const MonitoredView& view) {
   RebuildRoutes();
 }
 
-void SourceRoutedRouter::Publish(const Message& message) {
+const SourceRoutedRouter::CachedRoutes& SourceRoutedRouter::CacheRoutes(
+    const Message& message) {
   PurgeStaleRoutes();
   CachedRoutes cached;
   cached.inserted = context_.network->scheduler().now();
@@ -32,11 +33,23 @@ void SourceRoutedRouter::Publish(const Message& message) {
       route_cache_.emplace(message.id.value, std::move(cached));
   DCRD_CHECK(inserted) << "duplicate message id " << message.id;
   cache_order_.push_back(message.id.value);
+  return it->second;
+}
+
+void SourceRoutedRouter::OnRemotePublish(const Message& message) {
+  // Routes are a pure function of the epoch view (trees, multipath) or of
+  // the failure schedules at `now` (ORACLE), so every shard computes the
+  // same cache entry the owning shard does — only the sends are skipped.
+  CacheRoutes(message);
+}
+
+void SourceRoutedRouter::Publish(const Message& message) {
+  const CachedRoutes& it_routes = CacheRoutes(message);
 
   // Group subscribers by (first hop, tag) and launch one copy per group.
   const NodeId origin = message.publisher;
   std::map<std::pair<NodeId, std::uint8_t>, std::vector<NodeId>> groups;
-  for (const Route& route : it->second.routes) {
+  for (const Route& route : it_routes.routes) {
     if (route.nodes.size() < 2) {
       // Subscriber co-located with the publisher: immediate delivery.
       context_.sink->OnDelivered(message, route.subscriber,

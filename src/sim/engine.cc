@@ -1,14 +1,21 @@
 #include "sim/engine.h"
 
+#include <algorithm>
+#include <atomic>
+#include <barrier>
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include "dcrd/dcrd_router.h"
 #include "event/scheduler.h"
 #include "graph/io.h"
+#include "graph/partition.h"
 #include "graph/topology.h"
+#include "net/shard_exchange.h"
 #include "net/link_monitor.h"
 #include "net/overlay_network.h"
 #include "obs/flight_recorder.h"
@@ -242,6 +249,595 @@ class BrokerLifecycleSampler {
   std::uint64_t restarts_ = 0;
 };
 
+// One engine shard: the complete single-threaded simulation state —
+// workload, scheduler, network, monitor, router, metrics — built from the
+// same (config, graph) on every shard, in the same order the pre-sharding
+// engine built it (engine-origin event sequence numbers replicate across
+// shards because the setup sequence does). Ownership gating decides what a
+// shard *executes*: publish events, epoch rebuilds, churn, monitoring and
+// lifecycle transitions replay identically everywhere (they are pure
+// functions of config/seed/epoch), while sends, deliveries and per-broker
+// protocol state run only on the shard owning the acting broker. A
+// single-shard run is the degenerate case with a null shard map.
+class Sim {
+ public:
+  Sim(const ScenarioConfig& config, const Graph& graph,
+      const ShardMap* shard_map, int shard, ShardExchange* exchange);
+  Sim(const Sim&) = delete;
+  Sim& operator=(const Sim&) = delete;
+
+  // Legacy single-shard execution: run to the end wall, drain, check,
+  // flush observability, summarize.
+  RunSummary RunSingle();
+
+  // Sharded window-loop primitives (RunSharded below). DrainInbound injects
+  // every exchange message other shards appended for us during the previous
+  // window; the barrier between appends and this call makes the queues
+  // safe single-writer/single-reader.
+  void DrainInbound();
+  [[nodiscard]] SimTime NextEventTime() const {
+    return scheduler_.NextEventTime();
+  }
+  void RunWindow(SimTime horizon) { scheduler_.RunBefore(horizon); }
+  [[nodiscard]] SimTime now() const { return scheduler_.now(); }
+
+  [[nodiscard]] SimInvariantChecker* checker() { return checker_.get(); }
+  [[nodiscard]] const Router& router() const { return *router_; }
+
+  // Merges per-shard observations into one RunSummary, bit-identical to
+  // the 1-shard run: published-side counts are replicated (shard 0 speaks
+  // for all), delivered-side counts and transmission tallies are disjoint
+  // across shards (summed), and sample vectors are concatenated then
+  // sorted — in BOTH modes, so the canonical order never depends on the
+  // partition. sims[0] must already hold any absorbed checker state.
+  static RunSummary BuildSummary(const std::vector<Sim*>& sims);
+
+ private:
+  void OnPublish(const Message& message);
+  void EpochTick();
+
+  static SubscriptionTable MakeWorkload(const Graph& graph,
+                                        const ScenarioConfig& config,
+                                        const Rng& root) {
+    Rng workload_rng = root.Fork("workload");
+    return GenerateWorkload(graph, config, workload_rng);
+  }
+  static FailureSchedule MakeFailures(const Graph& graph,
+                                      const ScenarioConfig& config,
+                                      const Rng& root) {
+    Rng link_pf_rng = root.Fork("link-pf");
+    return FailureSchedule(
+        root.Fork("failures")(),
+        DrawHeterogeneousFractions(graph.edge_count(),
+                                   config.failure_probability,
+                                   config.failure_heterogeneity, link_pf_rng),
+        config.failure_epoch, config.link_outage_epochs);
+  }
+  static GrayFailureSchedule MakeGray(const ScenarioConfig& config,
+                                      const Rng& root) {
+    GrayFailureConfig gray_config;
+    gray_config.probability = config.gray_probability;
+    gray_config.extra_loss = config.gray_extra_loss;
+    gray_config.delay_factor = config.gray_delay_factor;
+    gray_config.asymmetry = config.gray_asymmetry;
+    gray_config.epoch = config.failure_epoch;
+    return GrayFailureSchedule(root.Fork("gray")(), gray_config);
+  }
+  static OverlayNetworkConfig MakeNetworkConfig(const ScenarioConfig& config) {
+    OverlayNetworkConfig network_config;
+    network_config.loss_rate = config.loss_rate;
+    network_config.ack_delay_factor = config.ack_delay_factor;
+    network_config.serialization = config.link_serialization;
+    network_config.delay_jitter = config.delay_jitter;
+    return network_config;
+  }
+  static LinkMonitorConfig MakeMonitorConfig(const ScenarioConfig& config) {
+    LinkMonitorConfig monitor_config;
+    monitor_config.interval = config.monitor_interval;
+    monitor_config.probe_count = config.monitor_probes;
+    monitor_config.ewma_weight = config.monitor_ewma_weight;
+    monitor_config.loss_rate = config.loss_rate;
+    return monitor_config;
+  }
+
+  const ScenarioConfig& config_;
+  const Graph& graph_;
+  const Rng root_;
+  SubscriptionTable subscriptions_;
+  Scheduler scheduler_;
+  const FailureSchedule failures_;
+  const NodeFailureSchedule node_failures_;
+  const GrayFailureSchedule gray_;
+  // Crash schedule on its own substream: enabling it never perturbs the
+  // failure/loss/gray sample paths (and vice versa).
+  const BrokerCrashSchedule crashes_;
+  OverlayNetwork network_;
+  // Observability (read-only; single-shard by construction — RunScenario
+  // falls back to one shard whenever any capture knob is set).
+  std::unique_ptr<FlightRecorder> recorder_;
+  std::ofstream trace_file_;
+  std::ofstream audit_file_;
+  std::unique_ptr<MetricsRegistry> registry_;
+  LogLinearHistogram* delay_histogram_ = nullptr;
+  LogLinearHistogram* rtt_histogram_ = nullptr;
+  LinkMonitor monitor_;
+  MetricsCollector metrics_;
+  std::unique_ptr<SimInvariantChecker> checker_;
+  std::unique_ptr<ObservedSink> observed_sink_;
+  std::unique_ptr<Router> router_;
+  const DcrdRouter* audit_router_ = nullptr;
+  Rng churn_rng_;
+  std::unique_ptr<LinkStateSampler> link_sampler_;
+  std::unique_ptr<BrokerLifecycleSampler> lifecycle_sampler_;
+  std::uint64_t next_message_id_ = 0;
+  std::vector<std::unique_ptr<Publisher>> publishers_;
+  const SimTime end_;
+};
+
+Sim::Sim(const ScenarioConfig& config, const Graph& graph,
+         const ShardMap* shard_map, int shard, ShardExchange* exchange)
+    : config_(config),
+      graph_(graph),
+      root_(config.seed),
+      subscriptions_(MakeWorkload(graph, config, root_)),
+      failures_(MakeFailures(graph, config, root_)),
+      node_failures_(root_.Fork("node-failures")(),
+                     config.node_failure_probability, config.failure_epoch,
+                     config.node_outage_epochs),
+      gray_(MakeGray(config, root_)),
+      crashes_(root_.Fork("broker-crashes")(), config.broker_mtbf,
+               config.broker_mttr, config.failure_epoch),
+      network_(graph, scheduler_, failures_, MakeNetworkConfig(config),
+               root_.Fork("loss"), node_failures_, gray_, crashes_),
+      monitor_(graph, failures_, MakeMonitorConfig(config),
+               root_.Fork("probes")),
+      metrics_(subscriptions_),
+      churn_rng_(root_.Fork("churn")),
+      end_(SimTime::Zero() + config.sim_time) {
+  if (shard_map != nullptr) {
+    network_.ConfigureSharding(shard_map, shard, exchange);
+  }
+
+  // --- observability (read-only; see the ScenarioConfig block comment) ----
+  const bool tracing = config_.trace || !config_.trace_out.empty();
+  if (tracing) {
+    FlightRecorder::Config recorder_config;
+    recorder_config.ring_capacity = config_.trace_ring_capacity;
+    recorder_ = std::make_unique<FlightRecorder>(scheduler_, recorder_config);
+    recorder_->set_enabled(true);
+    if (!config_.trace_out.empty()) {
+      trace_file_.open(config_.trace_out, std::ios::trunc);
+      if (trace_file_) {
+        recorder_->set_sink(&trace_file_);
+      } else {
+        DCRD_LOG(kWarn) << "cannot write trace to " << config_.trace_out
+                        << "; tracing to the in-memory ring only";
+      }
+    }
+    network_.set_flight_recorder(recorder_.get());
+  }
+  if (!config_.delay_audit_out.empty()) {
+    audit_file_.open(config_.delay_audit_out, std::ios::trunc);
+    if (!audit_file_) {
+      DCRD_LOG(kWarn) << "cannot write delay-audit model rows to "
+                      << config_.delay_audit_out;
+    }
+  }
+  if (!config_.metrics_json.empty()) {
+    registry_ = std::make_unique<MetricsRegistry>();
+    RegisterNetworkCounters(*registry_, network_);
+    delay_histogram_ = registry_->AddHistogram("delivery.delay_us");
+    rtt_histogram_ = registry_->AddHistogram("transport.rtt_us");
+  }
+
+  if (config_.enable_invariant_checker) {
+    InvariantCheckerConfig checker_config;
+    checker_config.check_delivery_guarantee = config_.check_delivery_guarantee;
+    checker_config.guarantee_window = config_.guarantee_window;
+    checker_ = std::make_unique<SimInvariantChecker>(
+        network_, subscriptions_, metrics_, checker_config);
+    checker_->set_flight_recorder(recorder_.get());
+  }
+  DeliverySink& protocol_sink =
+      checker_ ? static_cast<DeliverySink&>(*checker_) : metrics_;
+  observed_sink_ = std::make_unique<ObservedSink>(protocol_sink,
+                                                  recorder_.get(),
+                                                  delay_histogram_);
+  const bool observing = recorder_ != nullptr || registry_ != nullptr;
+
+  RouterContext context;
+  context.network = &network_;
+  context.subscriptions = &subscriptions_;
+  context.sink = observing ? static_cast<DeliverySink*>(observed_sink_.get())
+                           : &protocol_sink;
+  context.max_transmissions = config_.max_transmissions;
+  context.ack_slack = config_.ack_slack;
+  context.adaptive_rto = config_.adaptive_rto;
+  context.peer_death = config_.peer_death_detection;
+  context.peer_death_threshold = config_.peer_death_threshold;
+  context.transport_observer = checker_.get();
+  context.recorder = recorder_.get();
+  context.hop_rtt_histogram = rtt_histogram_;
+  router_ = MakeRouter(config_, context);
+  // The delay auditor needs the model's sending lists, which only the DCRD
+  // router materialises. Pure read-side: snapshots go to the audit file
+  // only, after each rebuild, so routing never observes the auditor.
+  if (audit_file_.is_open()) {
+    audit_router_ = dynamic_cast<const DcrdRouter*>(router_.get());
+    if (audit_router_ == nullptr) {
+      DCRD_LOG(kWarn) << "delay_audit_out requested but router "
+                      << router_->name()
+                      << " has no Theorem-1 model; no rows written";
+    }
+  }
+
+  if (registry_ != nullptr) {
+    // Gauges sample live engine state; registered after the router exists.
+    registry_->RegisterGauge("scheduler.pending_events", [this] {
+      return static_cast<std::uint64_t>(scheduler_.pending_count());
+    });
+    registry_->RegisterGauge("router.open_episodes", [r = router_.get()] {
+      return static_cast<std::uint64_t>(r->open_episodes());
+    });
+    registry_->RegisterGauge("transport.pending_copies", [r = router_.get()] {
+      return static_cast<std::uint64_t>(r->transport_stats().pending_copies);
+    });
+  }
+
+  // Bootstrap measurement + epoch rebuilds for the whole run. Churn, when
+  // enabled, mutates the subscription table immediately before the rebuild
+  // so routers always see a consistent epoch snapshot. All of it replays
+  // identically on every shard (pure functions of config/seed/epoch).
+  monitor_.MeasureAt(SimTime::Zero());
+  router_->Rebuild(monitor_.view());
+  for (SimTime epoch = SimTime::Zero() + config_.monitor_interval;
+       epoch <= end_; epoch += config_.monitor_interval) {
+    scheduler_.ScheduleAt(epoch, [this] { EpochTick(); });
+  }
+  if (observing || audit_router_ != nullptr) {
+    // Observability epochs ride their own events rather than widening the
+    // rebuild event. Scheduled after the rebuild loop, so at each epoch
+    // instant they run *after* the rebuild (same time, later seq) and the
+    // kRebuild record / snapshot / audit rows reflect the post-rebuild
+    // state.
+    if (recorder_ != nullptr) {
+      recorder_->Record(TraceEventKind::kRebuild, TraceRecord::kNoPacket, 0,
+                        NodeId(), NodeId(), LinkId());
+    }
+    if (registry_ != nullptr) registry_->SnapshotEpoch(SimTime::Zero());
+    if (audit_router_ != nullptr) {
+      audit_router_->WriteAuditSnapshot(audit_file_, SimTime::Zero());
+    }
+    for (SimTime epoch = SimTime::Zero() + config_.monitor_interval;
+         epoch <= end_; epoch += config_.monitor_interval) {
+      scheduler_.ScheduleAt(epoch, [this] {
+        if (recorder_ != nullptr) {
+          recorder_->Record(TraceEventKind::kRebuild, TraceRecord::kNoPacket,
+                            0, NodeId(), NodeId(), LinkId());
+        }
+        if (registry_ != nullptr) registry_->SnapshotEpoch(scheduler_.now());
+        if (audit_router_ != nullptr) {
+          audit_router_->WriteAuditSnapshot(audit_file_, scheduler_.now());
+        }
+      });
+    }
+  }
+  if (recorder_ != nullptr) {
+    link_sampler_ = std::make_unique<LinkStateSampler>(
+        network_, scheduler_, *recorder_, config_.failure_epoch, end_);
+  }
+  if (network_.crashes().enabled()) {
+    lifecycle_sampler_ = std::make_unique<BrokerLifecycleSampler>(
+        network_, scheduler_, *router_, recorder_.get(),
+        config_.failure_epoch, end_);
+  }
+
+  // Publishers: one per topic, phase-jittered within the first interval.
+  Rng phase_rng = root_.Fork("phases");
+  for (std::size_t t = 0; t < subscriptions_.topic_count(); ++t) {
+    const TopicId topic(static_cast<TopicId::underlying_type>(t));
+    publishers_.push_back(std::make_unique<Publisher>(
+        topic, subscriptions_.publisher(topic), config_.publish_interval,
+        scheduler_, [this](const Message& message) { OnPublish(message); }));
+    publishers_.back()->Start(
+        SimDuration::Micros(phase_rng.NextInRange(
+            0, config_.publish_interval.micros() - 1)),
+        end_, next_message_id_);
+  }
+}
+
+void Sim::OnPublish(const Message& message) {
+  // A crashed broker cannot publish; its producer pauses and the message
+  // never enters the system (not counted as an expected pair). No-op — and
+  // byte-identical — when the crash process is off.
+  if (network_.crashes().enabled() &&
+      !network_.crashes().Up(message.publisher, network_.scheduler().now())) {
+    return;
+  }
+  if (recorder_ != nullptr) {
+    // aux16 carries the topic id so offline analysis can join a packet to
+    // its (topic, subscriber) model row.
+    recorder_->Record(TraceEventKind::kPublish, message.id.value, 0,
+                      message.publisher, NodeId(), LinkId(), 0,
+                      static_cast<std::uint16_t>(message.topic.underlying()));
+  }
+  // Published-pair bookkeeping replicates on every shard (each shard's
+  // collector knows the full expected set); only the shard owning the
+  // publisher launches copies — the rest replicate deterministic
+  // publish-time router state (route caches) via OnRemotePublish.
+  metrics_.OnPublished(message);
+  if (checker_) checker_->OnPublished(message);
+  if (network_.IsLocalNode(message.publisher)) {
+    router_->Publish(message);
+  } else {
+    router_->OnRemotePublish(message);
+  }
+}
+
+void Sim::EpochTick() {
+  if (checker_) checker_->CheckEpoch();
+  if (config_.subscription_churn > 0.0) {
+    ApplySubscriptionChurn(graph_, config_, churn_rng_, subscriptions_);
+  }
+  monitor_.MeasureAt(scheduler_.now());
+  router_->Rebuild(monitor_.view());
+}
+
+void Sim::DrainInbound() {
+  ShardExchange* exchange = network_.exchange();
+  if (exchange == nullptr) return;
+  const int me = network_.shard();
+  for (int src = 0; src < exchange->shards(); ++src) {
+    const std::size_t count = exchange->Count(src, me);
+    for (std::size_t i = 0; i < count; ++i) {
+      network_.AcceptRemote(exchange->Message(src, me, i));
+    }
+    exchange->Reset(src, me);
+  }
+}
+
+RunSummary Sim::RunSingle() {
+  try {
+    scheduler_.RunUntil(end_);
+    // Drain in-flight deliveries, timers and reroutes published before
+    // `end`.
+    scheduler_.Run();
+    if (checker_) checker_->CheckEndOfRun(*router_, scheduler_.now());
+  } catch (...) {
+    // A throwing cell is exactly when the last events matter most; dump the
+    // ring before the exception unwinds the engine state it describes.
+    if (recorder_ != nullptr) {
+      recorder_->DumpPostmortem(std::cerr, 256, "exception during run");
+    }
+    throw;
+  }
+
+  if (registry_ != nullptr) {
+    registry_->SnapshotEpoch(scheduler_.now());
+    std::ofstream metrics_file(config_.metrics_json, std::ios::trunc);
+    if (metrics_file) {
+      registry_->WriteJson(metrics_file);
+    } else {
+      DCRD_LOG(kWarn) << "cannot write metrics to " << config_.metrics_json;
+    }
+  }
+  if (recorder_ != nullptr) recorder_->Flush();
+
+  std::vector<Sim*> self{this};
+  return BuildSummary(self);
+}
+
+RunSummary Sim::BuildSummary(const std::vector<Sim*>& sims) {
+  Sim& first = *sims.front();
+  TrafficCounters data, ack, control;
+  for (Sim* sim : sims) {
+    data.Add(sim->network_.counters(TrafficClass::kData));
+    ack.Add(sim->network_.counters(TrafficClass::kAck));
+    control.Add(sim->network_.counters(TrafficClass::kControl));
+  }
+  RunSummary summary = first.metrics_.Summarize(data.attempted, ack.attempted,
+                                                control.attempted);
+  for (std::size_t s = 1; s < sims.size(); ++s) {
+    // Deliveries happen only on the subscriber's owning shard, so the
+    // delivered-side counts are disjoint sums; the published side (expected
+    // pairs, messages published) replicated and is already in `summary`.
+    const RunSummary peer = sims[s]->metrics_.Summarize(0, 0, 0);
+    summary.delivered_pairs += peer.delivered_pairs;
+    summary.qos_pairs += peer.qos_pairs;
+    summary.duplicate_deliveries += peer.duplicate_deliveries;
+    summary.delay_ms_samples.insert(summary.delay_ms_samples.end(),
+                                    peer.delay_ms_samples.begin(),
+                                    peer.delay_ms_samples.end());
+    summary.lateness_ratios.insert(summary.lateness_ratios.end(),
+                                   peer.lateness_ratios.begin(),
+                                   peer.lateness_ratios.end());
+  }
+  TransportStats transport{};
+  for (Sim* sim : sims) {
+    const TransportStats t = sim->router_->transport_stats();
+    transport.retransmissions += t.retransmissions;
+    transport.spurious_retransmissions += t.spurious_retransmissions;
+    transport.rtt_samples += t.rtt_samples;
+    transport.peer_deaths += t.peer_deaths;
+    transport.peer_probes += t.peer_probes;
+    transport.peer_revivals += t.peer_revivals;
+    transport.crash_copies_killed += t.crash_copies_killed;
+  }
+  summary.retransmissions = transport.retransmissions;
+  summary.spurious_retransmissions = transport.spurious_retransmissions;
+  summary.rtt_samples = transport.rtt_samples;
+  summary.peer_deaths = transport.peer_deaths;
+  summary.peer_probes = transport.peer_probes;
+  summary.peer_revivals = transport.peer_revivals;
+  summary.crash_copies_killed = transport.crash_copies_killed;
+  summary.dropped_crash =
+      data.dropped_crash + ack.dropped_crash + control.dropped_crash;
+  if (first.lifecycle_sampler_ != nullptr) {
+    // Crash/restart transitions replicate on every shard; shard 0 counts.
+    summary.broker_crashes = first.lifecycle_sampler_->crashes();
+    summary.broker_restarts = first.lifecycle_sampler_->restarts();
+  }
+  // Resync bookkeeping (completion timers, stats) replays identically on
+  // every shard; shard 0 speaks for all, exactly like the published side.
+  const ResyncStats resync = first.router_->resync_stats();
+  summary.resyncs_started = resync.resyncs_started;
+  summary.resyncs_completed = resync.resyncs_completed;
+  summary.total_resync_time_us =
+      static_cast<std::uint64_t>(resync.total_resync_time.micros());
+  summary.max_resync_time_us =
+      static_cast<std::uint64_t>(resync.max_resync_time.micros());
+  if (first.recorder_ != nullptr) {
+    summary.trace_records_overwritten = first.recorder_->overwritten();
+    if (first.recorder_->overwritten() > 0 && !first.config_.trace_out.empty()) {
+      // A sink-mode trace should be lossless; overwrites here mean the sink
+      // failed to open and the capture silently degraded to the ring.
+      DCRD_LOG(kWarn) << "flight recorder overwrote "
+                      << first.recorder_->overwritten()
+                      << " record(s); the captured trace is lossy";
+    }
+  }
+  if (first.checker_) {
+    summary.invariant_violation_count = first.checker_->violation_count();
+    summary.invariant_violations = first.checker_->violations();
+    summary.crash_excused_duplicates =
+        first.checker_->crash_excused_duplicates();
+  }
+  // Canonical sample order. Deliveries land per owning shard, so the
+  // concatenation order above is partition-dependent; sorting — in the
+  // single-shard path too — makes the summary bit-identical across shard
+  // counts. Every consumer is order-insensitive (percentile/CDF code sorts
+  // its own copy).
+  std::sort(summary.delay_ms_samples.begin(), summary.delay_ms_samples.end());
+  std::sort(summary.lateness_ratios.begin(), summary.lateness_ratios.end());
+  return summary;
+}
+
+// Conservative parallel window loop. Each of the N shard threads
+// alternates: (a) drain inbound exchange queues and publish its next
+// pending event time M_s, (b) barrier — the completion computes the global
+// window stop H = min_s(M_s) + lookahead, (c) run every event strictly
+// before H, (d) barrier — making this window's exchange appends visible to
+// the next drain. Any event a shard executes sits at t >= min_s(M_s), and
+// a cross-shard arrival lands at >= t + lookahead >= H, so no injection
+// can ever land inside a window the receiver already executed — the
+// classic Chandy-Misra conservative argument, with the lookahead equal to
+// the minimum worst-case-shrunk cross-shard link delay. Termination: all
+// schedulers empty at a drain barrier implies the queues are empty too
+// (appends only happen inside windows, drains precede the publish).
+RunSummary RunSharded(const ScenarioConfig& config, const Graph& graph,
+                      const ShardMap& map, std::int64_t lookahead_micros) {
+  const int shards = map.shard_count;
+  ShardExchange exchange(shards);
+  std::vector<std::unique_ptr<Sim>> sims(shards);
+  std::vector<std::exception_ptr> errors(shards);
+  std::atomic<bool> abort{false};
+  std::vector<SimTime> next(static_cast<std::size_t>(shards),
+                            SimTime::Max());
+  const SimDuration lookahead = SimDuration::Micros(lookahead_micros);
+  SimTime horizon = SimTime::Zero();
+  bool done = false;
+
+  // The completion runs on exactly one thread while the rest block in
+  // arrive_and_wait, so the plain writes to horizon/done are synchronized
+  // by the barrier itself. It also fires at the post-window barrier, where
+  // it recomputes the same values from the unchanged `next` array — a
+  // benign no-op kept for the simplicity of a single barrier object.
+  std::barrier sync(shards, [&]() noexcept {
+    if (abort.load(std::memory_order_relaxed)) {
+      done = true;
+      return;
+    }
+    SimTime min_next = SimTime::Max();
+    for (const SimTime t : next) min_next = std::min(min_next, t);
+    if (min_next == SimTime::Max()) {
+      done = true;
+      return;
+    }
+    done = false;
+    horizon = min_next + lookahead;
+  });
+
+  auto worker = [&](int shard) {
+    bool failed = false;
+    try {
+      sims[static_cast<std::size_t>(shard)] = std::make_unique<Sim>(
+          config, graph, &map, shard, &exchange);
+    } catch (...) {
+      errors[static_cast<std::size_t>(shard)] = std::current_exception();
+      abort.store(true, std::memory_order_relaxed);
+      failed = true;
+    }
+    Sim* sim = sims[static_cast<std::size_t>(shard)].get();
+    // A failed shard keeps arriving at both barriers (reporting an empty
+    // schedule) so the healthy shards never deadlock; the abort flag turns
+    // the next completion into `done`.
+    while (true) {
+      if (!failed) {
+        try {
+          sim->DrainInbound();
+          next[static_cast<std::size_t>(shard)] = sim->NextEventTime();
+        } catch (...) {
+          errors[static_cast<std::size_t>(shard)] = std::current_exception();
+          abort.store(true, std::memory_order_relaxed);
+          failed = true;
+        }
+      }
+      if (failed) next[static_cast<std::size_t>(shard)] = SimTime::Max();
+      sync.arrive_and_wait();
+      if (done) break;
+      if (!failed) {
+        try {
+          sim->RunWindow(horizon);
+        } catch (...) {
+          errors[static_cast<std::size_t>(shard)] = std::current_exception();
+          abort.store(true, std::memory_order_relaxed);
+          failed = true;
+        }
+      }
+      sync.arrive_and_wait();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) threads.emplace_back(worker, s);
+  for (std::thread& thread : threads) thread.join();
+  for (int s = 0; s < shards; ++s) {
+    if (errors[static_cast<std::size_t>(s)]) {
+      std::rethrow_exception(errors[static_cast<std::size_t>(s)]);
+    }
+  }
+
+  // Global quiescence time: RunUntil pins the 1-shard clock to the end
+  // wall, then Run() advances it to the last drained event; the max over
+  // shard clocks (the last event executes on its owner) reproduces that.
+  SimTime end_time = SimTime::Zero() + config.sim_time;
+  for (const auto& sim : sims) end_time = std::max(end_time, sim->now());
+
+  std::vector<Sim*> views;
+  views.reserve(sims.size());
+  for (const auto& sim : sims) views.push_back(sim.get());
+
+  if (views.front()->checker() != nullptr) {
+    std::uint64_t pending_copies = 0;
+    std::size_t open_episodes = 0;
+    for (Sim* sim : views) {
+      pending_copies += sim->router().transport_stats().pending_copies;
+      open_episodes += sim->router().open_episodes();
+    }
+    // Conservation (CheckEpoch) is sound per shard — run it on each peer
+    // before folding its observations into shard 0, then close out with
+    // the summed quiescence counts and the merged delivery-guarantee scan.
+    for (std::size_t s = 1; s < views.size(); ++s) {
+      views[s]->checker()->CheckEpoch();
+      views.front()->checker()->AbsorbPeer(*views[s]->checker());
+    }
+    views.front()->checker()->CheckEndOfRun(pending_copies, open_episodes,
+                                            end_time);
+  }
+  return Sim::BuildSummary(views);
+}
+
 }  // namespace
 
 RunSummary RunScenario(const ScenarioConfig& config) {
@@ -249,6 +845,7 @@ RunSummary RunScenario(const ScenarioConfig& config) {
 
   // Topology and workload draw from substreams independent of the failure
   // and loss processes, so changing Pf/Pl/router never reshapes the overlay.
+  // Built once here — the graph is immutable, so shard threads share it.
   Rng topology_rng = root.Fork("topology");
   const DelayRange delays{config.link_delay_min, config.link_delay_max};
   const Graph graph = [&] {
@@ -268,316 +865,55 @@ RunSummary RunScenario(const ScenarioConfig& config) {
                                  topology_rng, delays);
   }();
 
-  Rng workload_rng = root.Fork("workload");
-  SubscriptionTable subscriptions =
-      GenerateWorkload(graph, config, workload_rng);
-
-  Scheduler scheduler;
-  Rng link_pf_rng = root.Fork("link-pf");
-  const FailureSchedule failures(
-      root.Fork("failures")(),
-      DrawHeterogeneousFractions(graph.edge_count(),
-                                 config.failure_probability,
-                                 config.failure_heterogeneity, link_pf_rng),
-      config.failure_epoch, config.link_outage_epochs);
-  const NodeFailureSchedule node_failures(root.Fork("node-failures")(),
-                                          config.node_failure_probability,
-                                          config.failure_epoch,
-                                          config.node_outage_epochs);
-  OverlayNetworkConfig network_config;
-  network_config.loss_rate = config.loss_rate;
-  network_config.ack_delay_factor = config.ack_delay_factor;
-  network_config.serialization = config.link_serialization;
-  network_config.delay_jitter = config.delay_jitter;
-  GrayFailureConfig gray_config;
-  gray_config.probability = config.gray_probability;
-  gray_config.extra_loss = config.gray_extra_loss;
-  gray_config.delay_factor = config.gray_delay_factor;
-  gray_config.asymmetry = config.gray_asymmetry;
-  gray_config.epoch = config.failure_epoch;
-  const GrayFailureSchedule gray(root.Fork("gray")(), gray_config);
-  // Crash schedule on its own substream: enabling it never perturbs the
-  // failure/loss/gray sample paths (and vice versa).
-  const BrokerCrashSchedule crashes(root.Fork("broker-crashes")(),
-                                    config.broker_mtbf, config.broker_mttr,
-                                    config.failure_epoch);
-  OverlayNetwork network(graph, scheduler, failures, network_config,
-                         root.Fork("loss"), node_failures, gray, crashes);
-
-  // --- observability (read-only; see the ScenarioConfig block comment) ----
-  const bool tracing = config.trace || !config.trace_out.empty();
-  std::unique_ptr<FlightRecorder> recorder;
-  std::ofstream trace_file;
-  if (tracing) {
-    FlightRecorder::Config recorder_config;
-    recorder_config.ring_capacity = config.trace_ring_capacity;
-    recorder = std::make_unique<FlightRecorder>(scheduler, recorder_config);
-    recorder->set_enabled(true);
-    if (!config.trace_out.empty()) {
-      trace_file.open(config.trace_out, std::ios::trunc);
-      if (trace_file) {
-        recorder->set_sink(&trace_file);
-      } else {
-        DCRD_LOG(kWarn) << "cannot write trace to " << config.trace_out
-                        << "; tracing to the in-memory ring only";
-      }
-    }
-    network.set_flight_recorder(recorder.get());
+  int shards = std::max(config.shards, 1);
+  shards = std::min<int>(shards, static_cast<int>(graph.node_count()));
+  if (shards > 1 && config.dcrd_distributed) {
+    DCRD_LOG(kWarn) << "sharded execution does not support the distributed "
+                       "gossip computation; running on one shard";
+    shards = 1;
   }
-  std::ofstream audit_file;
-  if (!config.delay_audit_out.empty()) {
-    audit_file.open(config.delay_audit_out, std::ios::trunc);
-    if (!audit_file) {
-      DCRD_LOG(kWarn) << "cannot write delay-audit model rows to "
-                      << config.delay_audit_out;
-    }
+  if (shards > 1 &&
+      (config.trace || !config.trace_out.empty() ||
+       !config.metrics_json.empty() || !config.delay_audit_out.empty())) {
+    DCRD_LOG(kWarn) << "observability capture is single-shard; running on "
+                       "one shard";
+    shards = 1;
   }
-  std::unique_ptr<MetricsRegistry> registry;
-  LogLinearHistogram* delay_histogram = nullptr;
-  LogLinearHistogram* rtt_histogram = nullptr;
-  if (!config.metrics_json.empty()) {
-    registry = std::make_unique<MetricsRegistry>();
-    RegisterNetworkCounters(*registry, network);
-    delay_histogram = registry->AddHistogram("delivery.delay_us");
-    rtt_histogram = registry->AddHistogram("transport.rtt_us");
-  }
-
-  LinkMonitorConfig monitor_config;
-  monitor_config.interval = config.monitor_interval;
-  monitor_config.probe_count = config.monitor_probes;
-  monitor_config.ewma_weight = config.monitor_ewma_weight;
-  monitor_config.loss_rate = config.loss_rate;
-  LinkMonitor monitor(graph, failures, monitor_config, root.Fork("probes"));
-
-  MetricsCollector metrics(subscriptions);
-  std::unique_ptr<SimInvariantChecker> checker;
-  if (config.enable_invariant_checker) {
-    InvariantCheckerConfig checker_config;
-    checker_config.check_delivery_guarantee = config.check_delivery_guarantee;
-    checker_config.guarantee_window = config.guarantee_window;
-    checker = std::make_unique<SimInvariantChecker>(network, subscriptions,
-                                                    metrics, checker_config);
-    checker->set_flight_recorder(recorder.get());
-  }
-  DeliverySink& protocol_sink =
-      checker ? static_cast<DeliverySink&>(*checker) : metrics;
-  ObservedSink observed_sink(protocol_sink, recorder.get(), delay_histogram);
-  const bool observing = recorder != nullptr || registry != nullptr;
-
-  RouterContext context;
-  context.network = &network;
-  context.subscriptions = &subscriptions;
-  context.sink = observing ? static_cast<DeliverySink*>(&observed_sink)
-                           : &protocol_sink;
-  context.max_transmissions = config.max_transmissions;
-  context.ack_slack = config.ack_slack;
-  context.adaptive_rto = config.adaptive_rto;
-  context.peer_death = config.peer_death_detection;
-  context.peer_death_threshold = config.peer_death_threshold;
-  context.transport_observer = checker.get();
-  context.recorder = recorder.get();
-  context.hop_rtt_histogram = rtt_histogram;
-  const std::unique_ptr<Router> router = MakeRouter(config, context);
-  // The delay auditor needs the model's sending lists, which only the DCRD
-  // router materialises. Pure read-side: snapshots go to the audit file
-  // only, after each rebuild, so routing never observes the auditor.
-  const DcrdRouter* audit_router = nullptr;
-  if (audit_file.is_open()) {
-    audit_router = dynamic_cast<const DcrdRouter*>(router.get());
-    if (audit_router == nullptr) {
-      DCRD_LOG(kWarn) << "delay_audit_out requested but router "
-                      << router->name()
-                      << " has no Theorem-1 model; no rows written";
-    }
-  }
-
-  if (registry != nullptr) {
-    // Gauges sample live engine state; registered after the router exists.
-    registry->RegisterGauge("scheduler.pending_events", [&scheduler] {
-      return static_cast<std::uint64_t>(scheduler.pending_count());
-    });
-    registry->RegisterGauge("router.open_episodes", [r = router.get()] {
-      return static_cast<std::uint64_t>(r->open_episodes());
-    });
-    registry->RegisterGauge("transport.pending_copies", [r = router.get()] {
-      return static_cast<std::uint64_t>(r->transport_stats().pending_copies);
-    });
-  }
-
-  // Bootstrap measurement + epoch rebuilds for the whole run. Churn, when
-  // enabled, mutates the subscription table immediately before the rebuild
-  // so routers always see a consistent epoch snapshot.
-  monitor.MeasureAt(SimTime::Zero());
-  router->Rebuild(monitor.view());
-  Rng churn_rng = root.Fork("churn");
-  const auto apply_churn = [&] {
-    if (config.subscription_churn <= 0.0) return;
-    ApplySubscriptionChurn(graph, config, churn_rng, subscriptions);
-  };
-  const SimTime end = SimTime::Zero() + config.sim_time;
-  for (SimTime epoch = SimTime::Zero() + config.monitor_interval;
-       epoch <= end; epoch += config.monitor_interval) {
-    scheduler.ScheduleAt(epoch,
-                         [&monitor, &router, &scheduler, &apply_churn,
-                          &checker] {
-      if (checker) checker->CheckEpoch();
-      apply_churn();
-      monitor.MeasureAt(scheduler.now());
-      router->Rebuild(monitor.view());
-    });
-  }
-  if (observing || audit_router != nullptr) {
-    // Observability epochs ride their own events rather than widening the
-    // capture of the rebuild lambda above (which is at the scheduler's
-    // inline-capture budget). Scheduled after the rebuild loop, so at each
-    // epoch instant they run *after* the rebuild (same time, later seq) and
-    // the kRebuild record / snapshot / audit rows reflect the post-rebuild
-    // state.
-    if (recorder != nullptr) {
-      recorder->Record(TraceEventKind::kRebuild, TraceRecord::kNoPacket, 0,
-                       NodeId(), NodeId(), LinkId());
-    }
-    if (registry != nullptr) registry->SnapshotEpoch(SimTime::Zero());
-    if (audit_router != nullptr) {
-      audit_router->WriteAuditSnapshot(audit_file, SimTime::Zero());
-    }
-    FlightRecorder* rec = recorder.get();
-    MetricsRegistry* reg = registry.get();
-    std::ostream* audit_out = audit_router != nullptr ? &audit_file : nullptr;
-    for (SimTime epoch = SimTime::Zero() + config.monitor_interval;
-         epoch <= end; epoch += config.monitor_interval) {
-      scheduler.ScheduleAt(epoch,
-                           [rec, reg, &scheduler, audit_router, audit_out] {
-        if (rec != nullptr) {
-          rec->Record(TraceEventKind::kRebuild, TraceRecord::kNoPacket, 0,
-                      NodeId(), NodeId(), LinkId());
-        }
-        if (reg != nullptr) reg->SnapshotEpoch(scheduler.now());
-        if (audit_out != nullptr) {
-          audit_router->WriteAuditSnapshot(*audit_out, scheduler.now());
-        }
-      });
-    }
-  }
-  std::unique_ptr<LinkStateSampler> link_sampler;
-  if (recorder != nullptr) {
-    link_sampler = std::make_unique<LinkStateSampler>(
-        network, scheduler, *recorder, config.failure_epoch, end);
-  }
-  std::unique_ptr<BrokerLifecycleSampler> lifecycle_sampler;
-  if (network.crashes().enabled()) {
-    lifecycle_sampler = std::make_unique<BrokerLifecycleSampler>(
-        network, scheduler, *router, recorder.get(), config.failure_epoch,
-        end);
-  }
-
-  // Publishers: one per topic, phase-jittered within the first interval.
-  Rng phase_rng = root.Fork("phases");
-  std::uint64_t next_message_id = 0;
-  std::vector<std::unique_ptr<Publisher>> publishers;
-  for (std::size_t t = 0; t < subscriptions.topic_count(); ++t) {
-    const TopicId topic(static_cast<TopicId::underlying_type>(t));
-    FlightRecorder* rec = recorder.get();
-    publishers.push_back(std::make_unique<Publisher>(
-        topic, subscriptions.publisher(topic), config.publish_interval,
-        scheduler,
-        [&metrics, &router, &checker, rec, &network](const Message& message) {
-          // A crashed broker cannot publish; its producer pauses and the
-          // message never enters the system (not counted as an expected
-          // pair). No-op — and byte-identical — when the crash process is
-          // off.
-          if (network.crashes().enabled() &&
-              !network.crashes().Up(message.publisher,
-                                    network.scheduler().now())) {
-            return;
-          }
-          if (rec != nullptr) {
-            // aux16 carries the topic id so offline analysis can join a
-            // packet to its (topic, subscriber) model row.
-            rec->Record(TraceEventKind::kPublish, message.id.value, 0,
-                        message.publisher, NodeId(), LinkId(), 0,
-                        static_cast<std::uint16_t>(
-                            message.topic.underlying()));
-          }
-          metrics.OnPublished(message);
-          if (checker) checker->OnPublished(message);
-          router->Publish(message);
-        }));
-    publishers.back()->Start(
-        SimDuration::Micros(phase_rng.NextInRange(
-            0, config.publish_interval.micros() - 1)),
-        end, next_message_id);
-  }
-
-  try {
-    scheduler.RunUntil(end);
-    // Drain in-flight deliveries, timers and reroutes published before
-    // `end`.
-    scheduler.Run();
-    if (checker) checker->CheckEndOfRun(*router, scheduler.now());
-  } catch (...) {
-    // A throwing cell is exactly when the last events matter most; dump the
-    // ring before the exception unwinds the engine state it describes.
-    if (recorder != nullptr) {
-      recorder->DumpPostmortem(std::cerr, 256, "exception during run");
-    }
-    throw;
-  }
-
-  if (registry != nullptr) {
-    registry->SnapshotEpoch(scheduler.now());
-    std::ofstream metrics_file(config.metrics_json, std::ios::trunc);
-    if (metrics_file) {
-      registry->WriteJson(metrics_file);
+  if (shards > 1) {
+    ShardMap map;
+    if (config.shard_assignment.empty()) {
+      map.owner = BfsContiguousPartition(graph, shards);
     } else {
-      DCRD_LOG(kWarn) << "cannot write metrics to " << config.metrics_json;
+      DCRD_CHECK(config.shard_assignment.size() == graph.node_count())
+          << "shard_assignment covers " << config.shard_assignment.size()
+          << " nodes; topology has " << graph.node_count();
+      for (const int owner : config.shard_assignment) {
+        DCRD_CHECK(owner >= 0 && owner < shards)
+            << "shard_assignment owner " << owner << " outside [0, "
+            << shards << ")";
+      }
+      map.owner = config.shard_assignment;
+    }
+    map.shard_count = shards;
+    // Cap far below the SimTime range so `min + lookahead` cannot overflow
+    // even when no edge crosses shards (INT64_MAX sentinel).
+    const std::int64_t lookahead = std::min(
+        MinCrossShardDelayMicros(graph, map.owner, config.delay_jitter,
+                                 config.gray_delay_factor,
+                                 config.gray_probability),
+        std::int64_t{1} << 50);
+    if (lookahead < 1) {
+      DCRD_LOG(kWarn) << "cross-shard lookahead below 1us (jitter or gray "
+                         "shrink can erase a cross-shard delay); running on "
+                         "one shard";
+      shards = 1;
+    } else {
+      return RunSharded(config, graph, map, lookahead);
     }
   }
-  if (recorder != nullptr) recorder->Flush();
 
-  RunSummary summary = metrics.Summarize(
-      network.counters(TrafficClass::kData).attempted,
-      network.counters(TrafficClass::kAck).attempted,
-      network.counters(TrafficClass::kControl).attempted);
-  const TransportStats transport = router->transport_stats();
-  summary.retransmissions = transport.retransmissions;
-  summary.spurious_retransmissions = transport.spurious_retransmissions;
-  summary.rtt_samples = transport.rtt_samples;
-  summary.peer_deaths = transport.peer_deaths;
-  summary.peer_probes = transport.peer_probes;
-  summary.peer_revivals = transport.peer_revivals;
-  summary.crash_copies_killed = transport.crash_copies_killed;
-  summary.dropped_crash =
-      network.counters(TrafficClass::kData).dropped_crash +
-      network.counters(TrafficClass::kAck).dropped_crash +
-      network.counters(TrafficClass::kControl).dropped_crash;
-  if (lifecycle_sampler != nullptr) {
-    summary.broker_crashes = lifecycle_sampler->crashes();
-    summary.broker_restarts = lifecycle_sampler->restarts();
-  }
-  const ResyncStats resync = router->resync_stats();
-  summary.resyncs_started = resync.resyncs_started;
-  summary.resyncs_completed = resync.resyncs_completed;
-  summary.total_resync_time_us =
-      static_cast<std::uint64_t>(resync.total_resync_time.micros());
-  summary.max_resync_time_us =
-      static_cast<std::uint64_t>(resync.max_resync_time.micros());
-  if (recorder != nullptr) {
-    summary.trace_records_overwritten = recorder->overwritten();
-    if (recorder->overwritten() > 0 && !config.trace_out.empty()) {
-      // A sink-mode trace should be lossless; overwrites here mean the sink
-      // failed to open and the capture silently degraded to the ring.
-      DCRD_LOG(kWarn) << "flight recorder overwrote "
-                      << recorder->overwritten()
-                      << " record(s); the captured trace is lossy";
-    }
-  }
-  if (checker) {
-    summary.invariant_violation_count = checker->violation_count();
-    summary.invariant_violations = checker->violations();
-    summary.crash_excused_duplicates = checker->crash_excused_duplicates();
-  }
-  return summary;
+  Sim sim(config, graph, nullptr, 0, nullptr);
+  return sim.RunSingle();
 }
 
 }  // namespace dcrd

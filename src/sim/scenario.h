@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/sim_time.h"
 #include "dcrd/dr.h"
@@ -125,6 +126,22 @@ struct ScenarioConfig {
   // loss_rate == 0; see InvariantCheckerConfig.
   bool check_delivery_guarantee = false;
   SimDuration guarantee_window = SimDuration::Seconds(5);
+
+  // --- sharded execution --------------------------------------------------
+  // Engine shards (worker threads) the scenario runs across; 1 = the
+  // classic single-threaded engine. The shard count can never change
+  // results — keyed randomness plus conservative lookahead synchronization
+  // keep N-shard runs bit-identical to 1-shard runs (DESIGN.md §12) — so,
+  // like the observability knobs, it is deliberately excluded from
+  // Describe(). Falls back to one shard with a stderr note for
+  // dcrd_distributed runs, when any observability capture is requested, or
+  // when the partition's lookahead is below one microsecond.
+  int shards = 1;
+  // Test hook: explicit broker->shard owner map (size node_count, every
+  // value in [0, shards)). Empty = the BFS locality partitioner
+  // (graph/partition.h). Adversarial maps (round-robin) exist to prove the
+  // partition choice is result-neutral.
+  std::vector<int> shard_assignment;
 
   // --- observability ------------------------------------------------------
   // None of these fields affect simulation results: the flight recorder and

@@ -118,6 +118,31 @@ TEST(FlagsTest, QueriesConfinedToASingleWorkerThreadAreFine) {
   EXPECT_EQ(seen, 1);
 }
 
+TEST(FlagsTest, SealAfterFullReadIsQuiet) {
+  const Flags flags = ParseArgs({"--a=1"});
+  EXPECT_EQ(flags.GetInt("a", 0), 1);
+  EXPECT_FALSE(flags.sealed());
+  flags.Seal();
+  EXPECT_TRUE(flags.sealed());
+  EXPECT_TRUE(flags.UnqueriedFlags().empty());  // bookkeeping still readable
+}
+
+TEST(FlagsDeathTest, QueryAfterSealAborts) {
+  // The shard-worker contract: every flag is read before the first shard
+  // thread starts. A late read — even from the pinned thread — is a
+  // programmer error, not a data race to get lucky on.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const Flags flags = ParseArgs({"--a=1", "--shards=4"});
+  EXPECT_DEATH(
+      {
+        (void)flags.GetInt("a", 0);
+        (void)flags.GetInt("shards", 1);
+        flags.Seal();  // shard threads may start now...
+        (void)flags.GetInt("a", 0);  // ...so this must abort
+      },
+      "queried after Seal");
+}
+
 TEST(FlagsDeathTest, CrossThreadQueryAborts) {
   ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   const Flags flags = ParseArgs({"--a=1", "--b=2"});

@@ -1,0 +1,96 @@
+#include "graph/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+
+#include "common/rng.h"
+#include "graph/topology.h"
+
+namespace dcrd {
+namespace {
+
+Graph Random(std::size_t nodes, std::size_t degree, std::uint64_t seed) {
+  Rng rng(seed);
+  return RandomConnected(nodes, degree, rng,
+                         {SimDuration::Millis(10), SimDuration::Millis(50)});
+}
+
+TEST(PartitionTest, BfsCoversEveryNodeAndBalancesWithinOne) {
+  const Graph graph = Random(23, 4, 7);
+  for (const int shards : {1, 2, 3, 8}) {
+    const std::vector<int> owner = BfsContiguousPartition(graph, shards);
+    ASSERT_EQ(owner.size(), graph.node_count());
+    std::vector<int> counts(shards, 0);
+    for (const int s : owner) {
+      ASSERT_GE(s, 0);
+      ASSERT_LT(s, shards);
+      ++counts[s];
+    }
+    const auto [min_it, max_it] =
+        std::minmax_element(counts.begin(), counts.end());
+    EXPECT_LE(*max_it - *min_it, 1) << shards << " shards";
+  }
+}
+
+TEST(PartitionTest, BfsIsDeterministic) {
+  const Graph graph = Random(30, 4, 11);
+  EXPECT_EQ(BfsContiguousPartition(graph, 4),
+            BfsContiguousPartition(graph, 4));
+}
+
+TEST(PartitionTest, BfsCutsFewerEdgesThanRoundRobin) {
+  // The whole point of the BFS layout: neighbourhoods stay together. On a
+  // sparse random overlay it must beat the adversarial striping.
+  const Graph graph = Random(40, 4, 13);
+  const auto cut_edges = [&](const std::vector<int>& owner) {
+    std::size_t cut = 0;
+    for (std::size_t i = 0; i < graph.edge_count(); ++i) {
+      const EdgeSpec& edge =
+          graph.edge(LinkId(static_cast<LinkId::underlying_type>(i)));
+      if (owner[edge.a.underlying()] != owner[edge.b.underlying()]) ++cut;
+    }
+    return cut;
+  };
+  EXPECT_LT(cut_edges(BfsContiguousPartition(graph, 4)),
+            cut_edges(RoundRobinPartition(graph.node_count(), 4)));
+}
+
+TEST(PartitionTest, RoundRobinStripes) {
+  const std::vector<int> owner = RoundRobinPartition(7, 3);
+  EXPECT_EQ(owner, (std::vector<int>{0, 1, 2, 0, 1, 2, 0}));
+}
+
+TEST(PartitionTest, ShardCountClampedToNodeCount) {
+  const Graph graph = Random(5, 2, 17);
+  const std::vector<int> owner = BfsContiguousPartition(graph, 16);
+  std::set<int> used(owner.begin(), owner.end());
+  EXPECT_EQ(used.size(), 5U);  // five shards, one node each
+}
+
+TEST(PartitionTest, MinCrossShardDelayScalesForWorstCaseShrink) {
+  // Two nodes, one 10ms edge, always cut by a 2-shard partition.
+  Graph graph(2);
+  graph.AddEdge(NodeId(0), NodeId(1), SimDuration::Millis(10));
+  const std::vector<int> owner{0, 1};
+  EXPECT_EQ(MinCrossShardDelayMicros(graph, owner, 0.0, 3.0, 0.0), 10'000);
+  // 20% jitter: low side is 0.8x.
+  EXPECT_EQ(MinCrossShardDelayMicros(graph, owner, 0.2, 3.0, 0.0), 8'000);
+  // Gray shrink below 1 only counts when the gray process is on.
+  EXPECT_EQ(MinCrossShardDelayMicros(graph, owner, 0.0, 0.5, 0.0), 10'000);
+  EXPECT_EQ(MinCrossShardDelayMicros(graph, owner, 0.0, 0.5, 0.1), 5'000);
+  // Jitter of 1.0 erases the lookahead entirely.
+  EXPECT_EQ(MinCrossShardDelayMicros(graph, owner, 1.0, 3.0, 0.0), 0);
+}
+
+TEST(PartitionTest, MinCrossShardDelaySentinelWhenNothingCrosses) {
+  const Graph graph = Random(10, 3, 19);
+  const std::vector<int> owner(graph.node_count(), 0);  // all on shard 0
+  EXPECT_EQ(MinCrossShardDelayMicros(graph, owner, 0.0, 3.0, 0.0),
+            INT64_MAX);
+}
+
+}  // namespace
+}  // namespace dcrd

@@ -149,13 +149,20 @@ TEST(HopTransportTest, DuplicateDataSuppressedButReAcked) {
   Fixture f;
   Graph graph = Line(2, SimDuration::Millis(10));
   Scheduler& scheduler = f.scheduler;
-  // Loss rng: we need data-pass, ack-drop, data-pass, ack-pass. Search a
-  // seed whose first four Bernoulli(0.5) draws are pass,drop,pass,pass.
+  // Loss draws are keyed (pure hashes of draw address, not a sequential
+  // stream): search a seed where data tx#0 passes, its ACK drops, data tx#1
+  // passes and its ACK passes. The addresses below mirror OverlayNetwork:
+  // data from node 0 travels direction 0 of link 0 (draw_a = (0<<2)|kData),
+  // the ACK comes back on direction 1 ((1<<2)|kAck) keyed by
+  // (copy_id<<4)|tx_index, with copy_id = ((sender+1)<<40)|0.
+  const std::uint64_t copy = std::uint64_t{1} << 40;
   std::uint64_t seed = 0;
   for (; seed < 100'000; ++seed) {
-    Rng probe(seed);
-    if (!probe.NextBernoulli(0.5) && probe.NextBernoulli(0.5) &&
-        !probe.NextBernoulli(0.5) && !probe.NextBernoulli(0.5)) {
+    const std::uint64_t keyed = Rng(seed).Fork("keyed")();
+    if (!KeyedBernoulli(0.5, keyed, 0, 0, 0) &&
+        KeyedBernoulli(0.5, keyed, 5, (copy << 4) | 0, 0) &&
+        !KeyedBernoulli(0.5, keyed, 0, 1, 0) &&
+        !KeyedBernoulli(0.5, keyed, 5, (copy << 4) | 1, 0)) {
       break;
     }
   }
@@ -208,11 +215,16 @@ TEST(HopTransportTest, AckLostOnLastTransmissionDeliversButReportsFailure) {
   // treating done(false) as "not delivered" would re-inject a duplicate;
   // the header documents this exact hazard.
   Fixture f;
-  // First Bernoulli(0.5) draw: data passes; second: ACK dropped.
+  // Keyed loss draws: data tx#0 passes, its ACK drops (addresses as in
+  // DuplicateDataSuppressedButReAcked above).
+  const std::uint64_t copy = std::uint64_t{1} << 40;
   std::uint64_t seed = 0;
   for (; seed < 100'000; ++seed) {
-    Rng probe(seed);
-    if (!probe.NextBernoulli(0.5) && probe.NextBernoulli(0.5)) break;
+    const std::uint64_t keyed = Rng(seed).Fork("keyed")();
+    if (!KeyedBernoulli(0.5, keyed, 0, 0, 0) &&
+        KeyedBernoulli(0.5, keyed, 5, (copy << 4) | 0, 0)) {
+      break;
+    }
   }
   ASSERT_LT(seed, 100'000U);
   OverlayNetwork network(f.graph, f.scheduler, FailureSchedule(1, 0.0), 0.5,

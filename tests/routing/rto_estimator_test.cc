@@ -5,7 +5,8 @@
 namespace dcrd {
 namespace {
 
-constexpr LinkId kLink(3);
+// Estimator state is keyed per directed link index (2*link + direction).
+constexpr std::size_t kLink = 7;
 const SimDuration kSeed = SimDuration::Millis(40);
 
 TEST(RtoEstimatorTest, SeedUsedBeforeFirstSample) {
@@ -51,11 +52,13 @@ TEST(RtoEstimatorTest, InflatedRttRaisesRto) {
   EXPECT_GE(after, SimDuration::Millis(60));
 }
 
-TEST(RtoEstimatorTest, PerLinkStateIsIndependent) {
+TEST(RtoEstimatorTest, PerDirectionStateIsIndependent) {
   RtoEstimator estimator;
-  estimator.OnSample(LinkId(1), SimDuration::Millis(10));
-  EXPECT_FALSE(estimator.HasSample(LinkId(2)));
-  EXPECT_EQ(estimator.Rto(LinkId(2), kSeed), kSeed);
+  // Indices 2 and 3 are the two directions of one physical link: a sample
+  // on one direction must not leak into the other's estimate.
+  estimator.OnSample(2, SimDuration::Millis(10));
+  EXPECT_FALSE(estimator.HasSample(3));
+  EXPECT_EQ(estimator.Rto(3, kSeed), kSeed);
 }
 
 TEST(RtoEstimatorTest, ClampToMinAndMax) {

@@ -1,0 +1,236 @@
+// Sharded-engine equivalence: `shards = N` must be *bit-identical* to the
+// classic single-threaded engine on every figure-style scenario — same
+// delivered pairs, same transmission counts, same delay samples — because
+// the shard count is an execution detail, never a model parameter
+// (DESIGN.md §12). Each test runs the same config at 1, 2 and 8 shards and
+// compares every RunSummary field, including the full sample vectors.
+//
+// The adversarial-partition tests re-run with a round-robin owner map that
+// puts essentially every edge across a shard boundary, proving the
+// *partition choice* is result-neutral too (it only changes wall clock).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/partition.h"
+#include "sim/engine.h"
+
+namespace dcrd {
+namespace {
+
+// Field-by-field equality; every divergence names the field.
+void ExpectIdentical(const RunSummary& base, const RunSummary& other,
+                     const std::string& label) {
+  EXPECT_EQ(base.expected_pairs, other.expected_pairs) << label;
+  EXPECT_EQ(base.delivered_pairs, other.delivered_pairs) << label;
+  EXPECT_EQ(base.qos_pairs, other.qos_pairs) << label;
+  EXPECT_EQ(base.duplicate_deliveries, other.duplicate_deliveries) << label;
+  EXPECT_EQ(base.data_transmissions, other.data_transmissions) << label;
+  EXPECT_EQ(base.ack_transmissions, other.ack_transmissions) << label;
+  EXPECT_EQ(base.control_transmissions, other.control_transmissions) << label;
+  EXPECT_EQ(base.messages_published, other.messages_published) << label;
+  EXPECT_EQ(base.retransmissions, other.retransmissions) << label;
+  EXPECT_EQ(base.spurious_retransmissions, other.spurious_retransmissions)
+      << label;
+  EXPECT_EQ(base.rtt_samples, other.rtt_samples) << label;
+  EXPECT_EQ(base.broker_crashes, other.broker_crashes) << label;
+  EXPECT_EQ(base.broker_restarts, other.broker_restarts) << label;
+  EXPECT_EQ(base.dropped_crash, other.dropped_crash) << label;
+  EXPECT_EQ(base.crash_copies_killed, other.crash_copies_killed) << label;
+  EXPECT_EQ(base.peer_deaths, other.peer_deaths) << label;
+  EXPECT_EQ(base.peer_probes, other.peer_probes) << label;
+  EXPECT_EQ(base.peer_revivals, other.peer_revivals) << label;
+  EXPECT_EQ(base.resyncs_started, other.resyncs_started) << label;
+  EXPECT_EQ(base.resyncs_completed, other.resyncs_completed) << label;
+  EXPECT_EQ(base.total_resync_time_us, other.total_resync_time_us) << label;
+  EXPECT_EQ(base.max_resync_time_us, other.max_resync_time_us) << label;
+  EXPECT_EQ(base.crash_excused_duplicates, other.crash_excused_duplicates)
+      << label;
+  EXPECT_EQ(base.invariant_violation_count, other.invariant_violation_count)
+      << label;
+  EXPECT_EQ(base.invariant_violations, other.invariant_violations) << label;
+  EXPECT_EQ(base.lateness_ratios, other.lateness_ratios) << label;
+  EXPECT_EQ(base.delay_ms_samples, other.delay_ms_samples) << label;
+}
+
+void ExpectShardInvariant(ScenarioConfig config, const std::string& label) {
+  config.shards = 1;
+  const RunSummary base = RunScenario(config);
+  for (const int shards : {2, 8}) {
+    ScenarioConfig sharded = config;
+    sharded.shards = shards;
+    const RunSummary other = RunScenario(sharded);
+    ExpectIdentical(base, other,
+                    label + " @" + std::to_string(shards) + " shards");
+  }
+}
+
+// Fig. 2 regime: full mesh, binary outages, single transmission.
+ScenarioConfig Fig2Style(RouterKind router) {
+  ScenarioConfig config;
+  config.router = router;
+  config.node_count = 12;
+  config.topology = TopologyKind::kFullMesh;
+  config.topic_count = 4;
+  config.failure_probability = 0.08;
+  config.loss_rate = 1e-3;
+  config.max_transmissions = 1;
+  config.monitor_interval = SimDuration::Seconds(5);
+  config.sim_time = SimDuration::Seconds(30);
+  config.seed = 11;
+  return config;
+}
+
+// Fig. 5 regime: sparse random overlay, retries enabled — cross-shard
+// retransmissions, ACK losses and reroutes all happen here.
+ScenarioConfig Fig5Style(RouterKind router) {
+  ScenarioConfig config;
+  config.router = router;
+  config.node_count = 16;
+  config.topology = TopologyKind::kRandomDegree;
+  config.degree = 4;
+  config.topic_count = 5;
+  config.failure_probability = 0.10;
+  config.loss_rate = 0.01;
+  config.max_transmissions = 3;
+  config.monitor_interval = SimDuration::Seconds(5);
+  config.publish_interval = SimDuration::Millis(500);
+  config.sim_time = SimDuration::Seconds(30);
+  config.seed = 23;
+  return config;
+}
+
+// Ext. 7 regime: gray failures (extra loss + delay inflation + asymmetry)
+// on top of outages; inflated-delay draws must resolve identically when
+// the copy crosses a shard boundary.
+ScenarioConfig Ext7Style(RouterKind router) {
+  ScenarioConfig config = Fig5Style(router);
+  config.gray_probability = 0.15;
+  config.gray_extra_loss = 0.3;
+  config.gray_delay_factor = 3.0;
+  config.gray_asymmetry = 0.5;
+  config.seed = 31;
+  return config;
+}
+
+// Ext. 8 regime: fail-stop broker crashes with resync. Lifecycle
+// transitions replicate on every shard; state kills and resync pings run
+// on owners only.
+ScenarioConfig CrashStyle(RouterKind router) {
+  ScenarioConfig config = Fig5Style(router);
+  config.broker_mtbf = SimDuration::Seconds(20);
+  config.broker_mttr = SimDuration::Seconds(4);
+  config.seed = 41;
+  return config;
+}
+
+TEST(ShardedEngineTest, Fig2BitIdenticalAcrossShardCounts) {
+  for (const RouterKind router :
+       {RouterKind::kDcrd, RouterKind::kRTree, RouterKind::kOracle}) {
+    ExpectShardInvariant(Fig2Style(router),
+                         std::string("fig2 ") + RouterName(router));
+  }
+}
+
+TEST(ShardedEngineTest, Fig5BitIdenticalAcrossShardCounts) {
+  for (const RouterKind router :
+       {RouterKind::kDcrd, RouterKind::kDTree, RouterKind::kMultipath}) {
+    ExpectShardInvariant(Fig5Style(router),
+                         std::string("fig5 ") + RouterName(router));
+  }
+}
+
+TEST(ShardedEngineTest, GrayFailuresBitIdenticalAcrossShardCounts) {
+  ExpectShardInvariant(Ext7Style(RouterKind::kDcrd), "ext7 DCRD");
+}
+
+TEST(ShardedEngineTest, BrokerCrashesBitIdenticalAcrossShardCounts) {
+  ExpectShardInvariant(CrashStyle(RouterKind::kDcrd), "crash DCRD");
+}
+
+TEST(ShardedEngineTest, DelayJitterBitIdenticalAcrossShardCounts) {
+  ScenarioConfig config = Fig5Style(RouterKind::kDcrd);
+  config.delay_jitter = 0.3;  // shrinks the lookahead but never to zero
+  config.adaptive_rto = true;
+  config.seed = 47;
+  ExpectShardInvariant(config, "jitter DCRD");
+}
+
+TEST(ShardedEngineTest, AdversarialRoundRobinPartitionIsResultNeutral) {
+  // Round-robin ownership puts essentially every edge across a shard
+  // boundary — worst case for the lookahead window, irrelevant for
+  // results.
+  ScenarioConfig config = Fig5Style(RouterKind::kDcrd);
+  const RunSummary base = RunScenario(config);
+  for (const int shards : {2, 5}) {
+    ScenarioConfig adversarial = config;
+    adversarial.shards = shards;
+    adversarial.shard_assignment =
+        RoundRobinPartition(config.node_count, shards);
+    const RunSummary other = RunScenario(adversarial);
+    ExpectIdentical(base, other,
+                    "round-robin @" + std::to_string(shards) + " shards");
+  }
+}
+
+TEST(ShardedEngineTest, ShardCountClampedToNodeCount) {
+  ScenarioConfig config = Fig2Style(RouterKind::kRTree);
+  config.shards = 64;  // > node_count: clamps to 12, still identical
+  const RunSummary other = RunScenario(config);
+  config.shards = 1;
+  ExpectIdentical(RunScenario(config), other, "clamped shards");
+}
+
+TEST(ShardedEngineTest, DistributedGossipFallsBackToOneShard) {
+  // dcrd_distributed is single-shard only: the sharded run must fall back
+  // (with a stderr note) and produce the unsharded result.
+  ScenarioConfig config = Fig5Style(RouterKind::kDcrd);
+  config.dcrd_distributed = true;
+  const RunSummary base = RunScenario(config);
+  config.shards = 4;
+  ExpectIdentical(base, RunScenario(config), "distributed fallback");
+}
+
+TEST(ShardedEngineTest, ChaosSoakAcrossShardsStaysClean) {
+  // 20 seeds of the gray + crash cocktail with the invariant checker armed
+  // on every shard: loop-freedom, exactly-once hand-up, per-shard counter
+  // conservation and cross-shard quiescence all checked, and the merged
+  // summary must match the single-shard run bit for bit.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    ScenarioConfig config;
+    config.router = seed % 2 == 0 ? RouterKind::kDcrd : RouterKind::kRTree;
+    config.node_count = 12;
+    config.topology = TopologyKind::kRandomDegree;
+    config.degree = 3;
+    config.topic_count = 4;
+    config.sim_time = SimDuration::Seconds(20);
+    config.monitor_interval = SimDuration::Seconds(5);
+    config.publish_interval = SimDuration::Millis(500);
+    config.max_transmissions = 2;
+    config.seed = seed;
+    config.enable_invariant_checker = true;
+    config.failure_probability = 0.08;
+    config.loss_rate = 1e-3;
+    config.gray_probability = 0.15;
+    config.gray_extra_loss = 0.3;
+    config.gray_delay_factor = 3.0;
+    config.gray_asymmetry = 0.5;
+    config.broker_mtbf = SimDuration::Seconds(15);
+    config.broker_mttr = SimDuration::Seconds(3);
+    config.adaptive_rto = seed % 3 == 0;
+
+    const RunSummary base = RunScenario(config);
+    ScenarioConfig sharded = config;
+    sharded.shards = 4;
+    const RunSummary other = RunScenario(sharded);
+    ASSERT_EQ(other.invariant_violation_count, 0U)
+        << "seed " << seed << ": "
+        << (other.invariant_violations.empty()
+                ? std::string("(none recorded)")
+                : other.invariant_violations.front());
+    ExpectIdentical(base, other, "chaos seed " + std::to_string(seed));
+  }
+}
+
+}  // namespace
+}  // namespace dcrd
