@@ -1,0 +1,108 @@
+// Microbenchmark: shard-execution profiler cost (obs/shard_profiler.h).
+//
+// The profiler's contract mirrors the flight recorder's: an unprofiled
+// window loop pays one untaken null-check branch per drained message and a
+// handful per round — never per event — and the enabled path is a couple of
+// steady_clock reads per round plus plain counter arithmetic per message.
+// These benches pin the three costs that matter: the per-message inbound
+// tally (with its wire-byte model), the per-round sample append, and the
+// end-of-run merge + JSON write for a profile of realistic size, so
+// BENCH_trace_overhead.json tracks them over time alongside the recorder's.
+#include <benchmark/benchmark.h>
+
+#include <ostream>
+#include <sstream>
+#include <streambuf>
+#include <vector>
+
+#include "net/shard_exchange.h"
+#include "obs/shard_profiler.h"
+#include "pubsub/packet.h"
+
+namespace {
+
+using dcrd::Message;
+using dcrd::NodeId;
+using dcrd::Packet;
+using dcrd::ShardProfile;
+using dcrd::ShardProfiler;
+using dcrd::XMsg;
+using dcrd::XMsgKind;
+
+class NullStreambuf final : public std::streambuf {
+ protected:
+  int overflow(int ch) override { return ch; }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    return n;
+  }
+};
+
+XMsg MakeDataMsg() {
+  XMsg msg;
+  msg.kind = XMsgKind::kData;
+  msg.at = 1000;
+  msg.to = NodeId(3);
+  msg.from = NodeId(1);
+  msg.copy_id = 7;
+  msg.packet = Packet(Message{}, {NodeId(3), NodeId(5), NodeId(9)});
+  return msg;
+}
+
+// Per-message cost of the receiver-side matrix tally, byte model included —
+// the only profiler work on the drain path.
+void BM_ProfilerCountInbound(benchmark::State& state) {
+  ShardProfiler profiler(0, 8);
+  const XMsg msg = MakeDataMsg();
+  int src = 0;
+  for (auto _ : state) {
+    profiler.CountInbound(src, msg);
+    src = (src + 1) & 7;
+    benchmark::DoNotOptimize(profiler.in_msgs_by_src().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerCountInbound);
+
+// Per-round cost of closing a sample (vector push + counter reset). Rounds
+// happen at horizon cadence — thousands per run, not millions.
+void BM_ProfilerAddRound(benchmark::State& state) {
+  ShardProfiler profiler(0, 8);
+  std::int64_t horizon = 0;
+  for (auto _ : state) {
+    profiler.AddRound(horizon += 10'000, 120'000, 30'000, 500);
+    benchmark::DoNotOptimize(profiler.rounds().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerAddRound);
+
+// End-of-run cost: merge 8 shards x 4096 rounds into the bucketed profile
+// and serialise it. One-shot per run in production; measured so a
+// regression in the fold (the only O(shards x rounds) pass) is visible.
+void BM_ProfileMergeAndWrite(benchmark::State& state) {
+  std::vector<std::unique_ptr<ShardProfiler>> profilers;
+  for (int s = 0; s < 8; ++s) {
+    profilers.push_back(std::make_unique<ShardProfiler>(s, 8));
+    const XMsg msg = MakeDataMsg();
+    std::int64_t horizon = 0;
+    for (int r = 0; r < 4096; ++r) {
+      profilers.back()->CountInbound((s + 1) & 7, msg);
+      profilers.back()->AddRound(horizon += 10'000,
+                                 100'000 + 1000 * static_cast<unsigned>(s),
+                                 20'000, 300);
+    }
+  }
+  std::vector<const ShardProfiler*> views;
+  for (const auto& p : profilers) views.push_back(p.get());
+  NullStreambuf devnull;
+  std::ostream sink(&devnull);
+  for (auto _ : state) {
+    const ShardProfile profile = dcrd::MergeShardProfiles(views, 10'000);
+    dcrd::WriteShardProfileJson(sink, profile);
+    benchmark::DoNotOptimize(profile.imbalance);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileMergeAndWrite);
+
+}  // namespace

@@ -31,6 +31,11 @@
 //                    only — other routers have no <d,r> model and note that
 //                    on stderr). Decompose/audit offline with
 //                    tools/dcrd_trace --decompose --audit
+//   --shard_profile P  write each cell's shard-execution profile (per-shard
+//                    busy/stall wall time, events, cross-shard traffic
+//                    matrix — DESIGN.md §13) to P.<stem>.<cell>.json;
+//                    render with tools/dcrd_trace --shards. Works at any
+//                    --shards count.
 //
 // Observability never touches stdout or any RNG stream, so the figure
 // tables stay byte-identical with or without it (determinism_check.sh
@@ -75,6 +80,7 @@ struct FigureScale {
   std::string trace_out;    // --trace_out: JSONL trace file prefix
   std::string metrics_json;  // --metrics_json: metrics file prefix
   std::string delay_audit;   // --delay_audit: trace+model file prefix
+  std::string shard_profile;  // --shard_profile: exec-profile file prefix
 };
 
 inline std::vector<RouterKind> ParseRouters(const std::string& csv) {
@@ -128,13 +134,15 @@ inline FigureScale ParseScale(const Flags& flags) {
   scale.trace_out = flags.GetString("trace_out", "");
   scale.metrics_json = flags.GetString("metrics_json", "");
   scale.delay_audit = flags.GetString("delay_audit", "");
+  scale.shard_profile = flags.GetString("shard_profile", "");
   return scale;
 }
 
 // True when any observability output was requested on the command line.
 inline bool ObservabilityRequested(const FigureScale& scale) {
   return scale.trace || !scale.trace_out.empty() ||
-         !scale.metrics_json.empty() || !scale.delay_audit.empty();
+         !scale.metrics_json.empty() || !scale.delay_audit.empty() ||
+         !scale.shard_profile.empty();
 }
 
 // Applies the scale's observability options to one cell's config. `cell`
@@ -161,6 +169,10 @@ inline void ApplyObservability(const FigureScale& scale,
         scale.delay_audit + ".trace." + stem + "." + cell + ".jsonl";
     config.delay_audit_out =
         scale.delay_audit + ".model." + stem + "." + cell + ".jsonl";
+  }
+  if (!scale.shard_profile.empty()) {
+    config.shard_profile_out =
+        scale.shard_profile + "." + stem + "." + cell + ".json";
   }
 }
 

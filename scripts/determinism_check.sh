@@ -167,6 +167,49 @@ else
   echo "determinism_check: $binary not found; skipping trace phase" >&2
 fi
 
+# Shard-execution observability must be result-neutral as well: the
+# profiler reads wall clocks and drained exchange messages only, and the
+# per-shard trace recorders stamp but never steer, so --shard_profile plus
+# --trace_out must leave stdout and every CSV byte-identical to the
+# unprofiled captures above — at --shards 1 and --shards N alike
+# (DESIGN.md §13). The profile JSON and the .shardK.jsonl files are the
+# only new artifacts.
+prof_binary="fig5_network_size"
+binary="$build_dir/bench/$prof_binary"
+if [[ " $binaries " == *" $prof_binary "* ]]; then
+  echo "=== determinism check: $prof_binary unprofiled vs --shard_profile ==="
+  for pair in "s1 1 $workdir/$prof_binary.serial" \
+              "sN $shards $workdir/$prof_binary.sharded"; do
+    read -r tag run_shards baseline <<< "$pair"
+    profiled="$workdir/$prof_binary.profiled.$tag"
+    "$binary" --reps "$reps" --seconds "$sim_seconds" --jobs 1 \
+      --shards "$run_shards" --csv "$profiled" \
+      --shard_profile "$workdir/prof.$tag" \
+      --trace_out "$workdir/ptrace.$tag" > "$profiled.out" 2> /dev/null
+    if ! diff -u "$baseline.out" "$profiled.out"; then
+      echo "determinism_check: $prof_binary stdout differs with --shard_profile ($tag)" >&2
+      fail=1
+    fi
+    while IFS= read -r csv; do
+      if ! cmp -s "$baseline/$csv" "$profiled/$csv"; then
+        echo "determinism_check: $prof_binary CSV $csv differs with --shard_profile ($tag)" >&2
+        diff -u "$baseline/$csv" "$profiled/$csv" || true
+        fail=1
+      fi
+    done < "$workdir/$prof_binary.serial.files"
+  done
+  if ! ls "$workdir"/prof.sN.*.json > /dev/null 2>&1; then
+    echo "determinism_check: profiled run produced no shard-profile JSON" >&2
+    fail=1
+  fi
+  if ! ls "$workdir"/ptrace.sN.*.shard*.jsonl > /dev/null 2>&1; then
+    echo "determinism_check: sharded traced run produced no per-shard trace files" >&2
+    fail=1
+  fi
+else
+  echo "determinism_check: $prof_binary not in binary set; skipping shard-profile phase" >&2
+fi
+
 # Same bar for the delay-provenance capture: --delay_audit redirects the
 # trace and adds the Theorem-1 model rows, so stdout and CSVs must stay
 # byte-identical to the unaudited runs above — serial and parallel alike.

@@ -523,7 +523,9 @@ void DcrdRouter::OnBrokerRestart(NodeId node) {
     }
   }
 
-  if (context_.recorder != nullptr) {
+  // Resync bookkeeping replays on every shard; only the broker's owner
+  // records, so the multi-shard trace carries each resync exactly once.
+  if (context_.recorder != nullptr && context_.network->IsLocalNode(node)) {
     context_.recorder->Record(
         TraceEventKind::kResyncStart, 0, 0, node, NodeId(), LinkId(), 0,
         static_cast<std::uint16_t>(
@@ -540,7 +542,8 @@ void DcrdRouter::OnBrokerRestart(NodeId node) {
         resync_stats_.total_resync_time += took;
         resync_stats_.max_resync_time =
             std::max(resync_stats_.max_resync_time, took);
-        if (context_.recorder != nullptr) {
+        if (context_.recorder != nullptr &&
+            context_.network->IsLocalNode(node)) {
           // The copy field carries the resync duration in microseconds.
           context_.recorder->Record(
               TraceEventKind::kResyncDone, 0,

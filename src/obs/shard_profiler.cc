@@ -1,0 +1,599 @@
+#include "obs/shard_profiler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <istream>
+#include <iterator>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "common/logging.h"
+
+namespace dcrd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON reader, just enough for the profile
+// schema (objects, arrays, numbers, strings, true/false/null). Offline
+// tooling path only — never near the simulation hot loop.
+
+struct JsonCursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+  void Fail(const std::string& what) {
+    if (error.empty()) {
+      error = what + " at byte " + std::to_string(pos);
+    }
+  }
+  void SkipWs() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+  [[nodiscard]] bool Peek(char c) {
+    SkipWs();
+    return pos < text.size() && text[pos] == c;
+  }
+  bool Expect(char c) {
+    SkipWs();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    Fail(std::string("expected '") + c + "'");
+    return false;
+  }
+  bool ReadString(std::string* out) {
+    if (!Expect('"')) return false;
+    out->clear();
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\' && pos < text.size()) {
+        const char esc = text[pos++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          default: c = esc; break;
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos >= text.size()) {
+      Fail("unterminated string");
+      return false;
+    }
+    ++pos;  // closing quote
+    return true;
+  }
+  bool ReadDouble(double* out) {
+    SkipWs();
+    const char* begin = text.data() + pos;
+    const char* end = text.data() + text.size();
+    const auto result = std::from_chars(begin, end, *out);
+    if (result.ec != std::errc{}) {
+      Fail("expected number");
+      return false;
+    }
+    pos = static_cast<std::size_t>(result.ptr - text.data());
+    return true;
+  }
+  bool ReadU64(std::uint64_t* out) {
+    double value = 0;
+    if (!ReadDouble(&value)) return false;
+    *out = value < 0 ? 0 : static_cast<std::uint64_t>(value);
+    return true;
+  }
+  bool ReadI64(std::int64_t* out) {
+    double value = 0;
+    if (!ReadDouble(&value)) return false;
+    *out = static_cast<std::int64_t>(value);
+    return true;
+  }
+  // Skips any well-formed value — the forward-compatibility escape hatch
+  // for keys a newer writer added.
+  bool SkipValue() {
+    SkipWs();
+    if (pos >= text.size()) {
+      Fail("unexpected end of input");
+      return false;
+    }
+    const char c = text[pos];
+    if (c == '"') {
+      std::string ignored;
+      return ReadString(&ignored);
+    }
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      ++pos;
+      SkipWs();
+      if (Peek(close)) {
+        ++pos;
+        return true;
+      }
+      while (ok()) {
+        if (c == '{') {
+          std::string key;
+          if (!ReadString(&key) || !Expect(':')) return false;
+        }
+        if (!SkipValue()) return false;
+        SkipWs();
+        if (Peek(',')) {
+          ++pos;
+          continue;
+        }
+        return Expect(close);
+      }
+      return false;
+    }
+    if (c == 't') {
+      pos += 4;
+      return true;
+    }
+    if (c == 'f') {
+      pos += 5;
+      return true;
+    }
+    if (c == 'n') {
+      pos += 4;
+      return true;
+    }
+    double ignored = 0;
+    return ReadDouble(&ignored);
+  }
+  // Iterates an object's members: calls fn(key) positioned at the value;
+  // fn must consume exactly the value.
+  template <typename Fn>
+  bool ReadObject(Fn&& fn) {
+    if (!Expect('{')) return false;
+    if (Peek('}')) {
+      ++pos;
+      return true;
+    }
+    while (ok()) {
+      std::string key;
+      if (!ReadString(&key) || !Expect(':')) return false;
+      if (!fn(key)) return false;
+      SkipWs();
+      if (Peek(',')) {
+        ++pos;
+        continue;
+      }
+      return Expect('}');
+    }
+    return false;
+  }
+  // Iterates an array: calls fn() positioned at each element.
+  template <typename Fn>
+  bool ReadArray(Fn&& fn) {
+    if (!Expect('[')) return false;
+    if (Peek(']')) {
+      ++pos;
+      return true;
+    }
+    while (ok()) {
+      if (!fn()) return false;
+      SkipWs();
+      if (Peek(',')) {
+        ++pos;
+        continue;
+      }
+      return Expect(']');
+    }
+    return false;
+  }
+  bool ReadU64Array(std::vector<std::uint64_t>* out) {
+    out->clear();
+    return ReadArray([&] {
+      std::uint64_t value = 0;
+      if (!ReadU64(&value)) return false;
+      out->push_back(value);
+      return true;
+    });
+  }
+};
+
+void WriteU64Array(std::ostream& os, const std::vector<std::uint64_t>& values) {
+  os << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) os << ',';
+    os << values[i];
+  }
+  os << ']';
+}
+
+// Scales a byte count to a short human unit for the heat table.
+std::string HumanBytes(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 10ull * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 "M",
+                  static_cast<std::uint64_t>(bytes / (1024 * 1024)));
+  } else if (bytes >= 10ull * 1024) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 "K",
+                  static_cast<std::uint64_t>(bytes / 1024));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, bytes);
+  }
+  return buf;
+}
+
+// Heat glyph for a cell relative to the hottest cell, darkest last.
+char HeatGlyph(std::uint64_t value, std::uint64_t max) {
+  static constexpr std::string_view kScale = " .:-=+*#%@";
+  if (max == 0 || value == 0) return kScale.front();
+  const std::size_t idx =
+      1 + static_cast<std::size_t>((value - 1) * (kScale.size() - 2) / max);
+  return kScale[std::min(idx, kScale.size() - 1)];
+}
+
+}  // namespace
+
+std::uint64_t XMsgWireBytes(const XMsg& msg) {
+  // Fixed envelope: kind + arrival tick + 128-bit canonical key + both
+  // endpoints + link + copy/tx bookkeeping ≈ 48 bytes on a real wire.
+  std::uint64_t bytes = 48;
+  if (msg.kind == XMsgKind::kData) {
+    // Payload the data copy would occupy: message header plus 4 bytes per
+    // named subscriber and per recorded routing hop.
+    bytes += 32 + 4 * static_cast<std::uint64_t>(
+                          msg.packet.destinations().size()) +
+             4 * static_cast<std::uint64_t>(msg.packet.routing_path().size());
+  }
+  return bytes;
+}
+
+ShardProfile MergeShardProfiles(
+    const std::vector<const ShardProfiler*>& profilers,
+    std::int64_t lookahead_us) {
+  DCRD_CHECK(!profilers.empty());
+  const int shards = profilers[0]->shards();
+  DCRD_CHECK(static_cast<int>(profilers.size()) == shards);
+
+  ShardProfile profile;
+  profile.shards = shards;
+  profile.lookahead_us = lookahead_us;
+  profile.shard_totals.assign(static_cast<std::size_t>(shards), {});
+  profile.matrix.assign(
+      static_cast<std::size_t>(shards) * static_cast<std::size_t>(shards), {});
+
+  // A shard that never closed its final round (should not happen — the
+  // window loop closes every round before the done check) truncates the
+  // merged series to the common minimum.
+  std::size_t rounds = profilers[0]->rounds().size();
+  for (const ShardProfiler* p : profilers) {
+    DCRD_CHECK(p->shards() == shards);
+    rounds = std::min(rounds, p->rounds().size());
+  }
+  profile.rounds = rounds;
+
+  // Matrix: profiler `dst` owns column [*, dst]; out-totals for shard s are
+  // its row sum, in-totals its column sum — so total in == total out by
+  // construction and conservation is testable per shard.
+  for (int dst = 0; dst < shards; ++dst) {
+    const ShardProfiler& p = *profilers[static_cast<std::size_t>(dst)];
+    for (int src = 0; src < shards; ++src) {
+      ShardProfile::Edge& edge =
+          profile.matrix[static_cast<std::size_t>(src) *
+                             static_cast<std::size_t>(shards) +
+                         static_cast<std::size_t>(dst)];
+      edge.msgs = p.in_msgs_by_src()[static_cast<std::size_t>(src)];
+      edge.bytes = p.in_bytes_by_src()[static_cast<std::size_t>(src)];
+      profile.shard_totals[static_cast<std::size_t>(dst)].msgs_in += edge.msgs;
+      profile.shard_totals[static_cast<std::size_t>(dst)].bytes_in +=
+          edge.bytes;
+      profile.shard_totals[static_cast<std::size_t>(src)].msgs_out += edge.msgs;
+      profile.shard_totals[static_cast<std::size_t>(src)].bytes_out +=
+          edge.bytes;
+    }
+  }
+
+  for (int s = 0; s < shards; ++s) {
+    const auto& samples = profilers[static_cast<std::size_t>(s)]->rounds();
+    ShardProfile::Totals& totals =
+        profile.shard_totals[static_cast<std::size_t>(s)];
+    for (std::size_t r = 0; r < rounds; ++r) {
+      totals.busy_ns += samples[r].busy_ns;
+      totals.stall_ns += samples[r].stall_ns;
+      totals.events += samples[r].events;
+    }
+  }
+
+  // Fold the round series into ≤ kMaxShardProfileBuckets equal spans and
+  // attribute each bucket to its critical (busiest) shard.
+  const std::uint64_t buckets =
+      std::min<std::uint64_t>(rounds, kMaxShardProfileBuckets);
+  for (std::uint64_t b = 0; b < buckets; ++b) {
+    ShardProfile::Bucket bucket;
+    bucket.first_round = b * rounds / buckets;
+    bucket.last_round = (b + 1) * rounds / buckets - 1;
+    bucket.horizon_us = profilers[0]
+                            ->rounds()[static_cast<std::size_t>(
+                                bucket.last_round)]
+                            .horizon_us;
+    bucket.busy_ns.assign(static_cast<std::size_t>(shards), 0);
+    bucket.stall_ns.assign(static_cast<std::size_t>(shards), 0);
+    for (int s = 0; s < shards; ++s) {
+      const auto& samples = profilers[static_cast<std::size_t>(s)]->rounds();
+      for (std::uint64_t r = bucket.first_round; r <= bucket.last_round; ++r) {
+        bucket.busy_ns[static_cast<std::size_t>(s)] +=
+            samples[static_cast<std::size_t>(r)].busy_ns;
+        bucket.stall_ns[static_cast<std::size_t>(s)] +=
+            samples[static_cast<std::size_t>(r)].stall_ns;
+      }
+      if (bucket.busy_ns[static_cast<std::size_t>(s)] >
+          bucket.busy_ns[static_cast<std::size_t>(bucket.critical_shard)]) {
+        bucket.critical_shard = s;
+      }
+    }
+    profile.buckets.push_back(std::move(bucket));
+  }
+
+  std::uint64_t max_busy = 0;
+  std::uint64_t sum_busy = 0;
+  for (const ShardProfile::Totals& totals : profile.shard_totals) {
+    max_busy = std::max(max_busy, totals.busy_ns);
+    sum_busy += totals.busy_ns;
+  }
+  profile.imbalance =
+      sum_busy == 0 ? 1.0
+                    : static_cast<double>(max_busy) * shards /
+                          static_cast<double>(sum_busy);
+  return profile;
+}
+
+void WriteShardProfileJson(std::ostream& os, const ShardProfile& profile) {
+  const int shards = profile.shards;
+  auto per_shard = [&](auto member) {
+    std::vector<std::uint64_t> values;
+    values.reserve(static_cast<std::size_t>(shards));
+    for (const ShardProfile::Totals& totals : profile.shard_totals) {
+      values.push_back(totals.*member);
+    }
+    return values;
+  };
+
+  os << "{\n";
+  os << "  \"schema\": \"dcrd-shard-profile-v1\",\n";
+  os << "  \"shards\": " << shards << ",\n";
+  os << "  \"rounds\": " << profile.rounds << ",\n";
+  os << "  \"lookahead_us\": " << profile.lookahead_us << ",\n";
+  char imbalance[32];
+  std::snprintf(imbalance, sizeof(imbalance), "%.6f", profile.imbalance);
+  os << "  \"imbalance\": " << imbalance << ",\n";
+  os << "  \"shard_busy_ns\": ";
+  WriteU64Array(os, per_shard(&ShardProfile::Totals::busy_ns));
+  os << ",\n  \"shard_stall_ns\": ";
+  WriteU64Array(os, per_shard(&ShardProfile::Totals::stall_ns));
+  os << ",\n  \"shard_events\": ";
+  WriteU64Array(os, per_shard(&ShardProfile::Totals::events));
+  os << ",\n  \"shard_msgs_in\": ";
+  WriteU64Array(os, per_shard(&ShardProfile::Totals::msgs_in));
+  os << ",\n  \"shard_bytes_in\": ";
+  WriteU64Array(os, per_shard(&ShardProfile::Totals::bytes_in));
+  os << ",\n  \"shard_msgs_out\": ";
+  WriteU64Array(os, per_shard(&ShardProfile::Totals::msgs_out));
+  os << ",\n  \"shard_bytes_out\": ";
+  WriteU64Array(os, per_shard(&ShardProfile::Totals::bytes_out));
+  os << ",\n  \"matrix_msgs\": [";
+  for (int src = 0; src < shards; ++src) {
+    if (src != 0) os << ',';
+    os << "\n    [";
+    for (int dst = 0; dst < shards; ++dst) {
+      if (dst != 0) os << ',';
+      os << profile.At(src, dst).msgs;
+    }
+    os << ']';
+  }
+  os << "\n  ],\n  \"matrix_bytes\": [";
+  for (int src = 0; src < shards; ++src) {
+    if (src != 0) os << ',';
+    os << "\n    [";
+    for (int dst = 0; dst < shards; ++dst) {
+      if (dst != 0) os << ',';
+      os << profile.At(src, dst).bytes;
+    }
+    os << ']';
+  }
+  os << "\n  ],\n  \"buckets\": [";
+  for (std::size_t b = 0; b < profile.buckets.size(); ++b) {
+    const ShardProfile::Bucket& bucket = profile.buckets[b];
+    if (b != 0) os << ',';
+    os << "\n    {\"first_round\": " << bucket.first_round
+       << ", \"last_round\": " << bucket.last_round
+       << ", \"horizon_us\": " << bucket.horizon_us
+       << ", \"critical_shard\": " << bucket.critical_shard
+       << ", \"busy_ns\": ";
+    WriteU64Array(os, bucket.busy_ns);
+    os << ", \"stall_ns\": ";
+    WriteU64Array(os, bucket.stall_ns);
+    os << '}';
+  }
+  os << "\n  ]\n}\n";
+}
+
+bool LoadShardProfileJson(std::istream& in, ShardProfile* out,
+                          std::string* error) {
+  std::string text(std::istreambuf_iterator<char>(in), {});
+  JsonCursor cur;
+  cur.text = text;
+  ShardProfile profile;
+  std::string schema;
+  std::vector<std::uint64_t> busy, stall, events, msgs_in, bytes_in, msgs_out,
+      bytes_out;
+  std::vector<std::vector<std::uint64_t>> matrix_msgs, matrix_bytes;
+
+  const bool parsed = cur.ReadObject([&](const std::string& key) {
+    if (key == "schema") return cur.ReadString(&schema);
+    if (key == "shards") {
+      std::int64_t value = 0;
+      if (!cur.ReadI64(&value)) return false;
+      profile.shards = static_cast<int>(value);
+      return true;
+    }
+    if (key == "rounds") return cur.ReadU64(&profile.rounds);
+    if (key == "lookahead_us") return cur.ReadI64(&profile.lookahead_us);
+    if (key == "imbalance") return cur.ReadDouble(&profile.imbalance);
+    if (key == "shard_busy_ns") return cur.ReadU64Array(&busy);
+    if (key == "shard_stall_ns") return cur.ReadU64Array(&stall);
+    if (key == "shard_events") return cur.ReadU64Array(&events);
+    if (key == "shard_msgs_in") return cur.ReadU64Array(&msgs_in);
+    if (key == "shard_bytes_in") return cur.ReadU64Array(&bytes_in);
+    if (key == "shard_msgs_out") return cur.ReadU64Array(&msgs_out);
+    if (key == "shard_bytes_out") return cur.ReadU64Array(&bytes_out);
+    if (key == "matrix_msgs" || key == "matrix_bytes") {
+      auto& rows = key == "matrix_msgs" ? matrix_msgs : matrix_bytes;
+      return cur.ReadArray([&] {
+        rows.emplace_back();
+        return cur.ReadU64Array(&rows.back());
+      });
+    }
+    if (key == "buckets") {
+      return cur.ReadArray([&] {
+        ShardProfile::Bucket bucket;
+        const bool read = cur.ReadObject([&](const std::string& field) {
+          if (field == "first_round") return cur.ReadU64(&bucket.first_round);
+          if (field == "last_round") return cur.ReadU64(&bucket.last_round);
+          if (field == "horizon_us") return cur.ReadI64(&bucket.horizon_us);
+          if (field == "critical_shard") {
+            std::int64_t value = 0;
+            if (!cur.ReadI64(&value)) return false;
+            bucket.critical_shard = static_cast<int>(value);
+            return true;
+          }
+          if (field == "busy_ns") return cur.ReadU64Array(&bucket.busy_ns);
+          if (field == "stall_ns") return cur.ReadU64Array(&bucket.stall_ns);
+          return cur.SkipValue();
+        });
+        if (read) profile.buckets.push_back(std::move(bucket));
+        return read;
+      });
+    }
+    return cur.SkipValue();
+  });
+
+  if (!parsed) {
+    if (error != nullptr) *error = cur.error;
+    return false;
+  }
+  if (schema != "dcrd-shard-profile-v1") {
+    if (error != nullptr) {
+      *error = "unrecognised schema \"" + schema + "\"";
+    }
+    return false;
+  }
+  const std::size_t shards = static_cast<std::size_t>(profile.shards);
+  if (profile.shards <= 0 || busy.size() != shards || stall.size() != shards ||
+      events.size() != shards || matrix_msgs.size() != shards ||
+      matrix_bytes.size() != shards) {
+    if (error != nullptr) *error = "per-shard array sizes disagree";
+    return false;
+  }
+  profile.shard_totals.assign(shards, {});
+  for (std::size_t s = 0; s < shards; ++s) {
+    ShardProfile::Totals& totals = profile.shard_totals[s];
+    totals.busy_ns = busy[s];
+    totals.stall_ns = stall[s];
+    totals.events = events[s];
+    totals.msgs_in = s < msgs_in.size() ? msgs_in[s] : 0;
+    totals.bytes_in = s < bytes_in.size() ? bytes_in[s] : 0;
+    totals.msgs_out = s < msgs_out.size() ? msgs_out[s] : 0;
+    totals.bytes_out = s < bytes_out.size() ? bytes_out[s] : 0;
+  }
+  profile.matrix.assign(shards * shards, {});
+  for (std::size_t src = 0; src < shards; ++src) {
+    if (matrix_msgs[src].size() != shards ||
+        matrix_bytes[src].size() != shards) {
+      if (error != nullptr) *error = "matrix row sizes disagree";
+      return false;
+    }
+    for (std::size_t dst = 0; dst < shards; ++dst) {
+      profile.matrix[src * shards + dst].msgs = matrix_msgs[src][dst];
+      profile.matrix[src * shards + dst].bytes = matrix_bytes[src][dst];
+    }
+  }
+  *out = std::move(profile);
+  return true;
+}
+
+void PrintShardProfile(std::ostream& os, const ShardProfile& profile) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "shard-execution profile: %d shard(s), %" PRIu64
+                " horizon round(s), lookahead %" PRId64 "us\n",
+                profile.shards, profile.rounds, profile.lookahead_us);
+  os << buf;
+  std::snprintf(buf, sizeof(buf), "imbalance (max/mean busy): %.3f\n",
+                profile.imbalance);
+  os << buf;
+
+  os << "shard      busy_ms     stall_ms       events      msgs_in"
+        "     msgs_out     bytes_in    bytes_out\n";
+  for (int s = 0; s < profile.shards; ++s) {
+    const ShardProfile::Totals& t =
+        profile.shard_totals[static_cast<std::size_t>(s)];
+    std::snprintf(buf, sizeof(buf),
+                  "%5d %12.3f %12.3f %12" PRIu64 " %12" PRIu64 " %12" PRIu64
+                  " %12" PRIu64 " %12" PRIu64 "\n",
+                  s, static_cast<double>(t.busy_ns) / 1e6,
+                  static_cast<double>(t.stall_ns) / 1e6, t.events, t.msgs_in,
+                  t.msgs_out, t.bytes_in, t.bytes_out);
+    os << buf;
+  }
+
+  if (profile.shards > 1) {
+    std::uint64_t max_bytes = 0;
+    for (const ShardProfile::Edge& edge : profile.matrix) {
+      max_bytes = std::max(max_bytes, edge.bytes);
+    }
+    os << "\ncross-shard traffic matrix (msgs bytes, heat by bytes), "
+          "src rows -> dst cols:\n";
+    os << " src\\dst";
+    for (int dst = 0; dst < profile.shards; ++dst) {
+      std::snprintf(buf, sizeof(buf), " %14d", dst);
+      os << buf;
+    }
+    os << '\n';
+    for (int src = 0; src < profile.shards; ++src) {
+      std::snprintf(buf, sizeof(buf), "%8d", src);
+      os << buf;
+      for (int dst = 0; dst < profile.shards; ++dst) {
+        const ShardProfile::Edge& edge = profile.At(src, dst);
+        if (src == dst) {
+          std::snprintf(buf, sizeof(buf), " %14s", "-");
+        } else {
+          char cell[64];
+          std::snprintf(cell, sizeof(cell), "%" PRIu64 " %s%c", edge.msgs,
+                        HumanBytes(edge.bytes).c_str(),
+                        HeatGlyph(edge.bytes, max_bytes));
+          std::snprintf(buf, sizeof(buf), " %14s", cell);
+        }
+        os << buf;
+      }
+      os << '\n';
+    }
+  }
+
+  if (!profile.buckets.empty() && profile.shards > 1) {
+    os << "\ncritical shard per round bucket (bucket:shard):\n ";
+    for (std::size_t b = 0; b < profile.buckets.size(); ++b) {
+      std::snprintf(buf, sizeof(buf), " %zu:%d", b,
+                    profile.buckets[b].critical_shard);
+      os << buf;
+      if ((b + 1) % 16 == 0 && b + 1 < profile.buckets.size()) os << "\n ";
+    }
+    os << '\n';
+  }
+  os.flush();
+}
+
+}  // namespace dcrd

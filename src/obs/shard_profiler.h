@@ -1,0 +1,187 @@
+// Shard-execution profiler: makes the sharded engine's runtime behaviour
+// first-class data (DESIGN.md §13).
+//
+// One ShardProfiler per engine shard accumulates, lock-free and written by
+// that shard's thread alone, a per-horizon-round wall-clock sample — busy
+// vs barrier-stall nanoseconds, events executed, the round's horizon — plus
+// a cross-shard traffic column: messages and modeled wire bytes drained
+// from each source shard's exchange queue. At end of run the engine merges
+// the per-shard accumulators into one ShardProfile: per-shard totals, the
+// derived imbalance factor (max/mean busy time), a bucketed busy/stall
+// series (≤ kMaxShardProfileBuckets round buckets) with critical-shard
+// attribution per bucket, and the full (src shard, dst shard) traffic
+// matrix — exactly the input a hot-topic-aware partitioner needs.
+//
+// Result-neutrality contract (the PR 4 discipline): the profiler only reads
+// wall clocks and already-public engine state; it never touches an RNG
+// stream, sim time, or stdout. Figure output is byte-identical with and
+// without --shard_profile (scripts/determinism_check.sh enforces), and the
+// disabled path in the engine's window loop is a single untaken null-check
+// branch per round (bench_micro_shard_profile tracks the enabled cost).
+//
+// The profile serialises to JSON ("dcrd-shard-profile-v1", hand-rolled like
+// every other emitter in this repo) via WriteShardProfileJson; dcrd_trace
+// --shards loads it back with LoadShardProfileJson and renders the heat
+// table with PrintShardProfile.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/shard_exchange.h"
+
+namespace dcrd {
+
+// Round buckets the merge folds the per-round series into; keeps profile
+// files and Perfetto exec tracks bounded no matter how many horizon rounds
+// a run took.
+inline constexpr int kMaxShardProfileBuckets = 256;
+
+// Deterministic wire-byte model of one exchange message: a fixed header
+// plus, for data copies, the payload the packet would occupy on a real
+// wire (message header + 4 bytes per named subscriber + 4 per routing-path
+// entry). A model, not a measurement — its only job is to weight matrix
+// cells consistently so "hot cut" comparisons are meaningful.
+[[nodiscard]] std::uint64_t XMsgWireBytes(const XMsg& msg);
+
+// One horizon round as one shard saw it. busy covers the drain and the
+// window execution; stall covers both barrier waits (publish-horizon and
+// post-window). busy + stall tiles the shard's wall clock between rounds.
+struct ShardRoundSample {
+  std::int64_t horizon_us = 0;   // the round's window stop H
+  std::uint64_t busy_ns = 0;     // drain + RunWindow wall time
+  std::uint64_t stall_ns = 0;    // both std::barrier waits
+  std::uint64_t events = 0;      // scheduler events executed in the window
+  std::uint64_t xmsgs_in = 0;    // exchange messages drained this round
+  std::uint64_t xbytes_in = 0;   // modeled wire bytes drained this round
+};
+
+// Per-shard accumulator. Single-writer: only the owning shard's thread
+// calls CountInbound/AddRound; the merge reads after the worker threads
+// join. No locks, no atomics — the join is the synchronisation point.
+class ShardProfiler {
+ public:
+  ShardProfiler(int shard, int shards)
+      : shard_(shard),
+        shards_(shards),
+        in_msgs_by_src_(static_cast<std::size_t>(shards), 0),
+        in_bytes_by_src_(static_cast<std::size_t>(shards), 0) {}
+
+  ShardProfiler(const ShardProfiler&) = delete;
+  ShardProfiler& operator=(const ShardProfiler&) = delete;
+
+  // Tallies one message drained from `src_shard`'s queue (receiver-side
+  // accounting: this shard owns matrix column [*, shard_], so the matrix
+  // needs no cross-thread writes). Called from Sim::DrainInbound.
+  void CountInbound(int src_shard, const XMsg& msg) {
+    const std::uint64_t bytes = XMsgWireBytes(msg);
+    in_msgs_by_src_[static_cast<std::size_t>(src_shard)] += 1;
+    in_bytes_by_src_[static_cast<std::size_t>(src_shard)] += bytes;
+    ++round_msgs_;
+    round_bytes_ += bytes;
+  }
+
+  // Closes one horizon round: the wall-clock split measured by the window
+  // loop plus whatever CountInbound tallied since the previous AddRound.
+  void AddRound(std::int64_t horizon_us, std::uint64_t busy_ns,
+                std::uint64_t stall_ns, std::uint64_t events) {
+    ShardRoundSample sample;
+    sample.horizon_us = horizon_us;
+    sample.busy_ns = busy_ns;
+    sample.stall_ns = stall_ns;
+    sample.events = events;
+    sample.xmsgs_in = round_msgs_;
+    sample.xbytes_in = round_bytes_;
+    rounds_.push_back(sample);
+    round_msgs_ = 0;
+    round_bytes_ = 0;
+  }
+
+  [[nodiscard]] int shard() const { return shard_; }
+  [[nodiscard]] int shards() const { return shards_; }
+  [[nodiscard]] const std::vector<ShardRoundSample>& rounds() const {
+    return rounds_;
+  }
+  // Inbound traffic split by source shard — this shard's matrix column.
+  [[nodiscard]] const std::vector<std::uint64_t>& in_msgs_by_src() const {
+    return in_msgs_by_src_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& in_bytes_by_src() const {
+    return in_bytes_by_src_;
+  }
+
+ private:
+  const int shard_;
+  const int shards_;
+  std::vector<ShardRoundSample> rounds_;
+  std::vector<std::uint64_t> in_msgs_by_src_;
+  std::vector<std::uint64_t> in_bytes_by_src_;
+  std::uint64_t round_msgs_ = 0;
+  std::uint64_t round_bytes_ = 0;
+};
+
+// The merged end-of-run profile — what --shard_profile writes and
+// dcrd_trace --shards reads.
+struct ShardProfile {
+  struct Totals {
+    std::uint64_t busy_ns = 0;
+    std::uint64_t stall_ns = 0;
+    std::uint64_t events = 0;
+    std::uint64_t msgs_in = 0;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t msgs_out = 0;
+    std::uint64_t bytes_out = 0;
+  };
+  struct Bucket {
+    std::uint64_t first_round = 0;
+    std::uint64_t last_round = 0;       // inclusive
+    std::int64_t horizon_us = 0;        // horizon at the bucket's last round
+    int critical_shard = 0;             // argmax busy_ns in the bucket
+    std::vector<std::uint64_t> busy_ns;   // [shard]
+    std::vector<std::uint64_t> stall_ns;  // [shard]
+  };
+  struct Edge {
+    std::uint64_t msgs = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  int shards = 1;
+  std::uint64_t rounds = 0;
+  std::int64_t lookahead_us = 0;
+  double imbalance = 1.0;              // max/mean per-shard busy time
+  std::vector<Totals> shard_totals;    // [shard]
+  std::vector<Bucket> buckets;         // ≤ kMaxShardProfileBuckets
+  std::vector<Edge> matrix;            // [src * shards + dst]
+
+  [[nodiscard]] const Edge& At(int src, int dst) const {
+    return matrix[static_cast<std::size_t>(src) *
+                      static_cast<std::size_t>(shards) +
+                  static_cast<std::size_t>(dst)];
+  }
+};
+
+// Folds the per-shard accumulators (one per shard, indexed by shard id)
+// into the merged profile. All profilers must agree on the shard count;
+// uneven round tails (a shard that never closed its last round) truncate
+// to the common minimum.
+[[nodiscard]] ShardProfile MergeShardProfiles(
+    const std::vector<const ShardProfiler*>& profilers,
+    std::int64_t lookahead_us);
+
+// Writes the profile as a self-describing JSON document
+// ("dcrd-shard-profile-v1").
+void WriteShardProfileJson(std::ostream& os, const ShardProfile& profile);
+
+// Inverse of WriteShardProfileJson. Returns false (with a human-readable
+// message in *error when given) on malformed input or a schema mismatch.
+bool LoadShardProfileJson(std::istream& in, ShardProfile* out,
+                          std::string* error = nullptr);
+
+// Renders the profile for humans: per-shard totals, imbalance, the
+// critical-shard bucket attribution, and the cross-shard traffic matrix as
+// a per-cut heat table (dcrd_trace --shards).
+void PrintShardProfile(std::ostream& os, const ShardProfile& profile);
+
+}  // namespace dcrd

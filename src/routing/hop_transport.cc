@@ -1,5 +1,6 @@
 #include "routing/hop_transport.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/flight_recorder.h"
@@ -415,6 +416,16 @@ std::size_t HopTransport::FailFastPending(NodeId from, LinkId link) {
       sweep_scratch_.push_back(handle);
     }
   });
+  // Slot order reflects the whole transport's allocation history, which
+  // differs between shard counts (a shard's map only ever saw its local
+  // brokers' traffic). The done() callbacks below reroute — assigning new
+  // copy ids and RTO jitter in invocation order — so sweep in copy-id
+  // order, which is identical in every partition, to keep N-shard runs
+  // bit-identical to 1-shard runs.
+  std::sort(sweep_scratch_.begin(), sweep_scratch_.end(),
+            [this](SlotHandle a, SlotHandle b) {
+              return pending_.Get(a)->copy_id < pending_.Get(b)->copy_id;
+            });
   // A done() below may re-enter SendReliable (reroute) and mutate the slot
   // map; handles collected above that get recycled meanwhile go stale and
   // are skipped. The re-entrant send sees the link already dead, so it

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <chrono>
 #include <exception>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -20,6 +23,7 @@
 #include "net/overlay_network.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
+#include "obs/shard_profiler.h"
 #include "pubsub/publisher.h"
 #include "routing/multipath_router.h"
 #include "routing/oracle_router.h"
@@ -94,15 +98,22 @@ class ObservedSink final : public DeliverySink {
 // free of side effects, so the traced run stays bit-identical to the
 // untraced one. Chain-scheduled with a [this] capture (8 bytes, well inside
 // the scheduler's inline budget).
+//
+// Sharded runs create the sampler on EVERY shard (its scheduled events keep
+// the engine-origin event sequence identical across shards) but only shard
+// 0 emits the records — link state is global, so per-kind record counts
+// summed across per-shard trace files match the 1-shard trace exactly.
 class LinkStateSampler {
  public:
   LinkStateSampler(const OverlayNetwork& network, Scheduler& scheduler,
-                   FlightRecorder& recorder, SimDuration epoch, SimTime end)
+                   FlightRecorder& recorder, SimDuration epoch, SimTime end,
+                   bool record)
       : network_(network),
         scheduler_(scheduler),
         recorder_(recorder),
         epoch_(epoch),
         end_(end),
+        record_(record),
         link_up_(network.graph().edge_count(), true),
         link_gray_(network.graph().edge_count(), false) {
     Sample();  // t = 0 baseline; records nothing unless a link starts down
@@ -119,16 +130,20 @@ class LinkStateSampler {
       const bool up = network_.failures().IsUp(link, now);
       if (up != link_up_[i]) {
         link_up_[i] = up;
-        recorder_.Record(up ? TraceEventKind::kLinkUp
-                            : TraceEventKind::kLinkDown,
-                         TraceRecord::kNoPacket, 0, edge.a, edge.b, link);
+        if (record_) {
+          recorder_.Record(up ? TraceEventKind::kLinkUp
+                              : TraceEventKind::kLinkDown,
+                           TraceRecord::kNoPacket, 0, edge.a, edge.b, link);
+        }
       }
       const bool gray = network_.gray().Active(link, now);
       if (gray != link_gray_[i]) {
         link_gray_[i] = gray;
-        recorder_.Record(gray ? TraceEventKind::kGrayStart
-                              : TraceEventKind::kGrayEnd,
-                         TraceRecord::kNoPacket, 0, edge.a, edge.b, link);
+        if (record_) {
+          recorder_.Record(gray ? TraceEventKind::kGrayStart
+                                : TraceEventKind::kGrayEnd,
+                           TraceRecord::kNoPacket, 0, edge.a, edge.b, link);
+        }
       }
     }
   }
@@ -146,6 +161,7 @@ class LinkStateSampler {
   FlightRecorder& recorder_;
   const SimDuration epoch_;
   const SimTime end_;
+  const bool record_;
   std::vector<bool> link_up_;
   std::vector<bool> link_gray_;
 };
@@ -209,10 +225,13 @@ class BrokerLifecycleSampler {
       const bool up = schedule.Up(node, now);
       if (up == up_[i]) continue;
       up_[i] = up;
+      // Transitions replay on every shard (the schedule is a pure function)
+      // but only the broker's owner records them, so a multi-shard trace
+      // carries each lifecycle event exactly once.
       if (!up) {
         ++crashes_;
         const std::size_t killed = router_.OnBrokerCrash(node);
-        if (recorder_ != nullptr) {
+        if (recorder_ != nullptr && network_.IsLocalNode(node)) {
           recorder_->Record(TraceEventKind::kBrokerDown,
                             TraceRecord::kNoPacket, 0, node, NodeId(),
                             LinkId(), 0,
@@ -222,7 +241,7 @@ class BrokerLifecycleSampler {
       } else {
         ++restarts_;
         router_.OnBrokerRestart(node);
-        if (recorder_ != nullptr) {
+        if (recorder_ != nullptr && network_.IsLocalNode(node)) {
           recorder_->Record(TraceEventKind::kBrokerUp, TraceRecord::kNoPacket,
                             0, node, NodeId(), LinkId());
         }
@@ -280,6 +299,22 @@ class Sim {
   }
   void RunWindow(SimTime horizon) { scheduler_.RunBefore(horizon); }
   [[nodiscard]] SimTime now() const { return scheduler_.now(); }
+
+  // Shard-execution profiling (obs/shard_profiler.h). The profiler, when
+  // attached, tallies drained exchange messages; the window loop reads the
+  // events-executed delta instead of adding any per-event counter.
+  void set_profiler(ShardProfiler* profiler) { profiler_ = profiler; }
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return scheduler_.events_executed();
+  }
+
+  // Drains the recorder's ring tail into the trace sink. RunSingle flushes
+  // inline; the sharded engine calls this once per shard after the workers
+  // join (single-threaded, like the summary merge) so short runs that never
+  // filled a ring still land on disk.
+  void FlushObservability() {
+    if (recorder_ != nullptr) recorder_->Flush();
+  }
 
   [[nodiscard]] SimInvariantChecker* checker() { return checker_.get(); }
   [[nodiscard]] const Router& router() const { return *router_; }
@@ -352,8 +387,10 @@ class Sim {
   // failure/loss/gray sample paths (and vice versa).
   const BrokerCrashSchedule crashes_;
   OverlayNetwork network_;
-  // Observability (read-only; single-shard by construction — RunScenario
-  // falls back to one shard whenever any capture knob is set).
+  // Observability (read-only). Tracing shards cleanly — every shard owns a
+  // recorder writing its own `.shardK` file, record sites gate on node
+  // ownership so each event is captured exactly once — while metrics and
+  // the delay audit still force a single-shard fallback in RunScenario.
   std::unique_ptr<FlightRecorder> recorder_;
   std::ofstream trace_file_;
   std::ofstream audit_file_;
@@ -369,6 +406,7 @@ class Sim {
   Rng churn_rng_;
   std::unique_ptr<LinkStateSampler> link_sampler_;
   std::unique_ptr<BrokerLifecycleSampler> lifecycle_sampler_;
+  ShardProfiler* profiler_ = nullptr;
   std::uint64_t next_message_id_ = 0;
   std::vector<std::unique_ptr<Publisher>> publishers_;
   const SimTime end_;
@@ -405,12 +443,27 @@ Sim::Sim(const ScenarioConfig& config, const Graph& graph,
     recorder_config.ring_capacity = config_.trace_ring_capacity;
     recorder_ = std::make_unique<FlightRecorder>(scheduler_, recorder_config);
     recorder_->set_enabled(true);
+    if (shard_map != nullptr) recorder_->set_shard(shard);
     if (!config_.trace_out.empty()) {
-      trace_file_.open(config_.trace_out, std::ios::trunc);
+      // Sharded runs write one trace file per shard: `.shardK` inserted
+      // before a trailing `.jsonl` (appended otherwise). dcrd_trace merges
+      // the set deterministically by (t_us, seq, shard).
+      std::string path = config_.trace_out;
+      if (shard_map != nullptr) {
+        const std::string tag = ".shard" + std::to_string(shard);
+        constexpr std::string_view kExt = ".jsonl";
+        if (path.size() >= kExt.size() &&
+            path.compare(path.size() - kExt.size(), kExt.size(), kExt) == 0) {
+          path.insert(path.size() - kExt.size(), tag);
+        } else {
+          path += tag;
+        }
+      }
+      trace_file_.open(path, std::ios::trunc);
       if (trace_file_) {
         recorder_->set_sink(&trace_file_);
       } else {
-        DCRD_LOG(kWarn) << "cannot write trace to " << config_.trace_out
+        DCRD_LOG(kWarn) << "cannot write trace to " << path
                         << "; tracing to the in-memory ring only";
       }
     }
@@ -500,7 +553,9 @@ Sim::Sim(const ScenarioConfig& config, const Graph& graph,
     // instant they run *after* the rebuild (same time, later seq) and the
     // kRebuild record / snapshot / audit rows reflect the post-rebuild
     // state.
-    if (recorder_ != nullptr) {
+    // Rebuilds replay on every shard; shard 0 speaks for all in the trace
+    // (the same convention the published-side summary counts use).
+    if (recorder_ != nullptr && network_.shard() == 0) {
       recorder_->Record(TraceEventKind::kRebuild, TraceRecord::kNoPacket, 0,
                         NodeId(), NodeId(), LinkId());
     }
@@ -511,7 +566,7 @@ Sim::Sim(const ScenarioConfig& config, const Graph& graph,
     for (SimTime epoch = SimTime::Zero() + config_.monitor_interval;
          epoch <= end_; epoch += config_.monitor_interval) {
       scheduler_.ScheduleAt(epoch, [this] {
-        if (recorder_ != nullptr) {
+        if (recorder_ != nullptr && network_.shard() == 0) {
           recorder_->Record(TraceEventKind::kRebuild, TraceRecord::kNoPacket,
                             0, NodeId(), NodeId(), LinkId());
         }
@@ -524,7 +579,8 @@ Sim::Sim(const ScenarioConfig& config, const Graph& graph,
   }
   if (recorder_ != nullptr) {
     link_sampler_ = std::make_unique<LinkStateSampler>(
-        network_, scheduler_, *recorder_, config_.failure_epoch, end_);
+        network_, scheduler_, *recorder_, config_.failure_epoch, end_,
+        /*record=*/network_.shard() == 0);
   }
   if (network_.crashes().enabled()) {
     lifecycle_sampler_ = std::make_unique<BrokerLifecycleSampler>(
@@ -554,9 +610,10 @@ void Sim::OnPublish(const Message& message) {
       !network_.crashes().Up(message.publisher, network_.scheduler().now())) {
     return;
   }
-  if (recorder_ != nullptr) {
-    // aux16 carries the topic id so offline analysis can join a packet to
-    // its (topic, subscriber) model row.
+  // aux16 carries the topic id so offline analysis can join a packet to
+  // its (topic, subscriber) model row. Recorded on the publisher's owning
+  // shard only — the publish replays everywhere, the record must not.
+  if (recorder_ != nullptr && network_.IsLocalNode(message.publisher)) {
     recorder_->Record(TraceEventKind::kPublish, message.id.value, 0,
                       message.publisher, NodeId(), LinkId(), 0,
                       static_cast<std::uint16_t>(message.topic.underlying()));
@@ -590,13 +647,34 @@ void Sim::DrainInbound() {
   for (int src = 0; src < exchange->shards(); ++src) {
     const std::size_t count = exchange->Count(src, me);
     for (std::size_t i = 0; i < count; ++i) {
-      network_.AcceptRemote(exchange->Message(src, me, i));
+      XMsg& msg = exchange->Message(src, me, i);
+      // Tally before AcceptRemote — acceptance may move the payload out of
+      // the slot, and the byte model reads it.
+      if (profiler_ != nullptr) profiler_->CountInbound(src, msg);
+      network_.AcceptRemote(msg);
     }
     exchange->Reset(src, me);
   }
 }
 
+// Opens `path` and writes the merged profile; degrades to a warning (never
+// an error — profiling must not fail a run) when the file cannot open.
+void WriteShardProfileFile(const std::string& path,
+                           const ShardProfile& profile) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    DCRD_LOG(kWarn) << "cannot write shard profile to " << path;
+    return;
+  }
+  WriteShardProfileJson(file, profile);
+}
+
 RunSummary Sim::RunSingle() {
+  // The degenerate 1-shard profile: one all-busy round covering the whole
+  // run, a 1x1 empty traffic matrix. Same schema as the sharded profile so
+  // downstream tooling never branches on shard count.
+  const bool profiling = !config_.shard_profile_out.empty();
+  const auto wall_start = std::chrono::steady_clock::now();
   try {
     scheduler_.RunUntil(end_);
     // Drain in-flight deliveries, timers and reroutes published before
@@ -622,6 +700,16 @@ RunSummary Sim::RunSingle() {
     }
   }
   if (recorder_ != nullptr) recorder_->Flush();
+  if (profiling) {
+    const auto busy_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - wall_start);
+    ShardProfiler profiler(0, 1);
+    profiler.AddRound(scheduler_.now().micros(),
+                      static_cast<std::uint64_t>(busy_ns.count()), 0,
+                      scheduler_.events_executed());
+    WriteShardProfileFile(config_.shard_profile_out,
+                          MergeShardProfiles({&profiler}, 0));
+  }
 
   std::vector<Sim*> self{this};
   return BuildSummary(self);
@@ -729,6 +817,11 @@ RunSummary RunSharded(const ScenarioConfig& config, const Graph& graph,
   const int shards = map.shard_count;
   ShardExchange exchange(shards);
   std::vector<std::unique_ptr<Sim>> sims(shards);
+  // One profiler per shard, touched only by its owning thread; the join
+  // before the merge is the only synchronization the accumulators need.
+  const bool profiling = !config.shard_profile_out.empty();
+  std::vector<std::unique_ptr<ShardProfiler>> profilers(
+      profiling ? static_cast<std::size_t>(shards) : 0);
   std::vector<std::exception_ptr> errors(shards);
   std::atomic<bool> abort{false};
   std::vector<SimTime> next(static_cast<std::size_t>(shards),
@@ -768,10 +861,26 @@ RunSummary RunSharded(const ScenarioConfig& config, const Graph& graph,
       failed = true;
     }
     Sim* sim = sims[static_cast<std::size_t>(shard)].get();
+    ShardProfiler* prof = nullptr;
+    if (profiling && !failed) {
+      profilers[static_cast<std::size_t>(shard)] =
+          std::make_unique<ShardProfiler>(shard, shards);
+      prof = profilers[static_cast<std::size_t>(shard)].get();
+      sim->set_profiler(prof);
+    }
     // A failed shard keeps arriving at both barriers (reporting an empty
     // schedule) so the healthy shards never deadlock; the abort flag turns
     // the next completion into `done`.
+    //
+    // Profiling timestamps t0..t4 split each round's wall clock into busy
+    // (drain + window) and stall (both barrier waits). Unprofiled runs take
+    // one untaken null-check branch per timing point and none per event —
+    // the window's event count comes from the scheduler's existing
+    // events_executed() delta.
+    using ProfClock = std::chrono::steady_clock;
+    ProfClock::time_point t0, t1, t2, t3;
     while (true) {
+      if (prof != nullptr) t0 = ProfClock::now();
       if (!failed) {
         try {
           sim->DrainInbound();
@@ -783,8 +892,12 @@ RunSummary RunSharded(const ScenarioConfig& config, const Graph& graph,
         }
       }
       if (failed) next[static_cast<std::size_t>(shard)] = SimTime::Max();
+      if (prof != nullptr) t1 = ProfClock::now();
       sync.arrive_and_wait();
       if (done) break;
+      if (prof != nullptr) t2 = ProfClock::now();
+      const std::uint64_t events_before =
+          failed ? 0 : sim->events_executed();
       if (!failed) {
         try {
           sim->RunWindow(horizon);
@@ -794,7 +907,20 @@ RunSummary RunSharded(const ScenarioConfig& config, const Graph& graph,
           failed = true;
         }
       }
+      if (prof != nullptr) t3 = ProfClock::now();
       sync.arrive_and_wait();
+      if (prof != nullptr) {
+        const auto ns = [](ProfClock::duration d) {
+          return static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(d)
+                  .count());
+        };
+        const auto t4 = ProfClock::now();
+        prof->AddRound(
+            horizon.micros(), ns(t1 - t0) + ns(t3 - t2),
+            ns(t2 - t1) + ns(t4 - t3),
+            failed ? 0 : sim->events_executed() - events_before);
+      }
     }
   };
 
@@ -806,6 +932,15 @@ RunSummary RunSharded(const ScenarioConfig& config, const Graph& graph,
     if (errors[static_cast<std::size_t>(s)]) {
       std::rethrow_exception(errors[static_cast<std::size_t>(s)]);
     }
+  }
+  for (const auto& sim : sims) sim->FlushObservability();
+
+  if (profiling) {
+    std::vector<const ShardProfiler*> views;
+    views.reserve(profilers.size());
+    for (const auto& prof : profilers) views.push_back(prof.get());
+    WriteShardProfileFile(config.shard_profile_out,
+                          MergeShardProfiles(views, lookahead_micros));
   }
 
   // Global quiescence time: RunUntil pins the 1-shard clock to the end
@@ -872,11 +1007,13 @@ RunSummary RunScenario(const ScenarioConfig& config) {
                        "gossip computation; running on one shard";
     shards = 1;
   }
+  // Tracing and the shard profiler run sharded (per-shard recorders and
+  // accumulators, merged offline); only captures needing a live global
+  // event order still force the fallback.
   if (shards > 1 &&
-      (config.trace || !config.trace_out.empty() ||
-       !config.metrics_json.empty() || !config.delay_audit_out.empty())) {
-    DCRD_LOG(kWarn) << "observability capture is single-shard; running on "
-                       "one shard";
+      (!config.metrics_json.empty() || !config.delay_audit_out.empty())) {
+    DCRD_LOG(kWarn) << "metrics/delay-audit capture is single-shard; "
+                       "running on one shard";
     shards = 1;
   }
   if (shards > 1) {

@@ -134,8 +134,11 @@ struct ScenarioConfig {
   // keep N-shard runs bit-identical to 1-shard runs (DESIGN.md §12) — so,
   // like the observability knobs, it is deliberately excluded from
   // Describe(). Falls back to one shard with a stderr note for
-  // dcrd_distributed runs, when any observability capture is requested, or
-  // when the partition's lookahead is below one microsecond.
+  // dcrd_distributed runs, when a capture that needs a global event order
+  // at run time is requested (metrics_json, delay_audit_out), or when the
+  // partition's lookahead is below one microsecond. Tracing and the shard
+  // profiler stay sharded: each shard records to its own file and
+  // dcrd_trace merges deterministically (DESIGN.md §13).
   int shards = 1;
   // Test hook: explicit broker->shard owner map (size node_count, every
   // value in [0, shards)). Empty = the BFS locality partitioner
@@ -154,8 +157,17 @@ struct ScenarioConfig {
   bool trace = false;
   std::size_t trace_ring_capacity = std::size_t{1} << 16;
   // When non-empty, stream the full trace to this file as JSONL (implies
-  // tracing). Readable by tools/dcrd_trace.
+  // tracing). Readable by tools/dcrd_trace. Sharded runs write one file per
+  // shard — `.shardK` inserted before a trailing `.jsonl` (or appended) —
+  // and dcrd_trace merges them by (t_us, seq, shard).
   std::string trace_out;
+  // When non-empty, write the shard-execution profile — per-shard busy vs
+  // barrier-stall wall time per horizon round, events executed, and the
+  // cross-shard traffic matrix — to this file as JSON at end of run
+  // ("dcrd-shard-profile-v1", obs/shard_profiler.h). Works at any shard
+  // count; a 1-shard run writes the degenerate all-busy profile. Rendered
+  // by tools/dcrd_trace --shards.
+  std::string shard_profile_out;
   // When non-empty, write the metrics registry (per-epoch counter/gauge
   // series + histograms) to this file as JSON at end of run.
   std::string metrics_json;

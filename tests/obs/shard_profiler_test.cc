@@ -1,0 +1,272 @@
+// Shard-execution profiler: wire-byte model, merge math (totals, buckets,
+// imbalance, critical-shard attribution), traffic-matrix conservation, and
+// the JSON write -> load round trip dcrd_trace --shards depends on.
+#include "obs/shard_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/shard_exchange.h"
+#include "pubsub/packet.h"
+
+namespace dcrd {
+namespace {
+
+XMsg DataMsg(int destinations, int hops) {
+  XMsg msg;
+  msg.kind = XMsgKind::kData;
+  std::vector<NodeId> dests;
+  for (int i = 0; i < destinations; ++i) dests.push_back(NodeId(i + 1));
+  msg.packet = Packet(Message{}, std::move(dests));
+  for (int i = 0; i < hops; ++i) msg.packet.RecordOnPath(NodeId(i));
+  return msg;
+}
+
+TEST(ShardProfilerTest, WireByteModelChargesEnvelopeAndDataPayload) {
+  XMsg echo;
+  echo.kind = XMsgKind::kEchoRequest;
+  EXPECT_EQ(XMsgWireBytes(echo), 48u);
+  echo.kind = XMsgKind::kEchoReply;
+  EXPECT_EQ(XMsgWireBytes(echo), 48u);
+
+  // Data copies add the header plus 4 bytes per destination and per hop.
+  EXPECT_EQ(XMsgWireBytes(DataMsg(0, 0)), 48u + 32u);
+  EXPECT_EQ(XMsgWireBytes(DataMsg(3, 0)), 48u + 32u + 12u);
+  EXPECT_EQ(XMsgWireBytes(DataMsg(3, 2)), 48u + 32u + 12u + 8u);
+}
+
+TEST(ShardProfilerTest, CountInboundAccumulatesPerSourceAndPerRound) {
+  ShardProfiler profiler(1, 4);
+  const XMsg msg = DataMsg(2, 1);
+  const std::uint64_t bytes = XMsgWireBytes(msg);
+  profiler.CountInbound(0, msg);
+  profiler.CountInbound(0, msg);
+  profiler.CountInbound(3, msg);
+  profiler.AddRound(/*horizon_us=*/1000, /*busy_ns=*/50, /*stall_ns=*/5,
+                    /*events=*/7);
+  profiler.CountInbound(2, msg);
+  profiler.AddRound(2000, 60, 6, 8);
+
+  EXPECT_EQ(profiler.in_msgs_by_src(),
+            (std::vector<std::uint64_t>{2, 0, 1, 1}));
+  EXPECT_EQ(profiler.in_bytes_by_src(),
+            (std::vector<std::uint64_t>{2 * bytes, 0, bytes, bytes}));
+  ASSERT_EQ(profiler.rounds().size(), 2u);
+  EXPECT_EQ(profiler.rounds()[0].xmsgs_in, 3u);
+  EXPECT_EQ(profiler.rounds()[0].xbytes_in, 3 * bytes);
+  EXPECT_EQ(profiler.rounds()[0].events, 7u);
+  EXPECT_EQ(profiler.rounds()[1].xmsgs_in, 1u);  // reset between rounds
+  EXPECT_EQ(profiler.rounds()[1].xbytes_in, bytes);
+}
+
+// Builds a small fleet of profilers with a known shape: shard s is busy
+// (s + 1) * 1000 ns per round, everyone stalls 500 ns, and each shard
+// receives one message per round from its left neighbour.
+std::vector<std::unique_ptr<ShardProfiler>> MakeFleet(int shards,
+                                                      int rounds) {
+  std::vector<std::unique_ptr<ShardProfiler>> fleet;
+  const XMsg msg = DataMsg(1, 0);
+  for (int s = 0; s < shards; ++s) {
+    fleet.push_back(std::make_unique<ShardProfiler>(s, shards));
+    for (int r = 0; r < rounds; ++r) {
+      fleet.back()->CountInbound((s + shards - 1) % shards, msg);
+      fleet.back()->AddRound(1000 * (r + 1),
+                             static_cast<std::uint64_t>(s + 1) * 1000, 500,
+                             10);
+    }
+  }
+  return fleet;
+}
+
+std::vector<const ShardProfiler*> Views(
+    const std::vector<std::unique_ptr<ShardProfiler>>& fleet) {
+  std::vector<const ShardProfiler*> views;
+  for (const auto& profiler : fleet) views.push_back(profiler.get());
+  return views;
+}
+
+TEST(ShardProfilerTest, MergeComputesTotalsImbalanceAndCriticalShard) {
+  const auto fleet = MakeFleet(/*shards=*/4, /*rounds=*/8);
+  const ShardProfile profile = MergeShardProfiles(Views(fleet), 250);
+
+  EXPECT_EQ(profile.shards, 4);
+  EXPECT_EQ(profile.rounds, 8u);
+  EXPECT_EQ(profile.lookahead_us, 250);
+  ASSERT_EQ(profile.shard_totals.size(), 4u);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(profile.shard_totals[static_cast<std::size_t>(s)].busy_ns,
+              static_cast<std::uint64_t>(s + 1) * 1000 * 8);
+    EXPECT_EQ(profile.shard_totals[static_cast<std::size_t>(s)].stall_ns,
+              500u * 8);
+    EXPECT_EQ(profile.shard_totals[static_cast<std::size_t>(s)].events,
+              80u);
+  }
+  // busy totals 8k/16k/24k/32k -> max 32k, mean 20k -> imbalance 1.6.
+  EXPECT_NEAR(profile.imbalance, 1.6, 1e-9);
+
+  // 8 rounds fold into at most 8 buckets; the busiest shard (3) is
+  // critical everywhere in this shape.
+  ASSERT_FALSE(profile.buckets.empty());
+  ASSERT_LE(profile.buckets.size(),
+            static_cast<std::size_t>(kMaxShardProfileBuckets));
+  std::uint64_t covered = 0;
+  for (const auto& bucket : profile.buckets) {
+    EXPECT_EQ(bucket.critical_shard, 3);
+    ASSERT_EQ(bucket.busy_ns.size(), 4u);
+    ASSERT_EQ(bucket.stall_ns.size(), 4u);
+    EXPECT_EQ(bucket.first_round, covered);
+    covered = bucket.last_round + 1;
+  }
+  EXPECT_EQ(covered, profile.rounds);  // buckets tile [0, rounds)
+}
+
+TEST(ShardProfilerTest, MergeTruncatesToCommonRoundsAndBucketsLongRuns) {
+  // Shard 1 closed one extra round; the merge keeps the common prefix.
+  auto fleet = MakeFleet(2, 3);
+  fleet[1]->AddRound(9000, 1, 1, 1);
+  const ShardProfile profile = MergeShardProfiles(Views(fleet), 0);
+  EXPECT_EQ(profile.rounds, 3u);
+
+  // Far more rounds than buckets: the fold caps the bucket count.
+  const auto long_fleet = MakeFleet(2, 5000);
+  const ShardProfile long_profile = MergeShardProfiles(Views(long_fleet), 0);
+  EXPECT_EQ(long_profile.buckets.size(),
+            static_cast<std::size_t>(kMaxShardProfileBuckets));
+  std::uint64_t covered = 0;
+  std::uint64_t busy0 = 0;
+  for (const auto& bucket : long_profile.buckets) {
+    EXPECT_EQ(bucket.first_round, covered);
+    covered = bucket.last_round + 1;
+    busy0 += bucket.busy_ns[0];
+  }
+  EXPECT_EQ(covered, 5000u);
+  // Bucket folding loses no time: per-shard bucket sums equal the totals.
+  EXPECT_EQ(busy0, long_profile.shard_totals[0].busy_ns);
+}
+
+TEST(ShardProfilerTest, MatrixConservesTrafficBetweenRowsAndColumns) {
+  const auto fleet = MakeFleet(4, 8);
+  const ShardProfile profile = MergeShardProfiles(Views(fleet), 0);
+
+  std::uint64_t total_in = 0;
+  std::uint64_t total_out = 0;
+  for (int s = 0; s < 4; ++s) {
+    const auto& totals = profile.shard_totals[static_cast<std::size_t>(s)];
+    std::uint64_t row_msgs = 0;
+    std::uint64_t col_msgs = 0;
+    std::uint64_t row_bytes = 0;
+    std::uint64_t col_bytes = 0;
+    for (int t = 0; t < 4; ++t) {
+      row_msgs += profile.At(s, t).msgs;
+      row_bytes += profile.At(s, t).bytes;
+      col_msgs += profile.At(t, s).msgs;
+      col_bytes += profile.At(t, s).bytes;
+    }
+    EXPECT_EQ(row_msgs, totals.msgs_out) << "shard " << s;
+    EXPECT_EQ(row_bytes, totals.bytes_out) << "shard " << s;
+    EXPECT_EQ(col_msgs, totals.msgs_in) << "shard " << s;
+    EXPECT_EQ(col_bytes, totals.bytes_in) << "shard " << s;
+    total_in += totals.msgs_in;
+    total_out += totals.msgs_out;
+    // The ring shape: one message per round from the left neighbour only.
+    EXPECT_EQ(profile.At((s + 3) % 4, s).msgs, 8u);
+    EXPECT_EQ(profile.At(s, s).msgs, 0u);
+  }
+  // Receiver-side accounting makes this an identity, not a measurement.
+  EXPECT_EQ(total_in, total_out);
+}
+
+TEST(ShardProfilerTest, JsonRoundTripPreservesEveryField) {
+  const auto fleet = MakeFleet(3, 10);
+  const ShardProfile profile = MergeShardProfiles(Views(fleet), 500);
+
+  std::ostringstream os;
+  WriteShardProfileJson(os, profile);
+  std::istringstream in(os.str());
+  ShardProfile loaded;
+  std::string error;
+  ASSERT_TRUE(LoadShardProfileJson(in, &loaded, &error)) << error;
+
+  EXPECT_EQ(loaded.shards, profile.shards);
+  EXPECT_EQ(loaded.rounds, profile.rounds);
+  EXPECT_EQ(loaded.lookahead_us, profile.lookahead_us);
+  EXPECT_NEAR(loaded.imbalance, profile.imbalance, 1e-6);
+  ASSERT_EQ(loaded.shard_totals.size(), profile.shard_totals.size());
+  for (std::size_t s = 0; s < profile.shard_totals.size(); ++s) {
+    EXPECT_EQ(loaded.shard_totals[s].busy_ns,
+              profile.shard_totals[s].busy_ns);
+    EXPECT_EQ(loaded.shard_totals[s].stall_ns,
+              profile.shard_totals[s].stall_ns);
+    EXPECT_EQ(loaded.shard_totals[s].events, profile.shard_totals[s].events);
+    EXPECT_EQ(loaded.shard_totals[s].msgs_in,
+              profile.shard_totals[s].msgs_in);
+    EXPECT_EQ(loaded.shard_totals[s].bytes_in,
+              profile.shard_totals[s].bytes_in);
+    EXPECT_EQ(loaded.shard_totals[s].msgs_out,
+              profile.shard_totals[s].msgs_out);
+    EXPECT_EQ(loaded.shard_totals[s].bytes_out,
+              profile.shard_totals[s].bytes_out);
+  }
+  ASSERT_EQ(loaded.matrix.size(), profile.matrix.size());
+  for (std::size_t i = 0; i < profile.matrix.size(); ++i) {
+    EXPECT_EQ(loaded.matrix[i].msgs, profile.matrix[i].msgs) << i;
+    EXPECT_EQ(loaded.matrix[i].bytes, profile.matrix[i].bytes) << i;
+  }
+  ASSERT_EQ(loaded.buckets.size(), profile.buckets.size());
+  for (std::size_t b = 0; b < profile.buckets.size(); ++b) {
+    EXPECT_EQ(loaded.buckets[b].first_round, profile.buckets[b].first_round);
+    EXPECT_EQ(loaded.buckets[b].last_round, profile.buckets[b].last_round);
+    EXPECT_EQ(loaded.buckets[b].horizon_us, profile.buckets[b].horizon_us);
+    EXPECT_EQ(loaded.buckets[b].critical_shard,
+              profile.buckets[b].critical_shard);
+    EXPECT_EQ(loaded.buckets[b].busy_ns, profile.buckets[b].busy_ns);
+    EXPECT_EQ(loaded.buckets[b].stall_ns, profile.buckets[b].stall_ns);
+  }
+}
+
+TEST(ShardProfilerTest, LoadRejectsWrongSchemaAndGarbage) {
+  ShardProfile out;
+  std::string error;
+
+  std::istringstream wrong(
+      "{\"schema\":\"dcrd-metrics-v1\",\"shards\":1,\"rounds\":0}");
+  EXPECT_FALSE(LoadShardProfileJson(wrong, &out, &error));
+  EXPECT_FALSE(error.empty());
+
+  std::istringstream garbage("this is not json");
+  EXPECT_FALSE(LoadShardProfileJson(garbage, &out, &error));
+
+  std::istringstream empty("");
+  EXPECT_FALSE(LoadShardProfileJson(empty, &out, &error));
+}
+
+TEST(ShardProfilerTest, PrintRendersTotalsMatrixAndCriticalShards) {
+  const auto fleet = MakeFleet(4, 8);
+  const ShardProfile profile = MergeShardProfiles(Views(fleet), 250);
+
+  std::ostringstream os;
+  PrintShardProfile(os, profile);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("4 shard(s)"), std::string::npos) << text;
+  EXPECT_NE(text.find("imbalance"), std::string::npos) << text;
+  EXPECT_NE(text.find("1.600"), std::string::npos) << text;
+  EXPECT_NE(text.find("src\\dst"), std::string::npos) << text;
+  EXPECT_NE(text.find("critical shard per round bucket"), std::string::npos)
+      << text;
+
+  // A single-shard profile prints no matrix (nothing crosses a cut).
+  const auto solo = MakeFleet(1, 4);
+  const ShardProfile solo_profile = MergeShardProfiles(Views(solo), 0);
+  std::ostringstream solo_os;
+  PrintShardProfile(solo_os, solo_profile);
+  EXPECT_EQ(solo_os.str().find("matrix"), std::string::npos)
+      << solo_os.str();
+}
+
+}  // namespace
+}  // namespace dcrd

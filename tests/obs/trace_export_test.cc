@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/shard_profiler.h"
 #include "obs/trace_record.h"
 
 namespace dcrd {
@@ -19,7 +20,8 @@ namespace {
 TraceRecord Make(TraceEventKind kind, std::int64_t t_us,
                  std::uint64_t packet, std::uint64_t copy, std::uint32_t node,
                  std::uint32_t peer, std::uint32_t link,
-                 std::uint8_t aux8 = 0, std::uint16_t aux16 = 0) {
+                 std::uint8_t aux8 = 0, std::uint16_t aux16 = 0,
+                 std::uint32_t seq = 0, std::uint16_t shard = 0) {
   TraceRecord record;
   record.t_us = t_us;
   record.packet = packet;
@@ -27,9 +29,11 @@ TraceRecord Make(TraceEventKind kind, std::int64_t t_us,
   record.node = node;
   record.peer = peer;
   record.link = link;
+  record.seq = seq;
   record.kind = kind;
   record.aux8 = aux8;
   record.aux16 = aux16;
+  record.shard = shard;
   return record;
 }
 
@@ -46,7 +50,9 @@ TEST(TraceExportTest, JsonlRoundTripsEveryKindAndSentinel) {
                            /*link=*/k % 5 == 0 ? TraceRecord::kNoId
                                                : static_cast<std::uint32_t>(k),
                            /*aux8=*/static_cast<std::uint8_t>(k),
-                           /*aux16=*/static_cast<std::uint16_t>(k * 11)));
+                           /*aux16=*/static_cast<std::uint16_t>(k * 11),
+                           /*seq=*/static_cast<std::uint32_t>(k * 13),
+                           /*shard=*/static_cast<std::uint16_t>(k % 5)));
   }
   char buf[kMaxTraceLineBytes];
   for (const TraceRecord& record : records) {
@@ -64,7 +70,21 @@ TEST(TraceExportTest, JsonlRoundTripsEveryKindAndSentinel) {
     EXPECT_EQ(parsed.kind, record.kind);
     EXPECT_EQ(parsed.aux8, record.aux8);
     EXPECT_EQ(parsed.aux16, record.aux16);
+    EXPECT_EQ(parsed.seq, record.seq);
+    EXPECT_EQ(parsed.shard, record.shard);
   }
+}
+
+TEST(TraceExportTest, ParseDefaultsSeqAndShardOnLegacyLines) {
+  // A line from a pre-shard-stamp capture — no seq/shard keys.
+  TraceRecord out;
+  ASSERT_TRUE(ParseTraceJsonl(
+      "{\"t\":42,\"k\":\"publish\",\"pkt\":7,\"copy\":0,\"node\":2,"
+      "\"peer\":-1,\"link\":-1,\"aux\":0,\"x\":3}",
+      &out));
+  EXPECT_EQ(out.t_us, 42);
+  EXPECT_EQ(out.seq, 0u);
+  EXPECT_EQ(out.shard, 0u);
 }
 
 TEST(TraceExportTest, ParseRejectsMalformedLines) {
@@ -198,6 +218,163 @@ TEST(TraceExportTest, ChromeTracePairsCopyLifetimesPerBrokerTrack) {
     EXPECT_EQ(pair[1]->ph, 'e') << "copy " << id;
     EXPECT_LE(pair[0]->ts, pair[1]->ts) << "copy " << id;
   }
+}
+
+// --- multi-file merge ------------------------------------------------------
+
+std::string Jsonl(const std::vector<TraceRecord>& records) {
+  std::string text;
+  char buf[kMaxTraceLineBytes];
+  for (const TraceRecord& record : records) {
+    const int n = FormatTraceJsonl(record, buf, sizeof(buf));
+    text.append(buf, static_cast<std::size_t>(n));
+  }
+  return text;
+}
+
+std::vector<TraceRecord> Merge(const std::vector<std::string>& files) {
+  std::vector<std::istringstream> streams;
+  streams.reserve(files.size());
+  for (const std::string& file : files) streams.emplace_back(file);
+  std::vector<std::istream*> ins;
+  for (auto& stream : streams) ins.push_back(&stream);
+  std::vector<TraceRecord> merged;
+  EXPECT_TRUE(ForEachMergedTraceJsonl(
+      ins, [&](const TraceRecord& record) { merged.push_back(record); }));
+  return merged;
+}
+
+TEST(TraceExportTest, MergeOrdersByTimeSeqShardAcrossAdversarialFiles) {
+  // Two shards whose streams interleave adversarially: bursts at equal
+  // timestamps, one stream running far ahead, then the other catching up.
+  const auto rec = [](std::int64_t t, std::uint32_t seq, std::uint16_t shard) {
+    return Make(TraceEventKind::kPublish, t, 1, 0, 0, TraceRecord::kNoId,
+                TraceRecord::kNoId, 0, 0, seq, shard);
+  };
+  const std::string shard0 = Jsonl(
+      {rec(0, 0, 0), rec(10, 1, 0), rec(10, 2, 0), rec(300, 3, 0)});
+  const std::string shard1 = Jsonl(
+      {rec(0, 0, 1), rec(5, 1, 1), rec(10, 2, 1), rec(10, 3, 1),
+       rec(300, 4, 1)});
+
+  const std::vector<TraceRecord> merged = Merge({shard0, shard1});
+  ASSERT_EQ(merged.size(), 9u);
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    const TraceRecord& a = merged[i - 1];
+    const TraceRecord& b = merged[i];
+    const bool ordered =
+        a.t_us < b.t_us ||
+        (a.t_us == b.t_us &&
+         (a.seq < b.seq || (a.seq == b.seq && a.shard < b.shard)));
+    EXPECT_TRUE(ordered) << "position " << i;
+  }
+
+  // Argument order must not matter when shard stamps differ.
+  const std::vector<TraceRecord> reversed = Merge({shard1, shard0});
+  ASSERT_EQ(reversed.size(), merged.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].t_us, reversed[i].t_us) << i;
+    EXPECT_EQ(merged[i].seq, reversed[i].seq) << i;
+    EXPECT_EQ(merged[i].shard, reversed[i].shard) << i;
+  }
+}
+
+TEST(TraceExportTest, MergeOfOneFilePreservesFileOrder) {
+  // A single stream must pass through untouched even where its (t, seq)
+  // pairs would re-sort differently — merge never reorders within a file.
+  const auto rec = [](std::int64_t t, std::uint32_t seq) {
+    return Make(TraceEventKind::kAck, t, 2, 1, 3, 4, 5, 0, 0, seq, 0);
+  };
+  const std::vector<TraceRecord> original = {rec(50, 7), rec(50, 8),
+                                             rec(60, 2)};
+  const std::vector<TraceRecord> merged = Merge({Jsonl(original)});
+  ASSERT_EQ(merged.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(merged[i].seq, original[i].seq) << i;
+  }
+}
+
+TEST(TraceExportTest, MergeReportsTheOffendingFileAndLine) {
+  const std::string good = Jsonl({Make(TraceEventKind::kPublish, 0, 1, 0, 0,
+                                       TraceRecord::kNoId,
+                                       TraceRecord::kNoId)});
+  std::istringstream a(good);
+  std::istringstream b(good + "garbage\n");
+  std::vector<std::istream*> ins{&a, &b};
+  std::size_t bad_file = 99, bad_line = 0;
+  std::string bad_text;
+  EXPECT_FALSE(ForEachMergedTraceJsonl(
+      ins, [](const TraceRecord&) {}, &bad_file, &bad_line, &bad_text));
+  EXPECT_EQ(bad_file, 1u);
+  EXPECT_EQ(bad_line, 2u);
+  EXPECT_EQ(bad_text, "garbage");
+}
+
+// --- Chrome exec tracks ----------------------------------------------------
+
+TEST(TraceExportTest, ChromeTraceAddsPairedExecTracksFromProfile) {
+  std::vector<TraceRecord> records;
+  records.push_back(Make(TraceEventKind::kPublish, 0, 5, 0, 0,
+                         TraceRecord::kNoId, TraceRecord::kNoId));
+
+  ShardProfile profile;
+  profile.shards = 2;
+  profile.rounds = 4;
+  profile.lookahead_us = 10;
+  profile.shard_totals.assign(2, {});
+  profile.matrix.assign(4, {});
+  for (int b = 0; b < 2; ++b) {
+    ShardProfile::Bucket bucket;
+    bucket.first_round = static_cast<std::uint64_t>(b * 2);
+    bucket.last_round = bucket.first_round + 1;
+    bucket.busy_ns = {2'000'000, 1'000'000};
+    bucket.stall_ns = {500'000, 1'500'000};
+    bucket.critical_shard = 0;
+    profile.buckets.push_back(bucket);
+  }
+
+  std::ostringstream os;
+  WriteChromeTrace(os, records, &profile);
+  const std::string json = os.str();
+
+  EXPECT_NE(json.find("dcrd-exec"), std::string::npos);
+  EXPECT_NE(json.find("shard 0 exec"), std::string::npos);
+  EXPECT_NE(json.find("shard 1 exec"), std::string::npos);
+
+  // 2 shards x 2 buckets x (busy + stall): every busy span has its stall
+  // partner, and each shard's spans tile its wall clock without overlap.
+  std::size_t busy_count = 0, stall_count = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"name\":\"busy\"", pos)) != std::string::npos;
+       ++pos) {
+    ++busy_count;
+  }
+  for (std::size_t pos = 0;
+       (pos = json.find("\"name\":\"stall\"", pos)) != std::string::npos;
+       ++pos) {
+    ++stall_count;
+  }
+  EXPECT_EQ(busy_count, 4u);
+  EXPECT_EQ(stall_count, 4u);
+
+  std::map<std::int64_t, std::vector<const ChromeEvent*>> x_by_tid;
+  std::vector<ChromeEvent> events = ScanChrome(json);
+  for (const ChromeEvent& event : events) {
+    if (event.ph == 'X') x_by_tid[event.tid].push_back(&event);
+  }
+  ASSERT_EQ(x_by_tid.size(), 2u);
+  for (const auto& [tid, spans] : x_by_tid) {
+    ASSERT_EQ(spans.size(), 4u) << "shard " << tid;
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i]->ts, spans[i - 1]->ts) << "shard " << tid;
+    }
+    EXPECT_EQ(spans.front()->ts, 0) << "shard " << tid;
+  }
+  // Shard 0: 2ms busy + 0.5ms stall per bucket -> second bucket's busy span
+  // starts at 2500us of cumulative wall clock.
+  EXPECT_EQ(x_by_tid[0][2]->ts, 2500);
+  // Shard 1: 1ms busy + 1.5ms stall per bucket.
+  EXPECT_EQ(x_by_tid[1][2]->ts, 2500);
 }
 
 TEST(TraceExportTest, PacketTimelineFiltersAndOrders) {

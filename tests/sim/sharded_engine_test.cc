@@ -10,9 +10,16 @@
 // *partition choice* is result-neutral too (it only changes wall clock).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "graph/partition.h"
+#include "obs/shard_profiler.h"
+#include "obs/trace_export.h"
+#include "obs/trace_record.h"
 #include "sim/engine.h"
 
 namespace dcrd {
@@ -148,6 +155,18 @@ TEST(ShardedEngineTest, BrokerCrashesBitIdenticalAcrossShardCounts) {
   ExpectShardInvariant(CrashStyle(RouterKind::kDcrd), "crash DCRD");
 }
 
+// The ext8 regime proper: churn plus adaptive RTO plus peer-death
+// detection. Peer deaths fail-fast every pending copy on the link, and the
+// reroutes that follow must fire in an order independent of the slot map's
+// allocation history (which differs per shard count) — the FailFastPending
+// copy-id sort is what this pins down.
+TEST(ShardedEngineTest, PeerDeathReroutesBitIdenticalAcrossShardCounts) {
+  ScenarioConfig config = CrashStyle(RouterKind::kDcrd);
+  config.adaptive_rto = true;
+  config.peer_death_detection = true;
+  ExpectShardInvariant(config, "churn+peer-death DCRD");
+}
+
 TEST(ShardedEngineTest, DelayJitterBitIdenticalAcrossShardCounts) {
   ScenarioConfig config = Fig5Style(RouterKind::kDcrd);
   config.delay_jitter = 0.3;  // shrinks the lookahead but never to zero
@@ -189,6 +208,145 @@ TEST(ShardedEngineTest, DistributedGossipFallsBackToOneShard) {
   const RunSummary base = RunScenario(config);
   config.shards = 4;
   ExpectIdentical(base, RunScenario(config), "distributed fallback");
+}
+
+// Reads every trace file and tallies records per event kind. Any unreadable
+// or malformed file fails the test via the `dropped` count.
+std::map<TraceEventKind, std::uint64_t> CountTraceKinds(
+    const std::vector<std::string>& files) {
+  std::map<TraceEventKind, std::uint64_t> counts;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    EXPECT_TRUE(in.is_open()) << file;
+    std::size_t dropped = 0;
+    for (const TraceRecord& record : ReadTraceJsonl(in, &dropped)) {
+      ++counts[record.kind];
+    }
+    EXPECT_EQ(dropped, 0u) << file;
+  }
+  return counts;
+}
+
+std::vector<std::string> ShardTraceFiles(const std::string& stem,
+                                         int shards) {
+  std::vector<std::string> files;
+  for (int s = 0; s < shards; ++s) {
+    files.push_back(stem + ".shard" + std::to_string(s) + ".jsonl");
+  }
+  return files;
+}
+
+TEST(ShardedEngineTest, TraceRecordCountsConserveAcrossShardCounts) {
+  // Every record site is gated on ownership (publisher-local kPublish,
+  // shard-0 rebuilds and link samples, node-local lifecycle and resyncs),
+  // so the per-kind record count summed over the 8 per-shard files must
+  // equal the single-shard capture exactly — no event traced twice, none
+  // lost to a cut. Run both figure regimes; fig5 exercises cross-shard
+  // retransmissions, fig2 the binary-outage rebuild storm.
+  struct Regime {
+    const char* name;
+    ScenarioConfig config;
+  };
+  for (const Regime& regime :
+       {Regime{"fig2", Fig2Style(RouterKind::kDcrd)},
+        Regime{"fig5", Fig5Style(RouterKind::kDcrd)}}) {
+    const std::string stem =
+        testing::TempDir() + "conserve_" + regime.name;
+
+    ScenarioConfig single = regime.config;
+    single.shards = 1;
+    single.trace_out = stem + ".jsonl";
+    RunScenario(single);
+    const auto base = CountTraceKinds({single.trace_out});
+
+    ScenarioConfig sharded = regime.config;
+    sharded.shards = 8;
+    sharded.trace_out = stem + "_s8.jsonl";
+    RunScenario(sharded);
+    const auto split = CountTraceKinds(ShardTraceFiles(stem + "_s8", 8));
+
+    EXPECT_FALSE(base.empty()) << regime.name;
+    EXPECT_EQ(base, split) << regime.name;
+  }
+}
+
+TEST(ShardedEngineTest, ShardFilesCarryTheirOwnShardStampAndDenseSeq) {
+  ScenarioConfig config = Fig5Style(RouterKind::kDcrd);
+  config.shards = 4;
+  const std::string stem = testing::TempDir() + "stamp";
+  config.trace_out = stem + ".jsonl";
+  RunScenario(config);
+
+  for (int s = 0; s < 4; ++s) {
+    std::ifstream in(stem + ".shard" + std::to_string(s) + ".jsonl");
+    ASSERT_TRUE(in.is_open()) << s;
+    std::size_t dropped = 0;
+    const std::vector<TraceRecord> records = ReadTraceJsonl(in, &dropped);
+    ASSERT_EQ(dropped, 0u) << s;
+    ASSERT_FALSE(records.empty()) << s;  // every shard owns active brokers
+    std::uint32_t expected_seq = 0;
+    for (const TraceRecord& record : records) {
+      EXPECT_EQ(record.shard, static_cast<std::uint16_t>(s));
+      // seq is the recorder's running ordinal: dense from 0, so the merge
+      // can reconstruct each shard's capture order exactly.
+      EXPECT_EQ(record.seq, expected_seq++);
+    }
+  }
+}
+
+TEST(ShardedEngineTest, ProfiledRunIsResultNeutralAndProfileConserves) {
+  // --shard_profile must not perturb results (the profiler only reads wall
+  // clocks and drained messages), and the written profile's traffic matrix
+  // must conserve: row sums = out totals, column sums = in totals, grand
+  // totals equal — receiver-side accounting makes that an identity.
+  ScenarioConfig config = Fig5Style(RouterKind::kDcrd);
+  const RunSummary base = RunScenario(config);
+
+  ScenarioConfig profiled = config;
+  profiled.shards = 8;
+  profiled.shard_profile_out = testing::TempDir() + "profile_s8.json";
+  const RunSummary other = RunScenario(profiled);
+  ExpectIdentical(base, other, "profiled @8 shards");
+
+  std::ifstream in(profiled.shard_profile_out);
+  ASSERT_TRUE(in.is_open());
+  ShardProfile profile;
+  std::string error;
+  ASSERT_TRUE(LoadShardProfileJson(in, &profile, &error)) << error;
+  EXPECT_EQ(profile.shards, 8);
+  EXPECT_GT(profile.rounds, 0u);
+
+  std::uint64_t total_in = 0;
+  std::uint64_t total_out = 0;
+  std::uint64_t total_events = 0;
+  for (int s = 0; s < 8; ++s) {
+    const auto& totals = profile.shard_totals[static_cast<std::size_t>(s)];
+    std::uint64_t row = 0;
+    std::uint64_t col = 0;
+    for (int t = 0; t < 8; ++t) {
+      row += profile.At(s, t).msgs;
+      col += profile.At(t, s).msgs;
+      EXPECT_EQ(profile.At(s, s).msgs, 0u);  // no self-traffic over a cut
+    }
+    EXPECT_EQ(row, totals.msgs_out) << "shard " << s;
+    EXPECT_EQ(col, totals.msgs_in) << "shard " << s;
+    total_in += totals.msgs_in;
+    total_out += totals.msgs_out;
+    total_events += totals.events;
+  }
+  EXPECT_EQ(total_in, total_out);
+  EXPECT_GT(total_in, 0u);  // fig5 at 8 shards always crosses cuts
+  // Sharding replicates control events, so the event total across shards
+  // is at least the single-shard run's — never less (no work vanishes).
+  ScenarioConfig solo = config;
+  solo.shard_profile_out = testing::TempDir() + "profile_s1.json";
+  RunScenario(solo);
+  std::ifstream solo_in(solo.shard_profile_out);
+  ASSERT_TRUE(solo_in.is_open());
+  ShardProfile solo_profile;
+  ASSERT_TRUE(LoadShardProfileJson(solo_in, &solo_profile, &error)) << error;
+  EXPECT_EQ(solo_profile.shards, 1);
+  EXPECT_GE(total_events, solo_profile.shard_totals[0].events);
 }
 
 TEST(ShardedEngineTest, ChaosSoakAcrossShardsStaysClean) {

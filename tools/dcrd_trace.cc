@@ -4,9 +4,12 @@
 //   dcrd_trace [MODE...] TRACE.jsonl...
 //
 // Traces come from any figure/example binary run with --trace_out (one file
-// per sweep cell). Multiple files are concatenated before querying, which is
-// how a packet that crosses a run boundary would be reassembled — though in
-// practice you point it at one cell's file.
+// per sweep cell; a sharded cell writes one file per shard, tagged
+// `.shardK`). Multiple inputs — listed explicitly or as a shell-style
+// pattern like `trace.shard*.jsonl`, which the tool expands itself so
+// quoting survives CI scripts — are merged deterministically by
+// (t_us, seq, shard): the same total order regardless of argument order, so
+// every view below works unchanged on a multi-shard capture.
 //
 //   --summary        per-kind event counts, time span, distinct
 //                    packets/brokers (default when no mode is given)
@@ -17,7 +20,14 @@
 //                    start/done, peer-death verdicts about it, and every
 //                    traffic event it took part in
 //   --chrome PATH    write a Chrome trace_event JSON file (open in Perfetto
-//                    or chrome://tracing; one track per broker)
+//                    or chrome://tracing; one track per broker). With
+//                    --shards, adds a "dcrd-exec" process: one wall-clock
+//                    track per shard showing busy/stall spans per round
+//                    bucket
+//   --shards PROF    render a --shard_profile JSON (per-shard busy/stall
+//                    totals, imbalance, critical-shard attribution, and the
+//                    cross-shard traffic matrix as a heat table). Works
+//                    standalone — no trace files needed
 //   --decompose      causal delay decomposition: per-component totals,
 //                    per-epoch means, per-link/per-broker hotspots
 //   --audit MODEL    model-vs-observed audit against a --delay_audit JSONL
@@ -26,8 +36,11 @@
 //                    charts; audit table when --audit is also given)
 //
 // Input is streamed line by line — a multi-gigabyte trace never lives in
-// memory twice. A malformed line is a hard error (exit 1, with the file,
-// line number, and offending text); unknown flags exit 2.
+// memory twice, and the merge buffers one record per file. A malformed line
+// is a hard error (exit 1, with the file, line number, and offending text);
+// unknown flags exit 2.
+#include <glob.h>
+
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -37,6 +50,7 @@
 #include "obs/analysis/delay_decomposition.h"
 #include "obs/analysis/html_report.h"
 #include "obs/analysis/model_audit.h"
+#include "obs/shard_profiler.h"
 #include "obs/trace_export.h"
 #include "obs/trace_record.h"
 
@@ -44,9 +58,29 @@ namespace {
 
 int Usage() {
   std::cerr << "usage: dcrd_trace [--summary | --packet ID | --broker ID | "
-               "--chrome OUT | --decompose | --audit MODEL.jsonl | "
-               "--report OUT.html] TRACE.jsonl...\n";
+               "--chrome OUT | --shards PROFILE.json | --decompose | "
+               "--audit MODEL.jsonl | --report OUT.html] TRACE.jsonl...\n";
   return 2;
+}
+
+// Expands shell-style patterns (a sharded cell's `trace.shard*.jsonl`) so a
+// quoted pattern works the same as an explicit list. GLOB_NOCHECK hands a
+// non-matching pattern back verbatim, so plain paths pass through — a
+// missing file still surfaces as "cannot open", not as silence.
+std::vector<std::string> ExpandGlobs(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  for (const std::string& arg : args) {
+    glob_t matches{};
+    if (::glob(arg.c_str(), GLOB_NOCHECK, nullptr, &matches) == 0) {
+      for (std::size_t i = 0; i < matches.gl_pathc; ++i) {
+        paths.emplace_back(matches.gl_pathv[i]);
+      }
+    } else {
+      paths.push_back(arg);
+    }
+    globfree(&matches);
+  }
+  return paths;
 }
 
 // Value-less mode flags (--summary, --decompose). Flags::Parse is greedy —
@@ -63,23 +97,32 @@ bool BoolMode(const dcrd::Flags& flags, const std::string& name,
   return true;
 }
 
-// Streams every trace file through `fn`; hard-fails on the first malformed
-// line with a message a human can act on.
+// Streams every trace file through `fn` as one deterministic
+// (t_us, seq, shard)-ordered merge; hard-fails on the first malformed line
+// with a message a human can act on. A single file passes through in file
+// order — identical to the pre-merge behaviour.
 bool StreamTraces(const std::vector<std::string>& files,
                   const std::function<void(const dcrd::TraceRecord&)>& fn) {
+  std::vector<std::ifstream> streams;
+  streams.reserve(files.size());
+  std::vector<std::istream*> ins;
+  ins.reserve(files.size());
   for (const std::string& path : files) {
-    std::ifstream in(path);
-    if (!in) {
+    streams.emplace_back(path);
+    if (!streams.back()) {
       std::cerr << "dcrd_trace: cannot open " << path << "\n";
       return false;
     }
-    std::size_t bad_line = 0;
-    std::string bad_text;
-    if (!dcrd::ForEachTraceJsonl(in, fn, &bad_line, &bad_text)) {
-      std::cerr << "dcrd_trace: " << path << ":" << bad_line
-                << ": malformed trace record: " << bad_text << "\n";
-      return false;
-    }
+    ins.push_back(&streams.back());
+  }
+  std::size_t bad_file = 0;
+  std::size_t bad_line = 0;
+  std::string bad_text;
+  if (!dcrd::ForEachMergedTraceJsonl(ins, fn, &bad_file, &bad_line,
+                                     &bad_text)) {
+    std::cerr << "dcrd_trace: " << files[bad_file] << ":" << bad_line
+              << ": malformed trace record: " << bad_text << "\n";
+    return false;
   }
   return true;
 }
@@ -171,13 +214,15 @@ int main(int argc, char** argv) {
   const bool has_broker = flags.Has("broker");
   const std::int64_t broker = flags.GetInt("broker", -1);
   const std::string chrome_out = flags.GetString("chrome", "");
+  const std::string shards_profile = flags.GetString("shards", "");
   const std::string audit_model = flags.GetString("audit", "");
   const std::string report_out = flags.GetString("report", "");
   flags.ExitOnUnqueried();
 
   files.insert(files.end(), flags.passthrough().begin(),
                flags.passthrough().end());
-  if (files.empty()) return Usage();
+  files = ExpandGlobs(files);
+  if (files.empty() && shards_profile.empty()) return Usage();
   if (has_packet && packet < 0) {
     std::cerr << "--packet needs a non-negative message id\n";
     return 2;
@@ -185,6 +230,26 @@ int main(int argc, char** argv) {
   if (has_broker && broker < 0) {
     std::cerr << "--broker needs a non-negative broker id\n";
     return 2;
+  }
+
+  // The shard-execution profile: printed on its own, and threaded into the
+  // Chrome export (per-shard busy/stall tracks) when both are requested.
+  dcrd::ShardProfile profile;
+  bool have_profile = false;
+  if (!shards_profile.empty()) {
+    std::ifstream in(shards_profile);
+    if (!in) {
+      std::cerr << "dcrd_trace: cannot open " << shards_profile << "\n";
+      return 1;
+    }
+    std::string error;
+    if (!dcrd::LoadShardProfileJson(in, &profile, &error)) {
+      std::cerr << "dcrd_trace: " << shards_profile
+                << ": malformed shard profile: " << error << "\n";
+      return 1;
+    }
+    have_profile = true;
+    dcrd::PrintShardProfile(std::cout, profile);
   }
 
   // The timeline and Chrome exports need the records in memory; every other
@@ -196,8 +261,10 @@ int main(int argc, char** argv) {
   std::vector<dcrd::TraceRecord> records;
   dcrd::TraceAnalyzer analyzer;
   dcrd::TraceSummaryAccumulator summary_acc;
-  const bool want_summary = summary || (!need_records && !need_analysis);
-  if (!StreamTraces(files, [&](const dcrd::TraceRecord& record) {
+  const bool want_summary =
+      summary || (!need_records && !need_analysis && !have_profile);
+  if (!files.empty() &&
+      !StreamTraces(files, [&](const dcrd::TraceRecord& record) {
         if (need_records) records.push_back(record);
         if (need_analysis) analyzer.Add(record);
         if (want_summary) summary_acc.Add(record);
@@ -211,7 +278,8 @@ int main(int argc, char** argv) {
       std::cerr << "cannot write " << chrome_out << "\n";
       return 1;
     }
-    dcrd::WriteChromeTrace(out, records);
+    dcrd::WriteChromeTrace(out, records,
+                           have_profile ? &profile : nullptr);
     std::cerr << "wrote " << chrome_out << " (" << records.size()
               << " records)\n";
   }
