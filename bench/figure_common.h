@@ -21,7 +21,15 @@
 //                    P.<stem>.<cell>.jsonl (implies --trace); inspect with
 //                    tools/dcrd_trace
 //   --metrics_json P write each cell's metrics registry to
-//                    P.<stem>.<cell>.json
+//                    P.<stem>.<cell>.json (works at any --shards count;
+//                    per-shard registries merge at join)
+//   --timeseries P   sample each cell's metrics registry every simulated
+//                    second into a columnar time series — counter deltas,
+//                    gauge levels, histogram raw-bucket deltas, per-broker
+//                    health, windowed deadline-SLO series — written to
+//                    P.<stem>.<cell>.json ("dcrd-timeseries-v1"); render
+//                    with tools/dcrd_trace --timeseries. Works at any
+//                    --shards count
 //   --no_timer_wheel run every scheduler on the legacy binary-heap backend
 //                    (determinism_check.sh byte-diffs this against the
 //                    default timer-wheel path)
@@ -79,6 +87,7 @@ struct FigureScale {
   bool trace = false;       // --trace: in-memory flight recorder per cell
   std::string trace_out;    // --trace_out: JSONL trace file prefix
   std::string metrics_json;  // --metrics_json: metrics file prefix
+  std::string timeseries;    // --timeseries: time-series file prefix
   std::string delay_audit;   // --delay_audit: trace+model file prefix
   std::string shard_profile;  // --shard_profile: exec-profile file prefix
 };
@@ -133,6 +142,7 @@ inline FigureScale ParseScale(const Flags& flags) {
   scale.trace = flags.GetBool("trace", false);
   scale.trace_out = flags.GetString("trace_out", "");
   scale.metrics_json = flags.GetString("metrics_json", "");
+  scale.timeseries = flags.GetString("timeseries", "");
   scale.delay_audit = flags.GetString("delay_audit", "");
   scale.shard_profile = flags.GetString("shard_profile", "");
   return scale;
@@ -141,8 +151,8 @@ inline FigureScale ParseScale(const Flags& flags) {
 // True when any observability output was requested on the command line.
 inline bool ObservabilityRequested(const FigureScale& scale) {
   return scale.trace || !scale.trace_out.empty() ||
-         !scale.metrics_json.empty() || !scale.delay_audit.empty() ||
-         !scale.shard_profile.empty();
+         !scale.metrics_json.empty() || !scale.timeseries.empty() ||
+         !scale.delay_audit.empty() || !scale.shard_profile.empty();
 }
 
 // Applies the scale's observability options to one cell's config. `cell`
@@ -160,6 +170,10 @@ inline void ApplyObservability(const FigureScale& scale,
   if (!scale.metrics_json.empty()) {
     config.metrics_json =
         scale.metrics_json + "." + stem + "." + cell + ".json";
+  }
+  if (!scale.timeseries.empty()) {
+    config.timeseries_out =
+        scale.timeseries + "." + stem + "." + cell + ".json";
   }
   if (!scale.delay_audit.empty()) {
     // The audit needs the trace (observed side) and the model rows

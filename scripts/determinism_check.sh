@@ -210,6 +210,53 @@ else
   echo "determinism_check: $prof_binary not in binary set; skipping shard-profile phase" >&2
 fi
 
+# Continuous telemetry must be result-neutral too: the sampler is a
+# read-only scheduler event and the metrics registry a set of passive
+# counters, so --timeseries plus --metrics_json must leave stdout and every
+# CSV byte-identical to the plain captures — at --shards 1 and --shards N
+# alike (DESIGN.md §14). Stronger still, the sharded run's *merged*
+# telemetry files must be byte-identical to the single-shard run's: kSum
+# series because owner-only deltas partition the work, kReplicated series
+# because the control plane replays identically on every shard.
+ts_binary="fig5_network_size"
+binary="$build_dir/bench/$ts_binary"
+if [[ " $binaries " == *" $ts_binary "* ]]; then
+  echo "=== determinism check: $ts_binary plain vs --timeseries + --metrics_json ==="
+  for pair in "s1 1 $workdir/$ts_binary.serial" \
+              "sN $shards $workdir/$ts_binary.sharded"; do
+    read -r tag run_shards baseline <<< "$pair"
+    telemetered="$workdir/$ts_binary.telemetered.$tag"
+    "$binary" --reps "$reps" --seconds "$sim_seconds" --jobs 1 \
+      --shards "$run_shards" --csv "$telemetered" \
+      --timeseries "$workdir/ts.$tag" \
+      --metrics_json "$workdir/tsmetrics.$tag" > "$telemetered.out" 2> /dev/null
+    if ! diff -u "$baseline.out" "$telemetered.out"; then
+      echo "determinism_check: $ts_binary stdout differs with --timeseries ($tag)" >&2
+      fail=1
+    fi
+    while IFS= read -r csv; do
+      if ! cmp -s "$baseline/$csv" "$telemetered/$csv"; then
+        echo "determinism_check: $ts_binary CSV $csv differs with --timeseries ($tag)" >&2
+        diff -u "$baseline/$csv" "$telemetered/$csv" || true
+        fail=1
+      fi
+    done < "$workdir/$ts_binary.serial.files"
+  done
+  if ! ls "$workdir"/ts.s1.*.json > /dev/null 2>&1; then
+    echo "determinism_check: telemetered run produced no time-series JSON" >&2
+    fail=1
+  fi
+  for s1_file in "$workdir"/ts.s1.*.json "$workdir"/tsmetrics.s1.*.json; do
+    sN_file="${s1_file/.s1./.sN.}"
+    if ! cmp -s "$s1_file" "$sN_file"; then
+      echo "determinism_check: merged telemetry $(basename "$sN_file") differs from the single-shard capture" >&2
+      fail=1
+    fi
+  done
+else
+  echo "determinism_check: $ts_binary not in binary set; skipping telemetry phase" >&2
+fi
+
 # Same bar for the delay-provenance capture: --delay_audit redirects the
 # trace and adds the Theorem-1 model rows, so stdout and CSVs must stay
 # byte-identical to the unaudited runs above — serial and parallel alike.

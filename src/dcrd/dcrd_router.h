@@ -110,6 +110,9 @@ class DcrdRouter final : public Router {
   [[nodiscard]] std::size_t open_episodes() const override {
     return episodes_.size();
   }
+  void SampleBrokerHealth(std::vector<BrokerHealth>& out) const override {
+    transport_.SampleBrokerHealth(out);
+  }
 
   // Fail-stop crash–recovery (see net/broker_lifecycle.h). A crash destroys
   // every piece of the broker's volatile state: transport pendings and

@@ -1,9 +1,13 @@
 #include "obs/analysis/html_report.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <ostream>
 #include <string>
+#include <vector>
+
+#include "obs/timeseries.h"
 
 namespace dcrd {
 
@@ -493,10 +497,108 @@ constexpr std::string_view kJs = R"JS(
   })();
 )JS";
 
+// Continuous-telemetry panel, rendered as static inline SVG (no JS): the
+// windowed deadline-SLO chart — delivery ratio and violation rate on a
+// shared [0, 1+] axis, windowed p99 delay on its own — plus a strided
+// window table. Server-side rendering keeps the panel byte-deterministic
+// and the report self-contained even with scripts disabled.
+void WriteTimeSeriesPanel(std::ostream& os, const TimeSeriesStore& series) {
+  const std::vector<SloWindow> slo = ComputeSloSeries(series);
+  os << "<section class=\"card\" id=\"timeseriesCard\">\n"
+     << "<h2>Continuous telemetry (deadline SLO)</h2>\n"
+     << "<div class=\"note\">Per-window delivery ratio and deadline-"
+        "violation rate sampled every "
+     << series.interval_us / 1000 << " ms of sim time; " << slo.size()
+     << " windows.</div>\n";
+  if (slo.empty()) {
+    os << "<div class=\"note\">No SLO counters in this time series.</div>\n"
+       << "</section>\n";
+    return;
+  }
+  const double t0 = static_cast<double>(slo.front().t_us);
+  const double t1 = static_cast<double>(slo.back().t_us);
+  const double span = t1 > t0 ? t1 - t0 : 1.0;
+  constexpr double kW = 880.0, kH = 160.0, kPad = 8.0;
+  const auto x_of = [&](std::int64_t t) {
+    return kPad + (static_cast<double>(t) - t0) / span * (kW - 2 * kPad);
+  };
+  const auto polyline = [&](const char* var, auto value_of, double vmax) {
+    os << "<polyline fill=\"none\" stroke=\"var(" << var
+       << ")\" stroke-width=\"1.5\" points=\"";
+    char pt[48];
+    for (const SloWindow& w : slo) {
+      const double v = std::min(value_of(w) / vmax, 1.0);
+      std::snprintf(pt, sizeof(pt), "%.1f,%.1f ", x_of(w.t_us),
+                    kH - kPad - v * (kH - 2 * kPad));
+      os << pt;
+    }
+    os << "\"/>\n";
+  };
+  // Ratio chart: shared axis topping out just above 1 so a perfect run
+  // draws a visible line instead of hugging the frame.
+  os << "<svg viewBox=\"0 0 " << kW << " " << kH
+     << "\" role=\"img\" aria-label=\"Delivery ratio and violation rate per "
+        "window\" style=\"width:100%;height:auto\">\n"
+     << "<rect x=\"0\" y=\"0\" width=\"" << kW << "\" height=\"" << kH
+     << "\" fill=\"none\" stroke=\"var(--grid)\"/>\n";
+  polyline("--series-1",
+           [](const SloWindow& w) { return w.delivery_ratio; }, 1.05);
+  polyline("--series-2",
+           [](const SloWindow& w) { return w.violation_rate; }, 1.05);
+  os << "</svg>\n"
+     << "<div class=\"legend\"><span><span class=\"sw\" "
+        "style=\"background:var(--series-1)\"></span>delivery ratio</span> "
+        "<span><span class=\"sw\" "
+        "style=\"background:var(--series-2)\"></span>violation rate</span>"
+        "</div>\n";
+  std::uint64_t p99_max = 1;
+  for (const SloWindow& w : slo) p99_max = std::max(p99_max, w.delay_p99_us);
+  os << "<svg viewBox=\"0 0 " << kW << " " << kH
+     << "\" role=\"img\" aria-label=\"Windowed p99 delivery delay\" "
+        "style=\"width:100%;height:auto\">\n"
+     << "<rect x=\"0\" y=\"0\" width=\"" << kW << "\" height=\"" << kH
+     << "\" fill=\"none\" stroke=\"var(--grid)\"/>\n";
+  polyline("--series-3",
+           [](const SloWindow& w) {
+             return static_cast<double>(w.delay_p99_us);
+           },
+           static_cast<double>(p99_max));
+  os << "</svg>\n"
+     << "<div class=\"legend\"><span><span class=\"sw\" "
+        "style=\"background:var(--series-3)\"></span>windowed p99 delay "
+        "(max "
+     << p99_max << "us)</span></div>\n";
+  // Strided table: at most ~20 rows so paper-scale runs stay skimmable.
+  const std::size_t stride = slo.size() > 20 ? (slo.size() + 19) / 20 : 1;
+  os << "<details><summary>Window table (every " << stride
+     << ")</summary><table>"
+     << "<tr><th>t (ms)</th><th>published</th><th>delivered</th>"
+        "<th>on time</th><th>ratio</th><th>violation</th>"
+        "<th>p50 (us)</th><th>p99 (us)</th></tr>";
+  char cells[192];
+  for (std::size_t i = 0; i < slo.size(); i += stride) {
+    const SloWindow& w = slo[i];
+    std::snprintf(cells, sizeof(cells),
+                  "<tr><td>%lld</td><td>%llu</td><td>%llu</td>"
+                  "<td>%llu</td><td>%.4f</td><td>%.4f</td>"
+                  "<td>%llu</td><td>%llu</td></tr>",
+                  static_cast<long long>(w.t_us / 1000),
+                  static_cast<unsigned long long>(w.published),
+                  static_cast<unsigned long long>(w.delivered),
+                  static_cast<unsigned long long>(w.on_time),
+                  w.delivery_ratio, w.violation_rate,
+                  static_cast<unsigned long long>(w.delay_p50_us),
+                  static_cast<unsigned long long>(w.delay_p99_us));
+    os << cells;
+  }
+  os << "</table></details>\n</section>\n";
+}
+
 }  // namespace
 
 void WriteHtmlReport(std::ostream& os, const DecompositionResult& result,
-                     const AuditReport* audit, std::string_view title) {
+                     const AuditReport* audit, std::string_view title,
+                     const TimeSeriesStore* series) {
   os << "<!doctype html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
      << "<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n"
      << "<title>";
@@ -539,8 +641,9 @@ void WriteHtmlReport(std::ostream& os, const DecompositionResult& result,
         "link, timer waits per broker.</div>\n"
      << "<table id=\"linkTable\"></table>\n<br>\n"
      << "<table id=\"brokerTable\"></table>\n"
-     << "</section>\n"
-     << "</div>\n<div id=\"tooltip\"></div>\n"
+     << "</section>\n";
+  if (series != nullptr) WriteTimeSeriesPanel(os, *series);
+  os << "</div>\n<div id=\"tooltip\"></div>\n"
      << "<script>\nconst DATA = ";
   JsonData(os, result, audit, title);
   os << ";\n";

@@ -20,8 +20,16 @@
 
 namespace dcrd {
 
+struct TimeSeriesStore;
+
 // `audit` may be null: the report then omits the model-audit section.
+// `series` may be null: with a time-series store (obs/timeseries.h, loaded
+// from a --timeseries capture of the same run) the report gains a
+// continuous-telemetry panel — the windowed deadline-SLO chart (delivery
+// ratio, violation rate, windowed p99 delay) rendered as static inline
+// SVG, plus a strided window table.
 void WriteHtmlReport(std::ostream& os, const DecompositionResult& result,
-                     const AuditReport* audit, std::string_view title);
+                     const AuditReport* audit, std::string_view title,
+                     const TimeSeriesStore* series = nullptr);
 
 }  // namespace dcrd

@@ -105,26 +105,32 @@ void LogLinearHistogram::Clear() {
   max_ = 0;
 }
 
-std::uint64_t* MetricsRegistry::AddCounter(std::string name) {
+std::uint64_t* MetricsRegistry::AddCounter(std::string name,
+                                           MergePolicy policy) {
   Counter& counter = counters_.emplace_back();
   counter.name = std::move(name);
+  counter.policy = policy;
   return &counter.owned;
 }
 
 void MetricsRegistry::RegisterCounter(std::string name,
-                                      const std::uint64_t* source) {
+                                      const std::uint64_t* source,
+                                      MergePolicy policy) {
   DCRD_CHECK(source != nullptr);
   Counter& counter = counters_.emplace_back();
   counter.name = std::move(name);
   counter.source = source;
+  counter.policy = policy;
 }
 
 void MetricsRegistry::RegisterGauge(std::string name,
-                                    std::function<std::uint64_t()> sample) {
+                                    std::function<std::uint64_t()> sample,
+                                    MergePolicy policy) {
   DCRD_CHECK(sample != nullptr);
   Gauge& gauge = gauges_.emplace_back();
   gauge.name = std::move(name);
   gauge.sample = std::move(sample);
+  gauge.policy = policy;
 }
 
 LogLinearHistogram* MetricsRegistry::AddHistogram(std::string name) {
@@ -146,6 +152,86 @@ void MetricsRegistry::SnapshotEpoch(SimTime t) {
   }
 }
 
+MetricsDoc MetricsRegistry::Collect() const {
+  MetricsDoc doc;
+  doc.epoch_t_us.reserve(epochs_.size());
+  for (const Epoch& epoch : epochs_) doc.epoch_t_us.push_back(epoch.t_us);
+  doc.counters.reserve(counters_.size());
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    MetricsDoc::Series& series = doc.counters.emplace_back();
+    series.name = counters_[i].name;
+    series.policy = counters_[i].policy;
+    series.final_value = counters_[i].value();
+    series.epochs.reserve(epochs_.size());
+    for (const Epoch& epoch : epochs_) {
+      series.epochs.push_back(epoch.counters[i]);
+    }
+  }
+  doc.gauges.reserve(gauges_.size());
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    MetricsDoc::Series& series = doc.gauges.emplace_back();
+    series.name = gauges_[i].name;
+    series.policy = gauges_[i].policy;
+    series.final_value = gauges_[i].sample();
+    series.epochs.reserve(epochs_.size());
+    for (const Epoch& epoch : epochs_) {
+      series.epochs.push_back(epoch.gauges[i]);
+    }
+  }
+  doc.histograms.reserve(histograms_.size());
+  for (const Histogram& histogram : histograms_) {
+    doc.histograms.push_back({histogram.name, histogram.histogram.Snapshot()});
+  }
+  return doc;
+}
+
+namespace {
+
+// Folds `from` into `into` per the series' merge policy. Replicated series
+// keep `into`'s (shard 0's) values untouched.
+void MergeSeries(MetricsDoc::Series& into, const MetricsDoc::Series& from) {
+  DCRD_CHECK(into.name == from.name && into.policy == from.policy &&
+             into.epochs.size() == from.epochs.size())
+      << "metric series disagree across shards: " << into.name;
+  if (into.policy == MergePolicy::kReplicated) return;
+  for (std::size_t e = 0; e < into.epochs.size(); ++e) {
+    into.epochs[e] += from.epochs[e];
+  }
+  into.final_value += from.final_value;
+}
+
+}  // namespace
+
+MetricsDoc MergeMetricsDocs(const std::vector<const MetricsDoc*>& docs) {
+  DCRD_CHECK(!docs.empty());
+  MetricsDoc merged = *docs.front();
+  for (std::size_t d = 1; d < docs.size(); ++d) {
+    const MetricsDoc& doc = *docs[d];
+    DCRD_CHECK(doc.epoch_t_us == merged.epoch_t_us)
+        << "epoch timestamps disagree across shards";
+    DCRD_CHECK(doc.counters.size() == merged.counters.size() &&
+               doc.gauges.size() == merged.gauges.size() &&
+               doc.histograms.size() == merged.histograms.size());
+    for (std::size_t i = 0; i < merged.counters.size(); ++i) {
+      MergeSeries(merged.counters[i], doc.counters[i]);
+    }
+    for (std::size_t i = 0; i < merged.gauges.size(); ++i) {
+      MergeSeries(merged.gauges[i], doc.gauges[i]);
+    }
+    for (std::size_t i = 0; i < merged.histograms.size(); ++i) {
+      DCRD_CHECK(merged.histograms[i].name == doc.histograms[i].name);
+      // Raw-bucket merge through a scratch histogram: AbsorbSnapshot maps
+      // buckets back by lo value, so the merged snapshot is exactly what
+      // one histogram fed every shard's samples would have produced.
+      LogLinearHistogram scratch;
+      scratch.AbsorbSnapshot(merged.histograms[i].snapshot);
+      scratch.AbsorbSnapshot(doc.histograms[i].snapshot);
+      merged.histograms[i].snapshot = scratch.Snapshot();
+    }
+  }
+  return merged;
+}
+
 namespace {
 
 // Minimal JSON string escaping; metric names are code-chosen identifiers,
@@ -161,42 +247,44 @@ void WriteJsonString(std::ostream& os, const std::string& s) {
 
 }  // namespace
 
-void MetricsRegistry::WriteJson(std::ostream& os) const {
+void WriteMetricsJson(std::ostream& os, const MetricsDoc& doc) {
   os << "{\n  \"epochs\": [";
-  for (std::size_t e = 0; e < epochs_.size(); ++e) {
-    const Epoch& epoch = epochs_[e];
-    os << (e == 0 ? "\n" : ",\n") << "    {\"t_us\": " << epoch.t_us
+  for (std::size_t e = 0; e < doc.epoch_t_us.size(); ++e) {
+    os << (e == 0 ? "\n" : ",\n") << "    {\"t_us\": " << doc.epoch_t_us[e]
        << ", \"counters\": {";
-    for (std::size_t i = 0; i < epoch.counters.size(); ++i) {
+    for (std::size_t i = 0; i < doc.counters.size(); ++i) {
       if (i > 0) os << ", ";
-      WriteJsonString(os, counters_[i].name);
-      os << ": " << epoch.counters[i];
+      WriteJsonString(os, doc.counters[i].name);
+      os << ": " << doc.counters[i].epochs[e];
     }
     os << "}, \"gauges\": {";
-    for (std::size_t i = 0; i < epoch.gauges.size(); ++i) {
+    for (std::size_t i = 0; i < doc.gauges.size(); ++i) {
       if (i > 0) os << ", ";
-      WriteJsonString(os, gauges_[i].name);
-      os << ": " << epoch.gauges[i];
+      WriteJsonString(os, doc.gauges[i].name);
+      os << ": " << doc.gauges[i].epochs[e];
     }
     os << "}}";
   }
   os << "\n  ],\n  \"counters\": {";
-  for (std::size_t i = 0; i < counters_.size(); ++i) {
+  for (std::size_t i = 0; i < doc.counters.size(); ++i) {
     if (i > 0) os << ", ";
-    WriteJsonString(os, counters_[i].name);
-    os << ": " << counters_[i].value();
+    WriteJsonString(os, doc.counters[i].name);
+    os << ": " << doc.counters[i].final_value;
   }
   os << "},\n  \"gauges\": {";
-  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+  for (std::size_t i = 0; i < doc.gauges.size(); ++i) {
     if (i > 0) os << ", ";
-    WriteJsonString(os, gauges_[i].name);
-    os << ": " << gauges_[i].sample();
+    WriteJsonString(os, doc.gauges[i].name);
+    os << ": " << doc.gauges[i].final_value;
   }
   os << "},\n  \"histograms\": {";
-  for (std::size_t i = 0; i < histograms_.size(); ++i) {
-    const LogLinearHistogram& h = histograms_[i].histogram;
+  for (std::size_t i = 0; i < doc.histograms.size(); ++i) {
+    // Rebuilt from the raw buckets so quantiles come out of the exact same
+    // code path whether the doc was collected live or merged across shards.
+    LogLinearHistogram h;
+    h.AbsorbSnapshot(doc.histograms[i].snapshot);
     os << (i == 0 ? "\n" : ",\n") << "    ";
-    WriteJsonString(os, histograms_[i].name);
+    WriteJsonString(os, doc.histograms[i].name);
     os << ": {\"count\": " << h.count();
     if (h.count() > 0) {
       const double mean =
@@ -219,6 +307,10 @@ void MetricsRegistry::WriteJson(std::ostream& os) const {
     os << "]}";
   }
   os << "\n  }\n}\n";
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  WriteMetricsJson(os, Collect());
 }
 
 }  // namespace dcrd

@@ -120,6 +120,52 @@ class LogLinearHistogram {
   std::uint64_t max_ = 0;
 };
 
+// How one metric combines across engine shards when per-shard registries
+// are folded into a single document (DESIGN.md §14):
+//  * kSum — disjoint owner-only quantities (deliveries, traffic counters,
+//    in-flight copies). Non-owner shards contribute exactly 0, so the sum
+//    over shards is byte-identical to the 1-shard value.
+//  * kReplicated — quantities every shard computes identically from pure
+//    functions of config/seed/epoch (published pairs, link up/gray state).
+//    Shard 0 speaks for all; summing would count them N times.
+// Histograms are always kSum (deliveries and RTT samples land on the owner
+// shard only).
+enum class MergePolicy { kSum, kReplicated };
+
+// Shard-mergeable snapshot of a whole registry: names, policies, the
+// per-epoch counter/gauge series, final values, and raw-bucket histogram
+// snapshots. Produced by MetricsRegistry::Collect, folded with
+// MergeMetricsDocs, serialised by WriteMetricsJson — both the 1-shard and
+// the N-shard paths go through this type, so their output is identical by
+// construction.
+struct MetricsDoc {
+  struct Series {
+    std::string name;
+    MergePolicy policy = MergePolicy::kSum;
+    std::vector<std::uint64_t> epochs;  // parallel to epoch_t_us
+    std::uint64_t final_value = 0;
+  };
+  struct HistogramEntry {
+    std::string name;
+    HistogramSnapshot snapshot;
+  };
+  std::vector<std::int64_t> epoch_t_us;
+  std::vector<Series> counters;
+  std::vector<Series> gauges;
+  std::vector<HistogramEntry> histograms;
+};
+
+// Folds per-shard docs into one (see MergePolicy). Every doc must have the
+// same metric names in the same order and the same epoch timestamps — true
+// by construction for shard replicas, checked by DCRD_CHECK otherwise.
+[[nodiscard]] MetricsDoc MergeMetricsDocs(
+    const std::vector<const MetricsDoc*>& docs);
+
+// Writes a doc in the registry's JSON format: per-epoch counter/gauge
+// series, final values, and each histogram's summary stats, quantiles, and
+// non-empty buckets as [lo, hi, count] triples.
+void WriteMetricsJson(std::ostream& os, const MetricsDoc& doc);
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -128,16 +174,18 @@ class MetricsRegistry {
 
   // Creates a registry-owned counter cell. The returned pointer is stable
   // for the registry's lifetime; increment it directly.
-  std::uint64_t* AddCounter(std::string name);
+  std::uint64_t* AddCounter(std::string name,
+                            MergePolicy policy = MergePolicy::kSum);
 
   // Registers an externally owned counter by const pointer. The source must
   // outlive the registry; it stays the single source of truth and is read
   // at snapshot / export time.
-  void RegisterCounter(std::string name, const std::uint64_t* source);
+  void RegisterCounter(std::string name, const std::uint64_t* source,
+                       MergePolicy policy = MergePolicy::kSum);
 
   // Registers a gauge sampled via `sample` at snapshot / export time.
-  void RegisterGauge(std::string name,
-                     std::function<std::uint64_t()> sample);
+  void RegisterGauge(std::string name, std::function<std::uint64_t()> sample,
+                     MergePolicy policy = MergePolicy::kSum);
 
   // Creates a registry-owned histogram. Stable pointer, record directly.
   LogLinearHistogram* AddHistogram(std::string name);
@@ -146,9 +194,46 @@ class MetricsRegistry {
   // series exported by WriteJson.
   void SnapshotEpoch(SimTime t);
 
+  // Read access for the time-series sampler (obs/timeseries.h): metric
+  // counts, names, policies, and live values, in registration order.
+  [[nodiscard]] std::size_t counter_count() const { return counters_.size(); }
+  [[nodiscard]] const std::string& counter_name(std::size_t i) const {
+    return counters_[i].name;
+  }
+  [[nodiscard]] MergePolicy counter_policy(std::size_t i) const {
+    return counters_[i].policy;
+  }
+  [[nodiscard]] std::uint64_t counter_value(std::size_t i) const {
+    return counters_[i].value();
+  }
+  [[nodiscard]] std::size_t gauge_count() const { return gauges_.size(); }
+  [[nodiscard]] const std::string& gauge_name(std::size_t i) const {
+    return gauges_[i].name;
+  }
+  [[nodiscard]] MergePolicy gauge_policy(std::size_t i) const {
+    return gauges_[i].policy;
+  }
+  [[nodiscard]] std::uint64_t gauge_value(std::size_t i) const {
+    return gauges_[i].sample();
+  }
+  [[nodiscard]] std::size_t histogram_count() const {
+    return histograms_.size();
+  }
+  [[nodiscard]] const std::string& histogram_name(std::size_t i) const {
+    return histograms_[i].name;
+  }
+  [[nodiscard]] const LogLinearHistogram& histogram(std::size_t i) const {
+    return histograms_[i].histogram;
+  }
+
+  // Snapshots the registry into a shard-mergeable document (final values
+  // read now, like WriteJson's final sections).
+  [[nodiscard]] MetricsDoc Collect() const;
+
   // Writes the whole registry as one JSON document: the per-epoch counter/
   // gauge series, final values, and each histogram's summary stats,
   // quantiles, and non-empty buckets as [lo, hi, count] triples.
+  // Equivalent to WriteMetricsJson(os, Collect()).
   void WriteJson(std::ostream& os) const;
 
  private:
@@ -156,6 +241,7 @@ class MetricsRegistry {
     std::string name;
     std::uint64_t owned = 0;              // cell for AddCounter counters
     const std::uint64_t* source = nullptr;  // external for RegisterCounter
+    MergePolicy policy = MergePolicy::kSum;
     [[nodiscard]] std::uint64_t value() const {
       return source != nullptr ? *source : owned;
     }
@@ -163,6 +249,7 @@ class MetricsRegistry {
   struct Gauge {
     std::string name;
     std::function<std::uint64_t()> sample;
+    MergePolicy policy = MergePolicy::kSum;
   };
   struct Histogram {
     std::string name;

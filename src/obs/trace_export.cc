@@ -15,6 +15,7 @@
 
 #include "common/logging.h"
 #include "obs/shard_profiler.h"
+#include "obs/timeseries.h"
 
 namespace dcrd {
 
@@ -373,7 +374,8 @@ int FormatTraceHuman(const TraceRecord& r, char* buf, std::size_t cap) {
 
 void WriteChromeTrace(std::ostream& os,
                       const std::vector<TraceRecord>& records,
-                      const ShardProfile* profile) {
+                      const ShardProfile* profile,
+                      const TimeSeriesStore* series) {
   // Time-sorted view; stable so same-instant events keep recording order.
   std::vector<std::size_t> order(records.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
@@ -506,6 +508,54 @@ void WriteChromeTrace(std::ostream& os,
         emit(span(s, "stall", wall_us, stall_us, bucket));
         wall_us += stall_us;
       }
+    }
+  }
+
+  // Telemetry counter tracks (pid 2): Perfetto/Chrome "C" events on the
+  // sim-time axis. Counter metrics plot their per-window delta (a rate at
+  // the sampling cadence), gauges their level, broker health its aggregate
+  // over brokers, and the SLO series its ratios — so a counter lane lines
+  // up under the packet lifelines it explains.
+  if (series != nullptr) {
+    emit("{\"ph\":\"M\",\"pid\":2,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"dcrd-telemetry\"}}");
+    const auto counter = [](const std::string& name, std::int64_t ts,
+                            const std::string& value) {
+      return "{\"ph\":\"C\",\"pid\":2,\"name\":\"" + name +
+             "\",\"ts\":" + std::to_string(ts) + ",\"args\":{\"value\":" +
+             value + "}}";
+    };
+    for (std::size_t s = 0; s < series->samples(); ++s) {
+      const std::int64_t ts = series->t_us[s];
+      for (std::size_t c = 0; c < series->counter_names.size(); ++c) {
+        emit(counter(series->counter_names[c] + "/win", ts,
+                     std::to_string(series->counter_deltas[c][s])));
+      }
+      for (std::size_t g = 0; g < series->gauge_names.size(); ++g) {
+        emit(counter(series->gauge_names[g], ts,
+                     std::to_string(series->gauge_values[g][s])));
+      }
+      if (series->node_count > 0) {
+        std::uint64_t pending = 0, dedup = 0, rto_max = 0;
+        const std::size_t base = s * series->node_count;
+        for (std::size_t b = 0; b < series->node_count; ++b) {
+          pending += series->broker_pending[base + b];
+          dedup += series->broker_dedup[base + b];
+          rto_max = std::max(rto_max, series->broker_rto_us[base + b]);
+        }
+        emit(counter("broker.pending_copies", ts, std::to_string(pending)));
+        emit(counter("broker.dedup_entries", ts, std::to_string(dedup)));
+        emit(counter("broker.rto_us.max", ts, std::to_string(rto_max)));
+      }
+    }
+    for (const SloWindow& w : ComputeSloSeries(*series)) {
+      char ratio[32];
+      std::snprintf(ratio, sizeof(ratio), "%.6f", w.delivery_ratio);
+      emit(counter("slo.delivery_ratio", w.t_us, ratio));
+      std::snprintf(ratio, sizeof(ratio), "%.6f", w.violation_rate);
+      emit(counter("slo.violation_rate", w.t_us, ratio));
+      emit(counter("slo.delay_p99_us", w.t_us,
+                   std::to_string(w.delay_p99_us)));
     }
   }
   os << "\n]}\n";

@@ -81,11 +81,17 @@ bool ForEachMergedTraceJsonl(
 // see obs/shard_profiler.h) the document gains a second process,
 // "dcrd-exec", with one wall-clock track per shard: alternating busy/stall
 // complete spans per round bucket, so a Perfetto timeline shows which shard
-// straggled and which shards waited at the barrier.
+// straggled and which shards waited at the barrier. With a non-null
+// `series` (a time-series store from the same run, obs/timeseries.h) it
+// gains a third process, "dcrd-telemetry", carrying Perfetto counter
+// tracks ("ph":"C") on the sim-time axis: per-window counter rates, gauge
+// levels, aggregate broker health, and the deadline-SLO series.
 struct ShardProfile;
+struct TimeSeriesStore;
 void WriteChromeTrace(std::ostream& os,
                       const std::vector<TraceRecord>& records,
-                      const ShardProfile* profile = nullptr);
+                      const ShardProfile* profile = nullptr,
+                      const TimeSeriesStore* series = nullptr);
 
 // Prints every event belonging to `packet_id` (publish, per-hop sends and
 // ACKs, reroutes, drops, deliveries) in time order — the "what happened to

@@ -481,6 +481,38 @@ void HopTransport::SendProbe(NodeId from, LinkId link, std::uint32_t round) {
   ScheduleProbe(from, link, /*rearm=*/true);
 }
 
+void HopTransport::SampleBrokerHealth(std::vector<BrokerHealth>& out) const {
+  pending_.ForEachLiveHandle([&](SlotHandle handle) {
+    const Pending* pending = pending_.Get(handle);
+    const std::size_t broker = pending->from.underlying();
+    if (broker < out.size()) ++out[broker].pending_copies;
+  });
+  const std::size_t nodes = std::min(out.size(), seen_copies_.size());
+  for (std::size_t node = 0; node < nodes; ++node) {
+    out[node].dedup_entries +=
+        seen_copies_[node].size() + prev_seen_copies_[node].size();
+  }
+  if (config_.adaptive_rto) {
+    const Graph& graph = network_.graph();
+    for (std::size_t e = 0; e < graph.edge_count(); ++e) {
+      const LinkId link(static_cast<LinkId::underlying_type>(e));
+      const EdgeSpec& edge = graph.edge(link);
+      for (int dir = 0; dir < 2; ++dir) {
+        const std::size_t didx = e * 2 + static_cast<std::size_t>(dir);
+        // Unfed estimators report 0 (never the seed): a broker whose links
+        // live on another shard then contributes nothing to the sum-merge.
+        if (!rto_.HasSample(didx)) continue;
+        const NodeId from = dir == 0 ? edge.a : edge.b;
+        if (from.underlying() >= out.size()) continue;
+        const std::uint64_t rto_us = static_cast<std::uint64_t>(
+            rto_.Rto(didx, SimDuration::Micros(0)).micros());
+        std::uint64_t& slot = out[from.underlying()].rto_us;
+        if (rto_us > slot) slot = rto_us;
+      }
+    }
+  }
+}
+
 SimDuration HopTransport::ProbeInterval(std::size_t didx,
                                         const PeerState& state) const {
   const int shift = state.probe_attempts < 6 ? state.probe_attempts : 6;

@@ -54,6 +54,7 @@
 
 #include "common/dense_map.h"
 #include "common/ids.h"
+#include "obs/broker_health.h"
 #include "common/inline_function.h"
 #include "common/slot_map.h"
 #include "event/scheduler.h"
@@ -199,6 +200,13 @@ class HopTransport {
     return out;
   }
   [[nodiscard]] const RtoEstimator& rto() const { return rto_; }
+
+  // Accumulates per-broker health into `out` (indexed by broker id, caller-
+  // zeroed): live in-flight copies by sending broker, dedup table sizes
+  // (current + previous generation) by receiving broker, and — in adaptive
+  // mode — each broker's largest sampled outgoing-link RTO. Read-only and
+  // allocation-free; the time-series sampler calls it every sim-time tick.
+  void SampleBrokerHealth(std::vector<BrokerHealth>& out) const;
 
  private:
   struct Pending {

@@ -117,6 +117,15 @@ class Router {
   // 0 after the scheduler drains — the invariant checker asserts it.
   [[nodiscard]] virtual std::size_t open_episodes() const { return 0; }
 
+  // Accumulates per-broker health (in-flight copies, dedup table sizes,
+  // adaptive RTO) into `out`, indexed by broker id and zeroed by the
+  // caller. Routers owning a HopTransport delegate to it; the default
+  // leaves everything zero. Read-only — the time-series sampler calls this
+  // from an observability event.
+  virtual void SampleBrokerHealth(std::vector<BrokerHealth>& out) const {
+    (void)out;
+  }
+
   // Broker lifecycle (fail-stop crash–recovery; see net/broker_lifecycle.h).
   // OnBrokerCrash: `node` fail-stopped — drop every piece of volatile state
   // it held (transport pendings and dedup, open episodes, caches); returns

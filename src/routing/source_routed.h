@@ -38,6 +38,9 @@ class SourceRoutedRouter : public Router {
   [[nodiscard]] TransportStats transport_stats() const final {
     return transport_.stats();
   }
+  void SampleBrokerHealth(std::vector<BrokerHealth>& out) const final {
+    transport_.SampleBrokerHealth(out);
+  }
   // The baselines keep no per-broker routing state beyond the transport
   // (routes ride in the packets), so a crash only voids transport state; a
   // restarted broker needs no resync.

@@ -24,6 +24,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
 #include "obs/shard_profiler.h"
+#include "obs/timeseries.h"
 #include "pubsub/publisher.h"
 #include "routing/multipath_router.h"
 #include "routing/oracle_router.h"
@@ -318,6 +319,9 @@ class Sim {
 
   [[nodiscard]] SimInvariantChecker* checker() { return checker_.get(); }
   [[nodiscard]] const Router& router() const { return *router_; }
+  // Per-shard telemetry, folded by RunSharded at join (single-threaded).
+  [[nodiscard]] MetricsRegistry* registry() { return registry_.get(); }
+  [[nodiscard]] TimeSeriesSampler* timeseries() { return timeseries_.get(); }
 
   // Merges per-shard observations into one RunSummary, bit-identical to
   // the 1-shard run: published-side counts are replicated (shard 0 speaks
@@ -389,8 +393,10 @@ class Sim {
   OverlayNetwork network_;
   // Observability (read-only). Tracing shards cleanly — every shard owns a
   // recorder writing its own `.shardK` file, record sites gate on node
-  // ownership so each event is captured exactly once — while metrics and
-  // the delay audit still force a single-shard fallback in RunScenario.
+  // ownership so each event is captured exactly once — and metrics / time
+  // series shard too (per-shard registries and stores, merged at join);
+  // only the delay audit still forces a single-shard fallback in
+  // RunScenario.
   std::unique_ptr<FlightRecorder> recorder_;
   std::ofstream trace_file_;
   std::ofstream audit_file_;
@@ -406,6 +412,7 @@ class Sim {
   Rng churn_rng_;
   std::unique_ptr<LinkStateSampler> link_sampler_;
   std::unique_ptr<BrokerLifecycleSampler> lifecycle_sampler_;
+  std::unique_ptr<TimeSeriesSampler> timeseries_;
   ShardProfiler* profiler_ = nullptr;
   std::uint64_t next_message_id_ = 0;
   std::vector<std::unique_ptr<Publisher>> publishers_;
@@ -476,9 +483,21 @@ Sim::Sim(const ScenarioConfig& config, const Graph& graph,
                       << config_.delay_audit_out;
     }
   }
-  if (!config_.metrics_json.empty()) {
+  if (!config_.metrics_json.empty() || !config_.timeseries_out.empty()) {
     registry_ = std::make_unique<MetricsRegistry>();
     RegisterNetworkCounters(*registry_, network_);
+    // SLO pair counters, read live from the collector's tally. Published-
+    // side counts replicate on every shard (each shard's collector sees the
+    // full expected set); delivered-side counts land on the subscriber's
+    // owning shard only — the same split BuildSummary merges by.
+    const RunSummary& live = metrics_.live_summary();
+    registry_->RegisterCounter("slo.messages_published",
+                               &live.messages_published,
+                               MergePolicy::kReplicated);
+    registry_->RegisterCounter("slo.pairs_published", &live.expected_pairs,
+                               MergePolicy::kReplicated);
+    registry_->RegisterCounter("slo.pairs_delivered", &live.delivered_pairs);
+    registry_->RegisterCounter("slo.pairs_on_time", &live.qos_pairs);
     delay_histogram_ = registry_->AddHistogram("delivery.delay_us");
     rtt_histogram_ = registry_->AddHistogram("transport.rtt_us");
   }
@@ -526,15 +545,41 @@ Sim::Sim(const ScenarioConfig& config, const Graph& graph,
 
   if (registry_ != nullptr) {
     // Gauges sample live engine state; registered after the router exists.
-    registry_->RegisterGauge("scheduler.pending_events", [this] {
-      return static_cast<std::uint64_t>(scheduler_.pending_count());
-    });
+    // (No scheduler.pending_events gauge: replicated control events sit in
+    // every shard's queue, so per-shard pending counts cannot merge into
+    // the 1-shard value under any policy.)
     registry_->RegisterGauge("router.open_episodes", [r = router_.get()] {
       return static_cast<std::uint64_t>(r->open_episodes());
     });
     registry_->RegisterGauge("transport.pending_copies", [r = router_.get()] {
       return static_cast<std::uint64_t>(r->transport_stats().pending_copies);
     });
+    // Link up/gray state is a pure function of schedules and time — every
+    // shard computes the same counts, so shard 0 speaks for all.
+    registry_->RegisterGauge(
+        "links.down",
+        [this] {
+          std::uint64_t down = 0;
+          const SimTime now = scheduler_.now();
+          for (std::size_t i = 0; i < graph_.edge_count(); ++i) {
+            const LinkId link(static_cast<LinkId::underlying_type>(i));
+            if (!network_.failures().IsUp(link, now)) ++down;
+          }
+          return down;
+        },
+        MergePolicy::kReplicated);
+    registry_->RegisterGauge(
+        "links.gray",
+        [this] {
+          std::uint64_t gray = 0;
+          const SimTime now = scheduler_.now();
+          for (std::size_t i = 0; i < graph_.edge_count(); ++i) {
+            const LinkId link(static_cast<LinkId::underlying_type>(i));
+            if (network_.gray().Active(link, now)) ++gray;
+          }
+          return gray;
+        },
+        MergePolicy::kReplicated);
   }
 
   // Bootstrap measurement + epoch rebuilds for the whole run. Churn, when
@@ -586,6 +631,21 @@ Sim::Sim(const ScenarioConfig& config, const Graph& graph,
     lifecycle_sampler_ = std::make_unique<BrokerLifecycleSampler>(
         network_, scheduler_, *router_, recorder_.get(),
         config_.failure_epoch, end_);
+  }
+  if (!config_.timeseries_out.empty()) {
+    // Created on every shard at this same setup point — its chain-scheduled
+    // events keep engine-origin sequence numbers replicated, exactly like
+    // the link-state sampler — and strictly read-only, so enabling it never
+    // changes results.
+    TimeSeriesConfig ts_config;
+    ts_config.interval = config_.timeseries_interval;
+    ts_config.end = end_;
+    ts_config.node_count = graph_.node_count();
+    timeseries_ = std::make_unique<TimeSeriesSampler>(
+        *registry_, scheduler_, ts_config,
+        [this](std::vector<BrokerHealth>& out) {
+          router_->SampleBrokerHealth(out);
+        });
   }
 
   // Publishers: one per topic, phase-jittered within the first interval.
@@ -669,6 +729,29 @@ void WriteShardProfileFile(const std::string& path,
   WriteShardProfileJson(file, profile);
 }
 
+// Same degrade-to-warning contract for the metrics and time-series
+// documents. Both take the already-merged artefact: the 1-shard path folds
+// a one-element list through the same merge functions the N-shard path
+// uses, so the two paths cannot drift apart byte-wise.
+void WriteMetricsFile(const std::string& path, const MetricsDoc& doc) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    DCRD_LOG(kWarn) << "cannot write metrics to " << path;
+    return;
+  }
+  WriteMetricsJson(file, doc);
+}
+
+void WriteTimeSeriesFile(const std::string& path,
+                         const TimeSeriesStore& store) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    DCRD_LOG(kWarn) << "cannot write time series to " << path;
+    return;
+  }
+  WriteTimeSeriesJson(file, store);
+}
+
 RunSummary Sim::RunSingle() {
   // The degenerate 1-shard profile: one all-busy round covering the whole
   // run, a 1x1 empty traffic matrix. Same schema as the sharded profile so
@@ -692,12 +775,15 @@ RunSummary Sim::RunSingle() {
 
   if (registry_ != nullptr) {
     registry_->SnapshotEpoch(scheduler_.now());
-    std::ofstream metrics_file(config_.metrics_json, std::ios::trunc);
-    if (metrics_file) {
-      registry_->WriteJson(metrics_file);
-    } else {
-      DCRD_LOG(kWarn) << "cannot write metrics to " << config_.metrics_json;
+    if (!config_.metrics_json.empty()) {
+      const MetricsDoc doc = registry_->Collect();
+      WriteMetricsFile(config_.metrics_json, MergeMetricsDocs({&doc}));
     }
+  }
+  if (timeseries_ != nullptr) {
+    timeseries_->FinalizeAt(scheduler_.now());
+    WriteTimeSeriesFile(config_.timeseries_out,
+                        MergeTimeSeriesStores({&timeseries_->store()}));
   }
   if (recorder_ != nullptr) recorder_->Flush();
   if (profiling) {
@@ -949,6 +1035,32 @@ RunSummary RunSharded(const ScenarioConfig& config, const Graph& graph,
   SimTime end_time = SimTime::Zero() + config.sim_time;
   for (const auto& sim : sims) end_time = std::max(end_time, sim->now());
 
+  // Telemetry join (single-threaded, like the summary merge): close every
+  // shard's final epoch / tail sample at the same global quiescence time
+  // the 1-shard run would use, then fold per MergePolicy and write —
+  // byte-identical to the 1-shard documents.
+  if (!config.metrics_json.empty()) {
+    std::vector<MetricsDoc> docs;
+    docs.reserve(sims.size());
+    for (const auto& sim : sims) {
+      sim->registry()->SnapshotEpoch(end_time);
+      docs.push_back(sim->registry()->Collect());
+    }
+    std::vector<const MetricsDoc*> doc_views;
+    doc_views.reserve(docs.size());
+    for (const MetricsDoc& doc : docs) doc_views.push_back(&doc);
+    WriteMetricsFile(config.metrics_json, MergeMetricsDocs(doc_views));
+  }
+  if (!config.timeseries_out.empty()) {
+    std::vector<const TimeSeriesStore*> stores;
+    stores.reserve(sims.size());
+    for (const auto& sim : sims) {
+      sim->timeseries()->FinalizeAt(end_time);
+      stores.push_back(&sim->timeseries()->store());
+    }
+    WriteTimeSeriesFile(config.timeseries_out, MergeTimeSeriesStores(stores));
+  }
+
   std::vector<Sim*> views;
   views.reserve(sims.size());
   for (const auto& sim : sims) views.push_back(sim.get());
@@ -1007,12 +1119,12 @@ RunSummary RunScenario(const ScenarioConfig& config) {
                        "gossip computation; running on one shard";
     shards = 1;
   }
-  // Tracing and the shard profiler run sharded (per-shard recorders and
-  // accumulators, merged offline); only captures needing a live global
-  // event order still force the fallback.
-  if (shards > 1 &&
-      (!config.metrics_json.empty() || !config.delay_audit_out.empty())) {
-    DCRD_LOG(kWarn) << "metrics/delay-audit capture is single-shard; "
+  // Tracing, the shard profiler, metrics and the time-series sampler all
+  // run sharded (per-shard captures, merged at join); only the delay audit
+  // — whose rows need a live global event order — still forces the
+  // fallback.
+  if (shards > 1 && !config.delay_audit_out.empty()) {
+    DCRD_LOG(kWarn) << "delay-audit capture is single-shard; "
                        "running on one shard";
     shards = 1;
   }

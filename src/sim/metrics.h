@@ -122,6 +122,11 @@ class MetricsCollector final : public DeliverySink {
                                      std::uint64_t control_transmissions =
                                          0) const;
 
+  // The live, un-summarized tally. The registry's slo.* counters register
+  // its pair counts by const pointer so the time-series sampler can window
+  // them without a second accounting path.
+  [[nodiscard]] const RunSummary& live_summary() const { return summary_; }
+
  private:
   struct PendingMessage {
     SimTime publish_time;

@@ -135,10 +135,10 @@ struct ScenarioConfig {
   // like the observability knobs, it is deliberately excluded from
   // Describe(). Falls back to one shard with a stderr note for
   // dcrd_distributed runs, when a capture that needs a global event order
-  // at run time is requested (metrics_json, delay_audit_out), or when the
-  // partition's lookahead is below one microsecond. Tracing and the shard
-  // profiler stay sharded: each shard records to its own file and
-  // dcrd_trace merges deterministically (DESIGN.md §13).
+  // at run time is requested (delay_audit_out), or when the partition's
+  // lookahead is below one microsecond. Tracing, the shard profiler,
+  // metrics and the time-series sampler stay sharded: per-shard captures
+  // merge deterministically at join (DESIGN.md §13–§14).
   int shards = 1;
   // Test hook: explicit broker->shard owner map (size node_count, every
   // value in [0, shards)). Empty = the BFS locality partitioner
@@ -169,8 +169,20 @@ struct ScenarioConfig {
   // by tools/dcrd_trace --shards.
   std::string shard_profile_out;
   // When non-empty, write the metrics registry (per-epoch counter/gauge
-  // series + histograms) to this file as JSON at end of run.
+  // series + histograms) to this file as JSON at end of run. Sharded runs
+  // keep one registry per shard and fold them at join (MergePolicy rules,
+  // obs/metrics_registry.h) — the merged document is byte-identical to a
+  // 1-shard run's.
   std::string metrics_json;
+  // When non-empty, sample the metrics registry every timeseries_interval
+  // of sim time into a columnar store (counter deltas, gauge levels,
+  // histogram raw-bucket deltas, per-broker health) and write it to this
+  // file as JSON at end of run ("dcrd-timeseries-v1", obs/timeseries.h),
+  // including the windowed deadline-SLO series. Rendered by
+  // tools/dcrd_trace --timeseries. Implies a metrics registry even when
+  // metrics_json is empty; sharded runs merge per-shard stores at join.
+  std::string timeseries_out;
+  SimDuration timeseries_interval = SimDuration::Seconds(1);
   // When non-empty and the router is DCRD, write the model's view — per
   // (topic, subscriber) expected <d, r> and the publisher's Theorem-1
   // sending list, one JSONL row per destination per monitoring epoch — to

@@ -51,10 +51,13 @@ TEST(TraceIntegrationTest, TracedRunMatchesUntracedRunExactly) {
 
   TempFile trace_file("trace_eq.jsonl");
   TempFile metrics_file("trace_eq_metrics.json");
+  TempFile series_file("trace_eq_series.json");
   ScenarioConfig traced_config = StressedConfig();
   traced_config.trace = true;
   traced_config.trace_out = trace_file.path;
   traced_config.metrics_json = metrics_file.path;
+  traced_config.timeseries_out = series_file.path;
+  traced_config.timeseries_interval = SimDuration::Millis(500);
   const RunSummary traced = RunScenario(traced_config);
 
   EXPECT_EQ(traced.expected_pairs, untraced.expected_pairs);

@@ -349,6 +349,45 @@ TEST(ShardedEngineTest, ProfiledRunIsResultNeutralAndProfileConserves) {
   EXPECT_GE(total_events, solo_profile.shard_totals[0].events);
 }
 
+// Reads a whole file; empty on open failure (asserted by callers).
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::string text;
+  char c = 0;
+  while (in.get(c)) text.push_back(c);
+  return text;
+}
+
+TEST(ShardedEngineTest, MergedTelemetryIsByteIdenticalAcrossShardCounts) {
+  // The continuous-telemetry contract (DESIGN.md §14): the merged
+  // --metrics_json and --timeseries files from an 8-shard run must be
+  // byte-identical to the 1-shard run's — kSum series because owner-only
+  // deltas partition the work, kReplicated series because the control plane
+  // replays identically on every shard. Results must stay untouched too.
+  ScenarioConfig config = Ext7Style(RouterKind::kDcrd);
+  config.metrics_json = testing::TempDir() + "telemetry_s1.metrics.json";
+  config.timeseries_out = testing::TempDir() + "telemetry_s1.series.json";
+  const RunSummary base = RunScenario(config);
+
+  ScenarioConfig sharded = Ext7Style(RouterKind::kDcrd);
+  sharded.shards = 8;
+  sharded.metrics_json = testing::TempDir() + "telemetry_s8.metrics.json";
+  sharded.timeseries_out = testing::TempDir() + "telemetry_s8.series.json";
+  const RunSummary other = RunScenario(sharded);
+  ExpectIdentical(base, other, "telemetry @8 shards");
+
+  const std::string metrics_1 = Slurp(config.metrics_json);
+  const std::string metrics_8 = Slurp(sharded.metrics_json);
+  ASSERT_FALSE(metrics_1.empty());
+  EXPECT_EQ(metrics_1, metrics_8);
+
+  const std::string series_1 = Slurp(config.timeseries_out);
+  const std::string series_8 = Slurp(sharded.timeseries_out);
+  ASSERT_FALSE(series_1.empty());
+  EXPECT_EQ(series_1, series_8);
+  EXPECT_NE(series_1.find("\"dcrd-timeseries-v1\""), std::string::npos);
+}
+
 TEST(ShardedEngineTest, ChaosSoakAcrossShardsStaysClean) {
   // 20 seeds of the gray + crash cocktail with the invariant checker armed
   // on every shard: loop-freedom, exactly-once hand-up, per-shard counter

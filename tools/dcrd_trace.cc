@@ -28,6 +28,11 @@
 //                    totals, imbalance, critical-shard attribution, and the
 //                    cross-shard traffic matrix as a heat table). Works
 //                    standalone — no trace files needed
+//   --timeseries TS  render a --timeseries JSON capture (counter totals,
+//                    gauge ranges, the windowed deadline-SLO table). Works
+//                    standalone; with --chrome it adds "dcrd-telemetry"
+//                    counter tracks, with --report it adds the
+//                    continuous-telemetry panel
 //   --decompose      causal delay decomposition: per-component totals,
 //                    per-epoch means, per-link/per-broker hotspots
 //   --audit MODEL    model-vs-observed audit against a --delay_audit JSONL
@@ -43,6 +48,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -51,6 +57,7 @@
 #include "obs/analysis/html_report.h"
 #include "obs/analysis/model_audit.h"
 #include "obs/shard_profiler.h"
+#include "obs/timeseries.h"
 #include "obs/trace_export.h"
 #include "obs/trace_record.h"
 
@@ -58,7 +65,8 @@ namespace {
 
 int Usage() {
   std::cerr << "usage: dcrd_trace [--summary | --packet ID | --broker ID | "
-               "--chrome OUT | --shards PROFILE.json | --decompose | "
+               "--chrome OUT | --shards PROFILE.json | "
+               "--timeseries SERIES.json | --decompose | "
                "--audit MODEL.jsonl | --report OUT.html] TRACE.jsonl...\n";
   return 2;
 }
@@ -215,6 +223,7 @@ int main(int argc, char** argv) {
   const std::int64_t broker = flags.GetInt("broker", -1);
   const std::string chrome_out = flags.GetString("chrome", "");
   const std::string shards_profile = flags.GetString("shards", "");
+  const std::string timeseries_in = flags.GetString("timeseries", "");
   const std::string audit_model = flags.GetString("audit", "");
   const std::string report_out = flags.GetString("report", "");
   flags.ExitOnUnqueried();
@@ -222,7 +231,9 @@ int main(int argc, char** argv) {
   files.insert(files.end(), flags.passthrough().begin(),
                flags.passthrough().end());
   files = ExpandGlobs(files);
-  if (files.empty() && shards_profile.empty()) return Usage();
+  if (files.empty() && shards_profile.empty() && timeseries_in.empty()) {
+    return Usage();
+  }
   if (has_packet && packet < 0) {
     std::cerr << "--packet needs a non-negative message id\n";
     return 2;
@@ -252,6 +263,29 @@ int main(int argc, char** argv) {
     dcrd::PrintShardProfile(std::cout, profile);
   }
 
+  // The time-series capture: rendered as terminal tables on its own, and
+  // threaded into the Chrome export (telemetry counter tracks) and the HTML
+  // report (continuous-telemetry panel) when those are also requested.
+  dcrd::TimeSeriesStore series;
+  bool have_series = false;
+  if (!timeseries_in.empty()) {
+    std::ifstream in(timeseries_in);
+    if (!in) {
+      std::cerr << "dcrd_trace: cannot open " << timeseries_in << "\n";
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    if (!dcrd::LoadTimeSeriesJson(text.str(), &series, &error)) {
+      std::cerr << "dcrd_trace: " << timeseries_in
+                << ": malformed time series: " << error << "\n";
+      return 1;
+    }
+    have_series = true;
+    dcrd::PrintTimeSeries(std::cout, series);
+  }
+
   // The timeline and Chrome exports need the records in memory; every other
   // mode streams.
   const bool need_records = has_packet || has_broker || !chrome_out.empty();
@@ -262,7 +296,8 @@ int main(int argc, char** argv) {
   dcrd::TraceAnalyzer analyzer;
   dcrd::TraceSummaryAccumulator summary_acc;
   const bool want_summary =
-      summary || (!need_records && !need_analysis && !have_profile);
+      summary ||
+      (!need_records && !need_analysis && !have_profile && !have_series);
   if (!files.empty() &&
       !StreamTraces(files, [&](const dcrd::TraceRecord& record) {
         if (need_records) records.push_back(record);
@@ -278,8 +313,8 @@ int main(int argc, char** argv) {
       std::cerr << "cannot write " << chrome_out << "\n";
       return 1;
     }
-    dcrd::WriteChromeTrace(out, records,
-                           have_profile ? &profile : nullptr);
+    dcrd::WriteChromeTrace(out, records, have_profile ? &profile : nullptr,
+                           have_series ? &series : nullptr);
     std::cerr << "wrote " << chrome_out << " (" << records.size()
               << " records)\n";
   }
@@ -341,12 +376,12 @@ int main(int argc, char** argv) {
         std::cerr << "cannot write " << report_out << "\n";
         return 1;
       }
-      std::string title = files.front();
+      std::string title = files.empty() ? timeseries_in : files.front();
       if (files.size() > 1) {
         title += " (+" + std::to_string(files.size() - 1) + " more)";
       }
-      dcrd::WriteHtmlReport(out, result, have_audit ? &audit : nullptr,
-                            title);
+      dcrd::WriteHtmlReport(out, result, have_audit ? &audit : nullptr, title,
+                            have_series ? &series : nullptr);
       std::cerr << "wrote " << report_out << " (" << result.deliveries.size()
                 << " deliveries decomposed)\n";
     }
